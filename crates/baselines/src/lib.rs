@@ -1,0 +1,19 @@
+//! # canary-baselines
+//!
+//! The recovery strategies Canary is compared against in §V:
+//!
+//! - [`IdealStrategy`] — the failure-free scenario,
+//! - [`RetryStrategy`] — the default restart-from-scratch policy of
+//!   existing FaaS platforms,
+//! - [`RequestReplicationStrategy`] — first-response-wins replicated
+//!   requests (Fig. 10's RR),
+//! - [`ActiveStandbyStrategy`] — one warm passive instance per function
+//!   (Fig. 10's AS).
+
+pub mod active_standby;
+pub mod request_replication;
+pub mod retry;
+
+pub use active_standby::ActiveStandbyStrategy;
+pub use request_replication::RequestReplicationStrategy;
+pub use retry::{IdealStrategy, RetryStrategy};

@@ -1,0 +1,60 @@
+//! Request replication (RR).
+//!
+//! §V-D.5 / ref. 65: RR "launches multiple replicated functions for each given
+//! function based on the given replication factor. The incoming requests
+//! are forwarded to all functions and the first successful response is
+//! accepted and the rest are discarded." The paper evaluates one replica
+//! per request (factor 2 total instances). All clones pay for resources,
+//! which is why RR's cost reaches 2.7× Canary's; when every clone dies the
+//! whole request restarts from scratch.
+
+use canary_platform::{
+    FailureInfo, FnId, FtStrategy, Platform, RecoveryPlan, RecoveryTarget,
+};
+
+/// First-response-wins replicated execution.
+#[derive(Debug)]
+pub struct RequestReplicationStrategy {
+    /// Total parallel instances per request (primary + replicas).
+    pub instances: u32,
+}
+
+impl Default for RequestReplicationStrategy {
+    fn default() -> Self {
+        // One replica per request, as evaluated in the paper.
+        RequestReplicationStrategy { instances: 2 }
+    }
+}
+
+impl RequestReplicationStrategy {
+    /// RR with the given total instance count (≥ 1).
+    pub fn new(instances: u32) -> Self {
+        assert!(instances >= 1, "need at least one instance");
+        RequestReplicationStrategy { instances }
+    }
+}
+
+impl FtStrategy for RequestReplicationStrategy {
+    fn name(&self) -> String {
+        "RR".to_string()
+    }
+
+    fn attempt_clones(&self, _platform: &Platform, _fn_id: FnId) -> u32 {
+        self.instances
+    }
+
+    fn on_failure(
+        &mut self,
+        platform: &mut Platform,
+        _fn_id: FnId,
+        _failure: FailureInfo,
+    ) -> RecoveryPlan {
+        // All clones died; relaunch the full replicated request from the
+        // beginning (there are no checkpoints in RR).
+        RecoveryPlan {
+            resume_from_state: 0,
+            delay: platform.config().detection_delay,
+            target: RecoveryTarget::FreshContainer,
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The default retry-based recovery strategy.
+//!
+//! §II-A/§V-B: existing FaaS platforms restart a failed function from its
+//! first instruction on a fresh container — losing all computation, paying
+//! the cold start again, and repeating until an attempt survives. This is
+//! the paper's primary comparison point.
+
+use canary_platform::{
+    FailureInfo, FnId, FtStrategy, Platform, RecoveryPlan, RecoveryTarget,
+};
+
+/// Restart-from-scratch recovery.
+#[derive(Debug, Default)]
+pub struct RetryStrategy;
+
+impl RetryStrategy {
+    /// New retry strategy.
+    pub fn new() -> Self {
+        RetryStrategy
+    }
+}
+
+impl FtStrategy for RetryStrategy {
+    fn name(&self) -> String {
+        "Retry".to_string()
+    }
+
+    fn on_failure(
+        &mut self,
+        platform: &mut Platform,
+        _fn_id: FnId,
+        _failure: FailureInfo,
+    ) -> RecoveryPlan {
+        RecoveryPlan {
+            resume_from_state: 0, // everything is lost
+            delay: platform.config().detection_delay,
+            target: RecoveryTarget::FreshContainer,
+        }
+    }
+}
+
+/// The ideal (failure-free) scenario: the same platform path as retry but
+/// run with a zero error rate, so `on_failure` is never invoked. Kept as
+/// a distinct type so figures get the right series label.
+#[derive(Debug, Default)]
+pub struct IdealStrategy;
+
+impl IdealStrategy {
+    /// New ideal strategy.
+    pub fn new() -> Self {
+        IdealStrategy
+    }
+}
+
+impl FtStrategy for IdealStrategy {
+    fn name(&self) -> String {
+        "Ideal".to_string()
+    }
+
+    fn on_failure(
+        &mut self,
+        platform: &mut Platform,
+        fn_id: FnId,
+        _failure: FailureInfo,
+    ) -> RecoveryPlan {
+        debug_assert!(
+            platform.config().failure.error_rate == 0.0
+                && platform.config().failure.node_failure_rate == 0.0,
+            "ideal scenario must run with failures disabled"
+        );
+        let _ = fn_id;
+        RecoveryPlan {
+            resume_from_state: 0,
+            delay: platform.config().detection_delay,
+            target: RecoveryTarget::FreshContainer,
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Engine edge cases: saturation, controller serialization, tiny
+//! clusters, heterogeneity effects.
+
+use canary_baselines::{IdealStrategy, RetryStrategy};
+use canary_cluster::{Cluster, FailureModel, NodeSpec};
+use canary_platform::{run, JobSpec, RunConfig, RunResult};
+use canary_sim::SimDuration;
+use canary_workloads::{RuntimeKind, WorkloadSpec};
+
+fn tiny_cluster(nodes: u32, slots: u32) -> Cluster {
+    Cluster::from_nodes(
+        Cluster::homogeneous(nodes)
+            .nodes()
+            .iter()
+            .cloned()
+            .map(|mut n: NodeSpec| {
+                n.container_slots = slots;
+                n
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn saturated_cluster_queues_and_completes() {
+    // 2 nodes × 3 slots = 6 concurrent containers for 40 functions: the
+    // engine must backoff-and-retry placement until slots free up.
+    let cluster = tiny_cluster(2, 3);
+    let cfg = RunConfig::new(cluster, FailureModel::default(), 1);
+    let r = run(
+        cfg,
+        vec![JobSpec::new(WorkloadSpec::web_service(5), 40)],
+        &mut IdealStrategy::new(),
+    );
+    assert_eq!(r.completed_count(), 40);
+    assert!(
+        r.counters.placement_retries > 0,
+        "saturation must trigger placement backoff"
+    );
+}
+
+#[test]
+fn saturated_cluster_with_failures_still_completes() {
+    let cluster = tiny_cluster(2, 3);
+    let cfg = RunConfig::new(cluster, FailureModel::with_error_rate(0.3), 2);
+    let r = run(
+        cfg,
+        vec![JobSpec::new(WorkloadSpec::web_service(5), 30)],
+        &mut RetryStrategy::new(),
+    );
+    assert_eq!(r.completed_count(), 30);
+}
+
+#[test]
+fn controller_serializes_admissions() {
+    // With an admission delay of d, N launches cannot all start at t=0:
+    // the last first-launch is at least (N-1)·d after the first.
+    let mut cfg = RunConfig::new(Cluster::chameleon_16(), FailureModel::default(), 3);
+    cfg.admission_delay = SimDuration::from_millis(200);
+    let n = 50;
+    let r = run(
+        cfg,
+        vec![JobSpec::new(WorkloadSpec::web_service(3), n)],
+        &mut IdealStrategy::new(),
+    );
+    let first = r.fns.iter().map(|f| f.first_launch).min().unwrap();
+    let last = r.fns.iter().map(|f| f.first_launch).max().unwrap();
+    let spread = last.saturating_since(first);
+    assert!(
+        spread.as_secs_f64() >= 0.2 * (n as f64 - 1.0) - 1e-9,
+        "spread {spread} for {n} launches at 200ms each"
+    );
+}
+
+#[test]
+fn single_node_single_slot_degenerate_case() {
+    let cluster = tiny_cluster(1, 1);
+    let cfg = RunConfig::new(cluster, FailureModel::with_error_rate(0.2), 4);
+    let r = run(
+        cfg,
+        vec![JobSpec::new(WorkloadSpec::web_service(3), 5)],
+        &mut RetryStrategy::new(),
+    );
+    assert_eq!(r.completed_count(), 5);
+    // Strictly serialized: total busy time ≈ sum of function times.
+    assert!(r.makespan() > SimDuration::from_secs(5 * 2));
+}
+
+#[test]
+fn heterogeneous_nodes_finish_work_at_different_speeds() {
+    // The same function on the slow vs fast class differs in duration;
+    // visible through the cost (container-seconds) of single-function
+    // runs pinned by cluster construction.
+    let run_on = |cpu: canary_cluster::CpuClass| -> RunResult {
+        let mut nodes = Cluster::homogeneous(1).nodes().to_vec();
+        nodes[0].cpu = cpu;
+        let cfg = RunConfig::new(Cluster::from_nodes(nodes), FailureModel::default(), 5);
+        run(
+            cfg,
+            vec![JobSpec::new(WorkloadSpec::web_service(20), 1)],
+            &mut IdealStrategy::new(),
+        )
+    };
+    let slow = run_on(canary_cluster::CpuClass::Gold6126);
+    let fast = run_on(canary_cluster::CpuClass::Gold6240R);
+    assert!(
+        fast.makespan() < slow.makespan(),
+        "fast {} vs slow {}",
+        fast.makespan(),
+        slow.makespan()
+    );
+}
+
+#[test]
+fn per_runtime_cold_starts_visible_in_makespan() {
+    // One invocation per runtime: Java's heavier image/init must yield
+    // the longest single-function makespan for identical state work.
+    let mk = |rt: RuntimeKind| {
+        let cfg = RunConfig::new(Cluster::homogeneous(1), FailureModel::default(), 6);
+        run(
+            cfg,
+            vec![JobSpec::new(
+                WorkloadSpec::synthetic(rt, 3, SimDuration::from_secs(1)),
+                1,
+            )],
+            &mut IdealStrategy::new(),
+        )
+        .makespan()
+    };
+    let py = mk(RuntimeKind::Python);
+    let js = mk(RuntimeKind::NodeJs);
+    let jv = mk(RuntimeKind::Java);
+    assert!(jv > py, "java {jv} vs python {py}");
+    assert!(py > js, "python {py} vs nodejs {js}");
+}
+
+#[test]
+fn zero_invocation_free_run_has_zero_cost() {
+    // A failure-free run bills exactly the functions' container time.
+    let cfg = RunConfig::new(Cluster::homogeneous(4), FailureModel::default(), 7);
+    let r = run(
+        cfg,
+        vec![JobSpec::new(WorkloadSpec::web_service(5), 8)],
+        &mut IdealStrategy::new(),
+    );
+    assert_eq!(r.containers.len(), 8);
+    assert!(r.gb_seconds() > 0.0);
+    assert_eq!(r.counters.containers_created, 8);
+}

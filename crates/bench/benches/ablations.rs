@@ -1,0 +1,136 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! checkpoint mode (implicit vs explicit), latest-n window size, spill
+//! storage tier, and replication policy. Each measures a full Canary run
+//! under the varied knob; Criterion's reports make the performance
+//! impact of each choice directly comparable.
+
+use canary_baselines::RetryStrategy;
+use canary_cluster::{Cluster, FailureModel, StorageHierarchy, StorageTier};
+use canary_core::{CanaryConfig, CanaryStrategy, CheckpointMode, ReplicationStrategyKind};
+use canary_platform::{run, JobSpec, RunConfig, RunResult};
+use canary_workloads::{WorkloadKind, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scenario() -> (RunConfig, Vec<JobSpec>) {
+    let cfg = RunConfig::new(
+        Cluster::chameleon_16(),
+        FailureModel::with_error_rate(0.25),
+        42,
+    );
+    let jobs = vec![JobSpec::new(
+        WorkloadSpec::paper_default(WorkloadKind::SparkDataMining),
+        30,
+    )];
+    (cfg, jobs)
+}
+
+fn run_canary(config: CanaryConfig) -> RunResult {
+    let (cfg, jobs) = scenario();
+    run(cfg, jobs, &mut CanaryStrategy::new(config))
+}
+
+fn ablation_checkpoint_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_checkpoint_mode");
+    group.sample_size(10);
+    for mode in [CheckpointMode::Implicit, CheckpointMode::Explicit] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let config = CanaryConfig {
+                        checkpoint_mode: mode,
+                        ..Default::default()
+                    };
+                    black_box(run_canary(config))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_ckpt_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ckpt_window");
+    group.sample_size(10);
+    for window in [1usize, 3, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                let config = CanaryConfig {
+                    ckpt_window: w,
+                    ..Default::default()
+                };
+                black_box(run_canary(config))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_replication_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_replication_policy");
+    group.sample_size(10);
+    for policy in [
+        ReplicationStrategyKind::Dynamic,
+        ReplicationStrategyKind::Aggressive,
+        ReplicationStrategyKind::Lenient,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &p| b.iter(|| black_box(run_canary(CanaryConfig::with_replication(p)))),
+        );
+    }
+    group.finish();
+}
+
+fn ablation_storage_tier(c: &mut Criterion) {
+    // The spill tier changes simulated checkpoint/restore *durations*;
+    // this bench reports the wall-clock of the simulation (roughly
+    // constant) while the test suite asserts the simulated-time effects.
+    let mut group = c.benchmark_group("ablation_storage_tier");
+    group.sample_size(10);
+    for (name, tier) in [
+        ("pmem", StorageTier::Pmem),
+        ("ramdisk", StorageTier::Ramdisk),
+        ("nfs", StorageTier::Nfs),
+        ("object_store", StorageTier::ObjectStore),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &tier, |b, &t| {
+            b.iter(|| {
+                let (mut cfg, jobs) = scenario();
+                cfg.storage = StorageHierarchy {
+                    kv_entry_limit: 8 * 1024 * 1024,
+                    spill_tiers: vec![t],
+                    shared_tier: StorageTier::Nfs,
+                };
+                black_box(run(cfg, jobs, &mut CanaryStrategy::default_dr()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn baseline_reference(c: &mut Criterion) {
+    // Reference point: the same scenario under plain retry.
+    let mut group = c.benchmark_group("ablation_reference");
+    group.sample_size(10);
+    group.bench_function("retry", |b| {
+        b.iter(|| {
+            let (cfg, jobs) = scenario();
+            black_box(run(cfg, jobs, &mut RetryStrategy::new()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_checkpoint_mode,
+    ablation_ckpt_window,
+    ablation_replication_policy,
+    ablation_storage_tier,
+    baseline_reference
+);
+criterion_main!(benches);

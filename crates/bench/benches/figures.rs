@@ -1,0 +1,51 @@
+//! One Criterion benchmark per paper figure: each iteration runs the
+//! (scale-reduced) deterministic simulation that regenerates the figure.
+//! These double as performance regression guards on the whole stack —
+//! engine, Canary modules, and baselines together.
+
+use canary_bench::bench_options;
+use canary_experiments::figures::{
+    fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8, fig9,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    let opts = bench_options();
+    group.bench_function("fig4_replication_recovery", |b| {
+        b.iter(|| black_box(fig4::build(black_box(&opts))))
+    });
+    group.bench_function("fig5_invocation_scaling", |b| {
+        b.iter(|| black_box(fig5::build(black_box(&opts))))
+    });
+    group.bench_function("fig6_checkpoint_recovery", |b| {
+        b.iter(|| black_box(fig6::build(black_box(&opts))))
+    });
+    group.bench_function("fig7_dl_makespan", |b| {
+        b.iter(|| black_box(fig7::build(black_box(&opts))))
+    });
+    group.bench_function("fig8_dl_cost_time", |b| {
+        b.iter(|| black_box(fig8::build(black_box(&opts))))
+    });
+    group.bench_function("fig9_replication_policies", |b| {
+        b.iter(|| black_box(fig9::build(black_box(&opts))))
+    });
+    group.bench_function("fig10_rr_as_comparison", |b| {
+        b.iter(|| black_box(fig10::build(black_box(&opts))))
+    });
+    group.bench_function("fig11_node_failures", |b| {
+        b.iter(|| black_box(fig11::build(black_box(&opts))))
+    });
+    group.bench_function("fig12_cluster_scaling", |b| {
+        let mut small = opts;
+        small.scale = 0.02; // 100 invocations; fig12 is the heaviest
+        b.iter(|| black_box(fig12::build(black_box(&small))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

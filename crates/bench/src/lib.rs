@@ -1,0 +1,23 @@
+//! # canary-bench
+//!
+//! Criterion benchmarks for the Canary reproduction:
+//!
+//! - `figures` — one benchmark per paper figure (Figs. 4–12), timing the
+//!   scenario that regenerates it (shrunken so a full `cargo bench`
+//!   stays tractable),
+//! - `micro` — micro-benchmarks of the substrates (event queue, PRNG,
+//!   KV store, checkpoint codec, compression and BFS kernels),
+//! - `ablations` — the design-choice ablations called out in DESIGN.md
+//!   (checkpoint mode, window size, storage tier, replication policy).
+//!
+//! Run with `cargo bench -p canary-bench`.
+
+/// Standard small figure options used by the figure benchmarks: a single
+/// repetition at reduced scale, so one bench iteration is one full
+/// deterministic simulation.
+pub fn bench_options() -> canary_experiments::FigureOptions {
+    canary_experiments::FigureOptions {
+        reps: 1,
+        scale: 0.1,
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the cluster substrate.
+
+use canary_cluster::{
+    Cluster, FailureInjector, FailureModel, NetworkModel, NodeId, StorageHierarchy, StorageTier,
+};
+use canary_sim::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// Distance is a symmetric semi-metric with self-distance zero.
+    #[test]
+    fn distance_properties(n in 1u32..64, a in 0u32..64, b in 0u32..64) {
+        let cluster = Cluster::heterogeneous(n);
+        let a = NodeId(a % n);
+        let b = NodeId(b % n);
+        prop_assert_eq!(cluster.distance(a, a), 0);
+        prop_assert_eq!(cluster.distance(a, b), cluster.distance(b, a));
+        prop_assert!(cluster.distance(a, b) <= 2);
+        if a != b {
+            prop_assert!(cluster.distance(a, b) >= 1);
+        }
+    }
+
+    /// Transfer time is monotone in size and respects locality ordering.
+    #[test]
+    fn transfer_monotonicity(
+        small in 1u64..1_000_000,
+        extra in 1u64..1_000_000_000,
+    ) {
+        let cluster = Cluster::heterogeneous(8);
+        let net = NetworkModel::default();
+        let a = NodeId(0);
+        let same_rack = NodeId(1);
+        let cross_rack = NodeId(5);
+        let big = small + extra;
+        prop_assert!(net.transfer_time(&cluster, a, same_rack, big)
+            >= net.transfer_time(&cluster, a, same_rack, small));
+        prop_assert!(net.transfer_time(&cluster, a, cross_rack, small)
+            >= net.transfer_time(&cluster, a, same_rack, small));
+        prop_assert!(net.transfer_time(&cluster, a, a, small)
+            <= net.transfer_time(&cluster, a, same_rack, small));
+    }
+
+    /// The failure oracle's empirical rate tracks the configured rate for
+    /// any rate and seed.
+    #[test]
+    fn oracle_rate_tracks_config(rate in 0.0f64..1.0, seed in any::<u64>()) {
+        let inj = FailureInjector::new(FailureModel::with_error_rate(rate), seed);
+        let n = 4000u64;
+        let fails = (0..n).filter(|&f| inj.attempt(f, 0).is_some()).count();
+        let empirical = fails as f64 / n as f64;
+        prop_assert!((empirical - rate).abs() < 0.05, "rate {rate} empirical {empirical}");
+    }
+
+    /// Kill fractions are always interior; oracle is pure.
+    #[test]
+    fn oracle_kill_points_valid(seed in any::<u64>(), fn_id in any::<u64>(), attempt in 0u32..32) {
+        let inj = FailureInjector::new(FailureModel::with_error_rate(0.5), seed);
+        let a = inj.attempt(fn_id, attempt);
+        let b = inj.attempt(fn_id, attempt);
+        prop_assert_eq!(a, b);
+        if let Some(k) = a {
+            prop_assert!(k.at_fraction > 0.0 && k.at_fraction < 1.0);
+        }
+    }
+
+    /// The max-failures cap guarantees every function eventually runs an
+    /// attempt the oracle lets live.
+    #[test]
+    fn cap_guarantees_termination(seed in any::<u64>(), fn_id in any::<u64>()) {
+        let mut model = FailureModel::with_error_rate(1.0);
+        model.max_failures_per_function = 8;
+        let inj = FailureInjector::new(model, seed);
+        let first_success = (0..64u32).find(|&a| inj.attempt(fn_id, a).is_none());
+        prop_assert_eq!(first_success, Some(8));
+    }
+
+    /// Node-failure plans stay within the horizon and the cluster.
+    #[test]
+    fn node_failure_plan_bounds(seed in any::<u64>(), rate in 0.0f64..1.0, horizon_s in 1u64..10_000) {
+        let inj = FailureInjector::new(
+            FailureModel::with_error_rate(0.1).with_node_failures(rate),
+            seed,
+        );
+        let cluster = Cluster::chameleon_16();
+        let horizon = SimDuration::from_secs(horizon_s);
+        for f in inj.plan_node_failures(&cluster, horizon) {
+            prop_assert!((f.node.0 as usize) < cluster.len());
+            prop_assert!(f.at.as_micros() < horizon.as_micros());
+        }
+    }
+
+    /// Storage placement is consistent with the db limit for any size.
+    #[test]
+    fn storage_placement_consistent(bytes in 0u64..1_000_000_000) {
+        let h = StorageHierarchy::default();
+        let tier = h.place(bytes);
+        if bytes <= h.kv_entry_limit {
+            prop_assert_eq!(tier, StorageTier::KvStore);
+        } else {
+            prop_assert_ne!(tier, StorageTier::KvStore);
+        }
+        // Read/write times are finite and positive for nonzero sizes.
+        if bytes > 0 {
+            prop_assert!(tier.write_time(bytes) > SimDuration::ZERO);
+            prop_assert!(tier.read_time(bytes) > SimDuration::ZERO);
+        }
+    }
+}

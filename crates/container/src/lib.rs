@@ -1,0 +1,19 @@
+//! # canary-container
+//!
+//! Container runtime substrate: runtime image profiles with per-runtime
+//! cold-start costs (pull / launch / init — the `lch_f + ini_f` terms of
+//! the paper's Eq. 1), per-node image caches, a container lifecycle state
+//! machine, and a cluster-wide registry with invoker slot accounting.
+//! Canary's replicated runtimes are containers parked in the `Warm` state;
+//! eliminating the cold-start terms by executing failed functions on them
+//! is the heart of the paper's recovery-time win.
+
+pub mod coldstart;
+pub mod image;
+pub mod lifecycle;
+pub mod manager;
+
+pub use coldstart::{ColdStartModel, StartupCost};
+pub use image::ImageProfile;
+pub use lifecycle::{Container, ContainerId, ContainerPurpose, ContainerState};
+pub use manager::{ContainerRegistry, PlacementError};

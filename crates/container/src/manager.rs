@@ -1,0 +1,283 @@
+//! Cluster-wide container registry with per-node slot accounting.
+//!
+//! The invoker on each node has finite capacity; both function containers
+//! and Canary's replicated runtimes consume slots (replicas are real warm
+//! containers, which is exactly why they cost money in Figs. 8–10).
+
+use crate::lifecycle::{Container, ContainerId, ContainerPurpose, ContainerState};
+use canary_cluster::{Cluster, NodeId};
+use canary_workloads::RuntimeKind;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a container could not be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The node's invoker has no free slot.
+    NodeFull {
+        /// The saturated node.
+        node: NodeId,
+    },
+    /// The node is down.
+    NodeDown {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// No node in the whole cluster has a free slot.
+    ClusterFull,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::NodeFull { node } => write!(f, "{node} has no free container slot"),
+            PlacementError::NodeDown { node } => write!(f, "{node} is down"),
+            PlacementError::ClusterFull => write!(f, "no free container slot in the cluster"),
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+/// Registry of every container in a run.
+#[derive(Debug)]
+pub struct ContainerRegistry {
+    next_id: u64,
+    containers: HashMap<ContainerId, Container>,
+    slots_free: Vec<u32>,
+    node_up: Vec<bool>,
+}
+
+impl ContainerRegistry {
+    /// Registry for a cluster (all nodes up, all slots free).
+    pub fn new(cluster: &Cluster) -> Self {
+        ContainerRegistry {
+            next_id: 0,
+            containers: HashMap::new(),
+            slots_free: cluster.nodes().iter().map(|n| n.container_slots).collect(),
+            node_up: vec![true; cluster.len()],
+        }
+    }
+
+    /// Free slots on `node`.
+    pub fn free_slots(&self, node: NodeId) -> u32 {
+        self.slots_free[node.0 as usize]
+    }
+
+    /// Is `node` up?
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.node_up[node.0 as usize]
+    }
+
+    /// Create a container on `node`, consuming a slot.
+    pub fn create(
+        &mut self,
+        node: NodeId,
+        runtime: RuntimeKind,
+        purpose: ContainerPurpose,
+    ) -> Result<ContainerId, PlacementError> {
+        let idx = node.0 as usize;
+        if !self.node_up[idx] {
+            return Err(PlacementError::NodeDown { node });
+        }
+        if self.slots_free[idx] == 0 {
+            return Err(PlacementError::NodeFull { node });
+        }
+        self.slots_free[idx] -= 1;
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.containers
+            .insert(id, Container::new(id, node, runtime, purpose));
+        Ok(id)
+    }
+
+    /// Look up a container.
+    pub fn get(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// Apply a lifecycle transition; terminal transitions release the slot.
+    pub fn transition(&mut self, id: ContainerId, next: ContainerState) -> Result<(), String> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or_else(|| format!("unknown container {id}"))?;
+        let was_terminal = c.state.is_terminal();
+        c.transition(next)?;
+        if !was_terminal && c.state.is_terminal() {
+            self.slots_free[c.node.0 as usize] += 1;
+        }
+        Ok(())
+    }
+
+    /// Containers currently in `state` with `purpose`, cluster-wide.
+    pub fn count(&self, purpose: ContainerPurpose, state: ContainerState) -> usize {
+        self.containers
+            .values()
+            .filter(|c| c.purpose == purpose && c.state == state)
+            .count()
+    }
+
+    /// Live (non-terminal) containers on `node`.
+    pub fn live_on(&self, node: NodeId) -> Vec<ContainerId> {
+        let mut v: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.node == node && !c.state.is_terminal())
+            .map(|c| c.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Warm replicas of `runtime`, sorted by id (deterministic choice).
+    pub fn warm_replicas(&self, runtime: RuntimeKind) -> Vec<ContainerId> {
+        let mut v: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| {
+                c.purpose == ContainerPurpose::Replica
+                    && c.runtime == runtime
+                    && c.state == ContainerState::Warm
+            })
+            .map(|c| c.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Crash `node`: every live container on it fails, slots are frozen.
+    /// Returns the failed container ids.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<ContainerId> {
+        let victims = self.live_on(node);
+        for &id in &victims {
+            let c = self.containers.get_mut(&id).expect("live container exists");
+            c.state = ContainerState::Failed;
+        }
+        self.node_up[node.0 as usize] = false;
+        self.slots_free[node.0 as usize] = 0;
+        victims
+    }
+
+    /// Total containers ever created.
+    pub fn total_created(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> (Cluster, ContainerRegistry) {
+        let cluster = Cluster::homogeneous(2);
+        let reg = ContainerRegistry::new(&cluster);
+        (cluster, reg)
+    }
+
+    #[test]
+    fn create_consumes_slot_terminal_releases() {
+        let (cluster, mut reg) = registry();
+        let before = reg.free_slots(NodeId(0));
+        let id = reg
+            .create(NodeId(0), RuntimeKind::Python, ContainerPurpose::Function)
+            .unwrap();
+        assert_eq!(reg.free_slots(NodeId(0)), before - 1);
+        reg.transition(id, ContainerState::Failed).unwrap();
+        assert_eq!(reg.free_slots(NodeId(0)), before);
+        let _ = cluster;
+    }
+
+    #[test]
+    fn node_full_rejected() {
+        let cluster = Cluster::from_nodes(
+            Cluster::homogeneous(1)
+                .nodes()
+                .iter()
+                .cloned()
+                .map(|mut n| {
+                    n.container_slots = 1;
+                    n
+                })
+                .collect(),
+        );
+        let mut reg = ContainerRegistry::new(&cluster);
+        reg.create(NodeId(0), RuntimeKind::Python, ContainerPurpose::Function)
+            .unwrap();
+        assert_eq!(
+            reg.create(NodeId(0), RuntimeKind::Python, ContainerPurpose::Function),
+            Err(PlacementError::NodeFull { node: NodeId(0) })
+        );
+    }
+
+    #[test]
+    fn node_failure_kills_live_containers() {
+        let (_c, mut reg) = registry();
+        let a = reg
+            .create(NodeId(0), RuntimeKind::Python, ContainerPurpose::Function)
+            .unwrap();
+        let b = reg
+            .create(NodeId(0), RuntimeKind::Java, ContainerPurpose::Replica)
+            .unwrap();
+        let other = reg
+            .create(NodeId(1), RuntimeKind::Python, ContainerPurpose::Function)
+            .unwrap();
+        let victims = reg.fail_node(NodeId(0));
+        assert_eq!(victims, vec![a, b]);
+        assert_eq!(reg.get(a).unwrap().state, ContainerState::Failed);
+        assert_eq!(reg.get(other).unwrap().state, ContainerState::Pulling);
+        assert!(!reg.node_up(NodeId(0)));
+        assert_eq!(
+            reg.create(NodeId(0), RuntimeKind::Python, ContainerPurpose::Function),
+            Err(PlacementError::NodeDown { node: NodeId(0) })
+        );
+    }
+
+    #[test]
+    fn warm_replica_query() {
+        let (_c, mut reg) = registry();
+        let r = reg
+            .create(NodeId(1), RuntimeKind::Java, ContainerPurpose::Replica)
+            .unwrap();
+        assert!(reg.warm_replicas(RuntimeKind::Java).is_empty());
+        for s in [
+            ContainerState::Launching,
+            ContainerState::Initializing,
+            ContainerState::Warm,
+        ] {
+            reg.transition(r, s).unwrap();
+        }
+        assert_eq!(reg.warm_replicas(RuntimeKind::Java), vec![r]);
+        assert!(reg.warm_replicas(RuntimeKind::Python).is_empty());
+        // Consumed replica is no longer warm.
+        reg.transition(r, ContainerState::Executing).unwrap();
+        assert!(reg.warm_replicas(RuntimeKind::Java).is_empty());
+    }
+
+    #[test]
+    fn counts_by_purpose_and_state() {
+        let (_c, mut reg) = registry();
+        for _ in 0..3 {
+            reg.create(NodeId(0), RuntimeKind::Python, ContainerPurpose::Function)
+                .unwrap();
+        }
+        assert_eq!(
+            reg.count(ContainerPurpose::Function, ContainerState::Pulling),
+            3
+        );
+        assert_eq!(reg.total_created(), 3);
+    }
+
+    #[test]
+    fn double_terminal_does_not_leak_slots() {
+        let (_c, mut reg) = registry();
+        let id = reg
+            .create(NodeId(0), RuntimeKind::Python, ContainerPurpose::Function)
+            .unwrap();
+        let free_after_create = reg.free_slots(NodeId(0));
+        reg.transition(id, ContainerState::Failed).unwrap();
+        assert!(reg.transition(id, ContainerState::Reclaimed).is_err());
+        assert_eq!(reg.free_slots(NodeId(0)), free_after_create + 1);
+    }
+}

@@ -1,0 +1,453 @@
+//! The Checkpointing Module (Algorithm 1).
+//!
+//! Records each completed state of every tracked function: payloads small
+//! enough for the KV store's per-entry limit are stored there; larger
+//! payloads spill to the fastest available storage tier and only the
+//! *location* is pushed to the database (Algorithm 1 lines 4–9). The
+//! latest-*n* window (initially 3, dynamically adjusted) evicts the oldest
+//! checkpoint (lines 14–16). Checkpoints are asynchronously flushed to
+//! shared storage so they survive node-level failures (§IV-C.4b).
+
+use crate::config::{CanaryConfig, CheckpointMode};
+use crate::db::{CanaryDb, CheckpointInfoRow, DbError};
+use canary_cluster::{StorageHierarchy, StorageTier};
+use canary_kvstore::{AsyncFlusher, CheckpointMeta, CheckpointWindow, PersistentLog};
+use canary_sim::{SimDuration, SimTime};
+use canary_workloads::Encoder;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn tier_ordinal(t: StorageTier) -> u8 {
+    match t {
+        StorageTier::KvStore => 0,
+        StorageTier::Ramdisk => 1,
+        StorageTier::Pmem => 2,
+        StorageTier::Nfs => 3,
+        StorageTier::ObjectStore => 4,
+    }
+}
+
+fn tier_from_ordinal(v: u8) -> StorageTier {
+    match v {
+        0 => StorageTier::KvStore,
+        1 => StorageTier::Ramdisk,
+        2 => StorageTier::Pmem,
+        3 => StorageTier::Nfs,
+        _ => StorageTier::ObjectStore,
+    }
+}
+
+/// What a restore will cost and where execution resumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestoreInfo {
+    /// First state index NOT covered by the checkpoint (resume point).
+    pub resume_from_state: u32,
+    /// Time to locate and read the checkpoint back.
+    pub duration: SimDuration,
+}
+
+/// The Checkpointing Module.
+pub struct CheckpointingModule {
+    config: CanaryConfig,
+    hierarchy: StorageHierarchy,
+    db: Arc<CanaryDb>,
+    window: CheckpointWindow,
+    flusher: AsyncFlusher,
+    /// States completed & durable per function (the resume point).
+    durable: HashMap<u64, u32>,
+    /// Next checkpoint id per function.
+    next_ckpt: HashMap<u64, u64>,
+    /// Lifetime stats.
+    writes: u64,
+    bytes_written: u64,
+}
+
+impl CheckpointingModule {
+    /// New module over the given database and storage hierarchy.
+    pub fn new(config: CanaryConfig, hierarchy: StorageHierarchy, db: Arc<CanaryDb>) -> Self {
+        config.validate().expect("invalid Canary configuration");
+        hierarchy.validate().expect("invalid storage hierarchy");
+        let window = CheckpointWindow::new(config.ckpt_window);
+        let flusher = AsyncFlusher::new(Arc::new(PersistentLog::new()));
+        CheckpointingModule {
+            config,
+            hierarchy,
+            db,
+            window,
+            flusher,
+            durable: HashMap::new(),
+            next_ckpt: HashMap::new(),
+            writes: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Billed payload size after the checkpoint-mode adjustment: explicit
+    /// mode checkpoints only application-marked critical data.
+    pub fn effective_bytes(&self, spec_bytes: u64) -> u64 {
+        match self.config.checkpoint_mode {
+            CheckpointMode::Implicit => spec_bytes,
+            CheckpointMode::Explicit => {
+                (spec_bytes as f64 * self.config.explicit_size_factor) as u64
+            }
+        }
+    }
+
+    /// The `ckp_i` term of Eq. 2: time to persist one checkpoint of
+    /// `spec_bytes`. Pure — the engine uses it when planning attempts.
+    pub fn write_cost(&self, spec_bytes: u64) -> SimDuration {
+        let bytes = self.effective_bytes(spec_bytes);
+        let tier = self.hierarchy.place(bytes);
+        // Payload write plus the metadata row in the KV store.
+        tier.write_time(bytes) + StorageTier::KvStore.write_time(256)
+    }
+
+    /// Record one durable state (Algorithm 1 body). Returns the evicted
+    /// checkpoint id when the window overflowed.
+    pub fn record(
+        &mut self,
+        job_id: u32,
+        fn_id: u64,
+        state_index: u32,
+        spec_bytes: u64,
+        now: SimTime,
+    ) -> Result<Option<u64>, DbError> {
+        let bytes = self.effective_bytes(spec_bytes);
+        let tier = self.hierarchy.place(bytes);
+        let ckpt_id = {
+            let c = self.next_ckpt.entry(fn_id).or_insert(0);
+            let id = *c;
+            *c += 1;
+            id
+        };
+        let location = if tier == StorageTier::KvStore {
+            format!("payload/{fn_id:016}/{ckpt_id:016}")
+        } else {
+            format!("spill/{:?}/{fn_id:016}/{ckpt_id:016}", tier)
+        };
+
+        // A small *real* payload: the function's registered state record.
+        // Sizes are billed through `write_cost`; storing multi-GB synthetic
+        // blobs would add nothing but memory pressure.
+        let mut enc = Encoder::with_capacity(40);
+        enc.put_u8(1)
+            .put_u64(fn_id)
+            .put_u32(state_index)
+            .put_u64(bytes)
+            .put_u64(now.as_micros());
+        let payload = enc.finish();
+        self.db.put_payload(&location, payload.clone())?;
+        // Asynchronous flush to shared storage (survives node loss).
+        self.flusher.enqueue(location.clone(), payload);
+
+        self.db.put_checkpoint(&CheckpointInfoRow {
+            ckpt_id,
+            job_id,
+            fn_id,
+            state_index,
+            bytes,
+            tier: tier_ordinal(tier),
+            location: location.clone(),
+            created_us: now.as_micros(),
+        })?;
+
+        let evicted = self.window.push(
+            fn_id,
+            CheckpointMeta {
+                fn_id,
+                ckpt_id,
+                state_index: state_index as u64,
+                bytes,
+                location,
+            },
+        );
+        if let Some(old) = &evicted {
+            // Algorithm 1 line 15: remove the oldest checkpoint.
+            self.db.delete_checkpoint(fn_id, old.ckpt_id)?;
+            self.db.delete_payload(&old.location)?;
+        }
+
+        self.durable
+            .entry(fn_id)
+            .and_modify(|s| *s = (*s).max(state_index + 1))
+            .or_insert(state_index + 1);
+        self.writes += 1;
+        self.bytes_written += bytes;
+        Ok(evicted.map(|m| m.ckpt_id))
+    }
+
+    /// Durable resume point of a function (states completed & persisted).
+    pub fn durable_state(&self, fn_id: u64) -> u32 {
+        self.durable.get(&fn_id).copied().unwrap_or(0)
+    }
+
+    /// Checkpoint stride (§I: Canary "adjusts the checkpointing
+    /// frequency"): the number of states per checkpoint that keeps the
+    /// checkpoint overhead below `max_ckpt_overhead_ratio` of execution.
+    /// Returns 1 (checkpoint every state) for cheap payloads; grows for
+    /// payloads whose write cost dominates short states. Pure.
+    pub fn stride_for(&self, state_exec: SimDuration, ckpt_bytes: u64) -> u32 {
+        let cost = self.write_cost(ckpt_bytes).as_secs_f64();
+        let budget = state_exec.as_secs_f64() * self.config.max_ckpt_overhead_ratio;
+        if budget <= 0.0 {
+            return 1;
+        }
+        (cost / budget).ceil().max(1.0) as u32
+    }
+
+    /// Is state `state_idx` a checkpoint boundary under the stride? The
+    /// stride counts completed states, so every `stride`-th completion
+    /// (1-based) checkpoints.
+    pub fn is_checkpoint_state(&self, state_idx: u32, stride: u32) -> bool {
+        stride <= 1 || (state_idx + 1) % stride == 0
+    }
+
+    /// Restore plan for a failed function. `node_lost` selects the
+    /// shared-storage path (the node-local fast tier died with the node).
+    /// Returns `None` when the function has no checkpoint (restart from
+    /// state 0 with no restore cost).
+    pub fn restore_info(&self, fn_id: u64, node_lost: bool) -> Option<RestoreInfo> {
+        let meta = self.window.latest(fn_id)?;
+        let rows = self.db.checkpoints_of(fn_id).ok()?;
+        let row = rows.iter().find(|r| r.ckpt_id == meta.ckpt_id)?;
+        let tier = tier_from_ordinal(row.tier);
+        let read_tier = if node_lost && !tier.is_shared() {
+            // The local copy is gone; read the asynchronously flushed copy
+            // from shared storage.
+            self.hierarchy.shared_tier
+        } else {
+            tier
+        };
+        // KV metadata lookup + payload read.
+        let duration = StorageTier::KvStore.read_time(256) + read_tier.read_time(row.bytes);
+        Some(RestoreInfo {
+            resume_from_state: row.state_index + 1,
+            duration,
+        })
+    }
+
+    /// Dynamic window adjustment (§IV-C.4b): very large checkpoints shrink
+    /// the retained window (data volume), very frequent small states grow
+    /// it (state frequency).
+    pub fn adjust_window_for(&mut self, spec_bytes: u64, num_states: usize) {
+        let bytes = self.effective_bytes(spec_bytes);
+        let target = if bytes > self.hierarchy.kv_entry_limit {
+            2
+        } else if num_states >= 40 {
+            5
+        } else {
+            self.config.ckpt_window
+        };
+        if target != self.window.window() {
+            let evicted = self.window.set_window(target);
+            for old in evicted {
+                // Best effort: eviction cleanup failures only leak rows.
+                let _ = self.db.delete_checkpoint(old.fn_id, old.ckpt_id);
+                let _ = self.db.delete_payload(&old.location);
+            }
+        }
+    }
+
+    /// Current window size.
+    pub fn window_size(&self) -> usize {
+        self.window.window()
+    }
+
+    /// A function completed: drop its checkpoints and bookkeeping.
+    pub fn forget(&mut self, fn_id: u64) -> Result<(), DbError> {
+        for old in self.window.forget(fn_id) {
+            self.db.delete_checkpoint(fn_id, old.ckpt_id)?;
+            self.db.delete_payload(&old.location)?;
+        }
+        self.durable.remove(&fn_id);
+        self.next_ckpt.remove(&fn_id);
+        Ok(())
+    }
+
+    /// Block until all enqueued flushes are durable (used by recovery
+    /// tests and at shutdown).
+    pub fn flush_barrier(&self) {
+        self.flusher.barrier();
+    }
+
+    /// Records flushed to shared storage so far.
+    pub fn flushed_records(&self) -> usize {
+        self.flusher.log().len()
+    }
+
+    /// (writes, bytes) lifetime counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.writes, self.bytes_written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> CheckpointingModule {
+        CheckpointingModule::new(
+            CanaryConfig::default(),
+            StorageHierarchy::default(),
+            Arc::new(CanaryDb::new(3)),
+        )
+    }
+
+    #[test]
+    fn small_checkpoints_stay_in_kv() {
+        let mut m = module();
+        m.record(0, 1, 0, 64 * 1024, SimTime::ZERO).unwrap();
+        let rows = m.db.checkpoints_of(1).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(tier_from_ordinal(rows[0].tier), StorageTier::KvStore);
+        assert!(rows[0].location.starts_with("payload/"));
+        assert!(m.db.get_payload(&rows[0].location).is_ok());
+    }
+
+    #[test]
+    fn large_checkpoints_spill() {
+        let mut m = module();
+        // ResNet50-sized checkpoint.
+        m.record(0, 2, 0, 98 * 1024 * 1024, SimTime::ZERO).unwrap();
+        let rows = m.db.checkpoints_of(2).unwrap();
+        assert_eq!(tier_from_ordinal(rows[0].tier), StorageTier::Pmem);
+        assert!(rows[0].location.starts_with("spill/"));
+    }
+
+    #[test]
+    fn window_evicts_oldest_and_cleans_db() {
+        let mut m = module();
+        for s in 0..5u32 {
+            let evicted = m
+                .record(0, 3, s, 1024, SimTime::from_micros(s as u64))
+                .unwrap();
+            assert_eq!(evicted.is_some(), s >= 3);
+        }
+        let rows = m.db.checkpoints_of(3).unwrap();
+        assert_eq!(rows.len(), 3, "only the window survives in the db");
+        assert_eq!(rows[0].state_index, 2);
+        assert_eq!(m.durable_state(3), 5);
+    }
+
+    #[test]
+    fn restore_resumes_after_latest_state() {
+        let mut m = module();
+        for s in 0..4u32 {
+            m.record(0, 4, s, 2048, SimTime::ZERO).unwrap();
+        }
+        let info = m.restore_info(4, false).unwrap();
+        assert_eq!(info.resume_from_state, 4);
+        assert!(info.duration > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn restore_without_checkpoint_is_none() {
+        let m = module();
+        assert!(m.restore_info(99, false).is_none());
+        assert_eq!(m.durable_state(99), 0);
+    }
+
+    #[test]
+    fn node_loss_reads_from_shared_tier_slower() {
+        let mut m = module();
+        m.record(0, 5, 0, 98 * 1024 * 1024, SimTime::ZERO).unwrap();
+        let local = m.restore_info(5, false).unwrap();
+        let shared = m.restore_info(5, true).unwrap();
+        assert!(
+            shared.duration > local.duration,
+            "shared-storage restore must be slower than pmem"
+        );
+        assert_eq!(shared.resume_from_state, local.resume_from_state);
+    }
+
+    #[test]
+    fn explicit_mode_shrinks_payload_and_cost() {
+        let implicit = module();
+        let cfg = CanaryConfig {
+            checkpoint_mode: CheckpointMode::Explicit,
+            ..Default::default()
+        };
+        let explicit =
+            CheckpointingModule::new(cfg, StorageHierarchy::default(), Arc::new(CanaryDb::new(1)));
+        let bytes = 10 * 1024 * 1024;
+        assert!(explicit.effective_bytes(bytes) < implicit.effective_bytes(bytes));
+        assert!(explicit.write_cost(bytes) < implicit.write_cost(bytes));
+    }
+
+    #[test]
+    fn write_cost_monotone() {
+        let m = module();
+        assert!(m.write_cost(100 * 1024 * 1024) > m.write_cost(1024));
+    }
+
+    #[test]
+    fn forget_cleans_everything() {
+        let mut m = module();
+        for s in 0..3u32 {
+            m.record(0, 6, s, 1024, SimTime::ZERO).unwrap();
+        }
+        m.forget(6).unwrap();
+        assert!(m.db.checkpoints_of(6).unwrap().is_empty());
+        assert_eq!(m.durable_state(6), 0);
+        assert!(m.restore_info(6, false).is_none());
+    }
+
+    #[test]
+    fn async_flush_makes_checkpoints_durable() {
+        let mut m = module();
+        for s in 0..4u32 {
+            m.record(0, 7, s, 1024, SimTime::ZERO).unwrap();
+        }
+        m.flush_barrier();
+        assert_eq!(m.flushed_records(), 4);
+    }
+
+    #[test]
+    fn window_adjustment_reacts_to_size_and_frequency() {
+        let mut m = module();
+        assert_eq!(m.window_size(), 3);
+        m.adjust_window_for(100 * 1024 * 1024, 50); // huge payloads
+        assert_eq!(m.window_size(), 2);
+        m.adjust_window_for(1024, 50); // small + frequent
+        assert_eq!(m.window_size(), 5);
+        m.adjust_window_for(1024, 10); // back to default
+        assert_eq!(m.window_size(), 3);
+    }
+
+    #[test]
+    fn stride_adapts_to_overhead() {
+        let m = module();
+        // Cheap checkpoint, long state: checkpoint every state.
+        assert_eq!(m.stride_for(SimDuration::from_secs(12), 1024), 1);
+        // ResNet50-sized checkpoint on a 12 s epoch still fits the 10%
+        // budget (pmem write ≈ 50 ms).
+        assert_eq!(m.stride_for(SimDuration::from_secs(12), 98 * 1024 * 1024), 1);
+        // The same payload on a 100 ms state blows the budget: stride up.
+        let stride = m.stride_for(SimDuration::from_millis(100), 98 * 1024 * 1024);
+        assert!(stride > 1, "stride {stride}");
+        // Monotone: bigger payloads never lower the stride.
+        assert!(
+            m.stride_for(SimDuration::from_millis(100), 200 * 1024 * 1024) >= stride
+        );
+    }
+
+    #[test]
+    fn checkpoint_boundaries_follow_stride() {
+        let m = module();
+        // Stride 1: every state checkpoints.
+        assert!((0..5).all(|i| m.is_checkpoint_state(i, 1)));
+        // Stride 3: states 2, 5, 8, ... checkpoint.
+        let hits: Vec<u32> = (0..9).filter(|&i| m.is_checkpoint_state(i, 3)).collect();
+        assert_eq!(hits, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = module();
+        m.record(0, 8, 0, 1000, SimTime::ZERO).unwrap();
+        m.record(0, 8, 1, 1000, SimTime::ZERO).unwrap();
+        let (writes, bytes) = m.stats();
+        assert_eq!(writes, 2);
+        assert_eq!(bytes, 2000);
+    }
+}

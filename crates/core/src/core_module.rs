@@ -1,0 +1,367 @@
+//! The Core Module: Canary's orchestrator, as an [`FtStrategy`].
+//!
+//! §IV-C.1: the Core Module receives requests (validated by the Request
+//! Validator), creates the database entries, coordinates the Checkpointing
+//! and Replication Modules through the Runtime Manager, tracks every
+//! scheduled function's state, detects failures, and drives end-to-end
+//! recovery: locate the latest checkpoint, pick the best replicated
+//! runtime, restore, and resume.
+
+use crate::checkpoint::CheckpointingModule;
+use crate::config::CanaryConfig;
+use crate::prediction::FailurePredictor;
+use crate::db::{CanaryDb, FunctionInfoRow, JobInfoRow, WorkerInfoRow};
+use crate::replication::ReplicationModule;
+use crate::runtime_manager::{ReplicaOffer, RuntimeManager};
+use crate::validator::{Admission, PlatformLimits, RequestValidator};
+use canary_cluster::CpuClass;
+use canary_container::ContainerId;
+use canary_platform::{
+    FailureInfo, FailureKind, FnId, FtStrategy, JobId, Platform, RecoveryPlan, RecoveryTarget,
+};
+use canary_sim::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn cpu_ordinal(c: CpuClass) -> u8 {
+    match c {
+        CpuClass::Gold6126 => 0,
+        CpuClass::Gold6240R => 1,
+        CpuClass::Gold6242 => 2,
+        CpuClass::Generic => 3,
+    }
+}
+
+/// Canary, assembled.
+pub struct CanaryStrategy {
+    config: CanaryConfig,
+    db: Arc<CanaryDb>,
+    checkpointing: CheckpointingModule,
+    runtime_manager: RuntimeManager,
+    replication: ReplicationModule,
+    validator: RequestValidator,
+    predictor: FailurePredictor,
+    workers_registered: bool,
+}
+
+impl CanaryStrategy {
+    /// Build Canary with the given configuration. The metadata database is
+    /// replicated across three members (Ignite's replicated caching mode).
+    pub fn new(config: CanaryConfig) -> Self {
+        config.validate().expect("invalid Canary configuration");
+        let db = Arc::new(CanaryDb::new(3));
+        let checkpointing = CheckpointingModule::new(
+            config.clone(),
+            canary_cluster::StorageHierarchy::default(),
+            Arc::clone(&db),
+        );
+        CanaryStrategy {
+            replication: ReplicationModule::new(config.clone()),
+            checkpointing,
+            runtime_manager: RuntimeManager::new(),
+            validator: RequestValidator::default(),
+            predictor: FailurePredictor::new(),
+            workers_registered: false,
+            db,
+            config,
+        }
+    }
+
+    /// Default Canary (dynamic replication, implicit checkpointing).
+    pub fn default_dr() -> Self {
+        Self::new(CanaryConfig::default())
+    }
+
+    /// The metadata database (exposed for tests and tools).
+    pub fn db(&self) -> &Arc<CanaryDb> {
+        &self.db
+    }
+
+    /// The checkpointing module (exposed for tests and tools).
+    pub fn checkpointing(&self) -> &CheckpointingModule {
+        &self.checkpointing
+    }
+
+    /// The replication module (exposed for tests and tools).
+    pub fn replication(&self) -> &ReplicationModule {
+        &self.replication
+    }
+
+    /// The failure predictor (exposed for tests and tools).
+    pub fn predictor(&self) -> &FailurePredictor {
+        &self.predictor
+    }
+
+    /// Nodes the predictor currently flags (empty when proactive mode is
+    /// off).
+    fn risky_nodes(&self, now: canary_sim::SimTime) -> Vec<canary_cluster::NodeId> {
+        if self.config.proactive {
+            self.predictor.risky_nodes(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn register_workers(&mut self, platform: &Platform) {
+        if self.workers_registered {
+            return;
+        }
+        // Derive account limits from the deployment (on-prem OpenWhisk
+        // quotas scale with the cluster, unlike public-cloud defaults).
+        let slots = platform.config().cluster.total_slots() as u32;
+        self.validator = RequestValidator::new(PlatformLimits {
+            max_memory_mb: 10 * 1024,
+            max_concurrent: slots.saturating_mul(64).max(10_000),
+            max_batch: 100_000,
+        });
+        for node in platform.config().cluster.nodes() {
+            self.db
+                .put_worker(&WorkerInfoRow {
+                    node_id: node.id.0,
+                    cpu_class: cpu_ordinal(node.cpu),
+                    memory_mb: node.memory_mb,
+                    rack: node.rack,
+                    slots: node.container_slots,
+                })
+                .expect("worker row");
+        }
+        self.workers_registered = true;
+    }
+
+    /// Recovery-time budget for migrating a function onto a runtime and
+    /// restoring the checkpoint, given the failure kind.
+    fn restore_plan(&mut self, platform: &mut Platform, fn_id: FnId, failure: &FailureInfo) -> (u32, SimDuration) {
+        let node_lost = failure.kind == FailureKind::NodeCrash;
+        match self.checkpointing.restore_info(fn_id.0, node_lost) {
+            Some(info) => {
+                platform.note_restore();
+                (info.resume_from_state, info.duration)
+            }
+            None => (0, SimDuration::ZERO),
+        }
+    }
+}
+
+impl FtStrategy for CanaryStrategy {
+    fn name(&self) -> String {
+        match self.config.replication {
+            crate::config::ReplicationStrategyKind::Dynamic => "Canary".to_string(),
+            other => format!("Canary-{}", other.label()),
+        }
+    }
+
+    fn on_job_admitted(&mut self, platform: &mut Platform, job: JobId) {
+        self.register_workers(platform);
+        let (runtime, memory, invocations, fn_ids, submitted) = {
+            let j = platform.job(job);
+            (
+                j.workload.runtime,
+                j.workload.memory_mb,
+                j.fn_ids.len() as u32,
+                j.fn_ids.clone(),
+                j.submitted_at,
+            )
+        };
+        // Request validation (§IV-C.2). The engine has already sized the
+        // batch within platform limits for our experiments; an invalid
+        // request here is a harness bug.
+        let spec = canary_platform::JobSpec::new((*platform.job(job).workload).clone(), invocations);
+        match self.validator.admit(&spec, 0) {
+            Ok(Admission::Admit) | Ok(Admission::Queue) => {}
+            Err(e) => panic!("request validation failed for {job}: {e}"),
+        }
+
+        self.db
+            .put_job(&JobInfoRow {
+                job_id: job.0,
+                runtime,
+                invocations,
+                ckpt_window: self.checkpointing.window_size() as u32,
+                replication_strategy: self.config.replication.ordinal(),
+                submitted_us: submitted.as_micros(),
+            })
+            .expect("job row");
+        for fn_id in fn_ids {
+            self.db
+                .put_function(&FunctionInfoRow {
+                    fn_id: fn_id.0,
+                    job_id: job.0,
+                    runtime,
+                    node_id: u32::MAX,
+                    status: 0,
+                })
+                .expect("function row");
+            self.runtime_manager.note_function_started(runtime);
+            self.replication.note_attempt(runtime);
+        }
+        // Dynamic checkpoint-window adjustment from the job's workload
+        // shape (§IV-C.4b).
+        let (bytes, states) = {
+            let w = &platform.job(job).workload;
+            (w.max_ckpt_bytes(), w.num_states())
+        };
+        self.checkpointing.adjust_window_for(bytes, states);
+        self.replication.note_job(runtime, memory);
+        // Algorithm 2 runs at job submission.
+        let risky = self.risky_nodes(platform.now());
+        self.replication
+            .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+    }
+
+    fn state_overhead(&self, platform: &Platform, fn_id: FnId, state_idx: u32) -> SimDuration {
+        let state = platform.fn_record(fn_id).workload.states[state_idx as usize];
+        let stride = self.checkpointing.stride_for(state.exec, state.ckpt_bytes);
+        if self.checkpointing.is_checkpoint_state(state_idx, stride) {
+            self.checkpointing.write_cost(state.ckpt_bytes)
+        } else {
+            // Frequency adaptation: this state completes without a
+            // checkpoint (its progress banks at the next boundary).
+            SimDuration::ZERO
+        }
+    }
+
+    fn on_state_durable(
+        &mut self,
+        platform: &mut Platform,
+        fn_id: FnId,
+        state_idx: u32,
+        at: SimTime,
+    ) {
+        let (job, state) = {
+            let rec = platform.fn_record(fn_id);
+            (rec.job, rec.workload.states[state_idx as usize])
+        };
+        let stride = self.checkpointing.stride_for(state.exec, state.ckpt_bytes);
+        if !self.checkpointing.is_checkpoint_state(state_idx, stride) {
+            return; // not a checkpoint boundary under the adapted stride
+        }
+        let effective = self.checkpointing.effective_bytes(state.ckpt_bytes);
+        self.checkpointing
+            .record(job.0, fn_id.0, state_idx, state.ckpt_bytes, at)
+            .expect("checkpoint record");
+        platform.note_checkpoint(effective);
+    }
+
+    fn on_failure(
+        &mut self,
+        platform: &mut Platform,
+        fn_id: FnId,
+        failure: FailureInfo,
+    ) -> RecoveryPlan {
+        let runtime = platform.fn_record(fn_id).workload.runtime;
+        self.replication.note_failure(runtime);
+        // The retried attempt is a new attempt for rate purposes.
+        self.replication.note_attempt(runtime);
+        // Feed the proactive predictor (§VII future work).
+        match failure.kind {
+            FailureKind::NodeCrash => self.predictor.record_node_crash(failure.node, failure.at),
+            _ => self.predictor.record_failure(failure.node, failure.at),
+        }
+
+        let (resume_from_state, restore) = self.restore_plan(platform, fn_id, &failure);
+        let detect = self.config.detection_delay;
+        let migrate = self.config.migration_delay;
+        let now = failure.at;
+
+        // Find the best replicated runtime (§IV-C.4c: "the best possible
+        // replicated runtime is selected to minimize the recovery time").
+        let offer = self.runtime_manager.acquire(runtime);
+        let plan = match offer {
+            Some(ReplicaOffer::Warm(container)) => {
+                self.runtime_manager.note_consumed(container);
+                RecoveryPlan {
+                    resume_from_state,
+                    delay: detect + migrate + restore,
+                    target: RecoveryTarget::WarmContainer(container),
+                }
+            }
+            Some(ReplicaOffer::Pending(container, ready_at)) => {
+                // Wait for the in-flight replica (§V-D.1: "the platform
+                // has to wait for the replicated runtimes to be ready"
+                // when many functions fail simultaneously).
+                self.runtime_manager.note_consumed(container);
+                let wait = ready_at.saturating_since(now);
+                RecoveryPlan {
+                    resume_from_state,
+                    delay: detect + wait + migrate + restore,
+                    target: RecoveryTarget::WarmContainer(container),
+                }
+            }
+            None => {
+                // Pool exhausted and nothing in flight: fall back to a
+                // cold start, still restoring from the checkpoint.
+                RecoveryPlan {
+                    resume_from_state,
+                    delay: detect + restore,
+                    target: RecoveryTarget::FreshContainer,
+                }
+            }
+        };
+
+        // Replace consumed capacity (the Runtime Manager "creates a new
+        // replica if an active function is deployed with the same
+        // runtime", §IV-C.5).
+        let risky = self.risky_nodes(platform.now());
+        self.replication
+            .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+
+        // Track the failed function's row.
+        let job = platform.fn_record(fn_id).job;
+        self.db
+            .put_function(&FunctionInfoRow {
+                fn_id: fn_id.0,
+                job_id: job.0,
+                runtime,
+                node_id: failure.node.0,
+                status: 2, // recovering
+            })
+            .expect("function row");
+        plan
+    }
+
+    fn on_replica_warm(&mut self, _platform: &mut Platform, container: ContainerId) {
+        self.runtime_manager.note_warm(container);
+    }
+
+    fn on_containers_lost(&mut self, platform: &mut Platform, lost: &[ContainerId]) {
+        let affected = self.runtime_manager.note_lost(lost);
+        let risky = self.risky_nodes(platform.now());
+        for runtime in affected {
+            self.replication
+                .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+        }
+    }
+
+    fn on_function_complete(&mut self, platform: &mut Platform, fn_id: FnId) {
+        let (runtime, job) = {
+            let rec = platform.fn_record(fn_id);
+            (rec.workload.runtime, rec.job)
+        };
+        self.checkpointing.forget(fn_id.0).expect("cleanup");
+        self.runtime_manager.note_function_finished(runtime);
+        self.db
+            .put_function(&FunctionInfoRow {
+                fn_id: fn_id.0,
+                job_id: job.0,
+                runtime,
+                node_id: u32::MAX,
+                status: 3, // completed
+            })
+            .expect("function row");
+        // Shrink the pool as work drains (dynamic policies track active
+        // functions downward too).
+        let risky = self.risky_nodes(platform.now());
+        self.replication
+            .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+    }
+
+    fn on_run_end(&mut self, platform: &mut Platform) {
+        // Tear down any replicas still parked; billing stops here.
+        for runtime in canary_workloads::RuntimeKind::ALL {
+            for container in self.runtime_manager.idle_warm(runtime) {
+                self.runtime_manager.note_consumed(container);
+                platform.reclaim_container(container);
+            }
+        }
+        self.checkpointing.flush_barrier();
+    }
+}

@@ -1,0 +1,514 @@
+//! Canary's metadata database.
+//!
+//! §IV-C.1: the Core Module creates and maintains five tables —
+//! `worker_info`, `job_info`, `function_info`, `checkpoint_info`, and
+//! `replication_info`. Here each table is a typed row codec over the
+//! replicated KV store, under a per-table key prefix, so metadata survives
+//! node failures exactly like checkpoints do.
+
+use canary_kvstore::{KvError, ReplicatedKv, StoreConfig};
+use canary_workloads::{CodecError, Decoder, Encoder, RuntimeKind};
+use bytes::Bytes;
+use std::error::Error;
+use std::fmt;
+
+/// Database errors.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying store failure.
+    Store(KvError),
+    /// Row (de)serialization failure.
+    Codec(CodecError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Store(e) => write!(f, "store error: {e}"),
+            DbError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl Error for DbError {}
+
+impl From<KvError> for DbError {
+    fn from(e: KvError) -> Self {
+        DbError::Store(e)
+    }
+}
+
+impl From<CodecError> for DbError {
+    fn from(e: CodecError) -> Self {
+        DbError::Codec(e)
+    }
+}
+
+fn encode_runtime(r: RuntimeKind) -> u8 {
+    match r {
+        RuntimeKind::Python => 0,
+        RuntimeKind::NodeJs => 1,
+        RuntimeKind::Java => 2,
+    }
+}
+
+fn decode_runtime(v: u8) -> Result<RuntimeKind, CodecError> {
+    match v {
+        0 => Ok(RuntimeKind::Python),
+        1 => Ok(RuntimeKind::NodeJs),
+        2 => Ok(RuntimeKind::Java),
+        other => Err(CodecError::BadTag {
+            what: "runtime kind",
+            value: other as u64,
+        }),
+    }
+}
+
+/// A row of `worker_info`: platform and per-worker facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerInfoRow {
+    /// Worker/node id.
+    pub node_id: u32,
+    /// CPU class ordinal.
+    pub cpu_class: u8,
+    /// Memory in MB.
+    pub memory_mb: u64,
+    /// Rack.
+    pub rack: u32,
+    /// Invoker container slots.
+    pub slots: u32,
+}
+
+/// A row of `job_info`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobInfoRow {
+    /// Job id.
+    pub job_id: u32,
+    /// Runtime of the job's functions.
+    pub runtime: RuntimeKind,
+    /// Number of functions launched for the job.
+    pub invocations: u32,
+    /// Checkpoint window configured at submission.
+    pub ckpt_window: u32,
+    /// Replication strategy ordinal (DR/AR/LR).
+    pub replication_strategy: u8,
+    /// Submission time (µs).
+    pub submitted_us: u64,
+}
+
+/// A row of `function_info`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionInfoRow {
+    /// Function id.
+    pub fn_id: u64,
+    /// Owning job.
+    pub job_id: u32,
+    /// Runtime.
+    pub runtime: RuntimeKind,
+    /// Worker hosting the current attempt (`u32::MAX` when unplaced).
+    pub node_id: u32,
+    /// Status ordinal (0 pending, 1 running, 2 recovering, 3 completed).
+    pub status: u8,
+}
+
+/// A row of `checkpoint_info`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointInfoRow {
+    /// Checkpoint id (unique per function).
+    pub ckpt_id: u64,
+    /// Owning job.
+    pub job_id: u32,
+    /// Owning function.
+    pub fn_id: u64,
+    /// Index of the checkpointed state.
+    pub state_index: u32,
+    /// Payload size.
+    pub bytes: u64,
+    /// Storage tier ordinal the payload lives on.
+    pub tier: u8,
+    /// Payload location (KV key or spilled path).
+    pub location: String,
+    /// Creation time (µs).
+    pub created_us: u64,
+}
+
+/// A row of `replication_info`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationInfoRow {
+    /// Replica container id.
+    pub replica_id: u64,
+    /// Runtime the replica provides.
+    pub runtime: RuntimeKind,
+    /// Job that triggered the replica.
+    pub job_id: u32,
+    /// Worker hosting it.
+    pub node_id: u32,
+    /// Creation time (µs).
+    pub created_us: u64,
+    /// Status ordinal (0 starting, 1 warm, 2 consumed, 3 lost).
+    pub status: u8,
+}
+
+macro_rules! row_codec {
+    ($ty:ty, $ver:literal, enc($self:ident, $e:ident) $enc:block, dec($d:ident) $dec:block) => {
+        impl $ty {
+            /// Serialize the row.
+            pub fn encode(&$self) -> Bytes {
+                let mut $e = Encoder::new();
+                $e.put_u8($ver);
+                $enc
+                $e.finish()
+            }
+
+            /// Deserialize a row.
+            pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+                let mut $d = Decoder::new(bytes);
+                let ver = $d.u8("row version")?;
+                if ver != $ver {
+                    return Err(CodecError::BadTag { what: "row version", value: ver as u64 });
+                }
+                let row = $dec;
+                $d.finish("row")?;
+                Ok(row)
+            }
+        }
+    };
+}
+
+row_codec!(WorkerInfoRow, 1,
+    enc(self, e) {
+        e.put_u32(self.node_id).put_u8(self.cpu_class).put_u64(self.memory_mb)
+         .put_u32(self.rack).put_u32(self.slots);
+    },
+    dec(d) {
+        WorkerInfoRow {
+            node_id: d.u32("node_id")?,
+            cpu_class: d.u8("cpu_class")?,
+            memory_mb: d.u64("memory_mb")?,
+            rack: d.u32("rack")?,
+            slots: d.u32("slots")?,
+        }
+    }
+);
+
+row_codec!(JobInfoRow, 1,
+    enc(self, e) {
+        e.put_u32(self.job_id).put_u8(encode_runtime(self.runtime))
+         .put_u32(self.invocations).put_u32(self.ckpt_window)
+         .put_u8(self.replication_strategy).put_u64(self.submitted_us);
+    },
+    dec(d) {
+        JobInfoRow {
+            job_id: d.u32("job_id")?,
+            runtime: decode_runtime(d.u8("runtime")?)?,
+            invocations: d.u32("invocations")?,
+            ckpt_window: d.u32("ckpt_window")?,
+            replication_strategy: d.u8("replication_strategy")?,
+            submitted_us: d.u64("submitted_us")?,
+        }
+    }
+);
+
+row_codec!(FunctionInfoRow, 1,
+    enc(self, e) {
+        e.put_u64(self.fn_id).put_u32(self.job_id)
+         .put_u8(encode_runtime(self.runtime)).put_u32(self.node_id)
+         .put_u8(self.status);
+    },
+    dec(d) {
+        FunctionInfoRow {
+            fn_id: d.u64("fn_id")?,
+            job_id: d.u32("job_id")?,
+            runtime: decode_runtime(d.u8("runtime")?)?,
+            node_id: d.u32("node_id")?,
+            status: d.u8("status")?,
+        }
+    }
+);
+
+row_codec!(CheckpointInfoRow, 1,
+    enc(self, e) {
+        e.put_u64(self.ckpt_id).put_u32(self.job_id).put_u64(self.fn_id)
+         .put_u32(self.state_index).put_u64(self.bytes).put_u8(self.tier)
+         .put_str(&self.location).put_u64(self.created_us);
+    },
+    dec(d) {
+        CheckpointInfoRow {
+            ckpt_id: d.u64("ckpt_id")?,
+            job_id: d.u32("job_id")?,
+            fn_id: d.u64("fn_id")?,
+            state_index: d.u32("state_index")?,
+            bytes: d.u64("bytes")?,
+            tier: d.u8("tier")?,
+            location: d.str("location")?,
+            created_us: d.u64("created_us")?,
+        }
+    }
+);
+
+row_codec!(ReplicationInfoRow, 1,
+    enc(self, e) {
+        e.put_u64(self.replica_id).put_u8(encode_runtime(self.runtime))
+         .put_u32(self.job_id).put_u32(self.node_id)
+         .put_u64(self.created_us).put_u8(self.status);
+    },
+    dec(d) {
+        ReplicationInfoRow {
+            replica_id: d.u64("replica_id")?,
+            runtime: decode_runtime(d.u8("runtime")?)?,
+            job_id: d.u32("job_id")?,
+            node_id: d.u32("node_id")?,
+            created_us: d.u64("created_us")?,
+            status: d.u8("status")?,
+        }
+    }
+);
+
+/// The five-table metadata database over the replicated KV store.
+#[derive(Debug)]
+pub struct CanaryDb {
+    kv: ReplicatedKv,
+}
+
+impl CanaryDb {
+    /// New database replicated across `members` cluster members.
+    pub fn new(members: usize) -> Self {
+        CanaryDb {
+            kv: ReplicatedKv::new(
+                members,
+                StoreConfig {
+                    shards: 16,
+                    // Metadata rows are small; the entry limit applies to
+                    // checkpoint payloads, not table rows.
+                    entry_limit: u64::MAX,
+                },
+            ),
+        }
+    }
+
+    /// The underlying replicated store (shared with the checkpoint
+    /// payload path).
+    pub fn kv(&self) -> &ReplicatedKv {
+        &self.kv
+    }
+
+    /// Insert/overwrite a `worker_info` row.
+    pub fn put_worker(&self, row: &WorkerInfoRow) -> Result<(), DbError> {
+        Ok(self.kv.put(&format!("worker/{:08}", row.node_id), row.encode())?)
+    }
+
+    /// Read a `worker_info` row.
+    pub fn get_worker(&self, node_id: u32) -> Result<WorkerInfoRow, DbError> {
+        Ok(WorkerInfoRow::decode(
+            &self.kv.get(&format!("worker/{node_id:08}"))?,
+        )?)
+    }
+
+    /// Insert/overwrite a `job_info` row.
+    pub fn put_job(&self, row: &JobInfoRow) -> Result<(), DbError> {
+        Ok(self.kv.put(&format!("job/{:08}", row.job_id), row.encode())?)
+    }
+
+    /// Read a `job_info` row.
+    pub fn get_job(&self, job_id: u32) -> Result<JobInfoRow, DbError> {
+        Ok(JobInfoRow::decode(&self.kv.get(&format!("job/{job_id:08}"))?)?)
+    }
+
+    /// Insert/overwrite a `function_info` row.
+    pub fn put_function(&self, row: &FunctionInfoRow) -> Result<(), DbError> {
+        Ok(self
+            .kv
+            .put(&format!("fn/{:016}", row.fn_id), row.encode())?)
+    }
+
+    /// Read a `function_info` row.
+    pub fn get_function(&self, fn_id: u64) -> Result<FunctionInfoRow, DbError> {
+        Ok(FunctionInfoRow::decode(
+            &self.kv.get(&format!("fn/{fn_id:016}"))?,
+        )?)
+    }
+
+    /// Insert a `checkpoint_info` row.
+    pub fn put_checkpoint(&self, row: &CheckpointInfoRow) -> Result<(), DbError> {
+        Ok(self.kv.put(
+            &format!("ckpt/{:016}/{:016}", row.fn_id, row.ckpt_id),
+            row.encode(),
+        )?)
+    }
+
+    /// Delete a `checkpoint_info` row (window eviction).
+    pub fn delete_checkpoint(&self, fn_id: u64, ckpt_id: u64) -> Result<(), DbError> {
+        Ok(self.kv.remove(&format!("ckpt/{fn_id:016}/{ckpt_id:016}"))?)
+    }
+
+    /// All retained `checkpoint_info` rows of a function, oldest first.
+    pub fn checkpoints_of(&self, fn_id: u64) -> Result<Vec<CheckpointInfoRow>, DbError> {
+        let keys = self.kv.keys_with_prefix(&format!("ckpt/{fn_id:016}/"));
+        keys.iter()
+            .map(|k| Ok(CheckpointInfoRow::decode(&self.kv.get(k)?)?))
+            .collect()
+    }
+
+    /// Insert/overwrite a `replication_info` row.
+    pub fn put_replica(&self, row: &ReplicationInfoRow) -> Result<(), DbError> {
+        Ok(self
+            .kv
+            .put(&format!("repl/{:016}", row.replica_id), row.encode())?)
+    }
+
+    /// Read a `replication_info` row.
+    pub fn get_replica(&self, replica_id: u64) -> Result<ReplicationInfoRow, DbError> {
+        Ok(ReplicationInfoRow::decode(
+            &self.kv.get(&format!("repl/{replica_id:016}"))?,
+        )?)
+    }
+
+    /// Store a checkpoint payload (small real bytes; sizes are billed via
+    /// the storage-tier model separately).
+    pub fn put_payload(&self, location: &str, payload: Bytes) -> Result<(), DbError> {
+        Ok(self.kv.put(location, payload)?)
+    }
+
+    /// Fetch a checkpoint payload.
+    pub fn get_payload(&self, location: &str) -> Result<Bytes, DbError> {
+        Ok(self.kv.get(location)?)
+    }
+
+    /// Delete a checkpoint payload.
+    pub fn delete_payload(&self, location: &str) -> Result<(), DbError> {
+        Ok(self.kv.remove(location)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_row_round_trip() {
+        let row = WorkerInfoRow {
+            node_id: 3,
+            cpu_class: 1,
+            memory_mb: 192 * 1024,
+            rack: 0,
+            slots: 70,
+        };
+        assert_eq!(WorkerInfoRow::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn job_row_round_trip() {
+        let row = JobInfoRow {
+            job_id: 9,
+            runtime: RuntimeKind::Java,
+            invocations: 100,
+            ckpt_window: 3,
+            replication_strategy: 0,
+            submitted_us: 123_456,
+        };
+        assert_eq!(JobInfoRow::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn function_row_round_trip() {
+        let row = FunctionInfoRow {
+            fn_id: 42,
+            job_id: 1,
+            runtime: RuntimeKind::Python,
+            node_id: u32::MAX,
+            status: 2,
+        };
+        assert_eq!(FunctionInfoRow::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn checkpoint_row_round_trip() {
+        let row = CheckpointInfoRow {
+            ckpt_id: 7,
+            job_id: 1,
+            fn_id: 42,
+            state_index: 12,
+            bytes: 98 * 1024 * 1024,
+            tier: 2,
+            location: "pmem/fn42/7".to_string(),
+            created_us: 999,
+        };
+        assert_eq!(CheckpointInfoRow::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn replica_row_round_trip() {
+        let row = ReplicationInfoRow {
+            replica_id: 88,
+            runtime: RuntimeKind::NodeJs,
+            job_id: 2,
+            node_id: 5,
+            created_us: 10,
+            status: 1,
+        };
+        assert_eq!(ReplicationInfoRow::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let row = WorkerInfoRow {
+            node_id: 0,
+            cpu_class: 0,
+            memory_mb: 0,
+            rack: 0,
+            slots: 0,
+        };
+        let mut bytes = row.encode().to_vec();
+        bytes[0] = 200;
+        assert!(WorkerInfoRow::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn db_tables_round_trip() {
+        let db = CanaryDb::new(3);
+        db.put_worker(&WorkerInfoRow {
+            node_id: 1,
+            cpu_class: 0,
+            memory_mb: 1,
+            rack: 0,
+            slots: 4,
+        })
+        .unwrap();
+        assert_eq!(db.get_worker(1).unwrap().slots, 4);
+
+        for ckpt_id in 0..4u64 {
+            db.put_checkpoint(&CheckpointInfoRow {
+                ckpt_id,
+                job_id: 0,
+                fn_id: 7,
+                state_index: ckpt_id as u32,
+                bytes: 10,
+                tier: 0,
+                location: format!("payload/7/{ckpt_id}"),
+                created_us: ckpt_id,
+            })
+            .unwrap();
+        }
+        let rows = db.checkpoints_of(7).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.windows(2).all(|w| w[0].ckpt_id < w[1].ckpt_id));
+        db.delete_checkpoint(7, 0).unwrap();
+        assert_eq!(db.checkpoints_of(7).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn metadata_survives_member_failure() {
+        let db = CanaryDb::new(3);
+        db.put_job(&JobInfoRow {
+            job_id: 5,
+            runtime: RuntimeKind::Python,
+            invocations: 10,
+            ckpt_window: 3,
+            replication_strategy: 1,
+            submitted_us: 0,
+        })
+        .unwrap();
+        db.kv().fail_node(0).unwrap();
+        assert_eq!(db.get_job(5).unwrap().invocations, 10);
+    }
+}

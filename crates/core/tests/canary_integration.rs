@@ -1,0 +1,319 @@
+//! End-to-end Canary runs against the baselines — the headline claims of
+//! the paper in test form.
+
+use canary_baselines::{IdealStrategy, RetryStrategy};
+use canary_cluster::{Cluster, FailureModel};
+use canary_container::ContainerPurpose;
+use canary_core::{CanaryConfig, CanaryStrategy, CheckpointMode, ReplicationStrategyKind};
+use canary_platform::{run, JobSpec, RunConfig, RunResult};
+use canary_sim::SimDuration;
+use canary_workloads::{WorkloadKind, WorkloadSpec};
+
+fn cfg(rate: f64, seed: u64) -> RunConfig {
+    RunConfig::new(
+        Cluster::chameleon_16(),
+        FailureModel::with_error_rate(rate),
+        seed,
+    )
+}
+
+fn job(kind: WorkloadKind, n: u32) -> Vec<JobSpec> {
+    vec![JobSpec::new(WorkloadSpec::paper_default(kind), n)]
+}
+
+fn run_canary(rate: f64, seed: u64, kind: WorkloadKind, n: u32) -> RunResult {
+    run(cfg(rate, seed), job(kind, n), &mut CanaryStrategy::default_dr())
+}
+
+fn run_retry(rate: f64, seed: u64, kind: WorkloadKind, n: u32) -> RunResult {
+    run(cfg(rate, seed), job(kind, n), &mut RetryStrategy::new())
+}
+
+fn run_ideal(seed: u64, kind: WorkloadKind, n: u32) -> RunResult {
+    run(cfg(0.0, seed), job(kind, n), &mut IdealStrategy::new())
+}
+
+#[test]
+fn canary_completes_all_functions_under_heavy_failures() {
+    let r = run_canary(0.40, 1, WorkloadKind::WebService, 100);
+    assert_eq!(r.completed_count(), 100);
+    assert!(r.counters.function_failures > 0);
+    assert!(r.counters.checkpoints_written > 0, "states must checkpoint");
+}
+
+#[test]
+fn canary_recovers_warm_from_replicas() {
+    let r = run_canary(0.25, 2, WorkloadKind::WebService, 100);
+    assert!(
+        r.counters.warm_recoveries > 0,
+        "most recoveries should land on replicated runtimes"
+    );
+    assert!(
+        r.counters.warm_recoveries >= r.counters.cold_recoveries,
+        "warm {} vs cold {}",
+        r.counters.warm_recoveries,
+        r.counters.cold_recoveries
+    );
+    let replica_cost = r.gb_seconds_for(ContainerPurpose::Replica);
+    assert!(replica_cost > 0.0, "replicas must be billed");
+}
+
+#[test]
+fn canary_slashes_recovery_time_vs_retry() {
+    // The paper's headline: 76–83% average recovery-time reduction.
+    for kind in [
+        WorkloadKind::WebService,
+        WorkloadKind::SparkDataMining,
+        WorkloadKind::GraphBfs,
+    ] {
+        let retry = run_retry(0.15, 3, kind, 100);
+        let canary = run_canary(0.15, 3, kind, 100);
+        let rr = retry.total_recovery().as_secs_f64();
+        let cr = canary.total_recovery().as_secs_f64();
+        assert!(rr > 0.0, "{kind:?}: retry must suffer recovery time");
+        let reduction = (rr - cr) / rr;
+        assert!(
+            reduction > 0.5,
+            "{kind:?}: expected a large reduction, got {:.1}% (retry {rr:.1}s, canary {cr:.1}s)",
+            reduction * 100.0
+        );
+    }
+}
+
+#[test]
+fn canary_makespan_close_to_ideal_retry_diverges() {
+    // Fig. 7: Canary tracks the ideal makespan; retry diverges with the
+    // failure rate.
+    let kind = WorkloadKind::WebService;
+    let ideal = run_ideal(5, kind, 100).makespan().as_secs_f64();
+    let canary = run_canary(0.25, 5, kind, 100).makespan().as_secs_f64();
+    let retry = run_retry(0.25, 5, kind, 100).makespan().as_secs_f64();
+    assert!(canary >= ideal, "canary {canary} ideal {ideal}");
+    assert!(retry > canary, "retry {retry} canary {canary}");
+    let canary_overhead = (canary - ideal) / ideal;
+    let retry_overhead = (retry - ideal) / ideal;
+    assert!(
+        canary_overhead < retry_overhead / 2.0,
+        "canary +{:.0}% vs retry +{:.0}%",
+        canary_overhead * 100.0,
+        retry_overhead * 100.0
+    );
+}
+
+#[test]
+fn canary_cheaper_than_retry_at_high_failure_rates() {
+    // Fig. 8: at high error rates retry redoes entire functions and costs
+    // more than Canary including its replicas.
+    let kind = WorkloadKind::DeepLearning;
+    let retry = run_retry(0.40, 7, kind, 40);
+    let canary = run_canary(0.40, 7, kind, 40);
+    assert!(
+        canary.gb_seconds() < retry.gb_seconds(),
+        "canary {:.0} GB·s vs retry {:.0} GB·s",
+        canary.gb_seconds(),
+        retry.gb_seconds()
+    );
+}
+
+#[test]
+fn canary_overhead_over_ideal_is_modest() {
+    // §V-D.3/4: +14% execution time and +8% cost on average vs ideal.
+    let kind = WorkloadKind::WebService;
+    let ideal = run_ideal(9, kind, 100);
+    let canary = run_canary(0.15, 9, kind, 100);
+    let time_overhead =
+        (canary.makespan().as_secs_f64() - ideal.makespan().as_secs_f64())
+            / ideal.makespan().as_secs_f64();
+    let cost_overhead = (canary.gb_seconds() - ideal.gb_seconds()) / ideal.gb_seconds();
+    assert!(
+        time_overhead < 0.5,
+        "time overhead {:.0}%",
+        time_overhead * 100.0
+    );
+    assert!(
+        cost_overhead < 0.5,
+        "cost overhead {:.0}%",
+        cost_overhead * 100.0
+    );
+}
+
+#[test]
+fn replication_strategies_order_costs_and_times() {
+    // Fig. 9: AR spends the most on replicas and recovers fastest; LR
+    // spends the least on replicas.
+    let kind = WorkloadKind::WebService;
+    let mk = |k: ReplicationStrategyKind| {
+        run(
+            cfg(0.30, 11),
+            job(kind, 100),
+            &mut CanaryStrategy::new(CanaryConfig::with_replication(k)),
+        )
+    };
+    let dr = mk(ReplicationStrategyKind::Dynamic);
+    let ar = mk(ReplicationStrategyKind::Aggressive);
+    let lr = mk(ReplicationStrategyKind::Lenient);
+    let repl = |r: &canary_platform::RunResult| r.gb_seconds_for(ContainerPurpose::Replica);
+    assert!(repl(&ar) > repl(&dr), "AR {} vs DR {}", repl(&ar), repl(&dr));
+    assert!(repl(&dr) > repl(&lr), "DR {} vs LR {}", repl(&dr), repl(&lr));
+    // LR's single replica forces waits/cold paths at a 30% failure rate.
+    assert!(
+        lr.total_recovery() >= ar.total_recovery(),
+        "LR {} vs AR {}",
+        lr.total_recovery(),
+        ar.total_recovery()
+    );
+}
+
+#[test]
+fn explicit_checkpointing_writes_fewer_bytes() {
+    let config = CanaryConfig {
+        checkpoint_mode: CheckpointMode::Explicit,
+        ..Default::default()
+    };
+    let explicit = run(
+        cfg(0.15, 13),
+        job(WorkloadKind::SparkDataMining, 50),
+        &mut CanaryStrategy::new(config),
+    );
+    let implicit = run_canary(0.15, 13, WorkloadKind::SparkDataMining, 50);
+    assert!(explicit.counters.checkpoint_bytes < implicit.counters.checkpoint_bytes);
+    assert_eq!(explicit.completed_count(), 50);
+}
+
+#[test]
+fn canary_survives_node_failures_via_shared_storage() {
+    // Fig. 11: node-level failures lose all local state; checkpoints in
+    // shared storage still recover the functions.
+    let failure = FailureModel::with_error_rate(0.10).with_node_failures(0.25);
+    let mut config = RunConfig::new(Cluster::chameleon_16(), failure, 17);
+    config.node_failure_horizon = SimDuration::from_secs(60);
+    let r = run(
+        config,
+        job(WorkloadKind::WebService, 150),
+        &mut CanaryStrategy::default_dr(),
+    );
+    assert_eq!(r.completed_count(), 150);
+    assert!(r.counters.node_failures > 0, "a node should have crashed");
+}
+
+#[test]
+fn canary_is_deterministic() {
+    let a = run_canary(0.2, 21, WorkloadKind::WebService, 60);
+    let b = run_canary(0.2, 21, WorkloadKind::WebService, 60);
+    assert_eq!(a.makespan(), b.makespan());
+    assert_eq!(a.total_recovery(), b.total_recovery());
+    assert!((a.gb_seconds() - b.gb_seconds()).abs() < 1e-9);
+    assert_eq!(a.counters.checkpoints_written, b.counters.checkpoints_written);
+}
+
+#[test]
+fn recovery_time_stays_flat_as_failure_rate_grows() {
+    // Fig. 4's shape: retry grows ~linearly with the failure rate; Canary
+    // stays comparatively flat.
+    let kind = WorkloadKind::WebService;
+    let retry_low = run_retry(0.05, 23, kind, 100).total_recovery().as_secs_f64();
+    let retry_high = run_retry(0.50, 23, kind, 100).total_recovery().as_secs_f64();
+    let canary_low = run_canary(0.05, 23, kind, 100).total_recovery().as_secs_f64();
+    let canary_high = run_canary(0.50, 23, kind, 100).total_recovery().as_secs_f64();
+    let retry_growth = retry_high / retry_low;
+    let canary_growth = canary_high / canary_low.max(1e-9);
+    assert!(retry_growth > 5.0, "retry growth {retry_growth:.1}x");
+    // Canary grows too (more failures), but from a far smaller base.
+    assert!(
+        canary_high < retry_high / 3.0,
+        "canary_high {canary_high:.1}s vs retry_high {retry_high:.1}s (growth {canary_growth:.1}x)"
+    );
+}
+
+#[test]
+fn predictor_observes_failing_nodes_and_runs_complete_either_way() {
+    // §VII future-work extension: the proactive predictor accumulates
+    // per-node failure history during a run, and disabling it changes
+    // nothing about correctness.
+    let mut strategy = CanaryStrategy::default_dr();
+    let r = run(
+        cfg(0.30, 43),
+        job(WorkloadKind::WebService, 80),
+        &mut strategy,
+    );
+    assert_eq!(r.completed_count(), 80);
+    assert!(
+        !strategy.predictor().observed_nodes().is_empty(),
+        "failures occurred, so some node must have history"
+    );
+
+    let off = CanaryConfig {
+        proactive: false,
+        ..Default::default()
+    };
+    let r2 = run(cfg(0.30, 43), job(WorkloadKind::WebService, 80), &mut CanaryStrategy::new(off));
+    assert_eq!(r2.completed_count(), 80);
+}
+
+#[test]
+fn node_crash_marks_node_risky() {
+    let failure = FailureModel::with_error_rate(0.05).with_node_failures(0.3);
+    let mut config = RunConfig::new(Cluster::chameleon_16(), failure, 47);
+    config.node_failure_horizon = SimDuration::from_secs(30);
+    let mut strategy = CanaryStrategy::default_dr();
+    let r = run(
+        config,
+        job(WorkloadKind::WebService, 100),
+        &mut strategy,
+    );
+    assert!(r.counters.node_failures > 0, "a node should have crashed");
+    // A node-level crash is a 10-point signal: it stays above threshold
+    // for several half-lives, so history must exist.
+    assert!(!strategy.predictor().observed_nodes().is_empty());
+}
+
+#[test]
+fn checkpoint_frequency_adapts_to_expensive_payloads() {
+    // A workload with heavy checkpoints on very short states: the
+    // frequency adaptation must checkpoint every k-th state only,
+    // writing far fewer checkpoints than states completed — while the
+    // function still completes and recovers correctly.
+    use canary_workloads::{RuntimeKind, StateSpec};
+    let heavy = WorkloadSpec {
+        kind: WorkloadKind::DeepLearning,
+        runtime: RuntimeKind::Python,
+        memory_mb: 1024,
+        states: vec![
+            StateSpec {
+                exec: canary_sim::SimDuration::from_millis(100),
+                ckpt_bytes: 98 * 1024 * 1024,
+            };
+            60
+        ],
+    };
+    let r = run(
+        cfg(0.30, 53),
+        vec![JobSpec::new(heavy.clone(), 40)],
+        &mut CanaryStrategy::default_dr(),
+    );
+    assert_eq!(r.completed_count(), 40);
+    let states_completed = 40 * 60;
+    assert!(
+        r.counters.checkpoints_written < states_completed / 2,
+        "stride should skip most boundaries: {} checkpoints for {} states",
+        r.counters.checkpoints_written,
+        states_completed
+    );
+    assert!(r.counters.checkpoints_written > 0);
+
+    // The adaptation pays for itself: per-state checkpointing (ratio set
+    // absurdly high so stride stays 1) yields a longer makespan.
+    let mut eager = CanaryConfig::default();
+    eager.max_ckpt_overhead_ratio = 1_000.0;
+    let eager_run = run(
+        cfg(0.30, 53),
+        vec![JobSpec::new(heavy, 40)],
+        &mut CanaryStrategy::new(eager),
+    );
+    assert!(
+        r.makespan() < eager_run.makespan(),
+        "adapted {} vs eager {}",
+        r.makespan(),
+        eager_run.makespan()
+    );
+}

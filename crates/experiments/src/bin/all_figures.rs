@@ -1,0 +1,24 @@
+//! Regenerate every figure of the paper's evaluation into `results/`.
+
+use canary_experiments::figures::*;
+
+fn main() {
+    let opts = FigureOptions::default();
+    let t0 = std::time::Instant::now();
+    let figs: Vec<(&str, Vec<canary_sim::SeriesSet>)> = vec![
+        ("fig4", fig4::build(&opts)),
+        ("fig4_workloads", vec![fig4::workload_reductions(&opts)]),
+        ("fig5", fig5::build(&opts)),
+        ("fig6", fig6::build(&opts)),
+        ("fig7", fig7::build(&opts)),
+        ("fig8", fig8::build(&opts)),
+        ("fig9", fig9::build(&opts)),
+        ("fig10", fig10::build(&opts)),
+        ("fig11", fig11::build(&opts)),
+        ("fig12", fig12::build(&opts)),
+    ];
+    for (name, sets) in &figs {
+        canary_experiments::emit(name, sets).expect("write results");
+    }
+    eprintln!("regenerated {} figures in {:?}", figs.len(), t0.elapsed());
+}

@@ -1,0 +1,167 @@
+//! `canaryctl` — run ad-hoc scenarios from the command line.
+//!
+//! ```text
+//! canaryctl [--strategy canary|canary-ar|canary-lr|retry|ideal|rr|as]
+//!           [--workload dl|web|spark|compress|bfs]
+//!           [--invocations N] [--rate F] [--nodes N] [--seed N]
+//!           [--reps N] [--node-failures F]
+//! ```
+//!
+//! Example: compare Canary against retry on 200 BFS functions at 25%:
+//!
+//! ```sh
+//! cargo run --release -p canary-experiments --bin canaryctl -- \
+//!   --workload bfs --invocations 200 --rate 0.25
+//! ```
+
+use canary_core::ReplicationStrategyKind;
+use canary_experiments::{Scenario, StrategyKind, PRICING};
+use canary_platform::JobSpec;
+use canary_workloads::{WorkloadKind, WorkloadSpec};
+use std::process::exit;
+
+#[derive(Debug)]
+struct Args {
+    strategies: Vec<StrategyKind>,
+    workload: WorkloadKind,
+    invocations: u32,
+    rate: f64,
+    nodes: u32,
+    seed: u64,
+    reps: u64,
+    node_failures: f64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            strategies: vec![
+                StrategyKind::Ideal,
+                StrategyKind::Retry,
+                StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
+            ],
+            workload: WorkloadKind::WebService,
+            invocations: 100,
+            rate: 0.15,
+            nodes: 16,
+            seed: 42,
+            reps: 3,
+            node_failures: 0.0,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: canaryctl [--strategy canary|canary-ar|canary-lr|retry|ideal|rr|as]\n\
+         \x20                [--workload dl|web|spark|compress|bfs]\n\
+         \x20                [--invocations N] [--rate F] [--nodes N] [--seed N]\n\
+         \x20                [--reps N] [--node-failures F]"
+    );
+    exit(2)
+}
+
+fn parse_strategy(s: &str) -> StrategyKind {
+    match s {
+        "canary" => StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
+        "canary-ar" => StrategyKind::Canary(ReplicationStrategyKind::Aggressive),
+        "canary-lr" => StrategyKind::Canary(ReplicationStrategyKind::Lenient),
+        "retry" => StrategyKind::Retry,
+        "ideal" => StrategyKind::Ideal,
+        "rr" => StrategyKind::RequestReplication(2),
+        "as" => StrategyKind::ActiveStandby,
+        other => {
+            eprintln!("unknown strategy: {other}");
+            usage()
+        }
+    }
+}
+
+fn parse_workload(s: &str) -> WorkloadKind {
+    match s {
+        "dl" => WorkloadKind::DeepLearning,
+        "web" => WorkloadKind::WebService,
+        "spark" => WorkloadKind::SparkDataMining,
+        "compress" => WorkloadKind::Compression,
+        "bfs" => WorkloadKind::GraphBfs,
+        other => {
+            eprintln!("unknown workload: {other}");
+            usage()
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut explicit_strategies: Vec<StrategyKind> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--strategy" => explicit_strategies.push(parse_strategy(&value("--strategy"))),
+            "--workload" => args.workload = parse_workload(&value("--workload")),
+            "--invocations" => {
+                args.invocations = value("--invocations").parse().unwrap_or_else(|_| usage())
+            }
+            "--rate" => args.rate = value("--rate").parse().unwrap_or_else(|_| usage()),
+            "--nodes" => args.nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--reps" => args.reps = value("--reps").parse().unwrap_or_else(|_| usage()),
+            "--node-failures" => {
+                args.node_failures = value("--node-failures").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    if !explicit_strategies.is_empty() {
+        args.strategies = explicit_strategies;
+    }
+    if !(0.0..=1.0).contains(&args.rate) || args.invocations == 0 || args.nodes == 0 {
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scenario = Scenario::chameleon(
+        args.rate,
+        vec![JobSpec::new(
+            WorkloadSpec::paper_default(args.workload),
+            args.invocations,
+        )],
+    );
+    scenario.nodes = args.nodes;
+    scenario.node_failure_rate = args.node_failures;
+
+    println!(
+        "workload={} invocations={} rate={:.0}% nodes={} reps={} seed={}\n",
+        args.workload, args.invocations, args.rate * 100.0, args.nodes, args.reps, args.seed
+    );
+    println!(
+        "{:<12} {:>13} {:>15} {:>12} {:>11} {:>9}",
+        "strategy", "makespan (s)", "recovery (s)", "failures", "cost ($)", "cv (%)"
+    );
+    for &strategy in &args.strategies {
+        let rep = scenario.run_repeated(strategy, args.reps);
+        println!(
+            "{:<12} {:>13.1} {:>15.1} {:>12.1} {:>11.4} {:>9.2}",
+            rep.strategy(),
+            rep.makespan().mean,
+            rep.total_recovery().mean,
+            rep.failures().mean,
+            rep.cost().mean,
+            rep.worst_cv() * 100.0,
+        );
+    }
+    let _ = PRICING;
+}

@@ -1,0 +1,10 @@
+//! Regenerate Fig. 10 of the paper. See `figures::fig10` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig10, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig10::build(&opts);
+    canary_experiments::emit("fig10", &sets).expect("write results");
+}

@@ -1,0 +1,10 @@
+//! Regenerate Fig. 11 of the paper. See `figures::fig11` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig11, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig11::build(&opts);
+    canary_experiments::emit("fig11", &sets).expect("write results");
+}

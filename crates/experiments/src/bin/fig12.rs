@@ -1,0 +1,10 @@
+//! Regenerate Fig. 12 of the paper. See `figures::fig12` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig12, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig12::build(&opts);
+    canary_experiments::emit("fig12", &sets).expect("write results");
+}

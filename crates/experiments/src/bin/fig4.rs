@@ -1,0 +1,10 @@
+//! Regenerate Fig. 4 of the paper. See `figures::fig4` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig4, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig4::build(&opts);
+    canary_experiments::emit("fig4", &sets).expect("write results");
+}

@@ -1,0 +1,10 @@
+//! Regenerate Fig. 5 of the paper. See `figures::fig5` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig5, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig5::build(&opts);
+    canary_experiments::emit("fig5", &sets).expect("write results");
+}

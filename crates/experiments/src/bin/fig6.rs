@@ -1,0 +1,10 @@
+//! Regenerate Fig. 6 of the paper. See `figures::fig6` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig6, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig6::build(&opts);
+    canary_experiments::emit("fig6", &sets).expect("write results");
+}

@@ -1,0 +1,10 @@
+//! Regenerate Fig. 7 of the paper. See `figures::fig7` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig7, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig7::build(&opts);
+    canary_experiments::emit("fig7", &sets).expect("write results");
+}

@@ -1,0 +1,10 @@
+//! Regenerate Fig. 8 of the paper. See `figures::fig8` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig8, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig8::build(&opts);
+    canary_experiments::emit("fig8", &sets).expect("write results");
+}

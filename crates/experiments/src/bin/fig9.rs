@@ -1,0 +1,10 @@
+//! Regenerate Fig. 9 of the paper. See `figures::fig9` for the
+//! experiment definition and expected shape.
+
+use canary_experiments::figures::{fig9, FigureOptions};
+
+fn main() {
+    let opts = FigureOptions::default();
+    let sets = fig9::build(&opts);
+    canary_experiments::emit("fig9", &sets).expect("write results");
+}

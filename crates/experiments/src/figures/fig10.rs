@@ -1,0 +1,82 @@
+//! Fig. 10: Canary vs the state-of-the-art fault-tolerance baselines —
+//! request replication (RR, one replica per request) and active-standby
+//! (AS, one passive instance per function).
+//!
+//! Expected shape (§V-D.5): RR and AS cost up to ~2.7×/2.8× Canary
+//! (every request runs twice / a standby is billed the whole time);
+//! Canary's execution time is within ~5% of RR (the restore path) while
+//! AS's execution time runs up to ~34% above Canary because its stateful
+//! functions restart from the beginning.
+
+use super::{sweep_into, FigureOptions, Metric};
+use crate::scenario::{Scenario, StrategyKind, ERROR_RATES};
+use canary_core::ReplicationStrategyKind;
+use canary_platform::JobSpec;
+use canary_sim::SeriesSet;
+use canary_workloads::WorkloadSpec;
+
+fn strategies() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
+        StrategyKind::RequestReplication(2),
+        StrategyKind::ActiveStandby,
+    ]
+}
+
+fn points(opts: &FigureOptions) -> Vec<(f64, Scenario)> {
+    let invocations = opts.scaled(100);
+    ERROR_RATES
+        .iter()
+        .map(|&rate| {
+            (
+                rate * 100.0,
+                Scenario::chameleon(
+                    rate,
+                    vec![JobSpec::new(WorkloadSpec::web_service(50), invocations)],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Build the figure: `[cost-vs-rate, time-vs-rate]` for Canary / RR / AS.
+pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
+    let pts = points(opts);
+    let strategies = strategies();
+    let mut cost = SeriesSet::new(
+        "Fig 10a: Canary vs RR vs AS — cost vs failure rate",
+        "failure rate (%)",
+        Metric::Cost.y_label(),
+    );
+    sweep_into(&mut cost, &pts, &strategies, Metric::Cost, opts);
+    let mut time = SeriesSet::new(
+        "Fig 10b: Canary vs RR vs AS — time vs failure rate",
+        "failure rate (%)",
+        Metric::Makespan.y_label(),
+    );
+    sweep_into(&mut time, &pts, &strategies, Metric::Makespan, opts);
+    vec![cost, time]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let opts = FigureOptions::quick();
+        let sets = build(&opts);
+        let (cost, time) = (&sets[0], &sets[1]);
+        for rate in [25.0, 50.0] {
+            let canary = cost.get("Canary").unwrap().y_at(rate).unwrap();
+            let rr = cost.get("RR").unwrap().y_at(rate).unwrap();
+            let aas = cost.get("AS").unwrap().y_at(rate).unwrap();
+            assert!(rr > 1.5 * canary, "RR ${rr} vs Canary ${canary} at {rate}%");
+            assert!(aas > 1.5 * canary, "AS ${aas} vs Canary ${canary} at {rate}%");
+        }
+        // AS execution time exceeds Canary's at high rates.
+        let c_t = time.get("Canary").unwrap().y_at(50.0).unwrap();
+        let a_t = time.get("AS").unwrap().y_at(50.0).unwrap();
+        assert!(a_t > c_t, "AS {a_t}s vs Canary {c_t}s");
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 12: scalability — total execution time of a 5000-invocation
+//! batch at a 15% failure rate as the cluster grows from 1 to 16 nodes.
+//!
+//! Expected shape (§V-D.6): all three scenarios speed up with cluster
+//! size, but modestly (the serialized controller bounds batch admission):
+//! the paper reports 1.2× / 1.18× / 1.10× scaling for ideal / Canary /
+//! retry from 1 to 16 nodes, with Canary within ~2.75% of ideal and up to
+//! ~17% faster than retry.
+
+use super::{sweep_into, trio, FigureOptions, Metric};
+use crate::scenario::Scenario;
+use canary_platform::JobSpec;
+use canary_sim::{SeriesSet, Series};
+use canary_workloads::WorkloadSpec;
+
+/// Cluster sizes swept.
+pub const CLUSTER_SIZES: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Invocations in the batch (5000 in the paper).
+pub const INVOCATIONS: u32 = 5000;
+
+/// Fixed failure rate.
+pub const RATE: f64 = 0.15;
+
+/// Build the figure.
+pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
+    let invocations = opts.scaled(INVOCATIONS);
+    let mut set = SeriesSet::new(
+        format!("Fig 12: makespan vs cluster size ({invocations} invocations, 15% failure rate)"),
+        "cluster nodes",
+        Metric::Makespan.y_label(),
+    );
+    let points: Vec<(f64, Scenario)> = CLUSTER_SIZES
+        .iter()
+        .map(|&nodes| {
+            let mut scenario = Scenario::chameleon(
+                RATE,
+                vec![JobSpec::new(WorkloadSpec::web_service(10), invocations)],
+            );
+            scenario.nodes = nodes;
+            (nodes as f64, scenario)
+        })
+        .collect();
+    sweep_into(&mut set, &points, &trio(), Metric::Makespan, opts);
+    vec![set]
+}
+
+/// The 1→16 node scaling factor of a series (makespan at 1 node divided
+/// by makespan at 16 nodes).
+pub fn scaling_factor(series: &Series) -> Option<f64> {
+    let one = series.y_at(1.0)?;
+    let sixteen = series.y_at(16.0)?;
+    if sixteen > 0.0 {
+        Some(one / sixteen)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let mut opts = FigureOptions::quick();
+        opts.scale = 0.1; // 500 invocations
+        let set = &build(&opts)[0];
+        for label in ["Ideal", "Retry", "Canary"] {
+            let s = set.get(label).unwrap();
+            let factor = scaling_factor(s).unwrap();
+            // Modest positive scaling: more nodes never hurt, but the
+            // serialized controller bounds the speedup well below 16x.
+            assert!(factor >= 1.0, "{label}: scaling {factor}");
+            assert!(factor < 8.0, "{label}: scaling {factor} too ideal");
+        }
+        // Canary tracks ideal more closely than retry at 16 nodes.
+        let i = set.get("Ideal").unwrap().y_at(16.0).unwrap();
+        let c = set.get("Canary").unwrap().y_at(16.0).unwrap();
+        let r = set.get("Retry").unwrap().y_at(16.0).unwrap();
+        assert!(c >= i && r >= c, "ideal {i}, canary {c}, retry {r}");
+    }
+}

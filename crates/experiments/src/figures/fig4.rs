@@ -1,0 +1,118 @@
+//! Fig. 4: impact of replicated runtimes on recovery time for 100
+//! function invocations, per container runtime (Python / Node.js / Java),
+//! sweeping the failure rate from 1% to 50%.
+//!
+//! Expected shape: retry grows roughly linearly with the failure rate
+//! (more failed functions, each paying a full cold start plus redo);
+//! Canary stays comparatively flat and near the ideal line. The paper's
+//! accompanying text reports 76–81% average recovery-time reductions
+//! across the five workloads; [`workload_reductions`] regenerates those
+//! numbers.
+
+use super::{sweep_into, trio, FigureOptions, Metric};
+use crate::scenario::{Scenario, StrategyKind, ERROR_RATES};
+use canary_core::ReplicationStrategyKind;
+use canary_platform::JobSpec;
+use canary_sim::{SeriesSet, SimDuration};
+use canary_workloads::{RuntimeKind, WorkloadKind, WorkloadSpec};
+
+/// Build the per-runtime recovery-time sweeps (one `SeriesSet` per
+/// container runtime, in `RuntimeKind::ALL` order).
+pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
+    let invocations = opts.scaled(100);
+    RuntimeKind::ALL
+        .iter()
+        .map(|&runtime| {
+            let mut set = SeriesSet::new(
+                format!("Fig 4: recovery time vs failure rate ({runtime} runtime, {invocations} invocations)"),
+                "failure rate (%)",
+                Metric::TotalRecovery.y_label(),
+            );
+            let points: Vec<(f64, Scenario)> = ERROR_RATES
+                .iter()
+                .map(|&rate| {
+                    let spec = WorkloadSpec::synthetic(
+                        runtime,
+                        20,
+                        SimDuration::from_millis(1_500),
+                    );
+                    (
+                        rate * 100.0,
+                        Scenario::chameleon(rate, vec![JobSpec::new(spec, invocations)]),
+                    )
+                })
+                .collect();
+            sweep_into(&mut set, &points, &trio(), Metric::TotalRecovery, opts);
+            set
+        })
+        .collect()
+}
+
+/// The per-workload average recovery-time reduction of Canary over retry
+/// (the 76/81/78/79/80% numbers in §V-D.1). One series, one x per
+/// workload in `WorkloadKind::ALL` order; y is the mean reduction in
+/// percent across the error-rate sweep.
+pub fn workload_reductions(opts: &FigureOptions) -> SeriesSet {
+    let invocations = opts.scaled(100);
+    let mut set = SeriesSet::new(
+        "Fig 4 (text): mean recovery-time reduction by workload [x: 0=DL 1=Web 2=Spark 3=Compress 4=BFS]",
+        "workload",
+        "reduction vs Retry (%)",
+    );
+    for (i, &kind) in WorkloadKind::ALL.iter().enumerate() {
+        let mut retry_sum = 0.0;
+        let mut canary_sum = 0.0;
+        for &rate in &ERROR_RATES {
+            let scenario = Scenario::chameleon(
+                rate,
+                vec![JobSpec::new(WorkloadSpec::paper_default(kind), invocations)],
+            );
+            retry_sum += scenario
+                .run_repeated(StrategyKind::Retry, opts.reps)
+                .total_recovery()
+                .mean;
+            canary_sum += scenario
+                .run_repeated(
+                    StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
+                    opts.reps,
+                )
+                .total_recovery()
+                .mean;
+        }
+        let reduction = if retry_sum > 0.0 {
+            (retry_sum - canary_sum) / retry_sum * 100.0
+        } else {
+            0.0
+        };
+        set.series_mut("Canary vs Retry").push(i as f64, reduction);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let opts = FigureOptions::quick();
+        let sets = build(&opts);
+        assert_eq!(sets.len(), 3, "one set per runtime");
+        for set in &sets {
+            let retry = set.get("Retry").unwrap();
+            let _canary = set.get("Canary").unwrap();
+            let ideal = set.get("Ideal").unwrap();
+            // Ideal has (near) zero recovery everywhere.
+            assert!(ideal.max_y() < 1e-9, "{}", set.title);
+            // Retry at 50% far exceeds retry at 1%.
+            assert!(
+                retry.y_at(50.0).unwrap() > retry.y_at(1.0).unwrap() * 4.0,
+                "{}",
+                set.title
+            );
+            // Canary wins on average, by a lot.
+            let imp = set.mean_improvement("Retry", "Canary").unwrap();
+            assert!(imp > 0.5, "{}: improvement {imp}", set.title);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 5: impact of replicated runtimes on recovery time at a fixed 15%
+//! failure rate as the number of function invocations grows.
+//!
+//! Expected shape: retry's aggregate recovery grows with the invocation
+//! count (proportionally more failures); Canary stays close to the ideal
+//! line, with a slight rise when simultaneous failures exhaust the warm
+//! replica pool and functions must wait for replicas to start (§V-D.1).
+
+use super::{sweep_into, trio, FigureOptions, Metric};
+use crate::scenario::Scenario;
+use canary_platform::JobSpec;
+use canary_sim::SeriesSet;
+use canary_workloads::WorkloadSpec;
+
+/// Invocation counts swept.
+pub const INVOCATIONS: [u32; 6] = [100, 200, 400, 600, 800, 1000];
+
+/// Failure rate held fixed (§V-D.1).
+pub const RATE: f64 = 0.15;
+
+/// Build the figure.
+pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
+    let mut set = SeriesSet::new(
+        "Fig 5: recovery time vs #invocations (15% failure rate)",
+        "function invocations",
+        Metric::TotalRecovery.y_label(),
+    );
+    let points: Vec<(f64, Scenario)> = INVOCATIONS
+        .iter()
+        .map(|&n| {
+            let n = opts.scaled(n);
+            (
+                n as f64,
+                Scenario::chameleon(
+                    RATE,
+                    vec![JobSpec::new(WorkloadSpec::web_service(20), n)],
+                ),
+            )
+        })
+        .collect();
+    sweep_into(&mut set, &points, &trio(), Metric::TotalRecovery, opts);
+    vec![set]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let opts = FigureOptions::quick();
+        let sets = build(&opts);
+        let set = &sets[0];
+        let retry = set.get("Retry").unwrap();
+        let canary = set.get("Canary").unwrap();
+        // Retry grows with invocation count.
+        let first = retry.points.first().unwrap();
+        let last = retry.points.last().unwrap();
+        assert!(last.y > first.y * 2.0, "retry should scale with volume");
+        // Canary stays well below retry at the largest point.
+        let canary_last = canary.points.last().unwrap();
+        assert!(
+            canary_last.y < last.y * 0.5,
+            "canary {} vs retry {}",
+            canary_last.y,
+            last.y
+        );
+    }
+}

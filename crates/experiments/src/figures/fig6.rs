@@ -1,0 +1,66 @@
+//! Fig. 6: impact of checkpointing on recovery time for 100 invocations
+//! as the failure rate grows.
+//!
+//! The workload is the checkpoint-heavy DL training job (50 epochs, a
+//! ~98 MB weight checkpoint per epoch): without checkpoints the retry
+//! strategy's loss per failure is the *entire* training progress so far,
+//! so its recovery time is dominated by kills landing late in execution;
+//! Canary restores from the latest epoch checkpoint and its recovery is
+//! flat regardless of when the kill lands (§V-D.2: 79–83% reductions).
+
+use super::{sweep_into, trio, FigureOptions, Metric};
+use crate::scenario::{Scenario, ERROR_RATES};
+use canary_platform::JobSpec;
+use canary_sim::SeriesSet;
+use canary_workloads::{WorkloadKind, WorkloadSpec};
+
+/// Build the figure.
+pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
+    let invocations = opts.scaled(100);
+    let mut set = SeriesSet::new(
+        format!("Fig 6: recovery time vs failure rate (DL workload, {invocations} invocations)"),
+        "failure rate (%)",
+        Metric::TotalRecovery.y_label(),
+    );
+    let points: Vec<(f64, Scenario)> = ERROR_RATES
+        .iter()
+        .map(|&rate| {
+            (
+                rate * 100.0,
+                Scenario::chameleon(
+                    rate,
+                    vec![JobSpec::new(
+                        WorkloadSpec::paper_default(WorkloadKind::DeepLearning),
+                        invocations,
+                    )],
+                ),
+            )
+        })
+        .collect();
+    sweep_into(&mut set, &points, &trio(), Metric::TotalRecovery, opts);
+    vec![set]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let mut opts = FigureOptions::quick();
+        opts.scale = 0.1; // 10 DL functions keep the test quick
+        let sets = build(&opts);
+        let set = &sets[0];
+        let imp = set.mean_improvement("Retry", "Canary").unwrap();
+        assert!(
+            imp > 0.7,
+            "checkpointing should reclaim most of the lost work, got {:.0}%",
+            imp * 100.0
+        );
+        // Canary's recovery stays flat-ish: the 50% point is within a
+        // moderate factor of the 5% point, while retry blows up.
+        let canary = set.get("Canary").unwrap();
+        let retry = set.get("Retry").unwrap();
+        assert!(retry.y_at(50.0).unwrap() > canary.y_at(50.0).unwrap() * 3.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Fig. 7: execution makespan of 100 DL invocations vs failure rate,
+//! with replication and checkpointing.
+//!
+//! Expected shape: the retry makespan diverges from the ideal line as the
+//! failure rate grows; Canary tracks the ideal closely (+14% on average
+//! per §V-D.3, worst case when a function dies just before its next
+//! checkpoint).
+
+use super::{sweep_into, trio, FigureOptions, Metric};
+use crate::scenario::{Scenario, ERROR_RATES};
+use canary_platform::JobSpec;
+use canary_sim::SeriesSet;
+use canary_workloads::{WorkloadKind, WorkloadSpec};
+
+/// Build the figure.
+pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
+    let invocations = opts.scaled(100);
+    let mut set = SeriesSet::new(
+        format!("Fig 7: DL makespan vs failure rate ({invocations} invocations)"),
+        "failure rate (%)",
+        Metric::Makespan.y_label(),
+    );
+    let points: Vec<(f64, Scenario)> = ERROR_RATES
+        .iter()
+        .map(|&rate| {
+            (
+                rate * 100.0,
+                Scenario::chameleon(
+                    rate,
+                    vec![JobSpec::new(
+                        WorkloadSpec::paper_default(WorkloadKind::DeepLearning),
+                        invocations,
+                    )],
+                ),
+            )
+        })
+        .collect();
+    sweep_into(&mut set, &points, &trio(), Metric::Makespan, opts);
+    vec![set]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let mut opts = FigureOptions::quick();
+        opts.scale = 0.1;
+        let set = &build(&opts)[0];
+        let ideal = set.get("Ideal").unwrap();
+        let retry = set.get("Retry").unwrap();
+        let canary = set.get("Canary").unwrap();
+        // At a 50% failure rate retry clearly diverges; canary does not.
+        let i = ideal.y_at(50.0).unwrap();
+        let r = retry.y_at(50.0).unwrap();
+        let c = canary.y_at(50.0).unwrap();
+        assert!(r > i * 1.3, "retry {r} vs ideal {i}");
+        assert!(c < r, "canary {c} vs retry {r}");
+        assert!(c < i * 1.35, "canary should track ideal: {c} vs {i}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig. 8: impact of failures on the dollar cost and execution time of
+//! training ResNet50 for 50 epochs.
+//!
+//! Expected shape: both curves grow with the failure rate; the gap
+//! between retry and Canary widens with the error rate, Canary ends up to
+//! ~12% cheaper than retry while staying within ~8% of the ideal cost,
+//! and Canary's execution time is far (≈40%+) below retry's at high
+//! rates (§V-D.4).
+
+use super::{sweep_into, trio, FigureOptions, Metric};
+use crate::scenario::{Scenario, ERROR_RATES};
+use canary_platform::JobSpec;
+use canary_sim::SeriesSet;
+use canary_workloads::{WorkloadKind, WorkloadSpec};
+
+fn points(opts: &FigureOptions) -> Vec<(f64, Scenario)> {
+    let invocations = opts.scaled(100);
+    ERROR_RATES
+        .iter()
+        .map(|&rate| {
+            (
+                rate * 100.0,
+                Scenario::chameleon(
+                    rate,
+                    vec![JobSpec::new(
+                        WorkloadSpec::paper_default(WorkloadKind::DeepLearning),
+                        invocations,
+                    )],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Build the figure: `[cost-vs-rate, time-vs-rate]`.
+pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
+    let pts = points(opts);
+    let mut cost = SeriesSet::new(
+        "Fig 8a: ResNet50 training cost vs failure rate",
+        "failure rate (%)",
+        Metric::Cost.y_label(),
+    );
+    sweep_into(&mut cost, &pts, &trio(), Metric::Cost, opts);
+    let mut time = SeriesSet::new(
+        "Fig 8b: ResNet50 training time vs failure rate",
+        "failure rate (%)",
+        Metric::Makespan.y_label(),
+    );
+    sweep_into(&mut time, &pts, &trio(), Metric::Makespan, opts);
+    vec![cost, time]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let mut opts = FigureOptions::quick();
+        opts.scale = 0.1;
+        let sets = build(&opts);
+        let (cost, time) = (&sets[0], &sets[1]);
+
+        // Cost: retry ≥ canary at the top rate; canary within a modest
+        // margin of ideal.
+        let rc = cost.get("Retry").unwrap().y_at(50.0).unwrap();
+        let cc = cost.get("Canary").unwrap().y_at(50.0).unwrap();
+        let ic = cost.get("Ideal").unwrap().y_at(50.0).unwrap();
+        assert!(cc < rc, "canary ${cc} vs retry ${rc}");
+        assert!(cc < ic * 1.6, "canary ${cc} vs ideal ${ic}");
+
+        // Time: canary well below retry at the top rate.
+        let rt = time.get("Retry").unwrap().y_at(50.0).unwrap();
+        let ct = time.get("Canary").unwrap().y_at(50.0).unwrap();
+        assert!(ct < rt * 0.8, "canary {ct}s vs retry {rt}s");
+    }
+}

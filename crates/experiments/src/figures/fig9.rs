@@ -1,0 +1,82 @@
+//! Fig. 9: impact of the replication policy — aggressive (AR), lenient
+//! (LR), and dynamic (DR) — on the cost and time of ResNet50 training.
+//!
+//! Expected shape (§V-D.4): AR has the highest cost and the lowest
+//! execution time; LR has the lowest replica cost, but its execution time
+//! rises fastest with the failure rate (it keeps only one warm replica);
+//! DR sits between them and wins overall: ~25% cheaper than AR and ~2%
+//! cheaper than LR once LR's longer executions are billed.
+
+use super::{sweep_into, FigureOptions, Metric};
+use crate::scenario::{Scenario, StrategyKind, ERROR_RATES};
+use canary_core::ReplicationStrategyKind;
+use canary_platform::JobSpec;
+use canary_sim::SeriesSet;
+use canary_workloads::{WorkloadKind, WorkloadSpec};
+
+fn strategies() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
+        StrategyKind::Canary(ReplicationStrategyKind::Aggressive),
+        StrategyKind::Canary(ReplicationStrategyKind::Lenient),
+    ]
+}
+
+fn points(opts: &FigureOptions) -> Vec<(f64, Scenario)> {
+    let invocations = opts.scaled(100);
+    ERROR_RATES
+        .iter()
+        .map(|&rate| {
+            (
+                rate * 100.0,
+                Scenario::chameleon(
+                    rate,
+                    vec![JobSpec::new(
+                        WorkloadSpec::paper_default(WorkloadKind::DeepLearning),
+                        invocations,
+                    )],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Build the figure: `[cost-vs-rate, time-vs-rate]` for DR / AR / LR.
+pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
+    let pts = points(opts);
+    let strategies = strategies();
+    let mut cost = SeriesSet::new(
+        "Fig 9a: replication policy cost vs failure rate (ResNet50)",
+        "failure rate (%)",
+        Metric::Cost.y_label(),
+    );
+    sweep_into(&mut cost, &pts, &strategies, Metric::Cost, opts);
+    let mut time = SeriesSet::new(
+        "Fig 9b: replication policy time vs failure rate (ResNet50)",
+        "failure rate (%)",
+        Metric::Makespan.y_label(),
+    );
+    sweep_into(&mut time, &pts, &strategies, Metric::Makespan, opts);
+    vec![cost, time]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let mut opts = FigureOptions::quick();
+        opts.scale = 0.15;
+        let sets = build(&opts);
+        let (cost, time) = (&sets[0], &sets[1]);
+        // AR costs the most at high rates (it runs the biggest pool).
+        let ar = cost.get("Canary-AR").unwrap().y_at(50.0).unwrap();
+        let dr = cost.get("Canary").unwrap().y_at(50.0).unwrap();
+        assert!(ar > dr, "AR ${ar} vs DR ${dr}");
+        // AR has the lowest (or tied-lowest) execution time at high rates.
+        let ar_t = time.get("Canary-AR").unwrap().y_at(50.0).unwrap();
+        let lr_t = time.get("Canary-LR").unwrap().y_at(50.0).unwrap();
+        assert!(ar_t <= lr_t * 1.05, "AR {ar_t}s vs LR {lr_t}s");
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure regenerators — one module per figure of the paper's evaluation
+//! (§V-D, Figs. 4–12). Each builder returns the figure's data as
+//! [`SeriesSet`]s; binaries and benches render or time them.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+use crate::scenario::{Scenario, StrategyKind, PRICING};
+use canary_sim::SeriesSet;
+
+/// Knobs shared by all figure builders.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureOptions {
+    /// Repetitions per experiment point (the paper uses 10).
+    pub reps: u64,
+    /// Scale factor on invocation counts (benches use < 1 for speed).
+    pub scale: f64,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        FigureOptions {
+            reps: crate::scenario::repetitions(),
+            scale: 1.0,
+        }
+    }
+}
+
+impl FigureOptions {
+    /// Quick options for tests/benches: few reps, shrunken workloads.
+    pub fn quick() -> Self {
+        FigureOptions {
+            reps: 2,
+            scale: 0.25,
+        }
+    }
+
+    /// Scale an invocation count.
+    pub fn scaled(&self, n: u32) -> u32 {
+        ((n as f64 * self.scale).round() as u32).max(1)
+    }
+}
+
+/// Metric to extract from a repeated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Total recovery time across functions, seconds.
+    TotalRecovery,
+    /// Batch makespan, seconds.
+    Makespan,
+    /// Dollar cost under IBM pricing.
+    Cost,
+}
+
+impl Metric {
+    /// Axis label.
+    pub fn y_label(self) -> &'static str {
+        match self {
+            Metric::TotalRecovery => "total recovery time (s)",
+            Metric::Makespan => "makespan (s)",
+            Metric::Cost => "cost ($)",
+        }
+    }
+}
+
+/// Sweep `strategies` over `points`, adding one series per strategy to
+/// `set`. `points` yields `(x, scenario)`; the metric is aggregated over
+/// `opts.reps` repetitions with an error bar.
+pub(crate) fn sweep_into(
+    set: &mut SeriesSet,
+    points: &[(f64, Scenario)],
+    strategies: &[StrategyKind],
+    metric: Metric,
+    opts: &FigureOptions,
+) {
+    let _ = PRICING; // pricing is applied inside Repeated
+    for &strategy in strategies {
+        for (x, scenario) in points {
+            let rep = scenario.run_repeated(strategy, opts.reps);
+            let m = match metric {
+                Metric::TotalRecovery => rep.total_recovery(),
+                Metric::Makespan => rep.makespan(),
+                Metric::Cost => rep.cost(),
+            };
+            set.series_mut(&strategy.label())
+                .push_err(*x, m.mean, m.std_dev);
+        }
+    }
+}
+
+/// The standard Ideal / Retry / Canary trio most figures compare.
+pub(crate) fn trio() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Ideal,
+        StrategyKind::Retry,
+        StrategyKind::Canary(canary_core::ReplicationStrategyKind::Dynamic),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_scale() {
+        let o = FigureOptions {
+            reps: 1,
+            scale: 0.25,
+        };
+        assert_eq!(o.scaled(100), 25);
+        assert_eq!(o.scaled(1), 1); // never to zero
+    }
+
+    #[test]
+    fn metric_labels() {
+        assert!(Metric::Cost.y_label().contains('$'));
+        assert!(Metric::Makespan.y_label().contains("makespan"));
+    }
+}

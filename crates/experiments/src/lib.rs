@@ -1,0 +1,21 @@
+//! # canary-experiments
+//!
+//! The reproduction harness for the paper's evaluation: a strategy
+//! factory and scenario builder ([`scenario`]), a parallel sweep executor
+//! ([`sweep`]), one regenerator per figure (Figs. 4–12, [`figures`]), and
+//! result emission as ASCII / CSV / Markdown ([`output`]).
+//!
+//! Each figure also ships as a binary: `cargo run --release -p
+//! canary-experiments --bin fig7` regenerates Fig. 7; `--bin all_figures`
+//! regenerates everything into `results/`. Set `CANARY_REPS` to override
+//! the paper's 10 repetitions per point.
+
+pub mod figures;
+pub mod output;
+pub mod scenario;
+pub mod sweep;
+
+pub use figures::{FigureOptions, Metric};
+pub use output::emit;
+pub use scenario::{Scenario, StrategyKind, ERROR_RATES, PRICING};
+pub use sweep::parallel_map;

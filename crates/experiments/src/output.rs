@@ -1,0 +1,69 @@
+//! Emission of figure results: ASCII tables to stdout, CSV + Markdown to
+//! the `results/` directory.
+
+use canary_metrics::{ascii_table, csv, markdown_table};
+use canary_sim::SeriesSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory figure outputs are written to (workspace-relative).
+pub const RESULTS_DIR: &str = "results";
+
+/// Print each set as an ASCII table and write `results/<name>_<i>.csv`
+/// and `.md`. Returns the paths written.
+pub fn emit(name: &str, sets: &[SeriesSet]) -> std::io::Result<Vec<PathBuf>> {
+    emit_to(Path::new(RESULTS_DIR), name, sets)
+}
+
+/// As [`emit`] but into an explicit directory (used by tests).
+pub fn emit_to(dir: &Path, name: &str, sets: &[SeriesSet]) -> std::io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (i, set) in sets.iter().enumerate() {
+        println!("{}", ascii_table(set));
+        let suffix = if sets.len() > 1 {
+            format!("_{}", (b'a' + i as u8) as char)
+        } else {
+            String::new()
+        };
+        let csv_path = dir.join(format!("{name}{suffix}.csv"));
+        fs::write(&csv_path, csv(set))?;
+        written.push(csv_path);
+        let md_path = dir.join(format!("{name}{suffix}.md"));
+        fs::write(&md_path, format!("### {}\n\n{}", set.title, markdown_table(set)))?;
+        written.push(md_path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_csv_and_md_per_set() {
+        let mut s1 = SeriesSet::new("T1", "x", "y");
+        s1.series_mut("A").push(1.0, 2.0);
+        let mut s2 = SeriesSet::new("T2", "x", "y");
+        s2.series_mut("B").push(3.0, 4.0);
+        let dir = std::env::temp_dir().join(format!("canary_emit_{}", std::process::id()));
+        let paths = emit_to(&dir, "figX", &[s1, s2]).unwrap();
+        assert_eq!(paths.len(), 4);
+        assert!(paths[0].file_name().unwrap().to_str().unwrap().contains("figX_a"));
+        assert!(paths[2].file_name().unwrap().to_str().unwrap().contains("figX_b"));
+        for p in &paths {
+            assert!(p.exists());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_set_has_no_suffix() {
+        let mut s = SeriesSet::new("T", "x", "y");
+        s.series_mut("A").push(1.0, 2.0);
+        let dir = std::env::temp_dir().join(format!("canary_emit1_{}", std::process::id()));
+        let paths = emit_to(&dir, "fig7", &[s]).unwrap();
+        assert!(paths[0].ends_with("fig7.csv"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

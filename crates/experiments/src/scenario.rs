@@ -1,0 +1,193 @@
+//! Shared experiment machinery: strategy factory, repeated runs, and the
+//! evaluation's common parameters.
+
+use crate::sweep::parallel_map;
+use canary_baselines::{
+    ActiveStandbyStrategy, IdealStrategy, RequestReplicationStrategy, RetryStrategy,
+};
+use canary_cluster::{Cluster, FailureModel};
+use canary_core::{CanaryConfig, CanaryStrategy, ReplicationStrategyKind};
+use canary_metrics::{PricingModel, Repeated};
+use canary_platform::{run, FtStrategy, JobSpec, RunConfig, RunResult};
+
+/// The error rates the paper sweeps (§V-B: 1% to 50%).
+pub const ERROR_RATES: [f64; 6] = [0.01, 0.05, 0.10, 0.15, 0.25, 0.50];
+
+/// Pricing used everywhere (IBM Cloud Functions, §V-D.4).
+pub const PRICING: PricingModel = PricingModel::IBM_CLOUD;
+
+/// Which strategy to instantiate for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Failure-free reference.
+    Ideal,
+    /// Default retry.
+    Retry,
+    /// Canary with the given replication policy.
+    Canary(ReplicationStrategyKind),
+    /// Request replication with the given instance count.
+    RequestReplication(u32),
+    /// Active-standby.
+    ActiveStandby,
+}
+
+impl StrategyKind {
+    /// Series label for figures.
+    pub fn label(&self) -> String {
+        match self {
+            StrategyKind::Ideal => "Ideal".into(),
+            StrategyKind::Retry => "Retry".into(),
+            StrategyKind::Canary(ReplicationStrategyKind::Dynamic) => "Canary".into(),
+            StrategyKind::Canary(k) => format!("Canary-{}", k.label()),
+            StrategyKind::RequestReplication(_) => "RR".into(),
+            StrategyKind::ActiveStandby => "AS".into(),
+        }
+    }
+
+    /// Instantiate a fresh strategy object.
+    pub fn build(&self) -> Box<dyn FtStrategy + Send> {
+        match self {
+            StrategyKind::Ideal => Box::new(IdealStrategy::new()),
+            StrategyKind::Retry => Box::new(RetryStrategy::new()),
+            StrategyKind::Canary(k) => {
+                Box::new(CanaryStrategy::new(CanaryConfig::with_replication(*k)))
+            }
+            StrategyKind::RequestReplication(n) => {
+                Box::new(RequestReplicationStrategy::new(*n))
+            }
+            StrategyKind::ActiveStandby => Box::new(ActiveStandbyStrategy::new()),
+        }
+    }
+}
+
+/// One experiment point: a cluster / failure configuration plus the jobs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Cluster size (heterogeneous nodes, as on the testbed).
+    pub nodes: u32,
+    /// Error rate (forced to 0 for the ideal strategy).
+    pub error_rate: f64,
+    /// Node-failure probability per node (Fig. 11 only).
+    pub node_failure_rate: f64,
+    /// Horizon for node-failure placement, seconds.
+    pub node_failure_horizon_s: u64,
+    /// The submitted jobs.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Scenario {
+    /// A 16-node scenario with the given failure rate and jobs.
+    pub fn chameleon(error_rate: f64, jobs: Vec<JobSpec>) -> Self {
+        Scenario {
+            nodes: 16,
+            error_rate,
+            node_failure_rate: 0.0,
+            node_failure_horizon_s: 1_200,
+            jobs,
+        }
+    }
+
+    fn config(&self, strategy: StrategyKind, seed: u64) -> RunConfig {
+        // The ideal scenario is defined as failure-free (§V-B).
+        let (rate, node_rate) = if strategy == StrategyKind::Ideal {
+            (0.0, 0.0)
+        } else {
+            (self.error_rate, self.node_failure_rate)
+        };
+        let failure = FailureModel::with_error_rate(rate).with_node_failures(node_rate);
+        let mut cfg = RunConfig::new(Cluster::heterogeneous(self.nodes), failure, seed);
+        cfg.node_failure_horizon =
+            canary_sim::SimDuration::from_secs(self.node_failure_horizon_s);
+        cfg
+    }
+
+    /// Run once with the given strategy and seed.
+    pub fn run_once(&self, strategy: StrategyKind, seed: u64) -> RunResult {
+        let mut s = strategy.build();
+        run(self.config(strategy, seed), self.jobs.clone(), s.as_mut())
+    }
+
+    /// Run `reps` repetitions in parallel (distinct seeds) and aggregate.
+    pub fn run_repeated(&self, strategy: StrategyKind, reps: u64) -> Repeated {
+        let runs: Vec<RunResult> = parallel_map(
+            (0..reps).collect(),
+            |rep| self.run_once(strategy, 1000 + rep * 7919),
+        );
+        Repeated::from_runs(&runs, PRICING)
+    }
+}
+
+/// Repetition count: the paper's 10, overridable via `CANARY_REPS` for
+/// quick local sweeps and benches.
+pub fn repetitions() -> u64 {
+    std::env::var("CANARY_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canary_workloads::WorkloadSpec;
+
+    fn jobs() -> Vec<JobSpec> {
+        vec![JobSpec::new(WorkloadSpec::web_service(10), 30)]
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StrategyKind::Ideal.label(), "Ideal");
+        assert_eq!(
+            StrategyKind::Canary(ReplicationStrategyKind::Dynamic).label(),
+            "Canary"
+        );
+        assert_eq!(
+            StrategyKind::Canary(ReplicationStrategyKind::Aggressive).label(),
+            "Canary-AR"
+        );
+        assert_eq!(StrategyKind::RequestReplication(2).label(), "RR");
+    }
+
+    #[test]
+    fn ideal_strategy_forces_zero_failures() {
+        let s = Scenario::chameleon(0.5, jobs());
+        let r = s.run_once(StrategyKind::Ideal, 1);
+        assert_eq!(r.counters.function_failures, 0);
+    }
+
+    #[test]
+    fn repeated_runs_aggregate() {
+        let s = Scenario::chameleon(0.15, jobs());
+        let rep = s.run_repeated(StrategyKind::Retry, 4);
+        assert_eq!(rep.repetitions(), 4);
+        assert!(rep.makespan().mean > 0.0);
+    }
+
+    #[test]
+    fn every_strategy_kind_completes() {
+        let s = Scenario::chameleon(0.2, jobs());
+        for kind in [
+            StrategyKind::Ideal,
+            StrategyKind::Retry,
+            StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
+            StrategyKind::Canary(ReplicationStrategyKind::Aggressive),
+            StrategyKind::Canary(ReplicationStrategyKind::Lenient),
+            StrategyKind::RequestReplication(2),
+            StrategyKind::ActiveStandby,
+        ] {
+            let r = s.run_once(kind, 5);
+            assert_eq!(r.completed_count(), 30, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn reps_env_default() {
+        // Do not mutate the environment (tests run in parallel); just
+        // check the default when unset.
+        if std::env::var("CANARY_REPS").is_err() {
+            assert_eq!(repetitions(), 10);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Parallel parameter-sweep executor.
+//!
+//! Each experiment point is an independent deterministic simulation, so
+//! sweeps parallelize embarrassingly: a fixed worker pool pulls indexed
+//! work items from a crossbeam channel and results are reassembled in
+//! input order. (No rayon — the sanctioned dependency set is used.)
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+
+/// Map `f` over `items` in parallel, preserving order. Uses up to
+/// `available_parallelism` worker threads (capped by the item count).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        work_tx.send(pair).expect("queue open");
+    }
+    drop(work_tx);
+
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((idx, item)) = work_rx.recv() {
+                    let out = f(item);
+                    if res_tx.send((idx, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    while let Ok((idx, r)) = res_rx.recv() {
+        slots[idx] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker produced every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..500).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_every_item_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map((0..256).collect(), |x: usize| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 256);
+        assert_eq!(out.len(), 256);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_available() {
+        // Observe at least two distinct thread ids for a slow-ish map
+        // (skipped on single-core machines by construction of the cap).
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+            return;
+        }
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        parallel_map((0..64).collect(), |_: i32| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(ids.lock().unwrap().len() >= 2);
+    }
+}

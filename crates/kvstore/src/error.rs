@@ -1,0 +1,61 @@
+//! KV-store error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failures surfaced by the KV store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The value exceeds the per-entry size limit (`db_limit` in
+    /// Algorithm 1); the caller must spill to a storage tier and store the
+    /// location instead.
+    EntryTooLarge {
+        /// Offending value size in bytes.
+        size: u64,
+        /// Configured per-entry limit.
+        limit: u64,
+    },
+    /// No entry under the requested key.
+    NotFound {
+        /// The key that missed.
+        key: String,
+    },
+    /// Every replica holding the data is down.
+    NoReplicaAvailable,
+    /// A node id outside the replica group was addressed.
+    UnknownNode {
+        /// The offending index.
+        node: usize,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::EntryTooLarge { size, limit } => {
+                write!(f, "entry of {size} bytes exceeds db limit of {limit} bytes")
+            }
+            KvError::NotFound { key } => write!(f, "key not found: {key}"),
+            KvError::NoReplicaAvailable => write!(f, "no replica available"),
+            KvError::UnknownNode { node } => write!(f, "unknown node index {node}"),
+        }
+    }
+}
+
+impl Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KvError::EntryTooLarge {
+            size: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+        assert!(KvError::NotFound { key: "k1".into() }.to_string().contains("k1"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # canary-kvstore
+//!
+//! The in-memory state store Canary depends on — our substitute for
+//! Apache Ignite as deployed in the paper (§V-C.1: replicated caching
+//! mode, native persistence enabled). Provides:
+//!
+//! - [`KvStore`]: a sharded concurrent `String -> Bytes` map with a
+//!   per-entry size limit (Algorithm 1's `db_limit`),
+//! - [`ReplicatedKv`]: full-copy replication across cluster members with
+//!   crash / resynchronize semantics,
+//! - [`AsyncFlusher`] + [`PersistentLog`]: asynchronous flushing of
+//!   checkpoints to shared storage (§IV-C.4b),
+//! - [`CheckpointWindow`]: the latest-*n* checkpoint ring with dynamic
+//!   window adjustment (initially 3).
+//!
+//! Everything here is a real concurrent data structure exercised by real
+//! threads; the simulation layer separately *times* these operations with
+//! the storage-tier model in `canary-cluster`.
+
+pub mod error;
+pub mod persistence;
+pub mod replicated;
+pub mod store;
+pub mod window;
+
+pub use error::KvError;
+pub use persistence::{AsyncFlusher, LogRecord, PersistentLog};
+pub use replicated::ReplicatedKv;
+pub use store::{KvStore, StoreConfig};
+pub use window::{CheckpointMeta, CheckpointWindow, DEFAULT_WINDOW};

@@ -1,0 +1,255 @@
+//! Replicated caching mode.
+//!
+//! §V-C.1: "We deploy Apache Ignite to store data in the highly scalable
+//! distributed cluster using replicated caching mode which ensures that
+//! the data is available in the entire cluster." Every member node holds a
+//! full copy; writes go to all live members, reads are served by any live
+//! member, and a crashed member can rejoin and resynchronize from a
+//! survivor — which is what lets Canary recover functions after
+//! node-level failures (Fig. 11).
+
+use crate::error::KvError;
+use crate::store::{KvStore, StoreConfig};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A KV store replicated across cluster members.
+#[derive(Debug)]
+pub struct ReplicatedKv {
+    members: Vec<Arc<KvStore>>,
+    alive: Vec<AtomicBool>,
+}
+
+impl ReplicatedKv {
+    /// Create a replica group of `members` full copies.
+    pub fn new(members: usize, config: StoreConfig) -> Self {
+        assert!(members > 0, "replica group needs a member");
+        ReplicatedKv {
+            members: (0..members)
+                .map(|_| Arc::new(KvStore::new(config.clone())))
+                .collect(),
+            alive: (0..members).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+
+    /// Number of members (live or not).
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of live members.
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|a| a.load(Ordering::Acquire)).count()
+    }
+
+    /// True when member `node` is live.
+    pub fn is_live(&self, node: usize) -> Result<bool, KvError> {
+        self.alive
+            .get(node)
+            .map(|a| a.load(Ordering::Acquire))
+            .ok_or(KvError::UnknownNode { node })
+    }
+
+    fn first_live(&self) -> Option<usize> {
+        self.alive
+            .iter()
+            .position(|a| a.load(Ordering::Acquire))
+    }
+
+    /// Write to every live member. Fails if the value exceeds the entry
+    /// limit or the whole group is down.
+    pub fn put(&self, key: &str, value: Bytes) -> Result<(), KvError> {
+        let mut wrote = false;
+        for (store, alive) in self.members.iter().zip(&self.alive) {
+            if alive.load(Ordering::Acquire) {
+                store.put(key, value.clone())?;
+                wrote = true;
+            }
+        }
+        if wrote {
+            Ok(())
+        } else {
+            Err(KvError::NoReplicaAvailable)
+        }
+    }
+
+    /// Read from the first live member.
+    pub fn get(&self, key: &str) -> Result<Bytes, KvError> {
+        let node = self.first_live().ok_or(KvError::NoReplicaAvailable)?;
+        self.members[node].get(key)
+    }
+
+    /// Remove from every live member.
+    pub fn remove(&self, key: &str) -> Result<(), KvError> {
+        if self.first_live().is_none() {
+            return Err(KvError::NoReplicaAvailable);
+        }
+        for (store, alive) in self.members.iter().zip(&self.alive) {
+            if alive.load(Ordering::Acquire) {
+                store.remove(key);
+            }
+        }
+        Ok(())
+    }
+
+    /// True when any live member holds `key`.
+    pub fn contains(&self, key: &str) -> bool {
+        self.first_live()
+            .map(|n| self.members[n].contains(key))
+            .unwrap_or(false)
+    }
+
+    /// Keys with prefix, from the first live member.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.first_live()
+            .map(|n| self.members[n].keys_with_prefix(prefix))
+            .unwrap_or_default()
+    }
+
+    /// Entry count, from the first live member (0 when all are down).
+    pub fn len(&self) -> usize {
+        self.first_live().map(|n| self.members[n].len()).unwrap_or(0)
+    }
+
+    /// True when no live member holds data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Crash member `node`: its copy is wiped (memory is gone) and it
+    /// stops serving until [`ReplicatedKv::recover_node`].
+    pub fn fail_node(&self, node: usize) -> Result<(), KvError> {
+        let flag = self.alive.get(node).ok_or(KvError::UnknownNode { node })?;
+        flag.store(false, Ordering::Release);
+        self.members[node].clear();
+        Ok(())
+    }
+
+    /// Rejoin member `node`, resynchronizing its copy from the first live
+    /// survivor. Fails when the whole group is down (data loss — which is
+    /// why checkpoints are also flushed to shared storage).
+    pub fn recover_node(&self, node: usize) -> Result<(), KvError> {
+        if node >= self.members.len() {
+            return Err(KvError::UnknownNode { node });
+        }
+        let donor = self.first_live().ok_or(KvError::NoReplicaAvailable)?;
+        if donor != node {
+            for (k, v) in self.members[donor].snapshot() {
+                self.members[node].put(&k, v)?;
+            }
+        }
+        self.alive[node].store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Verify all live members hold identical contents (test/debug aid).
+    pub fn replicas_consistent(&self) -> bool {
+        let mut snapshots = self
+            .members
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, a)| a.load(Ordering::Acquire))
+            .map(|(s, _)| s.snapshot());
+        match snapshots.next() {
+            None => true,
+            Some(first) => snapshots.all(|s| s == first),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: usize) -> ReplicatedKv {
+        ReplicatedKv::new(n, StoreConfig::default())
+    }
+
+    #[test]
+    fn writes_reach_all_members() {
+        let g = group(3);
+        g.put("k", Bytes::from_static(b"v")).unwrap();
+        assert!(g.replicas_consistent());
+        assert_eq!(g.get("k").unwrap(), Bytes::from_static(b"v"));
+    }
+
+    #[test]
+    fn survives_member_failure() {
+        let g = group(3);
+        g.put("k", Bytes::from_static(b"v")).unwrap();
+        g.fail_node(0).unwrap();
+        assert_eq!(g.live_count(), 2);
+        assert_eq!(g.get("k").unwrap(), Bytes::from_static(b"v"));
+        // Writes while degraded reach the survivors.
+        g.put("k2", Bytes::from_static(b"w")).unwrap();
+        assert!(g.replicas_consistent());
+    }
+
+    #[test]
+    fn recovery_resynchronizes() {
+        let g = group(3);
+        g.put("a", Bytes::from_static(b"1")).unwrap();
+        g.fail_node(1).unwrap();
+        g.put("b", Bytes::from_static(b"2")).unwrap();
+        g.recover_node(1).unwrap();
+        assert_eq!(g.live_count(), 3);
+        assert!(g.replicas_consistent());
+        assert_eq!(g.members[1].len(), 2);
+    }
+
+    #[test]
+    fn total_outage_is_detected() {
+        let g = group(2);
+        g.put("k", Bytes::from_static(b"v")).unwrap();
+        g.fail_node(0).unwrap();
+        g.fail_node(1).unwrap();
+        assert_eq!(g.get("k"), Err(KvError::NoReplicaAvailable));
+        assert_eq!(
+            g.put("k", Bytes::from_static(b"v")),
+            Err(KvError::NoReplicaAvailable)
+        );
+        // Recovery is impossible without a donor.
+        assert_eq!(g.recover_node(0), Err(KvError::NoReplicaAvailable));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let g = group(2);
+        assert_eq!(g.fail_node(9), Err(KvError::UnknownNode { node: 9 }));
+        assert_eq!(g.recover_node(9), Err(KvError::UnknownNode { node: 9 }));
+        assert!(g.is_live(9).is_err());
+    }
+
+    #[test]
+    fn remove_propagates() {
+        let g = group(3);
+        g.put("k", Bytes::from_static(b"v")).unwrap();
+        g.remove("k").unwrap();
+        assert!(!g.contains("k"));
+        assert!(g.replicas_consistent());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn degraded_then_recovered_consistency_under_concurrency() {
+        use std::sync::Arc;
+        let g = Arc::new(group(3));
+        let writer = {
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                for i in 0..200 {
+                    g.put(&format!("k{i}"), Bytes::from(vec![i as u8])).unwrap();
+                }
+            })
+        };
+        writer.join().unwrap();
+        g.fail_node(2).unwrap();
+        for i in 200..300 {
+            g.put(&format!("k{i}"), Bytes::from(vec![i as u8])).unwrap();
+        }
+        g.recover_node(2).unwrap();
+        assert!(g.replicas_consistent());
+        assert_eq!(g.len(), 300);
+    }
+}

@@ -1,0 +1,262 @@
+//! Sharded concurrent key-value store.
+//!
+//! The single-node building block of the replicated store: a hash-sharded
+//! map from string keys to byte values with a per-entry size limit,
+//! mirroring how Canary uses Apache Ignite — application states keyed by
+//! function ID, values capped by the database entry limit (Algorithm 1's
+//! `db_limit`).
+
+use crate::error::KvError;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of lock shards (power of two recommended).
+    pub shards: usize,
+    /// Per-entry value size limit in bytes; `u64::MAX` disables the check.
+    pub entry_limit: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 16,
+            entry_limit: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// A sharded `String -> Bytes` map safe for concurrent use.
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<RwLock<HashMap<String, Bytes>>>,
+    config: StoreConfig,
+}
+
+impl KvStore {
+    /// Create a store with the given configuration.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        let shards = (0..config.shards)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect();
+        KvStore { shards, config }
+    }
+
+    /// Store with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(StoreConfig::default())
+    }
+
+    /// The configured per-entry limit.
+    pub fn entry_limit(&self) -> u64 {
+        self.config.entry_limit
+    }
+
+    fn shard_for(&self, key: &str) -> &RwLock<HashMap<String, Bytes>> {
+        // FNV-1a keeps shard choice deterministic across runs/platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Insert or replace `key`. Fails with [`KvError::EntryTooLarge`] if
+    /// the value exceeds the entry limit (the caller then spills the data
+    /// to a storage tier and stores a location record instead).
+    pub fn put(&self, key: &str, value: Bytes) -> Result<(), KvError> {
+        if value.len() as u64 > self.config.entry_limit {
+            return Err(KvError::EntryTooLarge {
+                size: value.len() as u64,
+                limit: self.config.entry_limit,
+            });
+        }
+        self.shard_for(key).write().insert(key.to_string(), value);
+        Ok(())
+    }
+
+    /// Fetch the value under `key`.
+    pub fn get(&self, key: &str) -> Result<Bytes, KvError> {
+        self.shard_for(key)
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| KvError::NotFound {
+                key: key.to_string(),
+            })
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&self, key: &str) -> Option<Bytes> {
+        self.shard_for(key).write().remove(key)
+    }
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.shard_for(key).read().contains_key(key)
+    }
+
+    /// Number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Total stored value bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|v| v.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Snapshot of all keys with the given prefix (e.g. all checkpoints of
+    /// one function).
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Snapshot of every entry (used to rebuild a recovered replica).
+    pub fn snapshot(&self) -> Vec<(String, Bytes)> {
+        let mut out: Vec<(String, Bytes)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Remove every entry.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_remove() {
+        let store = KvStore::with_defaults();
+        store.put("a", Bytes::from_static(b"1")).unwrap();
+        assert_eq!(store.get("a").unwrap(), Bytes::from_static(b"1"));
+        assert!(store.contains("a"));
+        assert_eq!(store.remove("a").unwrap(), Bytes::from_static(b"1"));
+        assert!(matches!(store.get("a"), Err(KvError::NotFound { .. })));
+    }
+
+    #[test]
+    fn entry_limit_enforced() {
+        let store = KvStore::new(StoreConfig {
+            shards: 4,
+            entry_limit: 8,
+        });
+        assert!(store.put("ok", Bytes::from(vec![0u8; 8])).is_ok());
+        let err = store.put("big", Bytes::from(vec![0u8; 9])).unwrap_err();
+        assert_eq!(
+            err,
+            KvError::EntryTooLarge {
+                size: 9,
+                limit: 8
+            }
+        );
+        assert!(!store.contains("big"));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let store = KvStore::with_defaults();
+        store.put("k", Bytes::from_static(b"v1")).unwrap();
+        store.put("k", Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"v2"));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn prefix_scan_sorted() {
+        let store = KvStore::with_defaults();
+        for k in ["fn1/ckpt/2", "fn1/ckpt/1", "fn2/ckpt/1", "fn1/state"] {
+            store.put(k, Bytes::new()).unwrap();
+        }
+        assert_eq!(
+            store.keys_with_prefix("fn1/ckpt/"),
+            vec!["fn1/ckpt/1".to_string(), "fn1/ckpt/2".to_string()]
+        );
+    }
+
+    #[test]
+    fn accounting() {
+        let store = KvStore::with_defaults();
+        assert!(store.is_empty());
+        store.put("a", Bytes::from(vec![0u8; 10])).unwrap();
+        store.put("b", Bytes::from(vec![0u8; 20])).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_bytes(), 30);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.total_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let store = Arc::new(KvStore::with_defaults());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let key = format!("t{t}/k{i}");
+                        store.put(&key, Bytes::from(vec![t as u8; 64])).unwrap();
+                        assert_eq!(store.get(&key).unwrap().len(), 64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.len(), 8 * 500);
+    }
+
+    #[test]
+    fn snapshot_is_complete_and_sorted() {
+        let store = KvStore::with_defaults();
+        for i in (0..50).rev() {
+            store.put(&format!("k{i:02}"), Bytes::from(vec![i as u8])).unwrap();
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 50);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

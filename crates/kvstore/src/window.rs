@@ -1,0 +1,251 @@
+//! Latest-*n* checkpoint windows.
+//!
+//! §IV-C.4b: "Canary records a series of state checkpoints throughout the
+//! function execution and stores the latest n checkpoints in an in-memory
+//! data store. The initial value of n is set to 3, which is dynamically
+//! adjusted throughout the execution based on the application data to be
+//! checkpointed and the frequency of states produced." Algorithm 1 lines
+//! 14–16 evict the oldest checkpoint from the database once the count
+//! exceeds the threshold.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// The paper's initial window size.
+pub const DEFAULT_WINDOW: usize = 3;
+
+/// Metadata describing one retained checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointMeta {
+    /// Owning function.
+    pub fn_id: u64,
+    /// Monotonic checkpoint id within the function.
+    pub ckpt_id: u64,
+    /// Index of the state the checkpoint captures.
+    pub state_index: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Storage key where the payload lives (KV key or spilled location).
+    pub location: String,
+}
+
+/// Per-function ring of the latest `n` checkpoints with dynamic resizing.
+#[derive(Debug)]
+pub struct CheckpointWindow {
+    inner: Mutex<WindowInner>,
+}
+
+#[derive(Debug)]
+struct WindowInner {
+    window: usize,
+    per_fn: HashMap<u64, VecDeque<CheckpointMeta>>,
+    evictions: u64,
+}
+
+impl Default for CheckpointWindow {
+    fn default() -> Self {
+        Self::new(DEFAULT_WINDOW)
+    }
+}
+
+impl CheckpointWindow {
+    /// Window retaining the latest `n` checkpoints per function.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "window must retain at least one checkpoint");
+        CheckpointWindow {
+            inner: Mutex::new(WindowInner {
+                window: n,
+                per_fn: HashMap::new(),
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Current window size.
+    pub fn window(&self) -> usize {
+        self.inner.lock().window
+    }
+
+    /// Dynamically adjust the window (paper: based on checkpoint data size
+    /// and state frequency). Shrinking evicts oldest entries immediately.
+    /// Returns the evicted metadata so callers can delete the payloads.
+    pub fn set_window(&self, n: usize) -> Vec<CheckpointMeta> {
+        assert!(n > 0, "window must retain at least one checkpoint");
+        let mut inner = self.inner.lock();
+        inner.window = n;
+        let mut evicted = Vec::new();
+        for ring in inner.per_fn.values_mut() {
+            while ring.len() > n {
+                if let Some(old) = ring.pop_front() {
+                    evicted.push(old);
+                }
+            }
+        }
+        inner.evictions += evicted.len() as u64;
+        evicted
+    }
+
+    /// Record a new checkpoint for `fn_id`; returns the evicted oldest
+    /// checkpoint when the window overflows (the caller deletes its
+    /// payload from the database, Algorithm 1 line 15).
+    pub fn push(&self, fn_id: u64, meta: CheckpointMeta) -> Option<CheckpointMeta> {
+        let mut inner = self.inner.lock();
+        let window = inner.window;
+        let ring = inner.per_fn.entry(fn_id).or_default();
+        debug_assert!(
+            ring.back().map(|m| m.ckpt_id < meta.ckpt_id).unwrap_or(true),
+            "checkpoint ids must be monotonic per function"
+        );
+        ring.push_back(meta);
+        let evicted = if ring.len() > window {
+            ring.pop_front()
+        } else {
+            None
+        };
+        if evicted.is_some() {
+            inner.evictions += 1;
+        }
+        evicted
+    }
+
+    /// Latest checkpoint for `fn_id` (the restore target).
+    pub fn latest(&self, fn_id: u64) -> Option<CheckpointMeta> {
+        self.inner
+            .lock()
+            .per_fn
+            .get(&fn_id)
+            .and_then(|r| r.back().cloned())
+    }
+
+    /// All retained checkpoints for `fn_id`, oldest first.
+    pub fn all(&self, fn_id: u64) -> Vec<CheckpointMeta> {
+        self.inner
+            .lock()
+            .per_fn
+            .get(&fn_id)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Retained count for `fn_id`.
+    pub fn count(&self, fn_id: u64) -> usize {
+        self.inner
+            .lock()
+            .per_fn
+            .get(&fn_id)
+            .map(VecDeque::len)
+            .unwrap_or(0)
+    }
+
+    /// Forget a completed function's checkpoints entirely, returning them
+    /// for payload cleanup.
+    pub fn forget(&self, fn_id: u64) -> Vec<CheckpointMeta> {
+        self.inner
+            .lock()
+            .per_fn
+            .remove(&fn_id)
+            .map(|r| r.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Lifetime eviction count (exposed for the dynamic-adjustment
+    /// heuristic and tests).
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64) -> CheckpointMeta {
+        CheckpointMeta {
+            fn_id: 1,
+            ckpt_id: id,
+            state_index: id,
+            bytes: 100,
+            location: format!("fn/ckpt/{id}"),
+        }
+    }
+
+    #[test]
+    fn retains_latest_n() {
+        let w = CheckpointWindow::new(3);
+        for i in 0..5 {
+            let evicted = w.push(1, meta(i));
+            if i < 3 {
+                assert!(evicted.is_none());
+            } else {
+                assert_eq!(evicted.unwrap().ckpt_id, i - 3);
+            }
+        }
+        assert_eq!(w.count(1), 3);
+        assert_eq!(w.latest(1).unwrap().ckpt_id, 4);
+        assert_eq!(
+            w.all(1).iter().map(|m| m.ckpt_id).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(w.evictions(), 2);
+    }
+
+    #[test]
+    fn default_window_is_three() {
+        let w = CheckpointWindow::default();
+        assert_eq!(w.window(), DEFAULT_WINDOW);
+    }
+
+    #[test]
+    fn functions_are_independent() {
+        let w = CheckpointWindow::new(2);
+        w.push(1, meta(0));
+        w.push(2, meta(0));
+        w.push(1, meta(1));
+        assert_eq!(w.count(1), 2);
+        assert_eq!(w.count(2), 1);
+        assert_eq!(w.count(3), 0);
+        assert!(w.latest(3).is_none());
+    }
+
+    #[test]
+    fn shrink_evicts_immediately() {
+        let w = CheckpointWindow::new(4);
+        for i in 0..4 {
+            w.push(1, meta(i));
+        }
+        let evicted = w.set_window(2);
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(w.count(1), 2);
+        assert_eq!(w.latest(1).unwrap().ckpt_id, 3);
+    }
+
+    #[test]
+    fn grow_keeps_existing() {
+        let w = CheckpointWindow::new(2);
+        for i in 0..2 {
+            w.push(1, meta(i));
+        }
+        assert!(w.set_window(5).is_empty());
+        w.push(1, meta(2));
+        assert_eq!(w.count(1), 3);
+    }
+
+    #[test]
+    fn forget_clears_function() {
+        let w = CheckpointWindow::new(3);
+        for i in 0..3 {
+            w.push(7, meta(i));
+        }
+        let dropped = w.forget(7);
+        assert_eq!(dropped.len(), 3);
+        assert_eq!(w.count(7), 0);
+        assert!(w.forget(7).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        CheckpointWindow::new(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the KV-store substrate.
+
+use bytes::Bytes;
+use canary_kvstore::{CheckpointMeta, CheckpointWindow, KvStore, ReplicatedKv, StoreConfig};
+use proptest::prelude::*;
+
+/// An operation against the replicated store.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8),
+    Remove(u8),
+    FailNode(u8),
+    RecoverNode(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Remove),
+        (0u8..3).prop_map(Op::FailNode),
+        (0u8..3).prop_map(Op::RecoverNode),
+    ]
+}
+
+proptest! {
+    /// The sharded store agrees with a reference HashMap under arbitrary
+    /// put/remove interleavings.
+    #[test]
+    fn store_matches_reference(ops in proptest::collection::vec((any::<u8>(), any::<bool>(), any::<u8>()), 0..200)) {
+        let store = KvStore::new(StoreConfig { shards: 4, entry_limit: u64::MAX });
+        let mut reference = std::collections::HashMap::new();
+        for (key, is_put, val) in ops {
+            let k = format!("k{key}");
+            if is_put {
+                store.put(&k, Bytes::from(vec![val])).unwrap();
+                reference.insert(k, val);
+            } else {
+                store.remove(&k);
+                reference.remove(&k);
+            }
+        }
+        prop_assert_eq!(store.len(), reference.len());
+        for (k, v) in &reference {
+            prop_assert_eq!(store.get(k).unwrap(), Bytes::from(vec![*v]));
+        }
+    }
+
+    /// Live members of a replica group always hold identical contents,
+    /// under arbitrary puts/removes/crashes/recoveries — as long as at
+    /// least one member survived each step.
+    #[test]
+    fn replicas_always_consistent(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let kv = ReplicatedKv::new(3, StoreConfig::default());
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let _ = kv.put(&format!("k{k}"), Bytes::from(vec![v]));
+                }
+                Op::Remove(k) => {
+                    let _ = kv.remove(&format!("k{k}"));
+                }
+                Op::FailNode(n) => {
+                    // Keep at least one member alive so data never fully
+                    // vanishes (total loss is covered by unit tests).
+                    if kv.live_count() > 1 {
+                        let _ = kv.fail_node(n as usize);
+                    }
+                }
+                Op::RecoverNode(n) => {
+                    let _ = kv.recover_node(n as usize);
+                }
+            }
+            prop_assert!(kv.replicas_consistent());
+        }
+    }
+
+    /// The checkpoint window never retains more than `n` checkpoints per
+    /// function, and always retains the latest.
+    #[test]
+    fn window_bounds_hold(
+        n in 1usize..6,
+        pushes in proptest::collection::vec(0u64..8, 1..80),
+    ) {
+        let w = CheckpointWindow::new(n);
+        let mut counters = std::collections::HashMap::new();
+        for fn_id in pushes {
+            let next = counters.entry(fn_id).or_insert(0u64);
+            let meta = CheckpointMeta {
+                fn_id,
+                ckpt_id: *next,
+                state_index: *next,
+                bytes: 1,
+                location: format!("{fn_id}/{next}"),
+            };
+            *next += 1;
+            w.push(fn_id, meta);
+            prop_assert!(w.count(fn_id) <= n);
+            prop_assert_eq!(w.latest(fn_id).unwrap().ckpt_id, *next - 1);
+            // Retained ids are contiguous and end at the latest.
+            let all = w.all(fn_id);
+            for (i, m) in all.iter().enumerate() {
+                prop_assert_eq!(m.ckpt_id, *next - all.len() as u64 + i as u64);
+            }
+        }
+    }
+
+    /// Shrinking then growing the window never loses the latest
+    /// checkpoint.
+    #[test]
+    fn resize_preserves_latest(sizes in proptest::collection::vec(1usize..6, 1..20)) {
+        let w = CheckpointWindow::new(3);
+        for i in 0..10u64 {
+            w.push(
+                1,
+                CheckpointMeta {
+                    fn_id: 1,
+                    ckpt_id: i,
+                    state_index: i,
+                    bytes: 1,
+                    location: format!("1/{i}"),
+                },
+            );
+        }
+        for n in sizes {
+            w.set_window(n);
+            prop_assert_eq!(w.latest(1).unwrap().ckpt_id, 9);
+            prop_assert!(w.count(1) <= n.max(1));
+        }
+    }
+}

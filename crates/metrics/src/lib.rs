@@ -1,0 +1,14 @@
+//! # canary-metrics
+//!
+//! Measurement and reporting for the evaluation: the paper's GB·s dollar
+//! pricing ([`PricingModel`], §V-D.4), repeated-run aggregation with the
+//! <5% variance check ([`Repeated`], §V-B), and figure rendering to ASCII
+//! tables / CSV / Markdown ([`report`]).
+
+pub mod cost;
+pub mod report;
+pub mod summary;
+
+pub use cost::PricingModel;
+pub use report::{ascii_table, csv, markdown_table};
+pub use summary::{MetricSummary, Repeated};

@@ -1,0 +1,178 @@
+//! Figure rendering: ASCII tables, CSV, and Markdown for EXPERIMENTS.md.
+
+use canary_sim::SeriesSet;
+use std::fmt::Write as _;
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Shared x values across all series, in first-appearance order.
+fn x_values(set: &SeriesSet) -> Vec<f64> {
+    let mut xs: Vec<f64> = Vec::new();
+    for s in &set.series {
+        for p in &s.points {
+            if !xs.contains(&p.x) {
+                xs.push(p.x);
+            }
+        }
+    }
+    xs
+}
+
+/// Render a figure as a boxed ASCII table (one row per x, one column per
+/// series).
+pub fn ascii_table(set: &SeriesSet) -> String {
+    let xs = x_values(set);
+    let mut headers = vec![set.x_label.clone()];
+    headers.extend(set.series.iter().map(|s| s.label.clone()));
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(xs.len());
+    for &x in &xs {
+        let mut row = vec![fmt_value(x)];
+        for s in &set.series {
+            row.push(s.y_at(x).map(fmt_value).unwrap_or_else(|| "-".into()));
+        }
+        rows.push(row);
+    }
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r[i].len())
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} ({})", set.title, set.y_label);
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+";
+    let _ = writeln!(out, "{sep}");
+    let hdr: String = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("| {h:>w$} "))
+        .collect::<String>()
+        + "|";
+    let _ = writeln!(out, "{hdr}");
+    let _ = writeln!(out, "{sep}");
+    for row in &rows {
+        let line: String = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("| {c:>w$} "))
+            .collect::<String>()
+            + "|";
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{sep}");
+    out
+}
+
+/// Render a figure as CSV (`x,series1,series2,...` with a header row).
+pub fn csv(set: &SeriesSet) -> String {
+    let xs = x_values(set);
+    let mut out = String::new();
+    let mut header = vec![set.x_label.replace(',', ";")];
+    header.extend(set.series.iter().map(|s| s.label.replace(',', ";")));
+    let _ = writeln!(out, "{}", header.join(","));
+    for &x in &xs {
+        let mut row = vec![format!("{x}")];
+        for s in &set.series {
+            row.push(
+                s.y_at(x)
+                    .map(|y| format!("{y}"))
+                    .unwrap_or_default(),
+            );
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Render a figure as a Markdown table (for EXPERIMENTS.md).
+pub fn markdown_table(set: &SeriesSet) -> String {
+    let xs = x_values(set);
+    let mut out = String::new();
+    let mut header = vec![set.x_label.clone()];
+    header.extend(set.series.iter().map(|s| s.label.clone()));
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---:").collect::<Vec<_>>().join("|")
+    );
+    for &x in &xs {
+        let mut row = vec![fmt_value(x)];
+        for s in &set.series {
+            row.push(s.y_at(x).map(fmt_value).unwrap_or_else(|| "-".into()));
+        }
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canary_sim::SeriesSet;
+
+    fn sample() -> SeriesSet {
+        let mut set = SeriesSet::new("Fig X", "error rate (%)", "recovery (s)");
+        let a = set.series_mut("Retry");
+        a.push(1.0, 120.0);
+        a.push(5.0, 480.5);
+        let b = set.series_mut("Canary");
+        b.push(1.0, 10.0);
+        b.push(5.0, 22.25);
+        set
+    }
+
+    #[test]
+    fn ascii_contains_all_cells() {
+        let t = ascii_table(&sample());
+        for needle in ["Fig X", "Retry", "Canary", "120", "480.5", "22.2", "error rate"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn csv_is_machine_readable() {
+        let c = csv(&sample());
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "error rate (%),Retry,Canary");
+        assert_eq!(lines.next().unwrap(), "1,120,10");
+        assert_eq!(lines.next().unwrap(), "5,480.5,22.25");
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let m = markdown_table(&sample());
+        assert!(m.contains("|---:|---:|---:|"));
+        assert!(m.starts_with("| error rate (%) | Retry | Canary |"));
+    }
+
+    #[test]
+    fn missing_points_render_as_dash() {
+        let mut set = sample();
+        set.series_mut("Sparse").push(1.0, 7.0); // no point at x=5
+        let t = ascii_table(&set);
+        assert!(t.contains('-'));
+        let m = markdown_table(&set);
+        assert!(m.contains(" - "));
+    }
+}

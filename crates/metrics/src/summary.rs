@@ -1,0 +1,174 @@
+//! Repeated-run aggregation.
+//!
+//! §V-B: "We run each experiment 10 times and report the average ...
+//! Overall, we observe a negligible variance, i.e., less than 5% between
+//! different executions of the same experiment." [`Repeated`] aggregates
+//! the metrics of interest across repetitions (each with a distinct seed)
+//! and exposes the coefficient of variation so experiments can assert the
+//! same property.
+
+use crate::cost::PricingModel;
+use canary_platform::RunResult;
+use canary_sim::Welford;
+
+/// Summary of one metric across repetitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Mean across repetitions.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (std/mean; 0 for a zero mean).
+    pub cv: f64,
+}
+
+impl MetricSummary {
+    fn from_welford(w: &Welford) -> Self {
+        MetricSummary {
+            mean: w.mean(),
+            std_dev: w.std_dev(),
+            cv: w.cv(),
+        }
+    }
+}
+
+/// Aggregated repetitions of one experiment point.
+#[derive(Debug, Clone)]
+pub struct Repeated {
+    strategy: String,
+    makespan: Welford,
+    total_recovery: Welford,
+    mean_recovery: Welford,
+    cost: Welford,
+    failures: Welford,
+}
+
+impl Repeated {
+    /// Aggregate a set of runs (all of the same strategy/configuration,
+    /// different seeds) under the given pricing.
+    pub fn from_runs(runs: &[RunResult], pricing: PricingModel) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        let mut agg = Repeated {
+            strategy: runs[0].strategy.clone(),
+            makespan: Welford::new(),
+            total_recovery: Welford::new(),
+            mean_recovery: Welford::new(),
+            cost: Welford::new(),
+            failures: Welford::new(),
+        };
+        for r in runs {
+            assert_eq!(r.strategy, agg.strategy, "mixed strategies in one summary");
+            agg.makespan.push(r.makespan().as_secs_f64());
+            agg.total_recovery.push(r.total_recovery().as_secs_f64());
+            agg.mean_recovery
+                .push(r.mean_recovery_per_failure().as_secs_f64());
+            agg.cost.push(pricing.cost(r));
+            agg.failures.push(r.counters.function_failures as f64);
+        }
+        agg
+    }
+
+    /// Strategy label.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// Repetition count.
+    pub fn repetitions(&self) -> u64 {
+        self.makespan.count()
+    }
+
+    /// Makespan (seconds).
+    pub fn makespan(&self) -> MetricSummary {
+        MetricSummary::from_welford(&self.makespan)
+    }
+
+    /// Total recovery time (seconds).
+    pub fn total_recovery(&self) -> MetricSummary {
+        MetricSummary::from_welford(&self.total_recovery)
+    }
+
+    /// Mean recovery per failure (seconds).
+    pub fn mean_recovery(&self) -> MetricSummary {
+        MetricSummary::from_welford(&self.mean_recovery)
+    }
+
+    /// Dollar cost.
+    pub fn cost(&self) -> MetricSummary {
+        MetricSummary::from_welford(&self.cost)
+    }
+
+    /// Injected failures per run.
+    pub fn failures(&self) -> MetricSummary {
+        MetricSummary::from_welford(&self.failures)
+    }
+
+    /// Largest coefficient of variation across the headline metrics —
+    /// the paper's "<5% variance" check.
+    pub fn worst_cv(&self) -> f64 {
+        [self.makespan().cv, self.cost().cv]
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canary_baselines::RetryStrategy;
+    use canary_cluster::{Cluster, FailureModel};
+    use canary_platform::{run, JobSpec, RunConfig};
+    use canary_workloads::WorkloadSpec;
+
+    fn runs(n: u64) -> Vec<RunResult> {
+        (0..n)
+            .map(|seed| {
+                let cfg = RunConfig::new(
+                    Cluster::chameleon_16(),
+                    FailureModel::with_error_rate(0.15),
+                    seed * 101 + 7,
+                );
+                run(
+                    cfg,
+                    vec![JobSpec::new(WorkloadSpec::web_service(20), 50)],
+                    &mut RetryStrategy::new(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregates_ten_repetitions() {
+        let rs = runs(10);
+        let rep = Repeated::from_runs(&rs, PricingModel::IBM_CLOUD);
+        assert_eq!(rep.repetitions(), 10);
+        assert!(rep.makespan().mean > 0.0);
+        assert!(rep.cost().mean > 0.0);
+        assert!(rep.failures().mean > 0.0);
+    }
+
+    #[test]
+    fn variance_is_bounded() {
+        // Retry's makespan is tail-sensitive (one late failure redoes a
+        // whole function), so its CV across seeds is the loosest of all
+        // strategies; it must still be bounded. The paper-style <5% check
+        // is asserted on the Canary experiment points in the experiments
+        // crate, where recovery work is small.
+        let rs = runs(10);
+        let rep = Repeated::from_runs(&rs, PricingModel::IBM_CLOUD);
+        assert!(
+            rep.worst_cv() < 0.25,
+            "run-to-run variation {:.1}% is too large",
+            rep.worst_cv() * 100.0
+        );
+        // Cost pools over all functions, so it concentrates much faster
+        // than the makespan tail.
+        assert!(rep.cost().cv < 0.10, "cost cv {:.3}", rep.cost().cv);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_runs_rejected() {
+        Repeated::from_runs(&[], PricingModel::IBM_CLOUD);
+    }
+}

@@ -1,0 +1,244 @@
+//! Run outcomes and cost-relevant accounting.
+
+use crate::ids::{FnId, JobId};
+use crate::trace::Trace;
+use canary_container::ContainerPurpose;
+use canary_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Billing record for one container: the GB·s cost model in §V-D.4 prices
+/// each container's lifetime × memory allocation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ContainerUsage {
+    /// Why the container existed (function / replica / standby).
+    pub purpose: ContainerPurpose,
+    /// Memory allocated, MB.
+    pub memory_mb: u64,
+    /// Creation time.
+    pub created: SimTime,
+    /// Termination time (run end for containers still alive then).
+    pub terminated: SimTime,
+}
+
+impl ContainerUsage {
+    /// Billed container-seconds.
+    pub fn seconds(&self) -> f64 {
+        self.terminated.saturating_since(self.created).as_secs_f64()
+    }
+
+    /// Billed GB·seconds.
+    pub fn gb_seconds(&self) -> f64 {
+        self.seconds() * self.memory_mb as f64 / 1024.0
+    }
+}
+
+/// Per-function outcome.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FnOutcome {
+    /// Function id.
+    pub id: FnId,
+    /// Owning job.
+    pub job: JobId,
+    /// When the launch was first requested.
+    pub first_launch: SimTime,
+    /// When it completed.
+    pub completed_at: SimTime,
+    /// Failures suffered.
+    pub failures: u32,
+    /// Total recovery time (Σ kill → progress-regained).
+    pub recovery: SimDuration,
+    /// Attempts executed.
+    pub attempts: u32,
+}
+
+/// Per-job outcome.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: JobId,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Completion of the last function.
+    pub completed_at: SimTime,
+}
+
+impl JobOutcome {
+    /// Job makespan.
+    pub fn makespan(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.submitted_at)
+    }
+}
+
+/// Miscellaneous run counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunCounters {
+    /// Function-level failures injected.
+    pub function_failures: u64,
+    /// Node crashes that occurred.
+    pub node_failures: u64,
+    /// Containers created over the run.
+    pub containers_created: u64,
+    /// Recoveries that resumed on a warm container.
+    pub warm_recoveries: u64,
+    /// Recoveries that had to cold-start.
+    pub cold_recoveries: u64,
+    /// Placement retries due to a full cluster.
+    pub placement_retries: u64,
+    /// Checkpoint bytes written (strategy-reported).
+    pub checkpoint_bytes: u64,
+    /// Checkpoints written (strategy-reported).
+    pub checkpoints_written: u64,
+    /// Restores performed (strategy-reported).
+    pub restores: u64,
+}
+
+/// The complete result of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Strategy label.
+    pub strategy: String,
+    /// Per-function outcomes, in `FnId` order.
+    pub fns: Vec<FnOutcome>,
+    /// Per-job outcomes, in `JobId` order.
+    pub jobs: Vec<JobOutcome>,
+    /// All container usage records.
+    pub containers: Vec<ContainerUsage>,
+    /// Counters.
+    pub counters: RunCounters,
+    /// Virtual time at which the run drained.
+    pub finished_at: SimTime,
+    /// Execution trace (empty unless `RunConfig::trace` was set).
+    pub trace: Trace,
+}
+
+impl RunResult {
+    /// Makespan across all jobs (first submit to last completion).
+    pub fn makespan(&self) -> SimDuration {
+        let start = self
+            .jobs
+            .iter()
+            .map(|j| j.submitted_at)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let end = self
+            .jobs
+            .iter()
+            .map(|j| j.completed_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        end.saturating_since(start)
+    }
+
+    /// Total recovery time across all functions.
+    pub fn total_recovery(&self) -> SimDuration {
+        self.fns.iter().map(|f| f.recovery).sum()
+    }
+
+    /// Mean recovery time per *failed* function (0 when nothing failed).
+    pub fn mean_recovery_per_failure(&self) -> SimDuration {
+        let failures: u32 = self.fns.iter().map(|f| f.failures).sum();
+        if failures == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(self.total_recovery().as_secs_f64() / failures as f64)
+    }
+
+    /// Total billed GB·seconds over all containers.
+    pub fn gb_seconds(&self) -> f64 {
+        self.containers.iter().map(ContainerUsage::gb_seconds).sum()
+    }
+
+    /// GB·seconds split by container purpose.
+    pub fn gb_seconds_for(&self, purpose: ContainerPurpose) -> f64 {
+        self.containers
+            .iter()
+            .filter(|c| c.purpose == purpose)
+            .map(ContainerUsage::gb_seconds)
+            .sum()
+    }
+
+    /// Number of functions that completed.
+    pub fn completed_count(&self) -> usize {
+        self.fns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_math() {
+        let u = ContainerUsage {
+            purpose: ContainerPurpose::Function,
+            memory_mb: 2048,
+            created: SimTime::from_micros(0),
+            terminated: SimTime::from_micros(10_000_000),
+        };
+        assert!((u.seconds() - 10.0).abs() < 1e-9);
+        assert!((u.gb_seconds() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_spans_jobs() {
+        let r = RunResult {
+            strategy: "x".into(),
+            fns: vec![],
+            jobs: vec![
+                JobOutcome {
+                    id: JobId(0),
+                    submitted_at: SimTime::from_micros(0),
+                    completed_at: SimTime::from_micros(5_000_000),
+                },
+                JobOutcome {
+                    id: JobId(1),
+                    submitted_at: SimTime::from_micros(1_000_000),
+                    completed_at: SimTime::from_micros(9_000_000),
+                },
+            ],
+            containers: vec![],
+            counters: RunCounters::default(),
+            finished_at: SimTime::from_micros(9_000_000),
+            trace: Trace::default(),
+        };
+        assert_eq!(r.makespan(), SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn recovery_aggregates() {
+        let f = |rec_s: u64, fails: u32| FnOutcome {
+            id: FnId(0),
+            job: JobId(0),
+            first_launch: SimTime::ZERO,
+            completed_at: SimTime::ZERO,
+            failures: fails,
+            recovery: SimDuration::from_secs(rec_s),
+            attempts: fails + 1,
+        };
+        let r = RunResult {
+            strategy: "x".into(),
+            fns: vec![f(10, 1), f(0, 0), f(20, 3)],
+            jobs: vec![],
+            containers: vec![],
+            counters: RunCounters::default(),
+            finished_at: SimTime::ZERO,
+            trace: Trace::default(),
+        };
+        assert_eq!(r.total_recovery(), SimDuration::from_secs(30));
+        assert_eq!(r.mean_recovery_per_failure(), SimDuration::from_secs_f64(7.5));
+    }
+
+    #[test]
+    fn mean_recovery_with_no_failures_is_zero() {
+        let r = RunResult {
+            strategy: "x".into(),
+            fns: vec![],
+            jobs: vec![],
+            containers: vec![],
+            counters: RunCounters::default(),
+            finished_at: SimTime::ZERO,
+            trace: Trace::default(),
+        };
+        assert_eq!(r.mean_recovery_per_failure(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,86 @@
+//! Run configuration.
+
+use canary_cluster::{Cluster, FailureModel, NetworkModel, StorageHierarchy};
+use canary_sim::SimDuration;
+
+/// Everything that defines one simulated run besides the jobs and the
+/// strategy.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The cluster to run on.
+    pub cluster: Cluster,
+    /// Interconnect model.
+    pub network: NetworkModel,
+    /// Checkpoint storage hierarchy.
+    pub storage: StorageHierarchy,
+    /// Failure injection model.
+    pub failure: FailureModel,
+    /// Master seed; every random decision derives from it.
+    pub seed: u64,
+    /// Serialized controller admission overhead per cold function launch
+    /// (the OpenWhisk controller + CouchDB round trip). This is the
+    /// cluster-size-independent term that bounds batch scalability in
+    /// Fig. 12.
+    pub admission_delay: SimDuration,
+    /// Failure-detection latency of the platform's health checks for the
+    /// default (retry) path.
+    pub detection_delay: SimDuration,
+    /// Horizon within which planned node failures are drawn (experiments
+    /// set this near the expected makespan).
+    pub node_failure_horizon: SimDuration,
+    /// Backoff before re-attempting placement when the cluster has no
+    /// free slot.
+    pub placement_backoff: SimDuration,
+    /// Record an execution trace into the result (off by default; traces
+    /// of large batches are big).
+    pub trace: bool,
+}
+
+impl RunConfig {
+    /// Reasonable defaults on the given cluster with the given failure
+    /// model and seed.
+    pub fn new(cluster: Cluster, failure: FailureModel, seed: u64) -> Self {
+        RunConfig {
+            cluster,
+            network: NetworkModel::default(),
+            storage: StorageHierarchy::default(),
+            failure,
+            seed,
+            admission_delay: SimDuration::from_millis(100),
+            detection_delay: SimDuration::from_millis(1_000),
+            node_failure_horizon: SimDuration::from_secs(1_200),
+            placement_backoff: SimDuration::from_millis(500),
+            trace: false,
+        }
+    }
+
+    /// Validate cross-field consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.storage.validate()?;
+        if self.cluster.is_empty() {
+            return Err("empty cluster".into());
+        }
+        if !(0.0..=1.0).contains(&self.failure.error_rate) {
+            return Err(format!("error rate {} out of range", self.failure.error_rate));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        let cfg = RunConfig::new(Cluster::chameleon_16(), FailureModel::with_error_rate(0.15), 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_storage_detected() {
+        let mut cfg = RunConfig::new(Cluster::homogeneous(2), FailureModel::default(), 1);
+        cfg.storage.spill_tiers.clear();
+        assert!(cfg.validate().is_err());
+    }
+}

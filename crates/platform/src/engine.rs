@@ -1,0 +1,1058 @@
+//! The discrete-event FaaS platform engine.
+//!
+//! Plays the role of OpenWhisk in the paper: admits jobs through a
+//! serialized controller, places function containers on invoker nodes,
+//! executes each function's state sequence, injects function- and
+//! node-level failures from the deterministic oracle, and delegates every
+//! recovery decision to the pluggable [`FtStrategy`].
+//!
+//! Because the failure oracle is pure in `(function, attempt)`, an
+//! attempt's entire timeline is resolvable the moment it starts: the
+//! engine plans each attempt analytically (state completion times,
+//! checkpoint overheads, kill instant) and schedules a single
+//! `AttemptEnd` event. Node crashes preempt plans; stale events are
+//! fenced by per-function attempt counters.
+
+use crate::accounting::{ContainerUsage, FnOutcome, JobOutcome, RunCounters, RunResult};
+use crate::config::RunConfig;
+use crate::ids::{FnId, JobId};
+use crate::job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
+use crate::strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use canary_cluster::{FailureInjector, NodeId};
+use canary_container::{
+    ColdStartModel, Container, ContainerId, ContainerPurpose, ContainerRegistry, ContainerState,
+    PlacementError,
+};
+use canary_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use canary_workloads::RuntimeKind;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Engine events.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Admit one job (strategy hook + function launches).
+    SubmitJob { job: JobId },
+    /// Launch (or relaunch) a function attempt on a fresh container.
+    Launch { fn_id: FnId, from_state: u32 },
+    /// The current attempt of `fn_id` ends (completion or kill).
+    AttemptEnd { fn_id: FnId, attempt: u32 },
+    /// Resume a function on a warm container (replica / standby).
+    WarmResume {
+        fn_id: FnId,
+        container: ContainerId,
+        from_state: u32,
+    },
+    /// A replica container finished its cold start.
+    ReplicaWarm { container: ContainerId },
+    /// A node crashes.
+    NodeFailure { node: NodeId },
+}
+
+/// Completion timing of one state within a planned attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct StateTiming {
+    /// State index in the workload spec.
+    pub idx: u32,
+    /// When its work began.
+    pub start: SimTime,
+    /// When its work (plus checkpoint overhead) finished.
+    pub done: SimTime,
+    /// Reference (unscaled) execution work of the state.
+    pub ref_exec: SimDuration,
+}
+
+/// Outcome of planning one clone of an attempt.
+#[derive(Debug, Clone)]
+struct CloneOutcome {
+    container: ContainerId,
+    node: NodeId,
+    exec_start: SimTime,
+    end: SimTime,
+    completes: bool,
+    timings: Vec<StateTiming>,
+    /// Reference work completed by this clone at its end.
+    work_done: SimDuration,
+}
+
+/// The simulated platform; strategies receive `&mut Platform` in their
+/// callbacks and may inspect state or create replica containers.
+pub struct Platform {
+    config: RunConfig,
+    queue: EventQueue<Event>,
+    registry: ContainerRegistry,
+    coldstart: ColdStartModel,
+    injector: FailureInjector,
+    strategy_rng: SimRng,
+    fns: Vec<FnRecord>,
+    jobs: Vec<JobRecord>,
+    usage: HashMap<ContainerId, ContainerUsage>,
+    controller_free: SimTime,
+    counters: RunCounters,
+    /// Jobs waiting on each job's completion (workflow chaining).
+    dependents: Vec<Vec<JobId>>,
+    trace: Trace,
+    /// Extra per-attempt state timings kept outside `PlannedAttempt` to
+    /// serve node-crash progress queries: per clone.
+    clone_plans: HashMap<FnId, Vec<CloneOutcome>>,
+}
+
+impl Platform {
+    fn new(config: RunConfig) -> Self {
+        config.validate().expect("invalid run configuration");
+        let registry = ContainerRegistry::new(&config.cluster);
+        let injector = FailureInjector::new(config.failure.clone(), config.seed);
+        let strategy_rng = SimRng::seed_from_u64(config.seed).split(0x57_A7);
+        Platform {
+            registry,
+            coldstart: ColdStartModel::new(),
+            injector,
+            strategy_rng,
+            fns: Vec::new(),
+            jobs: Vec::new(),
+            usage: HashMap::new(),
+            controller_free: SimTime::ZERO,
+            counters: RunCounters::default(),
+            dependents: Vec::new(),
+            trace: Trace::default(),
+            clone_plans: HashMap::new(),
+            queue: EventQueue::new(),
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public API used by strategies.
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Run configuration (cluster, network, storage, delays).
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Function record.
+    pub fn fn_record(&self, id: FnId) -> &FnRecord {
+        &self.fns[id.0 as usize]
+    }
+
+    /// Job record.
+    pub fn job(&self, id: JobId) -> &JobRecord {
+        &self.jobs[id.0 as usize]
+    }
+
+    /// All jobs.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Container lookup.
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.registry.get(id)
+    }
+
+    /// Warm replica containers of a runtime, deterministic order.
+    pub fn warm_replicas(&self, runtime: RuntimeKind) -> Vec<ContainerId> {
+        self.registry.warm_replicas(runtime)
+    }
+
+    /// Functions currently running or recovering with the given runtime.
+    pub fn active_functions_with_runtime(&self, runtime: RuntimeKind) -> usize {
+        self.fns
+            .iter()
+            .filter(|f| {
+                f.workload.runtime == runtime
+                    && matches!(f.status, FnStatus::Running | FnStatus::Recovering)
+            })
+            .count()
+    }
+
+    /// Up nodes ordered by free slots (desc), node id tie-break — the
+    /// load-balancer view strategies use for replica placement.
+    pub fn nodes_by_free_slots(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .config
+            .cluster
+            .ids()
+            .filter(|&n| self.registry.node_up(n))
+            .collect();
+        nodes.sort_by_key(|&n| (std::cmp::Reverse(self.registry.free_slots(n)), n.0));
+        nodes
+    }
+
+    /// Is the node up?
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.registry.node_up(node)
+    }
+
+    /// Free invoker slots on a node.
+    pub fn free_slots(&self, node: NodeId) -> u32 {
+        self.registry.free_slots(node)
+    }
+
+    /// Create a warm-pool replica container of `runtime` on `node`.
+    /// Returns its id and the time it will reach `Warm`. Billing starts
+    /// immediately (replicas cost money while parked — Figs. 8–10).
+    pub fn create_replica(
+        &mut self,
+        node: NodeId,
+        runtime: RuntimeKind,
+        memory_mb: u64,
+    ) -> Result<(ContainerId, SimTime), PlacementError> {
+        let id = self
+            .registry
+            .create(node, runtime, ContainerPurpose::Replica)?;
+        let startup = self
+            .coldstart
+            .start_container(&self.config.cluster, node, runtime);
+        let now = self.now();
+        let ready = now + startup.total();
+        self.usage.insert(
+            id,
+            ContainerUsage {
+                purpose: ContainerPurpose::Replica,
+                memory_mb,
+                created: now,
+                terminated: SimTime::MAX,
+            },
+        );
+        self.counters.containers_created += 1;
+        self.record(TraceKind::WarmPoolSpawned {
+            container: id,
+            node,
+        });
+        // Walk the lifecycle to Initializing now; `ReplicaWarm` completes it.
+        self.registry
+            .transition(id, ContainerState::Launching)
+            .expect("fresh container");
+        self.registry
+            .transition(id, ContainerState::Initializing)
+            .expect("launching container");
+        self.queue.push(ready, Event::ReplicaWarm { container: id });
+        Ok((id, ready))
+    }
+
+    /// Create a standby container (AS baseline): identical mechanics to a
+    /// replica but tracked under the standby purpose for cost attribution.
+    pub fn create_standby(
+        &mut self,
+        node: NodeId,
+        runtime: RuntimeKind,
+        memory_mb: u64,
+    ) -> Result<(ContainerId, SimTime), PlacementError> {
+        let id = self
+            .registry
+            .create(node, runtime, ContainerPurpose::Standby)?;
+        let startup = self
+            .coldstart
+            .start_container(&self.config.cluster, node, runtime);
+        let now = self.now();
+        let ready = now + startup.total();
+        self.usage.insert(
+            id,
+            ContainerUsage {
+                purpose: ContainerPurpose::Standby,
+                memory_mb,
+                created: now,
+                terminated: SimTime::MAX,
+            },
+        );
+        self.counters.containers_created += 1;
+        self.registry
+            .transition(id, ContainerState::Launching)
+            .expect("fresh container");
+        self.registry
+            .transition(id, ContainerState::Initializing)
+            .expect("launching container");
+        self.queue.push(ready, Event::ReplicaWarm { container: id });
+        Ok((id, ready))
+    }
+
+    /// Tear down a warm replica/standby the strategy no longer wants.
+    pub fn reclaim_container(&mut self, id: ContainerId) {
+        if let Some(c) = self.registry.get(id) {
+            if !c.state.is_terminal() {
+                self.registry
+                    .transition(id, ContainerState::Reclaimed)
+                    .expect("non-terminal container");
+                self.finish_usage(id, self.now());
+            }
+        }
+    }
+
+    /// Deterministic RNG stream reserved for strategy decisions.
+    pub fn strategy_rng(&mut self) -> &mut SimRng {
+        &mut self.strategy_rng
+    }
+
+    /// Record a checkpoint write (counters only; the strategy owns the
+    /// actual store).
+    pub fn note_checkpoint(&mut self, bytes: u64) {
+        self.counters.checkpoints_written += 1;
+        self.counters.checkpoint_bytes += bytes;
+    }
+
+    /// Record a restore.
+    pub fn note_restore(&mut self) {
+        self.counters.restores += 1;
+    }
+
+    /// Run counters so far.
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn record(&mut self, kind: TraceKind) {
+        if self.config.trace {
+            self.trace.events.push(TraceEvent {
+                at: self.now(),
+                kind,
+            });
+        }
+    }
+
+    fn finish_usage(&mut self, id: ContainerId, at: SimTime) {
+        if let Some(u) = self.usage.get_mut(&id) {
+            if u.terminated == SimTime::MAX {
+                u.terminated = at.max(u.created);
+            }
+        }
+    }
+
+    /// Load balancer: node with the most free slots.
+    fn pick_node(&self) -> Option<NodeId> {
+        self.nodes_by_free_slots()
+            .into_iter()
+            .find(|&n| self.registry.free_slots(n) > 0)
+    }
+
+    fn create_function_container(
+        &mut self,
+        runtime: RuntimeKind,
+        memory_mb: u64,
+    ) -> Result<(ContainerId, NodeId, SimDuration), PlacementError> {
+        let node = self.pick_node().ok_or(PlacementError::ClusterFull)?;
+        let id = self
+            .registry
+            .create(node, runtime, ContainerPurpose::Function)?;
+        let startup = self
+            .coldstart
+            .start_container(&self.config.cluster, node, runtime);
+        self.usage.insert(
+            id,
+            ContainerUsage {
+                purpose: ContainerPurpose::Function,
+                memory_mb,
+                created: self.now(),
+                terminated: SimTime::MAX,
+            },
+        );
+        self.counters.containers_created += 1;
+        // Containers hosting functions go straight through their startup
+        // phases; the timeline is folded into the exec start.
+        for s in [
+            ContainerState::Launching,
+            ContainerState::Initializing,
+            ContainerState::Warm,
+            ContainerState::Executing,
+        ] {
+            self.registry.transition(id, s).expect("startup walk");
+        }
+        Ok((id, node, startup.total()))
+    }
+
+    /// Plan one clone's execution from `from_state`, beginning at
+    /// `exec_start` on `node`.
+    #[allow(clippy::too_many_arguments)] // one-call-site planning helper
+    fn plan_clone(
+        &self,
+        strategy: &dyn FtStrategy,
+        fn_id: FnId,
+        container: ContainerId,
+        node: NodeId,
+        exec_start: SimTime,
+        from_state: u32,
+        clone_idx: u32,
+        attempt0: u32,
+    ) -> CloneOutcome {
+        let rec = &self.fns[fn_id.0 as usize];
+        let spec = Arc::clone(&rec.workload);
+        let speed = self.config.cluster.node(node).speed();
+        let states = &spec.states[from_state as usize..];
+
+        // Reference work of the remaining states.
+        let ref_total: SimDuration = states.iter().map(|s| s.exec).sum();
+
+        // Oracle: does this clone die, and at which fraction of its work?
+        let oracle_fn = if clone_idx == 0 {
+            fn_id.0
+        } else {
+            fn_id.0 | ((clone_idx as u64) << 48)
+        };
+        let kill = self.injector.attempt(oracle_fn, attempt0);
+
+        let kill_work = kill.map(|k| ref_total.mul_f64(k.at_fraction));
+
+        let mut timings = Vec::with_capacity(states.len());
+        let mut t = exec_start;
+        let mut done_work = SimDuration::ZERO;
+        for (off, st) in states.iter().enumerate() {
+            let idx = from_state + off as u32;
+            let scaled = st.exec.mul_f64(1.0 / speed);
+            let overhead = strategy.state_overhead(self, fn_id, idx);
+            // Does the kill land inside this state's work?
+            if let Some(kw) = kill_work {
+                if done_work + st.exec > kw {
+                    // Kill mid-state: partial work, then death.
+                    let into = kw.saturating_sub(done_work); // ref units
+                    let into_scaled = into.mul_f64(1.0 / speed);
+                    let end = t + into_scaled;
+                    return CloneOutcome {
+                        container,
+                        node,
+                        exec_start,
+                        end,
+                        completes: false,
+                        timings,
+                        work_done: kw,
+                    };
+                }
+            }
+            let done_at = t + scaled + overhead;
+            timings.push(StateTiming {
+                idx,
+                start: t,
+                done: done_at,
+                ref_exec: st.exec,
+            });
+            t = done_at;
+            done_work += st.exec;
+        }
+        CloneOutcome {
+            container,
+            node,
+            exec_start,
+            end: t,
+            completes: true,
+            timings,
+            work_done: ref_total,
+        }
+    }
+
+    /// Reference work a clone had completed by time `t` (for node-crash
+    /// progress accounting). Includes partial work in the running state.
+    fn work_at(clone: &CloneOutcome, t: SimTime) -> (u32, SimDuration) {
+        // States fully done before t.
+        let mut work = SimDuration::ZERO;
+        let mut volatile_state = clone
+            .timings
+            .first()
+            .map(|s| s.idx)
+            .unwrap_or(0);
+        let mut cursor = clone.exec_start;
+        for st in &clone.timings {
+            if st.done <= t {
+                work += st.ref_exec;
+                volatile_state = st.idx + 1;
+                cursor = st.done;
+            } else {
+                // Partial progress in this state, linear in elapsed time.
+                if t > st.start {
+                    let span = st.done.saturating_since(st.start).as_secs_f64();
+                    if span > 0.0 {
+                        let frac =
+                            t.saturating_since(st.start).as_secs_f64() / span;
+                        work += st.ref_exec.mul_f64(frac.min(1.0));
+                    }
+                }
+                return (volatile_state, work);
+            }
+        }
+        let _ = cursor;
+        (volatile_state, work)
+    }
+
+    fn begin_attempt(
+        &mut self,
+        strategy: &mut dyn FtStrategy,
+        fn_id: FnId,
+        clones: Vec<(ContainerId, NodeId, SimTime)>,
+        from_state: u32,
+        warm: bool,
+    ) {
+        let attempt = self.fns[fn_id.0 as usize].attempt + 1;
+        self.fns[fn_id.0 as usize].attempt = attempt;
+
+        let outcomes: Vec<CloneOutcome> = clones
+            .iter()
+            .enumerate()
+            .map(|(c, &(ctr, node, exec_start))| {
+                self.plan_clone(
+                    strategy,
+                    fn_id,
+                    ctr,
+                    node,
+                    exec_start,
+                    from_state,
+                    c as u32,
+                    attempt - 1,
+                )
+            })
+            .collect();
+
+        // Winner: earliest completing clone; if none completes the attempt
+        // fails when the last clone dies.
+        let winner = outcomes
+            .iter()
+            .filter(|o| o.completes)
+            .min_by_key(|o| o.end);
+        let (end, completes, primary_idx) = match winner {
+            Some(w) => (
+                w.end,
+                true,
+                outcomes
+                    .iter()
+                    .position(|o| std::ptr::eq(o, w))
+                    .expect("winner in list"),
+            ),
+            None => {
+                let end = outcomes.iter().map(|o| o.end).max().expect("clones");
+                // Primary for progress reporting: the clone that got
+                // furthest.
+                let idx = outcomes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, o)| o.work_done)
+                    .map(|(i, _)| i)
+                    .expect("clones");
+                (end, false, idx)
+            }
+        };
+
+        let primary = &outcomes[primary_idx];
+        let plan = PlannedAttempt {
+            attempt,
+            exec_start: primary.exec_start,
+            end,
+            completes,
+            state_completions: primary
+                .timings
+                .iter()
+                .map(|s| (s.idx, s.done))
+                .collect(),
+            from_state,
+            work_done: primary.work_done,
+            containers: outcomes.iter().map(|o| o.container).collect(),
+            node: primary.node,
+        };
+
+        // Resolve pending recovery accounting now that the new attempt's
+        // exec start is known.
+        let exec_start = primary.exec_start;
+        let rec = &mut self.fns[fn_id.0 as usize];
+        if let Some((t_kill, p_kill)) = rec.pending_recovery.take() {
+            let redo_ref = p_kill.saturating_sub(rec.banked_work);
+            let speed = self.config.cluster.node(primary.node).speed();
+            let redo = redo_ref.mul_f64(1.0 / speed);
+            rec.recovery += exec_start.saturating_since(t_kill) + redo;
+        }
+        rec.status = FnStatus::Running;
+        let node = plan.node;
+        rec.plan = Some(plan);
+        self.clone_plans.insert(fn_id, outcomes);
+        self.record(TraceKind::AttemptStarted {
+            fn_id,
+            attempt,
+            node,
+            warm,
+        });
+        self.queue.push(end, Event::AttemptEnd { fn_id, attempt });
+    }
+
+    fn apply_recovery_plan(
+        &mut self,
+        fn_id: FnId,
+        plan: RecoveryPlan,
+    ) {
+        let now = self.now();
+        let rec = &mut self.fns[fn_id.0 as usize];
+        rec.banked_work = rec.work_before_state(plan.resume_from_state);
+        rec.status = FnStatus::Recovering;
+        match plan.target {
+            RecoveryTarget::FreshContainer => {
+                self.counters.cold_recoveries += 1;
+                self.queue.push(
+                    now + plan.delay,
+                    Event::Launch {
+                        fn_id,
+                        from_state: plan.resume_from_state,
+                    },
+                );
+            }
+            RecoveryTarget::WarmContainer(container) => {
+                self.counters.warm_recoveries += 1;
+                self.queue.push(
+                    now + plan.delay,
+                    Event::WarmResume {
+                        fn_id,
+                        container,
+                        from_state: plan.resume_from_state,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Fail the in-flight attempt of `fn_id` at the current time (used for
+    /// node crashes): computes partial progress, delivers durable-state
+    /// callbacks, and asks the strategy for a recovery plan.
+    fn preempt_attempt(
+        &mut self,
+        strategy: &mut dyn FtStrategy,
+        fn_id: FnId,
+        kind: FailureKind,
+    ) {
+        let now = self.now();
+        let plan = self.fns[fn_id.0 as usize]
+            .plan
+            .take()
+            .expect("running function has a plan");
+        // Fence: invalidate the scheduled AttemptEnd.
+        self.fns[fn_id.0 as usize].attempt += 1;
+        let clones = self
+            .clone_plans
+            .remove(&fn_id)
+            .expect("running function has clone plans");
+        let primary = clones
+            .iter()
+            .max_by_key(|o| {
+                let (_, w) = Self::work_at(o, now);
+                w
+            })
+            .expect("at least one clone");
+        let (volatile_state, work_now) = Self::work_at(primary, now);
+
+        // Durable callbacks for states completed before the crash.
+        if clones.len() == 1 {
+            let durable: Vec<(u32, SimTime)> = primary
+                .timings
+                .iter()
+                .filter(|s| s.done <= now)
+                .map(|s| (s.idx, s.done))
+                .collect();
+            for (idx, at) in durable {
+                strategy.on_state_durable(self, fn_id, idx, at);
+            }
+        }
+
+        self.counters.function_failures += 1;
+        let banked = self.fns[fn_id.0 as usize].banked_work;
+        let p_kill = banked + work_now;
+        {
+            let rec = &mut self.fns[fn_id.0 as usize];
+            rec.failures += 1;
+            rec.pending_recovery = Some((now, p_kill));
+        }
+        let info = FailureInfo {
+            kind,
+            at: now,
+            node: primary.node,
+            attempt: plan.attempt - 1,
+            volatile_state,
+        };
+        let rplan = strategy.on_failure(self, fn_id, info);
+        self.apply_recovery_plan(fn_id, rplan);
+    }
+
+    fn handle_attempt_end(&mut self, strategy: &mut dyn FtStrategy, fn_id: FnId, attempt: u32) {
+        if self.fns[fn_id.0 as usize].attempt != attempt {
+            return; // stale
+        }
+        let now = self.now();
+        let plan = self.fns[fn_id.0 as usize]
+            .plan
+            .take()
+            .expect("attempt end with no plan");
+        let clones = self
+            .clone_plans
+            .remove(&fn_id)
+            .expect("attempt end with no clone plans");
+
+        // Durable-state callbacks (single-clone strategies only).
+        if clones.len() == 1 {
+            let durable: Vec<(u32, SimTime)> = clones[0]
+                .timings
+                .iter()
+                .filter(|s| s.done <= now)
+                .map(|s| (s.idx, s.done))
+                .collect();
+            for (idx, at) in durable {
+                strategy.on_state_durable(self, fn_id, idx, at);
+            }
+        }
+
+        // Terminate clone containers at their individual end times.
+        for o in &clones {
+            if let Some(c) = self.registry.get(o.container) {
+                if !c.state.is_terminal() {
+                    let final_state = if plan.completes && o.completes && o.end == plan.end {
+                        ContainerState::Completed
+                    } else if o.completes || plan.completes {
+                        // Lost the race or outlived by the winner: reclaimed.
+                        ContainerState::Reclaimed
+                    } else {
+                        ContainerState::Failed
+                    };
+                    self.registry
+                        .transition(o.container, final_state)
+                        .expect("legal terminal transition");
+                    self.finish_usage(o.container, o.end.min(now).max(o.exec_start));
+                }
+            }
+        }
+
+        if plan.completes {
+            self.record(TraceKind::FunctionCompleted { fn_id });
+            let rec = &mut self.fns[fn_id.0 as usize];
+            rec.status = FnStatus::Completed;
+            rec.completed_at = Some(now);
+            let job = rec.job;
+            let jrec = &mut self.jobs[job.0 as usize];
+            jrec.remaining -= 1;
+            let job_done = jrec.remaining == 0;
+            if job_done {
+                jrec.completed_at = Some(now);
+            }
+            if job_done {
+                // Trigger chained jobs (§I workflow stages).
+                for dep in self.dependents[job.0 as usize].clone() {
+                    self.queue.push(now, Event::SubmitJob { job: dep });
+                }
+            }
+            strategy.on_function_complete(self, fn_id);
+        } else {
+            self.counters.function_failures += 1;
+            self.record(TraceKind::AttemptFailed {
+                fn_id,
+                attempt,
+                node: plan.node,
+            });
+            let volatile_state = clones[0]
+                .timings
+                .last()
+                .map(|s| s.idx + 1)
+                .unwrap_or(plan.from_state);
+            let banked = self.fns[fn_id.0 as usize].banked_work;
+            let p_kill = banked + plan.work_done;
+            {
+                let rec = &mut self.fns[fn_id.0 as usize];
+                rec.failures += 1;
+                rec.pending_recovery = Some((now, p_kill));
+            }
+            let info = FailureInfo {
+                kind: FailureKind::ContainerKill,
+                at: now,
+                node: plan.node,
+                attempt: attempt - 1,
+                volatile_state,
+            };
+            let rplan = strategy.on_failure(self, fn_id, info);
+            self.apply_recovery_plan(fn_id, rplan);
+        }
+    }
+
+    fn handle_launch(&mut self, strategy: &mut dyn FtStrategy, fn_id: FnId, from_state: u32) {
+        if self.fns[fn_id.0 as usize].status == FnStatus::Completed {
+            return;
+        }
+        let now = self.now();
+        // Serialized controller admission.
+        if now < self.controller_free {
+            let at = self.controller_free;
+            self.queue.push(at, Event::Launch { fn_id, from_state });
+            return;
+        }
+        self.controller_free = now + self.config.admission_delay;
+
+        let clones = strategy.attempt_clones(self, fn_id).max(1);
+        let (runtime, memory_mb) = {
+            let rec = &self.fns[fn_id.0 as usize];
+            (rec.workload.runtime, rec.workload.memory_mb)
+        };
+        let mut placed: Vec<(ContainerId, NodeId, SimTime)> = Vec::with_capacity(clones as usize);
+        for _ in 0..clones {
+            match self.create_function_container(runtime, memory_mb) {
+                Ok((ctr, node, startup)) => placed.push((ctr, node, now + startup)),
+                Err(_) => {
+                    // Cluster full: roll back and back off.
+                    for &(ctr, _, _) in &placed {
+                        self.registry
+                            .transition(ctr, ContainerState::Reclaimed)
+                            .expect("rollback");
+                        self.finish_usage(ctr, now);
+                    }
+                    self.counters.placement_retries += 1;
+                    assert!(
+                        self.config.cluster.ids().any(|n| self.registry.node_up(n)),
+                        "every node is down; the run cannot make progress"
+                    );
+                    self.queue.push(
+                        now + self.config.placement_backoff,
+                        Event::Launch { fn_id, from_state },
+                    );
+                    return;
+                }
+            }
+        }
+        if self.fns[fn_id.0 as usize].first_launch.is_none() {
+            self.fns[fn_id.0 as usize].first_launch = Some(now);
+        }
+        self.begin_attempt(strategy, fn_id, placed, from_state, false);
+    }
+
+    fn handle_warm_resume(
+        &mut self,
+        strategy: &mut dyn FtStrategy,
+        fn_id: FnId,
+        container: ContainerId,
+        from_state: u32,
+    ) {
+        if self.fns[fn_id.0 as usize].status == FnStatus::Completed {
+            return;
+        }
+        let now = self.now();
+        let ok = self
+            .registry
+            .get(container)
+            .map(|c| c.state == ContainerState::Warm)
+            .unwrap_or(false);
+        if !ok {
+            // The reserved container died (node crash) or was consumed.
+            let node = self
+                .registry
+                .get(container)
+                .map(|c| c.node)
+                .unwrap_or(NodeId(0));
+            let info = FailureInfo {
+                kind: FailureKind::ResumeTargetLost,
+                at: now,
+                node,
+                attempt: self.fns[fn_id.0 as usize].attempt,
+                volatile_state: from_state,
+            };
+            let rplan = strategy.on_failure(self, fn_id, info);
+            self.apply_recovery_plan(fn_id, rplan);
+            return;
+        }
+        self.registry
+            .transition(container, ContainerState::Executing)
+            .expect("warm to executing");
+        let node = self.registry.get(container).expect("live container").node;
+        self.begin_attempt(strategy, fn_id, vec![(container, node, now)], from_state, true);
+    }
+
+    fn handle_node_failure(&mut self, strategy: &mut dyn FtStrategy, node: NodeId) {
+        if !self.registry.node_up(node) {
+            return;
+        }
+        let now = self.now();
+        self.counters.node_failures += 1;
+        self.record(TraceKind::NodeFailed { node });
+        let victims = self.registry.fail_node(node);
+        self.coldstart.invalidate_node(node);
+        for &v in &victims {
+            self.finish_usage(v, now);
+        }
+        // Preempt functions whose attempt lost all clones on this node.
+        let affected: Vec<FnId> = self
+            .fns
+            .iter()
+            .filter(|f| f.status == FnStatus::Running)
+            .filter(|f| {
+                self.clone_plans
+                    .get(&f.id)
+                    .map(|clones| {
+                        clones.iter().all(|o| {
+                            victims.contains(&o.container)
+                                || self
+                                    .registry
+                                    .get(o.container)
+                                    .map(|c| c.state.is_terminal())
+                                    .unwrap_or(true)
+                        })
+                    })
+                    .unwrap_or(false)
+            })
+            .map(|f| f.id)
+            .collect();
+        for fn_id in affected {
+            self.preempt_attempt(strategy, fn_id, FailureKind::NodeCrash);
+        }
+        strategy.on_containers_lost(self, &victims);
+    }
+
+    fn handle_replica_warm(&mut self, strategy: &mut dyn FtStrategy, container: ContainerId) {
+        let ok = self
+            .registry
+            .get(container)
+            .map(|c| c.state == ContainerState::Initializing)
+            .unwrap_or(false);
+        if !ok {
+            return; // died or was reclaimed during startup
+        }
+        self.registry
+            .transition(container, ContainerState::Warm)
+            .expect("initializing to warm");
+        self.record(TraceKind::WarmPoolReady { container });
+        strategy.on_replica_warm(self, container);
+    }
+
+    fn handle_submit(&mut self, strategy: &mut dyn FtStrategy, job: JobId) {
+        let now = self.now();
+        self.record(TraceKind::JobSubmitted { job });
+        self.jobs[job.0 as usize].submitted_at = now;
+        strategy.on_job_admitted(self, job);
+        let fn_ids = self.jobs[job.0 as usize].fn_ids.clone();
+        for fn_id in fn_ids {
+            self.queue.push(
+                now,
+                Event::Launch {
+                    fn_id,
+                    from_state: 0,
+                },
+            );
+        }
+    }
+}
+
+/// Execute `jobs` under `strategy` with `config`; returns the full result.
+pub fn run(config: RunConfig, jobs: Vec<JobSpec>, strategy: &mut dyn FtStrategy) -> RunResult {
+    let mut p = Platform::new(config);
+
+    // Register jobs and functions.
+    let mut next_fn = 0u64;
+    for (ji, spec) in jobs.iter().enumerate() {
+        let job_id = JobId(ji as u32);
+        let workload = Arc::new(spec.workload.clone());
+        let fn_ids: Vec<FnId> = (0..spec.invocations)
+            .map(|_| {
+                let id = FnId(next_fn);
+                next_fn += 1;
+                p.fns.push(FnRecord::new(id, job_id, Arc::clone(&workload)));
+                id
+            })
+            .collect();
+        p.jobs.push(JobRecord {
+            id: job_id,
+            workload,
+            fn_ids,
+            submitted_at: SimTime::ZERO,
+            completed_at: None,
+            remaining: spec.invocations,
+        });
+        p.dependents.push(Vec::new());
+        match spec.after {
+            None => p.queue.push(SimTime::ZERO, Event::SubmitJob { job: job_id }),
+            Some(prereq) => {
+                assert!(
+                    prereq < ji,
+                    "job {ji} chains after {prereq}, which must be an earlier batch entry"
+                );
+                p.dependents[prereq].push(job_id);
+            }
+        }
+    }
+
+    // Plan node-level failures.
+    let node_failures = p
+        .injector
+        .plan_node_failures(&p.config.cluster, p.config.node_failure_horizon);
+    for nf in node_failures {
+        p.queue.push(nf.at, Event::NodeFailure { node: nf.node });
+    }
+
+    // Main loop.
+    while let Some((_, ev)) = p.queue.pop() {
+        match ev {
+            Event::SubmitJob { job } => p.handle_submit(strategy, job),
+            Event::Launch { fn_id, from_state } => p.handle_launch(strategy, fn_id, from_state),
+            Event::AttemptEnd { fn_id, attempt } => {
+                p.handle_attempt_end(strategy, fn_id, attempt)
+            }
+            Event::WarmResume {
+                fn_id,
+                container,
+                from_state,
+            } => p.handle_warm_resume(strategy, fn_id, container, from_state),
+            Event::ReplicaWarm { container } => p.handle_replica_warm(strategy, container),
+            Event::NodeFailure { node } => p.handle_node_failure(strategy, node),
+        }
+    }
+
+    strategy.on_run_end(&mut p);
+    let finished_at = p.now();
+
+    // Close out still-open usage records (parked replicas etc.).
+    let open: Vec<ContainerId> = p
+        .usage
+        .iter()
+        .filter(|(_, u)| u.terminated == SimTime::MAX)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in open {
+        p.finish_usage(id, finished_at);
+    }
+
+    let fns: Vec<FnOutcome> = p
+        .fns
+        .iter()
+        .map(|f| {
+            assert_eq!(
+                f.status,
+                FnStatus::Completed,
+                "{} did not complete (failures: {})",
+                f.id,
+                f.failures
+            );
+            FnOutcome {
+                id: f.id,
+                job: f.job,
+                first_launch: f.first_launch.expect("launched"),
+                completed_at: f.completed_at.expect("completed"),
+                failures: f.failures,
+                recovery: f.recovery,
+                attempts: f.attempt,
+            }
+        })
+        .collect();
+    let jobs_out: Vec<JobOutcome> = p
+        .jobs
+        .iter()
+        .map(|j| JobOutcome {
+            id: j.id,
+            submitted_at: j.submitted_at,
+            completed_at: j.completed_at.expect("job completed"),
+        })
+        .collect();
+    let mut containers: Vec<ContainerUsage> = p.usage.into_values().collect();
+    containers.sort_by_key(|u| (u.created, u.terminated));
+
+    RunResult {
+        strategy: strategy.name(),
+        fns,
+        jobs: jobs_out,
+        containers,
+        counters: p.counters,
+        finished_at,
+        trace: p.trace,
+    }
+}

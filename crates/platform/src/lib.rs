@@ -1,0 +1,28 @@
+//! # canary-platform
+//!
+//! An OpenWhisk-like FaaS platform as a deterministic discrete-event
+//! simulation: a serialized admission controller, per-node invokers with
+//! slot-limited container placement, analytic attempt planning driven by a
+//! pure failure oracle, node-crash preemption, and a pluggable
+//! fault-tolerance strategy interface ([`FtStrategy`]) implemented by the
+//! retry / request-replication / active-standby baselines and by Canary
+//! itself. One engine, many strategies — so measured differences between
+//! recovery strategies are attributable to the strategy alone, exactly
+//! like the paper swapping recovery policies on a single OpenWhisk
+//! deployment.
+
+pub mod accounting;
+pub mod config;
+pub mod engine;
+pub mod ids;
+pub mod job;
+pub mod strategy;
+pub mod trace;
+
+pub use accounting::{ContainerUsage, FnOutcome, JobOutcome, RunCounters, RunResult};
+pub use config::RunConfig;
+pub use engine::{run, Platform, StateTiming};
+pub use ids::{FnId, JobId};
+pub use job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
+pub use strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};
+pub use trace::{Trace, TraceEvent, TraceKind};

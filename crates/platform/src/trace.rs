@@ -1,0 +1,234 @@
+//! Execution traces: an opt-in, time-ordered log of platform events.
+//!
+//! Enabled via [`crate::RunConfig::trace`]; the engine then records every
+//! noteworthy transition (job admission, attempt starts, failures,
+//! recoveries, replica lifecycle, node crashes) into the run result.
+//! Traces make recovery behaviour inspectable — e.g. asserting that a
+//! failure is followed by a warm resume on a replica — and feed the
+//! timeline renderer in `canary-metrics`.
+
+use crate::ids::{FnId, JobId};
+use canary_cluster::NodeId;
+use canary_container::ContainerId;
+use canary_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A job was admitted by the controller.
+    JobSubmitted {
+        /// The job.
+        job: JobId,
+    },
+    /// A function attempt began executing.
+    AttemptStarted {
+        /// The function.
+        fn_id: FnId,
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// Hosting node.
+        node: NodeId,
+        /// True when resumed on a warm container.
+        warm: bool,
+    },
+    /// An attempt was killed.
+    AttemptFailed {
+        /// The function.
+        fn_id: FnId,
+        /// Attempt number that died.
+        attempt: u32,
+        /// Node it died on.
+        node: NodeId,
+    },
+    /// A function completed.
+    FunctionCompleted {
+        /// The function.
+        fn_id: FnId,
+    },
+    /// A replica/standby container was created.
+    WarmPoolSpawned {
+        /// The container.
+        container: ContainerId,
+        /// Node hosting it.
+        node: NodeId,
+    },
+    /// A replica/standby finished its cold start.
+    WarmPoolReady {
+        /// The container.
+        container: ContainerId,
+    },
+    /// A node crashed.
+    NodeFailed {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}] ", self.at.to_string())?;
+        match self.kind {
+            TraceKind::JobSubmitted { job } => write!(f, "submit   {job}"),
+            TraceKind::AttemptStarted {
+                fn_id,
+                attempt,
+                node,
+                warm,
+            } => write!(
+                f,
+                "start    {fn_id} attempt {attempt} on {node}{}",
+                if warm { " (warm resume)" } else { "" }
+            ),
+            TraceKind::AttemptFailed {
+                fn_id,
+                attempt,
+                node,
+            } => write!(f, "FAIL     {fn_id} attempt {attempt} on {node}"),
+            TraceKind::FunctionCompleted { fn_id } => write!(f, "complete {fn_id}"),
+            TraceKind::WarmPoolSpawned { container, node } => {
+                write!(f, "replica  {container} spawning on {node}")
+            }
+            TraceKind::WarmPoolReady { container } => write!(f, "replica  {container} warm"),
+            TraceKind::NodeFailed { node } => write!(f, "NODE     {node} crashed"),
+        }
+    }
+}
+
+/// A recorded trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in simulation-time order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// All events concerning one function, in order.
+    pub fn for_function(&self, fn_id: FnId) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e.kind {
+                TraceKind::AttemptStarted { fn_id: f, .. }
+                | TraceKind::AttemptFailed { fn_id: f, .. }
+                | TraceKind::FunctionCompleted { fn_id: f } => f == fn_id,
+                _ => false,
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Render the trace (or its first `limit` lines) as text.
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        for e in self.events.iter().take(limit) {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        if self.events.len() > limit {
+            out.push_str(&format!("... ({} more events)\n", self.events.len() - limit));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(us: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_micros(us),
+            kind,
+        }
+    }
+
+    #[test]
+    fn per_function_filter() {
+        let trace = Trace {
+            events: vec![
+                ev(1, TraceKind::JobSubmitted { job: JobId(0) }),
+                ev(
+                    2,
+                    TraceKind::AttemptStarted {
+                        fn_id: FnId(1),
+                        attempt: 1,
+                        node: NodeId(0),
+                        warm: false,
+                    },
+                ),
+                ev(
+                    3,
+                    TraceKind::AttemptFailed {
+                        fn_id: FnId(1),
+                        attempt: 1,
+                        node: NodeId(0),
+                    },
+                ),
+                ev(4, TraceKind::FunctionCompleted { fn_id: FnId(2) }),
+            ],
+        };
+        let f1 = trace.for_function(FnId(1));
+        assert_eq!(f1.len(), 2);
+        assert!(matches!(f1[1].kind, TraceKind::AttemptFailed { .. }));
+        assert_eq!(trace.for_function(FnId(9)).len(), 0);
+    }
+
+    #[test]
+    fn render_truncates() {
+        let trace = Trace {
+            events: (0..10)
+                .map(|i| ev(i, TraceKind::NodeFailed { node: NodeId(0) }))
+                .collect(),
+        };
+        let s = trace.render(3);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("7 more events"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = ev(
+            1_500_000,
+            TraceKind::AttemptStarted {
+                fn_id: FnId(3),
+                attempt: 2,
+                node: NodeId(1),
+                warm: true,
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("fn3"));
+        assert!(s.contains("warm resume"));
+        assert!(s.contains("1.500s"));
+    }
+
+    #[test]
+    fn count_predicate() {
+        let trace = Trace {
+            events: vec![
+                ev(1, TraceKind::NodeFailed { node: NodeId(0) }),
+                ev(2, TraceKind::NodeFailed { node: NodeId(1) }),
+                ev(3, TraceKind::FunctionCompleted { fn_id: FnId(0) }),
+            ],
+        };
+        assert_eq!(
+            trace.count(|k| matches!(k, TraceKind::NodeFailed { .. })),
+            2
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the DES substrate.
+
+use canary_sim::{EventQueue, SimDuration, SimRng, SimTime, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in nondecreasing time order regardless of push order.
+    #[test]
+    fn queue_pops_monotonically(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Equal-time events preserve insertion order (determinism).
+    #[test]
+    fn queue_fifo_on_ties(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(SimTime::from_micros(t), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    /// The same seed yields the same stream; different tags yield split
+    /// streams that differ somewhere early.
+    #[test]
+    fn rng_determinism(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_split_independence(seed in any::<u64>(), tag1 in any::<u64>(), tag2 in any::<u64>()) {
+        prop_assume!(tag1 != tag2);
+        let parent = SimRng::seed_from_u64(seed);
+        let mut c1 = parent.split(tag1);
+        let mut c2 = parent.split(tag2);
+        let equal = (0..16).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        prop_assert!(equal < 16, "distinct tags must not produce identical prefixes");
+    }
+
+    /// u64_below is always in range.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.u64_below(n) < n);
+        }
+    }
+
+    /// sample_indices returns k distinct in-range indices.
+    #[test]
+    fn rng_sample_indices_props(seed in any::<u64>(), n in 1usize..200, frac in 0.0f64..1.0) {
+        let k = ((n as f64) * frac) as usize;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k);
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// Welford merge is equivalent to a single-pass fold.
+    #[test]
+    fn welford_merge_associative(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        ys in proptest::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut whole = Welford::new();
+        for &x in xs.iter().chain(ys.iter()) {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        for &x in &xs { a.push(x); }
+        let mut b = Welford::new();
+        for &y in &ys { b.push(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance()));
+        }
+    }
+
+    /// Duration scaling by 1.0 is identity (within rounding).
+    #[test]
+    fn duration_mul_identity(us in 0u64..1_000_000_000_000) {
+        let d = SimDuration::from_micros(us);
+        let scaled = d.mul_f64(1.0);
+        let diff = scaled.as_micros().abs_diff(d.as_micros());
+        prop_assert!(diff <= 1, "rounding error {diff}");
+    }
+}

@@ -1,0 +1,325 @@
+//! Data-compression kernel (SeBS 311.compression).
+//!
+//! The paper compresses 50 input files (~1 GB each) with zip, storing
+//! inputs/outputs on local storage and checkpointing after each file. We
+//! implement a real block compressor — run-length encoding with a literal
+//! escape, which is simple, allocation-friendly, and exactly invertible —
+//! over deterministically generated pseudo-files, checkpointing after each
+//! file just like the paper. File sizes here default to a few hundred KB so
+//! tests and examples stay fast; the simulation layer models the 1 GB
+//! durations separately.
+
+use super::{fnv1a, mix, Resumable};
+use crate::codec::{CodecError, Decoder, Encoder};
+use bytes::Bytes;
+use canary_sim::SimRng;
+
+/// RLE format: `0x00 len byte` = run of `len` copies of `byte` (len ≥ 1);
+/// `0x01 len <len bytes>` = literal block. `len` is one byte (1–255).
+const TAG_RUN: u8 = 0x00;
+const TAG_LIT: u8 = 0x01;
+
+/// Compress `input` with byte-oriented RLE.
+pub fn rle_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 4 + 16);
+    let mut i = 0;
+    let mut lit_start = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        let mut s = from;
+        while s < to {
+            let chunk = (to - s).min(255);
+            out.push(TAG_LIT);
+            out.push(chunk as u8);
+            out.extend_from_slice(&input[s..s + chunk]);
+            s += chunk;
+        }
+    };
+
+    while i < input.len() {
+        // Measure the run starting at i.
+        let b = input[i];
+        let mut run = 1;
+        while i + run < input.len() && input[i + run] == b && run < 255 {
+            run += 1;
+        }
+        if run >= 4 {
+            // Runs of ≥4 pay for the 3-byte header.
+            flush_literals(&mut out, lit_start, i, input);
+            out.push(TAG_RUN);
+            out.push(run as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, lit_start, input.len(), input);
+    out
+}
+
+/// Invert [`rle_compress`].
+pub fn rle_decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut i = 0;
+    while i < input.len() {
+        let tag = input[i];
+        match tag {
+            TAG_RUN => {
+                if i + 2 >= input.len() {
+                    return Err(CodecError::UnexpectedEof { what: "rle run" });
+                }
+                let len = input[i + 1] as usize;
+                let byte = input[i + 2];
+                if len == 0 {
+                    return Err(CodecError::BadTag {
+                        what: "rle run length",
+                        value: 0,
+                    });
+                }
+                out.resize(out.len() + len, byte);
+                i += 3;
+            }
+            TAG_LIT => {
+                if i + 1 >= input.len() {
+                    return Err(CodecError::UnexpectedEof { what: "rle literal" });
+                }
+                let len = input[i + 1] as usize;
+                if len == 0 {
+                    return Err(CodecError::BadTag {
+                        what: "rle literal length",
+                        value: 0,
+                    });
+                }
+                if i + 2 + len > input.len() {
+                    return Err(CodecError::BadLength {
+                        what: "rle literal",
+                        len,
+                        remaining: input.len() - i - 2,
+                    });
+                }
+                out.extend_from_slice(&input[i + 2..i + 2 + len]);
+                i += 2 + len;
+            }
+            other => {
+                return Err(CodecError::BadTag {
+                    what: "rle tag",
+                    value: other as u64,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Compression kernel: compress `files` pseudo-files of `file_bytes` each,
+/// checkpointing after every file.
+#[derive(Debug, Clone)]
+pub struct CompressionKernel {
+    /// Number of input files (50 in the paper).
+    pub files: u64,
+    /// Bytes per generated input file.
+    pub file_bytes: usize,
+    /// Seed for the deterministic file contents.
+    pub seed: u64,
+}
+
+/// Inter-file state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressionState {
+    /// Next file index to compress.
+    pub next_file: u64,
+    /// Total input bytes consumed so far.
+    pub bytes_in: u64,
+    /// Total compressed bytes produced so far.
+    pub bytes_out: u64,
+    /// Order-sensitive digest of all compressed outputs.
+    pub checksum: u64,
+}
+
+impl CompressionKernel {
+    /// New kernel with explicit parameters.
+    pub fn new(files: u64, file_bytes: usize, seed: u64) -> Self {
+        assert!(files > 0 && file_bytes > 0, "bad compression parameters");
+        CompressionKernel {
+            files,
+            file_bytes,
+            seed,
+        }
+    }
+
+    /// Generate the contents of file `idx`: a compressible mix of runs and
+    /// random literals (roughly log-structured data).
+    pub fn generate_file(&self, idx: u64) -> Vec<u8> {
+        let mut rng = SimRng::seed_from_u64(self.seed).split(idx);
+        let mut data = Vec::with_capacity(self.file_bytes);
+        while data.len() < self.file_bytes {
+            if rng.bernoulli(0.5) {
+                // A run of one byte (e.g. padding / zero pages).
+                let len = rng.range_u64(8, 200) as usize;
+                let byte = rng.u64_below(8) as u8; // few distinct fill bytes
+                let take = len.min(self.file_bytes - data.len());
+                data.resize(data.len() + take, byte);
+            } else {
+                // Random literals.
+                let len = rng.range_u64(4, 64) as usize;
+                for _ in 0..len.min(self.file_bytes - data.len()) {
+                    data.push(rng.u64_below(256) as u8);
+                }
+            }
+        }
+        data
+    }
+}
+
+impl Resumable for CompressionKernel {
+    type State = CompressionState;
+
+    fn name(&self) -> &'static str {
+        "compression"
+    }
+
+    fn num_steps(&self) -> u64 {
+        self.files
+    }
+
+    fn init(&self) -> CompressionState {
+        CompressionState {
+            next_file: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            checksum: 0,
+        }
+    }
+
+    fn step(&self, state: &mut CompressionState) -> bool {
+        if state.next_file >= self.files {
+            return false;
+        }
+        let input = self.generate_file(state.next_file);
+        let compressed = rle_compress(&input);
+        // Verify invertibility on the spot, as a real compressor would in
+        // its self-check mode; corrupt output must never be checkpointed.
+        debug_assert_eq!(
+            rle_decompress(&compressed).as_deref().ok(),
+            Some(input.as_slice())
+        );
+        state.bytes_in += input.len() as u64;
+        state.bytes_out += compressed.len() as u64;
+        state.checksum = mix(state.checksum, fnv1a(&compressed));
+        state.next_file += 1;
+        state.next_file < self.files
+    }
+
+    fn steps_done(&self, state: &CompressionState) -> u64 {
+        state.next_file
+    }
+
+    fn encode(&self, state: &CompressionState) -> Bytes {
+        let mut e = Encoder::with_capacity(40);
+        e.put_u8(1);
+        e.put_u64(state.next_file);
+        e.put_u64(state.bytes_in);
+        e.put_u64(state.bytes_out);
+        e.put_u64(state.checksum);
+        e.finish()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<CompressionState, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let ver = d.u8("compression version")?;
+        if ver != 1 {
+            return Err(CodecError::BadTag {
+                what: "compression version",
+                value: ver as u64,
+            });
+        }
+        let st = CompressionState {
+            next_file: d.u64("next_file")?,
+            bytes_in: d.u64("bytes_in")?,
+            bytes_out: d.u64("bytes_out")?,
+            checksum: d.u64("checksum")?,
+        };
+        d.finish("compression state")?;
+        Ok(st)
+    }
+
+    fn digest(&self, state: &CompressionState) -> u64 {
+        mix(mix(state.checksum, state.bytes_in), state.bytes_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_uninterrupted, run_with_checkpoint_churn};
+
+    #[test]
+    fn rle_round_trip_structured() {
+        let data = b"aaaaaaaabbbbccdddddddddddddddddd hello world".to_vec();
+        let c = rle_compress(&data);
+        assert_eq!(rle_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_round_trip_edge_cases() {
+        for data in [
+            vec![],
+            vec![0u8],
+            vec![7u8; 1000],
+            (0..=255u8).collect::<Vec<_>>(),
+            vec![1, 1, 1, 1], // exactly the run threshold
+            vec![1, 1, 1],    // below the run threshold
+        ] {
+            let c = rle_compress(&data);
+            assert_eq!(rle_decompress(&c).unwrap(), data, "case {data:?}");
+        }
+    }
+
+    #[test]
+    fn rle_compresses_runs() {
+        let data = vec![0u8; 100_000];
+        let c = rle_compress(&data);
+        assert!(c.len() < data.len() / 50, "runs should compress well");
+    }
+
+    #[test]
+    fn rle_rejects_garbage() {
+        assert!(rle_decompress(&[0xFF]).is_err());
+        assert!(rle_decompress(&[TAG_RUN, 5]).is_err());
+        assert!(rle_decompress(&[TAG_LIT, 10, 1, 2]).is_err());
+        assert!(rle_decompress(&[TAG_RUN, 0, 3]).is_err());
+    }
+
+    #[test]
+    fn generated_files_are_deterministic_and_distinct() {
+        let k = CompressionKernel::new(5, 10_000, 42);
+        assert_eq!(k.generate_file(0), k.generate_file(0));
+        assert_ne!(k.generate_file(0), k.generate_file(1));
+    }
+
+    #[test]
+    fn churn_equals_uninterrupted() {
+        let k = CompressionKernel::new(6, 20_000, 7);
+        assert_eq!(run_uninterrupted(&k), run_with_checkpoint_churn(&k));
+    }
+
+    #[test]
+    fn generated_data_is_compressible() {
+        let k = CompressionKernel::new(1, 100_000, 11);
+        let mut st = k.init();
+        k.run_to_completion(&mut st);
+        assert!(st.bytes_out < st.bytes_in, "mixed data should shrink");
+        assert_eq!(st.bytes_in, 100_000);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let k = CompressionKernel::new(3, 1000, 1);
+        let mut st = k.init();
+        k.step(&mut st);
+        let decoded = k.decode(&k.encode(&st)).unwrap();
+        assert_eq!(decoded, st);
+    }
+}

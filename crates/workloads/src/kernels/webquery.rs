@@ -1,0 +1,244 @@
+//! Web-service kernel: a request/response loop over an in-memory table.
+//!
+//! The paper's web workload answers 50 requests from a web front-end
+//! against PostgreSQL, each request comprising five queries, with a
+//! checkpoint (queries + responses) after every request. We implement a
+//! small query engine over the synthetic census table: each request runs
+//! five parameterized queries (point lookup, range count, group aggregate,
+//! top-k, state roll-up) and the checkpoint carries the response log
+//! digest so a resumed service provably returns the same responses.
+
+use super::{mix, Resumable};
+use crate::codec::{CodecError, Decoder, Encoder};
+use crate::data::{CensusData, NUM_GROUPS};
+use bytes::Bytes;
+use canary_sim::SimRng;
+
+/// Queries issued per request (five in the paper).
+pub const QUERIES_PER_REQUEST: usize = 5;
+
+/// Web-service kernel configuration.
+#[derive(Debug, Clone)]
+pub struct WebQueryKernel {
+    /// Backing table (the "database").
+    pub data: CensusData,
+    /// Requests to serve (50 in the paper).
+    pub requests: u64,
+    /// Seed deriving each request's query parameters.
+    pub seed: u64,
+}
+
+/// Service state between requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebQueryState {
+    /// Next request index to serve.
+    pub next_request: u64,
+    /// Order-sensitive digest over all responses so far.
+    pub response_digest: u64,
+    /// Total rows examined (a cost counter a real service would export).
+    pub rows_scanned: u64,
+}
+
+impl WebQueryKernel {
+    /// New kernel over `data`.
+    pub fn new(data: CensusData, requests: u64, seed: u64) -> Self {
+        assert!(!data.is_empty() && requests > 0, "bad web parameters");
+        WebQueryKernel {
+            data,
+            requests,
+            seed,
+        }
+    }
+
+    /// Execute the five queries of request `req`, returning the response
+    /// digest contribution and rows scanned. Pure in `req`.
+    fn serve(&self, req: u64) -> (u64, u64) {
+        let mut rng = SimRng::seed_from_u64(self.seed).split(req);
+        let n = self.data.len() as u64;
+        let mut digest = 0u64;
+        let mut scanned = 0u64;
+        for q in 0..QUERIES_PER_REQUEST as u64 {
+            match q {
+                // Q1: point lookup — total population of one county.
+                0 => {
+                    let id = rng.u64_below(n) as usize;
+                    digest = mix(digest, self.data.rows[id].total());
+                    scanned += 1;
+                }
+                // Q2: range count — counties with population above a bar.
+                1 => {
+                    let bar = rng.range_u64(10_000, 1_500_000);
+                    let count = self
+                        .data
+                        .rows
+                        .iter()
+                        .filter(|r| r.total() > bar)
+                        .count() as u64;
+                    digest = mix(digest, count);
+                    scanned += n;
+                }
+                // Q3: group aggregate — national total of one group.
+                2 => {
+                    let g = rng.u64_below(NUM_GROUPS as u64) as usize;
+                    let sum: u64 = self.data.rows.iter().map(|r| r.group_counts[g]).sum();
+                    digest = mix(digest, sum);
+                    scanned += n;
+                }
+                // Q4: top-1 — most populous county id.
+                3 => {
+                    let top = self
+                        .data
+                        .rows
+                        .iter()
+                        .max_by_key(|r| (r.total(), u32::MAX - r.county_id))
+                        .expect("non-empty");
+                    digest = mix(digest, top.county_id as u64);
+                    scanned += n;
+                }
+                // Q5: state roll-up — population of one state.
+                _ => {
+                    let max_state = self.data.rows.iter().map(|r| r.state_id).max().unwrap_or(0);
+                    let s = rng.u64_below(max_state as u64 + 1) as u32;
+                    let sum: u64 = self
+                        .data
+                        .rows
+                        .iter()
+                        .filter(|r| r.state_id == s)
+                        .map(|r| r.total())
+                        .sum();
+                    digest = mix(digest, sum);
+                    scanned += n;
+                }
+            }
+        }
+        (digest, scanned)
+    }
+}
+
+impl Resumable for WebQueryKernel {
+    type State = WebQueryState;
+
+    fn name(&self) -> &'static str {
+        "web-service"
+    }
+
+    fn num_steps(&self) -> u64 {
+        self.requests
+    }
+
+    fn init(&self) -> WebQueryState {
+        WebQueryState {
+            next_request: 0,
+            response_digest: 0,
+            rows_scanned: 0,
+        }
+    }
+
+    fn step(&self, state: &mut WebQueryState) -> bool {
+        if state.next_request >= self.requests {
+            return false;
+        }
+        let (digest, scanned) = self.serve(state.next_request);
+        state.response_digest = mix(state.response_digest, digest);
+        state.rows_scanned += scanned;
+        state.next_request += 1;
+        state.next_request < self.requests
+    }
+
+    fn steps_done(&self, state: &WebQueryState) -> u64 {
+        state.next_request
+    }
+
+    fn encode(&self, state: &WebQueryState) -> Bytes {
+        let mut e = Encoder::with_capacity(32);
+        e.put_u8(1);
+        e.put_u64(state.next_request);
+        e.put_u64(state.response_digest);
+        e.put_u64(state.rows_scanned);
+        e.finish()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<WebQueryState, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let ver = d.u8("web version")?;
+        if ver != 1 {
+            return Err(CodecError::BadTag {
+                what: "web version",
+                value: ver as u64,
+            });
+        }
+        let st = WebQueryState {
+            next_request: d.u64("next_request")?,
+            response_digest: d.u64("response_digest")?,
+            rows_scanned: d.u64("rows_scanned")?,
+        };
+        d.finish("web state")?;
+        Ok(st)
+    }
+
+    fn digest(&self, state: &WebQueryState) -> u64 {
+        mix(state.response_digest, state.rows_scanned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{run_uninterrupted, run_with_checkpoint_churn};
+
+    fn kernel() -> WebQueryKernel {
+        WebQueryKernel::new(CensusData::generate(80, 8, 2), 20, 9)
+    }
+
+    #[test]
+    fn serves_all_requests() {
+        let k = kernel();
+        let mut st = k.init();
+        k.run_to_completion(&mut st);
+        assert_eq!(st.next_request, 20);
+        assert!(st.rows_scanned > 0);
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let k = kernel();
+        assert_eq!(k.serve(3), k.serve(3));
+        assert_ne!(k.serve(3).0, k.serve(4).0);
+    }
+
+    #[test]
+    fn churn_equals_uninterrupted() {
+        let k = kernel();
+        assert_eq!(run_uninterrupted(&k), run_with_checkpoint_churn(&k));
+    }
+
+    #[test]
+    fn resume_mid_service_matches() {
+        let k = kernel();
+        let mut full = k.init();
+        k.run_to_completion(&mut full);
+
+        let mut st = k.init();
+        for _ in 0..7 {
+            k.step(&mut st);
+        }
+        let mut resumed = k.decode(&k.encode(&st)).unwrap();
+        k.run_to_completion(&mut resumed);
+        assert_eq!(full, resumed);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let k = kernel();
+        let mut st = k.init();
+        k.step(&mut st);
+        assert_eq!(k.decode(&k.encode(&st)).unwrap(), st);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let k = kernel();
+        let bytes = k.encode(&k.init());
+        assert!(k.decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

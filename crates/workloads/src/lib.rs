@@ -1,0 +1,33 @@
+//! # canary-workloads
+//!
+//! The five application workloads of the paper's evaluation (§V-C.2) in
+//! two complementary forms:
+//!
+//! - **Specs** ([`spec::WorkloadSpec`]): state sequences with reference
+//!   durations and checkpoint payload sizes, consumed by the platform
+//!   simulation (deep learning, web service, Spark data mining, data
+//!   compression, graph BFS).
+//! - **Kernels** ([`kernels`]): real, resumable compute implementations of
+//!   the same applications (mini SGD trainer, census query engine,
+//!   diversity-index mining, RLE compressor, implicit-binary-tree BFS)
+//!   whose states round-trip through the checkpoint [`codec`], used by the
+//!   runnable examples to demonstrate kill/restore with bit-identical
+//!   results.
+
+pub mod codec;
+pub mod data;
+pub mod kernels;
+pub mod spec;
+
+pub use codec::{CodecError, Decoder, Encoder};
+pub use data::{shannon_index, simpson_index, CensusData, CountyRow, NUM_GROUPS};
+pub use kernels::{
+    bfs::BfsKernel,
+    compression::CompressionKernel,
+    diversity::DiversityKernel,
+    training::TrainingKernel,
+    webquery::WebQueryKernel,
+    wordcount::{MapKernel, ReduceKernel},
+    Resumable,
+};
+pub use spec::{RuntimeKind, StateSpec, WorkloadKind, WorkloadSpec};

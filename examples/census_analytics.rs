@@ -1,0 +1,59 @@
+//! Spark-style census data mining with checkpointed aggregation — the
+//! paper's data-mining workload: compute the diversity index at the
+//! local (county) and national level over (synthetic) US census data,
+//! checkpointing after every location batch.
+//!
+//! The run is deliberately interrupted twice; each time, the aggregation
+//! state is restored from its checkpoint bytes and the analysis
+//! continues. The final report must match an uninterrupted run exactly.
+//!
+//! ```sh
+//! cargo run --release -p canary-experiments --example census_analytics
+//! ```
+
+use canary_workloads::{CensusData, DiversityKernel, Resumable};
+
+fn main() {
+    // 3142 counties over 51 "states", like the 2017 census file.
+    let data = CensusData::generate(3142, 51, 2017);
+    let kernel = DiversityKernel::new(data, 100); // checkpoint per 100 counties
+
+    // Uninterrupted reference.
+    let mut reference = kernel.init();
+    while kernel.step(&mut reference) {}
+    let ref_report = kernel.report(&reference);
+
+    // Interrupted run: die after steps 7 and 19, restore from bytes.
+    let mut state = kernel.init();
+    let mut steps = 0u32;
+    loop {
+        let more = kernel.step(&mut state);
+        let checkpoint = kernel.encode(&state);
+        steps += 1;
+        if steps == 7 || steps == 19 {
+            println!(
+                "container killed after batch {steps} ({} counties aggregated)",
+                state.next
+            );
+            // Lose the in-memory state; restore from the checkpoint.
+            state = kernel.decode(&checkpoint).expect("decode");
+        }
+        if !more {
+            break;
+        }
+    }
+    let report = kernel.report(&state);
+
+    println!("counties analysed:  {}", state.county_indices.len());
+    println!("mean local Shannon: {:.4}", report.mean_local);
+    println!("national Shannon:   {:.4}", report.national);
+    println!("most diverse county: #{}", report.most_diverse);
+
+    assert_eq!(ref_report, report, "interrupted run must match reference");
+    assert_eq!(
+        kernel.digest(&reference),
+        kernel.digest(&state),
+        "digests must match"
+    );
+    println!("OK: twice-interrupted analysis matches the uninterrupted run");
+}

@@ -1,0 +1,69 @@
+//! Graph search at the paper's scale: BFS over a 50-million-vertex
+//! binary tree, checkpointing every one million traversed vertices
+//! (SeBS 501.graph-bfs, §V-C.2) — with a mid-traversal kill and restore.
+//!
+//! ```sh
+//! cargo run --release -p canary-experiments --example graph_search
+//! ```
+
+use canary_workloads::{BfsKernel, Resumable};
+use std::time::Instant;
+
+fn main() {
+    let kernel = BfsKernel::paper(); // 50 M vertices, 1 M per checkpoint
+    println!(
+        "BFS over a binary tree: {} vertices, checkpoint every {} ({} segments)",
+        kernel.vertices,
+        kernel.segment,
+        kernel.num_steps()
+    );
+
+    // Uninterrupted traversal (the reference).
+    let t0 = Instant::now();
+    let mut reference = kernel.init();
+    while kernel.step(&mut reference) {}
+    let full_time = t0.elapsed();
+    println!(
+        "uninterrupted traversal: {:?} ({:.1} Mvertices/s)",
+        full_time,
+        kernel.vertices as f64 / full_time.as_secs_f64() / 1e6
+    );
+
+    // Interrupted traversal: kill at 23 M vertices, restore, finish.
+    let mut state = kernel.init();
+    while kernel.step(&mut state) {
+        let checkpoint = kernel.encode(&state);
+        if state.next == 23_000_000 {
+            println!("killed at vertex {} — restoring from checkpoint", state.next);
+            state = kernel.decode(&checkpoint).expect("decode");
+        }
+    }
+
+    // Depth histogram sanity: a complete binary tree has 2^d vertices at
+    // depth d (except the last, partial level).
+    let levels: Vec<u64> = state
+        .level_counts
+        .iter()
+        .copied()
+        .take_while(|&c| c > 0)
+        .collect();
+    println!("tree depth: {} levels", levels.len());
+    for (d, &c) in levels.iter().enumerate().take(6) {
+        println!("  depth {d}: {c} vertices");
+    }
+    assert_eq!(levels[0], 1);
+    for d in 1..levels.len() - 1 {
+        assert_eq!(levels[d], 2 * levels[d - 1], "complete level {d}");
+    }
+
+    assert_eq!(
+        kernel.digest(&reference),
+        kernel.digest(&state),
+        "interrupted traversal must visit exactly the same vertices"
+    );
+    println!(
+        "OK: traversal digests match (visited {} vertices, digest {:#018x})",
+        state.next,
+        kernel.digest(&state)
+    );
+}

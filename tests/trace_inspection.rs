@@ -1,0 +1,130 @@
+//! Trace-based behavioural tests: the opt-in execution trace must let an
+//! operator reconstruct exactly how each failure was handled.
+
+use canary_baselines::RetryStrategy;
+use canary_cluster::{Cluster, FailureModel};
+use canary_core::CanaryStrategy;
+use canary_platform::{run, FnId, FtStrategy, JobSpec, RunConfig, RunResult, TraceKind};
+use canary_workloads::WorkloadSpec;
+
+fn traced_run(strategy: &mut dyn FtStrategy, rate: f64, seed: u64) -> RunResult {
+    let mut cfg = RunConfig::new(
+        Cluster::chameleon_16(),
+        FailureModel::with_error_rate(rate),
+        seed,
+    );
+    cfg.trace = true;
+    run(
+        cfg,
+        vec![JobSpec::new(WorkloadSpec::web_service(10), 40)],
+        strategy,
+    )
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let cfg = RunConfig::new(
+        Cluster::chameleon_16(),
+        FailureModel::with_error_rate(0.2),
+        1,
+    );
+    let r = run(
+        cfg,
+        vec![JobSpec::new(WorkloadSpec::web_service(5), 10)],
+        &mut RetryStrategy::new(),
+    );
+    assert!(r.trace.events.is_empty());
+}
+
+#[test]
+fn trace_is_time_ordered_and_complete() {
+    let r = traced_run(&mut RetryStrategy::new(), 0.25, 2);
+    assert!(!r.trace.events.is_empty());
+    // Nondecreasing timestamps.
+    assert!(r
+        .trace
+        .events
+        .windows(2)
+        .all(|w| w[0].at <= w[1].at));
+    // One JobSubmitted; one FunctionCompleted per function.
+    assert_eq!(
+        r.trace.count(|k| matches!(k, TraceKind::JobSubmitted { .. })),
+        1
+    );
+    assert_eq!(
+        r.trace
+            .count(|k| matches!(k, TraceKind::FunctionCompleted { .. })),
+        40
+    );
+    // Failure events match the counters.
+    assert_eq!(
+        r.trace.count(|k| matches!(k, TraceKind::AttemptFailed { .. })) as u64,
+        r.counters.function_failures
+    );
+}
+
+#[test]
+fn every_function_story_reads_correctly() {
+    // Per function: attempts alternate start → (fail → start)* → complete,
+    // and attempt numbers increase.
+    let r = traced_run(&mut RetryStrategy::new(), 0.3, 3);
+    for f in &r.fns {
+        let story = r.trace.for_function(f.id);
+        assert!(matches!(story[0].kind, TraceKind::AttemptStarted { .. }));
+        assert!(matches!(
+            story.last().unwrap().kind,
+            TraceKind::FunctionCompleted { .. }
+        ));
+        let starts = story
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::AttemptStarted { .. }))
+            .count();
+        let fails = story
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::AttemptFailed { .. }))
+            .count();
+        assert_eq!(starts, fails + 1, "{}: {} starts {} fails", f.id, starts, fails);
+        assert_eq!(starts as u32, f.attempts);
+    }
+}
+
+#[test]
+fn canary_recoveries_show_warm_resumes() {
+    let r = traced_run(&mut CanaryStrategy::default_dr(), 0.3, 5);
+    // Replicas were spawned and became warm.
+    assert!(r.trace.count(|k| matches!(k, TraceKind::WarmPoolSpawned { .. })) > 0);
+    assert!(r.trace.count(|k| matches!(k, TraceKind::WarmPoolReady { .. })) > 0);
+    // Some attempt starts are warm resumes.
+    let warm_starts = r.trace.count(
+        |k| matches!(k, TraceKind::AttemptStarted { warm: true, .. }),
+    );
+    assert_eq!(warm_starts as u64, r.counters.warm_recoveries);
+    // And a failed function's next start is the warm resume.
+    let failed_fn: FnId = r
+        .trace
+        .events
+        .iter()
+        .find_map(|e| match e.kind {
+            TraceKind::AttemptFailed { fn_id, .. } => Some(fn_id),
+            _ => None,
+        })
+        .expect("some failure at 30%");
+    let story = r.trace.for_function(failed_fn);
+    let fail_pos = story
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::AttemptFailed { .. }))
+        .unwrap();
+    assert!(matches!(
+        story[fail_pos + 1].kind,
+        TraceKind::AttemptStarted { .. }
+    ));
+}
+
+#[test]
+fn trace_renders_readably() {
+    let r = traced_run(&mut CanaryStrategy::default_dr(), 0.25, 7);
+    let text = r.trace.render(usize::MAX);
+    assert!(text.contains("submit"));
+    assert!(text.contains("start"));
+    assert!(text.contains("complete"));
+}

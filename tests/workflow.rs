@@ -1,0 +1,112 @@
+//! Workflow chaining tests: multi-stage jobs (§I's motivating MapReduce /
+//! DL-pipeline pattern) where each stage is admitted only after its
+//! prerequisite stage completes.
+
+use canary_baselines::{IdealStrategy, RetryStrategy};
+use canary_cluster::{Cluster, FailureModel};
+use canary_core::CanaryStrategy;
+use canary_platform::{run, FtStrategy, JobSpec, RunConfig, RunResult};
+use canary_workloads::WorkloadSpec;
+
+/// A two-stage map→reduce batch: 40 mappers, then 10 reducers.
+fn mapreduce() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(WorkloadSpec::web_service(10), 40), // mappers
+        JobSpec::chained(WorkloadSpec::spark_mining(8), 10, 0), // reducers
+    ]
+}
+
+fn run_mapreduce(strategy: &mut dyn FtStrategy, rate: f64, seed: u64) -> RunResult {
+    let cfg = RunConfig::new(
+        Cluster::chameleon_16(),
+        FailureModel::with_error_rate(rate),
+        seed,
+    );
+    run(cfg, mapreduce(), strategy)
+}
+
+#[test]
+fn reducers_start_after_mappers_complete() {
+    let r = run_mapreduce(&mut IdealStrategy::new(), 0.0, 1);
+    assert_eq!(r.completed_count(), 50);
+    let mappers = &r.jobs[0];
+    let reducers = &r.jobs[1];
+    assert!(
+        reducers.submitted_at >= mappers.completed_at,
+        "reducers submitted at {} before mappers completed at {}",
+        reducers.submitted_at,
+        mappers.completed_at
+    );
+    // No reducer function launches before the stage boundary.
+    for f in r.fns.iter().filter(|f| f.job == reducers.id) {
+        assert!(f.first_launch >= mappers.completed_at);
+    }
+}
+
+#[test]
+fn three_stage_pipeline_orders_strictly() {
+    let stages = vec![
+        JobSpec::new(WorkloadSpec::web_service(5), 20),
+        JobSpec::chained(WorkloadSpec::web_service(5), 20, 0),
+        JobSpec::chained(WorkloadSpec::web_service(5), 5, 1),
+    ];
+    let cfg = RunConfig::new(Cluster::chameleon_16(), FailureModel::default(), 2);
+    let r = run(cfg, stages, &mut IdealStrategy::new());
+    assert_eq!(r.jobs.len(), 3);
+    for w in r.jobs.windows(2) {
+        assert!(w[1].submitted_at >= w[0].completed_at);
+    }
+}
+
+#[test]
+fn fan_out_dependents_both_trigger() {
+    // One producer, two independent consumer stages.
+    let stages = vec![
+        JobSpec::new(WorkloadSpec::web_service(5), 10),
+        JobSpec::chained(WorkloadSpec::web_service(3), 10, 0),
+        JobSpec::chained(WorkloadSpec::spark_mining(3), 10, 0),
+    ];
+    let cfg = RunConfig::new(Cluster::chameleon_16(), FailureModel::default(), 3);
+    let r = run(cfg, stages, &mut IdealStrategy::new());
+    assert_eq!(r.completed_count(), 30);
+    assert!(r.jobs[1].submitted_at >= r.jobs[0].completed_at);
+    assert!(r.jobs[2].submitted_at >= r.jobs[0].completed_at);
+}
+
+#[test]
+fn stage_failures_delay_downstream_less_under_canary() {
+    // A mapper failure pushes the whole reduce stage back: the paper's
+    // time-sensitivity argument. Canary's fast recovery shrinks the
+    // end-to-end workflow makespan relative to retry.
+    let retry = run_mapreduce(&mut RetryStrategy::new(), 0.3, 7);
+    let canary = run_mapreduce(&mut CanaryStrategy::default_dr(), 0.3, 7);
+    assert_eq!(retry.completed_count(), 50);
+    assert_eq!(canary.completed_count(), 50);
+    assert!(
+        canary.makespan() < retry.makespan(),
+        "canary {} vs retry {}",
+        canary.makespan(),
+        retry.makespan()
+    );
+    // The stage boundary itself moved earlier under Canary.
+    assert!(canary.jobs[1].submitted_at <= retry.jobs[1].submitted_at);
+}
+
+#[test]
+fn chained_workflows_are_deterministic() {
+    let a = run_mapreduce(&mut CanaryStrategy::default_dr(), 0.2, 11);
+    let b = run_mapreduce(&mut CanaryStrategy::default_dr(), 0.2, 11);
+    assert_eq!(a.makespan(), b.makespan());
+    assert_eq!(a.jobs[1].submitted_at, b.jobs[1].submitted_at);
+}
+
+#[test]
+#[should_panic(expected = "earlier batch entry")]
+fn forward_chain_rejected() {
+    let stages = vec![
+        JobSpec::chained(WorkloadSpec::web_service(2), 5, 1), // forward ref
+        JobSpec::new(WorkloadSpec::web_service(2), 5),
+    ];
+    let cfg = RunConfig::new(Cluster::homogeneous(2), FailureModel::default(), 1);
+    run(cfg, stages, &mut IdealStrategy::new());
+}
