@@ -8,10 +8,10 @@
 //! activated standby restarts the stateful function from the beginning,
 //! which is why its execution time trails Canary by up to 34%.
 
+use canary_container::{ContainerId, ContainerState};
 use canary_platform::{
     FailureInfo, FnId, FtStrategy, JobId, Platform, RecoveryPlan, RecoveryTarget,
 };
-use canary_container::{ContainerId, ContainerState};
 use canary_sim::SimDuration;
 use std::collections::HashMap;
 
@@ -89,6 +89,8 @@ impl FtStrategy for ActiveStandbyStrategy {
                     resume_from_state: 0, // AS keeps no checkpoints
                     delay: detection + self.activation_delay,
                     target: RecoveryTarget::WarmContainer(standby),
+                    detect: detection,
+                    restore: SimDuration::ZERO,
                 };
             }
             // Standby not usable (still initializing or lost): release it.
@@ -100,6 +102,8 @@ impl FtStrategy for ActiveStandbyStrategy {
             resume_from_state: 0,
             delay: detection,
             target: RecoveryTarget::FreshContainer,
+            detect: detection,
+            restore: SimDuration::ZERO,
         }
     }
 

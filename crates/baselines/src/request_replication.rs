@@ -8,9 +8,8 @@
 //! which is why RR's cost reaches 2.7× Canary's; when every clone dies the
 //! whole request restarts from scratch.
 
-use canary_platform::{
-    FailureInfo, FnId, FtStrategy, Platform, RecoveryPlan, RecoveryTarget,
-};
+use canary_platform::{FailureInfo, FnId, FtStrategy, Platform, RecoveryPlan, RecoveryTarget};
+use canary_sim::SimDuration;
 
 /// First-response-wins replicated execution.
 #[derive(Debug)]
@@ -51,10 +50,13 @@ impl FtStrategy for RequestReplicationStrategy {
     ) -> RecoveryPlan {
         // All clones died; relaunch the full replicated request from the
         // beginning (there are no checkpoints in RR).
+        let detect = platform.config().detection_delay;
         RecoveryPlan {
             resume_from_state: 0,
-            delay: platform.config().detection_delay,
+            delay: detect,
             target: RecoveryTarget::FreshContainer,
+            detect,
+            restore: SimDuration::ZERO,
         }
     }
 }

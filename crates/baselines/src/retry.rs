@@ -5,9 +5,8 @@
 //! the cold start again, and repeating until an attempt survives. This is
 //! the paper's primary comparison point.
 
-use canary_platform::{
-    FailureInfo, FnId, FtStrategy, Platform, RecoveryPlan, RecoveryTarget,
-};
+use canary_platform::{FailureInfo, FnId, FtStrategy, Platform, RecoveryPlan, RecoveryTarget};
+use canary_sim::SimDuration;
 
 /// Restart-from-scratch recovery.
 #[derive(Debug, Default)]
@@ -31,10 +30,13 @@ impl FtStrategy for RetryStrategy {
         _fn_id: FnId,
         _failure: FailureInfo,
     ) -> RecoveryPlan {
+        let detect = platform.config().detection_delay;
         RecoveryPlan {
             resume_from_state: 0, // everything is lost
-            delay: platform.config().detection_delay,
+            delay: detect,
             target: RecoveryTarget::FreshContainer,
+            detect,
+            restore: SimDuration::ZERO, // nothing to restore
         }
     }
 }
@@ -69,10 +71,13 @@ impl FtStrategy for IdealStrategy {
             "ideal scenario must run with failures disabled"
         );
         let _ = fn_id;
+        let detect = platform.config().detection_delay;
         RecoveryPlan {
             resume_from_state: 0,
-            delay: platform.config().detection_delay,
+            delay: detect,
             target: RecoveryTarget::FreshContainer,
+            detect,
+            restore: SimDuration::ZERO,
         }
     }
 }

@@ -41,7 +41,10 @@ fn ideal_run_completes_everything_without_failures() {
 fn retry_run_completes_despite_failures() {
     let r = run_retry(100, 0.25, 2);
     assert_eq!(r.completed_count(), 100);
-    assert!(r.counters.function_failures > 0, "failures should occur at 25%");
+    assert!(
+        r.counters.function_failures > 0,
+        "failures should occur at 25%"
+    );
     assert!(r.total_recovery() > SimDuration::ZERO);
     // Every failed function eventually completed with extra attempts.
     for f in &r.fns {
@@ -71,8 +74,7 @@ fn runs_are_deterministic() {
     assert!((a.gb_seconds() - b.gb_seconds()).abs() < 1e-9);
     let c = run_retry(60, 0.2, 8);
     assert_ne!(
-        a.counters.function_failures,
-        c.counters.function_failures,
+        a.counters.function_failures, c.counters.function_failures,
         "different seeds should draw different failure schedules"
     );
 }
@@ -98,13 +100,8 @@ fn identical_failure_schedule_across_strategies() {
         11,
     );
     let as_run = run(cfg, web_job(100), &mut ActiveStandbyStrategy::new());
-    let retry_first_attempt_failures: Vec<_> = retry
-        .fns
-        .iter()
-        .map(|f| f.failures > 0)
-        .collect();
-    let as_first_attempt_failures: Vec<_> =
-        as_run.fns.iter().map(|f| f.failures > 0).collect();
+    let retry_first_attempt_failures: Vec<_> = retry.fns.iter().map(|f| f.failures > 0).collect();
+    let as_first_attempt_failures: Vec<_> = as_run.fns.iter().map(|f| f.failures > 0).collect();
     assert_eq!(retry_first_attempt_failures, as_first_attempt_failures);
 }
 
@@ -188,11 +185,7 @@ fn node_failures_are_survived() {
 #[test]
 fn makespan_improves_with_cluster_size() {
     let mk = |nodes: u32| {
-        let cfg = RunConfig::new(
-            Cluster::heterogeneous(nodes),
-            FailureModel::default(),
-            29,
-        );
+        let cfg = RunConfig::new(Cluster::heterogeneous(nodes), FailureModel::default(), 29);
         run(cfg, web_job(400), &mut IdealStrategy::new())
     };
     let one = mk(1);

@@ -4,9 +4,7 @@
 //! engine, Canary modules, and baselines together.
 
 use canary_bench::bench_options;
-use canary_experiments::figures::{
-    fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8, fig9,
-};
+use canary_experiments::figures::{fig10, fig11, fig12, fig4, fig5, fig6, fig7, fig8, fig9};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

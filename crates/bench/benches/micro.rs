@@ -73,7 +73,8 @@ fn bench_kvstore(c: &mut Criterion) {
         b.iter(|| {
             let kv = ReplicatedKv::new(3, StoreConfig::default());
             for i in 0..1_000u32 {
-                kv.put(&format!("k{i}"), Bytes::from(vec![0u8; 256])).unwrap();
+                kv.put(&format!("k{i}"), Bytes::from(vec![0u8; 256]))
+                    .unwrap();
             }
             black_box(kv.len())
         })
@@ -132,5 +133,11 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_rng, bench_kvstore, bench_kernels);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_kvstore,
+    bench_kernels
+);
 criterion_main!(benches);

@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn empirical_rate_matches() {
         let inj = FailureInjector::new(FailureModel::with_error_rate(0.15), 42);
-        let fails = (0..20_000u64).filter(|&f| inj.attempt(f, 0).is_some()).count();
+        let fails = (0..20_000u64)
+            .filter(|&f| inj.attempt(f, 0).is_some())
+            .count();
         let rate = fails as f64 / 20_000.0;
         assert!((rate - 0.15).abs() < 0.01, "rate {rate}");
     }

@@ -122,6 +122,9 @@ mod tests {
     fn single_node_broadcast_is_zero() {
         let net = NetworkModel::default();
         let c = Cluster::homogeneous(1);
-        assert_eq!(net.broadcast_time(&c, NodeId(0), 1_000_000), SimDuration::ZERO);
+        assert_eq!(
+            net.broadcast_time(&c, NodeId(0), 1_000_000),
+            SimDuration::ZERO
+        );
     }
 }

@@ -107,10 +107,7 @@ impl StorageHierarchy {
         if bytes <= self.kv_entry_limit {
             StorageTier::KvStore
         } else {
-            *self
-                .spill_tiers
-                .first()
-                .unwrap_or(&StorageTier::Nfs)
+            *self.spill_tiers.first().unwrap_or(&StorageTier::Nfs)
         }
     }
 

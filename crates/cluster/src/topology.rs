@@ -120,8 +120,7 @@ mod tests {
     #[test]
     fn heterogeneous_mixes_classes() {
         let c = Cluster::heterogeneous(6);
-        let classes: std::collections::HashSet<_> =
-            c.nodes().iter().map(|n| n.cpu).collect();
+        let classes: std::collections::HashSet<_> = c.nodes().iter().map(|n| n.cpu).collect();
         assert_eq!(classes.len(), 3);
     }
 

@@ -180,9 +180,10 @@ impl FunctionContext {
             name: name.to_string(),
             payload,
         };
-        self.service
-            .kv
-            .put(&format!("api/state/{:016}", self.fn_id), encode_state(&state))?;
+        self.service.kv.put(
+            &format!("api/state/{:016}", self.fn_id),
+            encode_state(&state),
+        )?;
         self.seq += 1;
         Ok(state.seq)
     }
@@ -273,15 +274,22 @@ mod tests {
     #[test]
     fn recover_unknown_function_fails() {
         let svc = StateService::new(2);
-        assert!(matches!(svc.recover(99), Err(ApiError::NoState { fn_id: 99 })));
+        assert!(matches!(
+            svc.recover(99),
+            Err(ApiError::NoState { fn_id: 99 })
+        ));
     }
 
     #[test]
     fn critical_data_round_trip() {
         let svc = StateService::new(2);
         let ctx = svc.context(3);
-        ctx.register_critical("model", Bytes::from_static(b"w")).unwrap();
-        assert_eq!(svc.critical_data(3, "model").unwrap(), Bytes::from_static(b"w"));
+        ctx.register_critical("model", Bytes::from_static(b"w"))
+            .unwrap();
+        assert_eq!(
+            svc.critical_data(3, "model").unwrap(),
+            Bytes::from_static(b"w")
+        );
         assert!(svc.critical_data(3, "missing").is_err());
     }
 
@@ -289,7 +297,8 @@ mod tests {
     fn state_survives_member_crash() {
         let svc = StateService::new(3);
         let mut ctx = svc.context(1);
-        ctx.register_state("s", Bytes::from_static(b"alive")).unwrap();
+        ctx.register_state("s", Bytes::from_static(b"alive"))
+            .unwrap();
         svc.kv().fail_node(0).unwrap();
         let (_, state) = svc.recover(1).unwrap();
         assert_eq!(state.payload, Bytes::from_static(b"alive"));

@@ -44,6 +44,11 @@ pub struct RestoreInfo {
     pub resume_from_state: u32,
     /// Time to locate and read the checkpoint back.
     pub duration: SimDuration,
+    /// Payload size read back.
+    pub bytes: u64,
+    /// Tier the payload is read from (the shared tier after a node
+    /// loss took the local copy down with it).
+    pub tier: StorageTier,
 }
 
 /// The Checkpointing Module.
@@ -199,7 +204,7 @@ impl CheckpointingModule {
     /// stride counts completed states, so every `stride`-th completion
     /// (1-based) checkpoints.
     pub fn is_checkpoint_state(&self, state_idx: u32, stride: u32) -> bool {
-        stride <= 1 || (state_idx + 1) % stride == 0
+        stride <= 1 || (state_idx + 1).is_multiple_of(stride)
     }
 
     /// Restore plan for a failed function. `node_lost` selects the
@@ -223,7 +228,15 @@ impl CheckpointingModule {
         Some(RestoreInfo {
             resume_from_state: row.state_index + 1,
             duration,
+            bytes: row.bytes,
+            tier: read_tier,
         })
+    }
+
+    /// Tier a checkpoint of `spec_bytes` lands on (for trace events).
+    /// Pure, mirroring the placement done by [`Self::record`].
+    pub fn placement_tier(&self, spec_bytes: u64) -> StorageTier {
+        self.hierarchy.place(self.effective_bytes(spec_bytes))
     }
 
     /// Dynamic window adjustment (§IV-C.4b): very large checkpoints shrink
@@ -421,14 +434,15 @@ mod tests {
         assert_eq!(m.stride_for(SimDuration::from_secs(12), 1024), 1);
         // ResNet50-sized checkpoint on a 12 s epoch still fits the 10%
         // budget (pmem write ≈ 50 ms).
-        assert_eq!(m.stride_for(SimDuration::from_secs(12), 98 * 1024 * 1024), 1);
+        assert_eq!(
+            m.stride_for(SimDuration::from_secs(12), 98 * 1024 * 1024),
+            1
+        );
         // The same payload on a 100 ms state blows the budget: stride up.
         let stride = m.stride_for(SimDuration::from_millis(100), 98 * 1024 * 1024);
         assert!(stride > 1, "stride {stride}");
         // Monotone: bigger payloads never lower the stride.
-        assert!(
-            m.stride_for(SimDuration::from_millis(100), 200 * 1024 * 1024) >= stride
-        );
+        assert!(m.stride_for(SimDuration::from_millis(100), 200 * 1024 * 1024) >= stride);
     }
 
     #[test]

@@ -6,20 +6,27 @@
 //! scheduled function's state, detects failures, and drives end-to-end
 //! recovery: locate the latest checkpoint, pick the best replicated
 //! runtime, restore, and resume.
+//!
+//! Every decision is observable: validator verdicts, checkpoint writes
+//! and restores, recovery plans (with their detect/restore split), and
+//! replica-pool churn are emitted to the opt-in trace and measured in the
+//! telemetry layer, at zero cost when observability is disabled.
 
 use crate::checkpoint::CheckpointingModule;
 use crate::config::CanaryConfig;
-use crate::prediction::FailurePredictor;
 use crate::db::{CanaryDb, FunctionInfoRow, JobInfoRow, WorkerInfoRow};
+use crate::prediction::FailurePredictor;
 use crate::replication::ReplicationModule;
 use crate::runtime_manager::{ReplicaOffer, RuntimeManager};
 use crate::validator::{Admission, PlatformLimits, RequestValidator};
 use canary_cluster::CpuClass;
 use canary_container::ContainerId;
 use canary_platform::{
-    FailureInfo, FailureKind, FnId, FtStrategy, JobId, Platform, RecoveryPlan, RecoveryTarget,
+    Counter, FailureInfo, FailureKind, FnId, FtStrategy, JobId, Phase, Platform, RecoveryPlan,
+    RecoveryTarget, TraceKind,
 };
 use canary_sim::{SimDuration, SimTime};
+use canary_workloads::RuntimeKind;
 use std::sync::Arc;
 
 fn cpu_ordinal(c: CpuClass) -> u8 {
@@ -129,14 +136,50 @@ impl CanaryStrategy {
 
     /// Recovery-time budget for migrating a function onto a runtime and
     /// restoring the checkpoint, given the failure kind.
-    fn restore_plan(&mut self, platform: &mut Platform, fn_id: FnId, failure: &FailureInfo) -> (u32, SimDuration) {
+    fn restore_plan(
+        &mut self,
+        platform: &mut Platform,
+        fn_id: FnId,
+        failure: &FailureInfo,
+    ) -> (u32, SimDuration) {
         let node_lost = failure.kind == FailureKind::NodeCrash;
         match self.checkpointing.restore_info(fn_id.0, node_lost) {
             Some(info) => {
                 platform.note_restore();
+                platform.emit(TraceKind::CheckpointRestored {
+                    fn_id,
+                    state: info.resume_from_state,
+                    bytes: info.bytes,
+                    tier: info.tier,
+                });
+                let tel = platform.telemetry_mut();
+                tel.observe(Phase::CheckpointRestore, info.duration);
+                tel.incr(Counter::CheckpointsRestored);
                 (info.resume_from_state, info.duration)
             }
             None => (0, SimDuration::ZERO),
+        }
+    }
+
+    /// Run pool reconciliation for `runtime` and record the outcome in the
+    /// trace/telemetry (observation only — the pool change itself is
+    /// identical to calling [`ReplicationModule::reconcile`] directly).
+    fn reconcile_pool(&mut self, platform: &mut Platform, runtime: RuntimeKind) {
+        let risky = self.risky_nodes(platform.now());
+        let (spawned, reclaimed) =
+            self.replication
+                .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+        if spawned > 0 || reclaimed > 0 {
+            platform.emit(TraceKind::ReplicaRefreshed {
+                spawned: spawned as u32,
+                reclaimed: reclaimed as u32,
+            });
+        }
+        if spawned > 0 {
+            platform.counters_mut().replicas_refreshed += spawned as u64;
+            platform
+                .telemetry_mut()
+                .add(Counter::ReplicasRefreshed, spawned as u64);
         }
     }
 }
@@ -164,10 +207,27 @@ impl FtStrategy for CanaryStrategy {
         // Request validation (§IV-C.2). The engine has already sized the
         // batch within platform limits for our experiments; an invalid
         // request here is a harness bug.
-        let spec = canary_platform::JobSpec::new((*platform.job(job).workload).clone(), invocations);
+        let spec =
+            canary_platform::JobSpec::new((*platform.job(job).workload).clone(), invocations);
         match self.validator.admit(&spec, 0) {
-            Ok(Admission::Admit) | Ok(Admission::Queue) => {}
-            Err(e) => panic!("request validation failed for {job}: {e}"),
+            Ok(Admission::Admit) => {}
+            Ok(Admission::Queue) => {
+                // The validator would hold the job for headroom. Our
+                // experiments size account limits so jobs always fit, so
+                // the hold is recorded and immediately released — the
+                // simulated schedule is unchanged either way.
+                platform.emit(TraceKind::JobQueued { job });
+                platform.counters_mut().jobs_queued += 1;
+                platform.telemetry_mut().incr(Counter::JobsQueued);
+                platform.emit(TraceKind::JobDequeued { job });
+                platform.telemetry_mut().incr(Counter::JobsDequeued);
+            }
+            Err(e) => {
+                platform.emit(TraceKind::JobRejected { job });
+                platform.counters_mut().jobs_rejected += 1;
+                platform.telemetry_mut().incr(Counter::JobsRejected);
+                panic!("request validation failed for {job}: {e}")
+            }
         }
 
         self.db
@@ -202,9 +262,7 @@ impl FtStrategy for CanaryStrategy {
         self.checkpointing.adjust_window_for(bytes, states);
         self.replication.note_job(runtime, memory);
         // Algorithm 2 runs at job submission.
-        let risky = self.risky_nodes(platform.now());
-        self.replication
-            .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+        self.reconcile_pool(platform, runtime);
     }
 
     fn state_overhead(&self, platform: &Platform, fn_id: FnId, state_idx: u32) -> SimDuration {
@@ -235,10 +293,21 @@ impl FtStrategy for CanaryStrategy {
             return; // not a checkpoint boundary under the adapted stride
         }
         let effective = self.checkpointing.effective_bytes(state.ckpt_bytes);
+        let tier = self.checkpointing.placement_tier(state.ckpt_bytes);
         self.checkpointing
             .record(job.0, fn_id.0, state_idx, state.ckpt_bytes, at)
             .expect("checkpoint record");
         platform.note_checkpoint(effective);
+        platform.emit(TraceKind::CheckpointWritten {
+            fn_id,
+            state: state_idx,
+            bytes: effective,
+            tier,
+        });
+        let cost = self.checkpointing.write_cost(state.ckpt_bytes);
+        let tel = platform.telemetry_mut();
+        tel.observe(Phase::CheckpointWrite, cost);
+        tel.incr(Counter::CheckpointsWritten);
     }
 
     fn on_failure(
@@ -272,6 +341,8 @@ impl FtStrategy for CanaryStrategy {
                     resume_from_state,
                     delay: detect + migrate + restore,
                     target: RecoveryTarget::WarmContainer(container),
+                    detect,
+                    restore,
                 }
             }
             Some(ReplicaOffer::Pending(container, ready_at)) => {
@@ -284,6 +355,8 @@ impl FtStrategy for CanaryStrategy {
                     resume_from_state,
                     delay: detect + wait + migrate + restore,
                     target: RecoveryTarget::WarmContainer(container),
+                    detect,
+                    restore,
                 }
             }
             None => {
@@ -293,6 +366,8 @@ impl FtStrategy for CanaryStrategy {
                     resume_from_state,
                     delay: detect + restore,
                     target: RecoveryTarget::FreshContainer,
+                    detect,
+                    restore,
                 }
             }
         };
@@ -300,9 +375,7 @@ impl FtStrategy for CanaryStrategy {
         // Replace consumed capacity (the Runtime Manager "creates a new
         // replica if an active function is deployed with the same
         // runtime", §IV-C.5).
-        let risky = self.risky_nodes(platform.now());
-        self.replication
-            .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+        self.reconcile_pool(platform, runtime);
 
         // Track the failed function's row.
         let job = platform.fn_record(fn_id).job;
@@ -324,10 +397,8 @@ impl FtStrategy for CanaryStrategy {
 
     fn on_containers_lost(&mut self, platform: &mut Platform, lost: &[ContainerId]) {
         let affected = self.runtime_manager.note_lost(lost);
-        let risky = self.risky_nodes(platform.now());
         for runtime in affected {
-            self.replication
-                .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+            self.reconcile_pool(platform, runtime);
         }
     }
 
@@ -349,9 +420,7 @@ impl FtStrategy for CanaryStrategy {
             .expect("function row");
         // Shrink the pool as work drains (dynamic policies track active
         // functions downward too).
-        let risky = self.risky_nodes(platform.now());
-        self.replication
-            .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+        self.reconcile_pool(platform, runtime);
     }
 
     fn on_run_end(&mut self, platform: &mut Platform) {
@@ -363,5 +432,12 @@ impl FtStrategy for CanaryStrategy {
             }
         }
         self.checkpointing.flush_barrier();
+        // Export the metadata database's per-table traffic into the run's
+        // telemetry snapshot.
+        let stats = self.db.table_stats();
+        let tel = platform.telemetry_mut();
+        for (table, reads, writes) in stats {
+            tel.set_table_stats(table, reads, writes);
+        }
     }
 }

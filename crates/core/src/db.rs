@@ -4,13 +4,16 @@
 //! `worker_info`, `job_info`, `function_info`, `checkpoint_info`, and
 //! `replication_info`. Here each table is a typed row codec over the
 //! replicated KV store, under a per-table key prefix, so metadata survives
-//! node failures exactly like checkpoints do.
+//! node failures exactly like checkpoints do. Each table also counts its
+//! reads and writes ([`CanaryDb::table_stats`]), surfaced through the
+//! telemetry snapshot at the end of an observed run.
 
+use bytes::Bytes;
 use canary_kvstore::{KvError, ReplicatedKv, StoreConfig};
 use canary_workloads::{CodecError, Decoder, Encoder, RuntimeKind};
-use bytes::Bytes;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Database errors.
 #[derive(Debug)]
@@ -264,13 +267,42 @@ row_codec!(ReplicationInfoRow, 1,
     }
 );
 
+/// Per-table read/write traffic, tracked with atomics because reads go
+/// through `&self` (the db is shared behind an `Arc`).
+#[derive(Debug, Default)]
+struct TableTraffic {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// Table index into [`CanaryDb::traffic`]; order matches
+/// [`CanaryDb::TABLES`].
+const T_WORKER: usize = 0;
+const T_JOB: usize = 1;
+const T_FUNCTION: usize = 2;
+const T_CHECKPOINT: usize = 3;
+const T_REPLICATION: usize = 4;
+const T_PAYLOAD: usize = 5;
+
 /// The five-table metadata database over the replicated KV store.
 #[derive(Debug)]
 pub struct CanaryDb {
     kv: ReplicatedKv,
+    traffic: [TableTraffic; 6],
 }
 
 impl CanaryDb {
+    /// Table names, in `table_stats` order: the paper's five tables plus
+    /// the checkpoint-payload namespace.
+    pub const TABLES: [&'static str; 6] = [
+        "worker_info",
+        "job_info",
+        "function_info",
+        "checkpoint_info",
+        "replication_info",
+        "payload",
+    ];
+
     /// New database replicated across `members` cluster members.
     pub fn new(members: usize) -> Self {
         CanaryDb {
@@ -283,7 +315,32 @@ impl CanaryDb {
                     entry_limit: u64::MAX,
                 },
             ),
+            traffic: Default::default(),
         }
+    }
+
+    fn note_read(&self, table: usize) {
+        self.traffic[table].reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_write(&self, table: usize) {
+        self.traffic[table].writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative `(table, reads, writes)` traffic, in [`Self::TABLES`]
+    /// order. Deletions count as writes.
+    pub fn table_stats(&self) -> Vec<(&'static str, u64, u64)> {
+        Self::TABLES
+            .iter()
+            .zip(self.traffic.iter())
+            .map(|(&name, t)| {
+                (
+                    name,
+                    t.reads.load(Ordering::Relaxed),
+                    t.writes.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// The underlying replicated store (shared with the checkpoint
@@ -294,11 +351,15 @@ impl CanaryDb {
 
     /// Insert/overwrite a `worker_info` row.
     pub fn put_worker(&self, row: &WorkerInfoRow) -> Result<(), DbError> {
-        Ok(self.kv.put(&format!("worker/{:08}", row.node_id), row.encode())?)
+        self.note_write(T_WORKER);
+        Ok(self
+            .kv
+            .put(&format!("worker/{:08}", row.node_id), row.encode())?)
     }
 
     /// Read a `worker_info` row.
     pub fn get_worker(&self, node_id: u32) -> Result<WorkerInfoRow, DbError> {
+        self.note_read(T_WORKER);
         Ok(WorkerInfoRow::decode(
             &self.kv.get(&format!("worker/{node_id:08}"))?,
         )?)
@@ -306,16 +367,23 @@ impl CanaryDb {
 
     /// Insert/overwrite a `job_info` row.
     pub fn put_job(&self, row: &JobInfoRow) -> Result<(), DbError> {
-        Ok(self.kv.put(&format!("job/{:08}", row.job_id), row.encode())?)
+        self.note_write(T_JOB);
+        Ok(self
+            .kv
+            .put(&format!("job/{:08}", row.job_id), row.encode())?)
     }
 
     /// Read a `job_info` row.
     pub fn get_job(&self, job_id: u32) -> Result<JobInfoRow, DbError> {
-        Ok(JobInfoRow::decode(&self.kv.get(&format!("job/{job_id:08}"))?)?)
+        self.note_read(T_JOB);
+        Ok(JobInfoRow::decode(
+            &self.kv.get(&format!("job/{job_id:08}"))?,
+        )?)
     }
 
     /// Insert/overwrite a `function_info` row.
     pub fn put_function(&self, row: &FunctionInfoRow) -> Result<(), DbError> {
+        self.note_write(T_FUNCTION);
         Ok(self
             .kv
             .put(&format!("fn/{:016}", row.fn_id), row.encode())?)
@@ -323,6 +391,7 @@ impl CanaryDb {
 
     /// Read a `function_info` row.
     pub fn get_function(&self, fn_id: u64) -> Result<FunctionInfoRow, DbError> {
+        self.note_read(T_FUNCTION);
         Ok(FunctionInfoRow::decode(
             &self.kv.get(&format!("fn/{fn_id:016}"))?,
         )?)
@@ -330,6 +399,7 @@ impl CanaryDb {
 
     /// Insert a `checkpoint_info` row.
     pub fn put_checkpoint(&self, row: &CheckpointInfoRow) -> Result<(), DbError> {
+        self.note_write(T_CHECKPOINT);
         Ok(self.kv.put(
             &format!("ckpt/{:016}/{:016}", row.fn_id, row.ckpt_id),
             row.encode(),
@@ -338,6 +408,7 @@ impl CanaryDb {
 
     /// Delete a `checkpoint_info` row (window eviction).
     pub fn delete_checkpoint(&self, fn_id: u64, ckpt_id: u64) -> Result<(), DbError> {
+        self.note_write(T_CHECKPOINT);
         Ok(self.kv.remove(&format!("ckpt/{fn_id:016}/{ckpt_id:016}"))?)
     }
 
@@ -345,12 +416,16 @@ impl CanaryDb {
     pub fn checkpoints_of(&self, fn_id: u64) -> Result<Vec<CheckpointInfoRow>, DbError> {
         let keys = self.kv.keys_with_prefix(&format!("ckpt/{fn_id:016}/"));
         keys.iter()
-            .map(|k| Ok(CheckpointInfoRow::decode(&self.kv.get(k)?)?))
+            .map(|k| {
+                self.note_read(T_CHECKPOINT);
+                Ok(CheckpointInfoRow::decode(&self.kv.get(k)?)?)
+            })
             .collect()
     }
 
     /// Insert/overwrite a `replication_info` row.
     pub fn put_replica(&self, row: &ReplicationInfoRow) -> Result<(), DbError> {
+        self.note_write(T_REPLICATION);
         Ok(self
             .kv
             .put(&format!("repl/{:016}", row.replica_id), row.encode())?)
@@ -358,6 +433,7 @@ impl CanaryDb {
 
     /// Read a `replication_info` row.
     pub fn get_replica(&self, replica_id: u64) -> Result<ReplicationInfoRow, DbError> {
+        self.note_read(T_REPLICATION);
         Ok(ReplicationInfoRow::decode(
             &self.kv.get(&format!("repl/{replica_id:016}"))?,
         )?)
@@ -366,16 +442,19 @@ impl CanaryDb {
     /// Store a checkpoint payload (small real bytes; sizes are billed via
     /// the storage-tier model separately).
     pub fn put_payload(&self, location: &str, payload: Bytes) -> Result<(), DbError> {
+        self.note_write(T_PAYLOAD);
         Ok(self.kv.put(location, payload)?)
     }
 
     /// Fetch a checkpoint payload.
     pub fn get_payload(&self, location: &str) -> Result<Bytes, DbError> {
+        self.note_read(T_PAYLOAD);
         Ok(self.kv.get(location)?)
     }
 
     /// Delete a checkpoint payload.
     pub fn delete_payload(&self, location: &str) -> Result<(), DbError> {
+        self.note_write(T_PAYLOAD);
         Ok(self.kv.remove(location)?)
     }
 }
@@ -494,6 +573,35 @@ mod tests {
         assert!(rows.windows(2).all(|w| w[0].ckpt_id < w[1].ckpt_id));
         db.delete_checkpoint(7, 0).unwrap();
         assert_eq!(db.checkpoints_of(7).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn table_stats_count_reads_and_writes() {
+        let db = CanaryDb::new(3);
+        db.put_worker(&WorkerInfoRow {
+            node_id: 1,
+            cpu_class: 0,
+            memory_mb: 1,
+            rack: 0,
+            slots: 4,
+        })
+        .unwrap();
+        db.get_worker(1).unwrap();
+        db.get_worker(1).unwrap();
+        db.put_payload("payload/x", Bytes::from_static(b"hi"))
+            .unwrap();
+        db.get_payload("payload/x").unwrap();
+        db.delete_payload("payload/x").unwrap();
+
+        let stats = db.table_stats();
+        assert_eq!(stats.len(), CanaryDb::TABLES.len());
+        let worker = stats.iter().find(|s| s.0 == "worker_info").unwrap();
+        assert_eq!((worker.1, worker.2), (2, 1));
+        let payload = stats.iter().find(|s| s.0 == "payload").unwrap();
+        // Deletions count as writes.
+        assert_eq!((payload.1, payload.2), (1, 2));
+        let job = stats.iter().find(|s| s.0 == "job_info").unwrap();
+        assert_eq!((job.1, job.2), (0, 0));
     }
 
     #[test]

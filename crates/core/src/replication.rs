@@ -125,10 +125,7 @@ impl ReplicationModule {
         risky: &[NodeId],
     ) -> Option<NodeId> {
         let cluster = &platform.config().cluster;
-        let existing_racks: Vec<u32> = existing
-            .iter()
-            .map(|&n| cluster.node(n).rack)
-            .collect();
+        let existing_racks: Vec<u32> = existing.iter().map(|&n| cluster.node(n).rack).collect();
         platform
             .nodes_by_free_slots() // up nodes, most-free first
             .into_iter()

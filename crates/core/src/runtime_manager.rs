@@ -6,8 +6,8 @@
 //! Core Module can pick the best one. Replicas are reserved at assignment
 //! time so two simultaneous failures never race for one container.
 
-use canary_container::ContainerId;
 use canary_cluster::NodeId;
+use canary_container::ContainerId;
 use canary_sim::SimTime;
 use canary_workloads::RuntimeKind;
 use std::collections::{BTreeMap, HashMap};
@@ -16,9 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ReplicaPhase {
     /// Still cold-starting; becomes warm at the recorded time.
-    InFlight {
-        ready_at: SimTime,
-    },
+    InFlight { ready_at: SimTime },
     /// Parked warm, available for assignment.
     Warm,
 }
@@ -207,9 +205,7 @@ impl RuntimeManager {
     pub fn idle_warm(&self, runtime: RuntimeKind) -> Vec<ContainerId> {
         self.replicas
             .iter()
-            .filter(|(_, e)| {
-                e.runtime == runtime && !e.reserved && e.phase == ReplicaPhase::Warm
-            })
+            .filter(|(_, e)| e.runtime == runtime && !e.reserved && e.phase == ReplicaPhase::Warm)
             .map(|(&id, _)| id)
             .collect()
     }

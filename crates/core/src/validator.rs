@@ -73,7 +73,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "batch of {requested} exceeds limit {limit}")
             }
             ValidationError::ConcurrencyImpossible { requested, limit } => {
-                write!(f, "{requested} invocations exceed concurrency quota {limit}")
+                write!(
+                    f,
+                    "{requested} invocations exceed concurrency quota {limit}"
+                )
             }
             ValidationError::EmptyWorkload => write!(f, "workload has no states"),
         }
@@ -158,10 +161,7 @@ impl RequestValidator {
     /// headroom.
     pub fn dequeue_admissible(&mut self, active: u32) -> Option<JobSpec> {
         let headroom = self.limits.max_concurrent.saturating_sub(active);
-        let pos = self
-            .queued
-            .iter()
-            .position(|j| j.invocations <= headroom)?;
+        let pos = self.queued.iter().position(|j| j.invocations <= headroom)?;
         self.queued.remove(pos)
     }
 

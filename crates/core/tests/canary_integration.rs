@@ -22,7 +22,11 @@ fn job(kind: WorkloadKind, n: u32) -> Vec<JobSpec> {
 }
 
 fn run_canary(rate: f64, seed: u64, kind: WorkloadKind, n: u32) -> RunResult {
-    run(cfg(rate, seed), job(kind, n), &mut CanaryStrategy::default_dr())
+    run(
+        cfg(rate, seed),
+        job(kind, n),
+        &mut CanaryStrategy::default_dr(),
+    )
 }
 
 fn run_retry(rate: f64, seed: u64, kind: WorkloadKind, n: u32) -> RunResult {
@@ -121,9 +125,8 @@ fn canary_overhead_over_ideal_is_modest() {
     let kind = WorkloadKind::WebService;
     let ideal = run_ideal(9, kind, 100);
     let canary = run_canary(0.15, 9, kind, 100);
-    let time_overhead =
-        (canary.makespan().as_secs_f64() - ideal.makespan().as_secs_f64())
-            / ideal.makespan().as_secs_f64();
+    let time_overhead = (canary.makespan().as_secs_f64() - ideal.makespan().as_secs_f64())
+        / ideal.makespan().as_secs_f64();
     let cost_overhead = (canary.gb_seconds() - ideal.gb_seconds()) / ideal.gb_seconds();
     assert!(
         time_overhead < 0.5,
@@ -153,8 +156,18 @@ fn replication_strategies_order_costs_and_times() {
     let ar = mk(ReplicationStrategyKind::Aggressive);
     let lr = mk(ReplicationStrategyKind::Lenient);
     let repl = |r: &canary_platform::RunResult| r.gb_seconds_for(ContainerPurpose::Replica);
-    assert!(repl(&ar) > repl(&dr), "AR {} vs DR {}", repl(&ar), repl(&dr));
-    assert!(repl(&dr) > repl(&lr), "DR {} vs LR {}", repl(&dr), repl(&lr));
+    assert!(
+        repl(&ar) > repl(&dr),
+        "AR {} vs DR {}",
+        repl(&ar),
+        repl(&dr)
+    );
+    assert!(
+        repl(&dr) > repl(&lr),
+        "DR {} vs LR {}",
+        repl(&dr),
+        repl(&lr)
+    );
     // LR's single replica forces waits/cold paths at a 30% failure rate.
     assert!(
         lr.total_recovery() >= ar.total_recovery(),
@@ -203,7 +216,10 @@ fn canary_is_deterministic() {
     assert_eq!(a.makespan(), b.makespan());
     assert_eq!(a.total_recovery(), b.total_recovery());
     assert!((a.gb_seconds() - b.gb_seconds()).abs() < 1e-9);
-    assert_eq!(a.counters.checkpoints_written, b.counters.checkpoints_written);
+    assert_eq!(
+        a.counters.checkpoints_written,
+        b.counters.checkpoints_written
+    );
 }
 
 #[test]
@@ -211,10 +227,18 @@ fn recovery_time_stays_flat_as_failure_rate_grows() {
     // Fig. 4's shape: retry grows ~linearly with the failure rate; Canary
     // stays comparatively flat.
     let kind = WorkloadKind::WebService;
-    let retry_low = run_retry(0.05, 23, kind, 100).total_recovery().as_secs_f64();
-    let retry_high = run_retry(0.50, 23, kind, 100).total_recovery().as_secs_f64();
-    let canary_low = run_canary(0.05, 23, kind, 100).total_recovery().as_secs_f64();
-    let canary_high = run_canary(0.50, 23, kind, 100).total_recovery().as_secs_f64();
+    let retry_low = run_retry(0.05, 23, kind, 100)
+        .total_recovery()
+        .as_secs_f64();
+    let retry_high = run_retry(0.50, 23, kind, 100)
+        .total_recovery()
+        .as_secs_f64();
+    let canary_low = run_canary(0.05, 23, kind, 100)
+        .total_recovery()
+        .as_secs_f64();
+    let canary_high = run_canary(0.50, 23, kind, 100)
+        .total_recovery()
+        .as_secs_f64();
     let retry_growth = retry_high / retry_low;
     let canary_growth = canary_high / canary_low.max(1e-9);
     assert!(retry_growth > 5.0, "retry growth {retry_growth:.1}x");
@@ -246,7 +270,11 @@ fn predictor_observes_failing_nodes_and_runs_complete_either_way() {
         proactive: false,
         ..Default::default()
     };
-    let r2 = run(cfg(0.30, 43), job(WorkloadKind::WebService, 80), &mut CanaryStrategy::new(off));
+    let r2 = run(
+        cfg(0.30, 43),
+        job(WorkloadKind::WebService, 80),
+        &mut CanaryStrategy::new(off),
+    );
     assert_eq!(r2.completed_count(), 80);
 }
 
@@ -256,11 +284,7 @@ fn node_crash_marks_node_risky() {
     let mut config = RunConfig::new(Cluster::chameleon_16(), failure, 47);
     config.node_failure_horizon = SimDuration::from_secs(30);
     let mut strategy = CanaryStrategy::default_dr();
-    let r = run(
-        config,
-        job(WorkloadKind::WebService, 100),
-        &mut strategy,
-    );
+    let r = run(config, job(WorkloadKind::WebService, 100), &mut strategy);
     assert!(r.counters.node_failures > 0, "a node should have crashed");
     // A node-level crash is a 10-point signal: it stays above threshold
     // for several half-lives, so history must exist.
@@ -303,8 +327,10 @@ fn checkpoint_frequency_adapts_to_expensive_payloads() {
 
     // The adaptation pays for itself: per-state checkpointing (ratio set
     // absurdly high so stride stays 1) yields a longer makespan.
-    let mut eager = CanaryConfig::default();
-    eager.max_ckpt_overhead_ratio = 1_000.0;
+    let eager = CanaryConfig {
+        max_ckpt_overhead_ratio: 1_000.0,
+        ..Default::default()
+    };
     let eager_run = run(
         cfg(0.30, 53),
         vec![JobSpec::new(heavy, 40)],

@@ -21,4 +21,5 @@ fn main() {
         canary_experiments::emit(name, sets).expect("write results");
     }
     eprintln!("regenerated {} figures in {:?}", figs.len(), t0.elapsed());
+    canary_experiments::export::maybe_export_observed_run().expect("export observability");
 }

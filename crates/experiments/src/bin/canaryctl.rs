@@ -5,7 +5,14 @@
 //!           [--workload dl|web|spark|compress|bfs]
 //!           [--invocations N] [--rate F] [--nodes N] [--seed N]
 //!           [--reps N] [--node-failures F]
+//!           [--trace-out PATH] [--telemetry-out PATH] [--timeline]
 //! ```
+//!
+//! The observability flags run one extra traced+telemetered repetition
+//! of the *first* strategy (at `--seed`) and export it: `--trace-out`
+//! and `--telemetry-out` write JSONL, `--timeline` prints the ASCII
+//! swimlane, the recovery critical-path breakdown, and the telemetry
+//! summary.
 //!
 //! Example: compare Canary against retry on 200 BFS functions at 25%:
 //!
@@ -15,7 +22,7 @@
 //! ```
 
 use canary_core::ReplicationStrategyKind;
-use canary_experiments::{Scenario, StrategyKind, PRICING};
+use canary_experiments::{export, ObsOptions, Scenario, StrategyKind, PRICING};
 use canary_platform::JobSpec;
 use canary_workloads::{WorkloadKind, WorkloadSpec};
 use std::process::exit;
@@ -30,6 +37,7 @@ struct Args {
     seed: u64,
     reps: u64,
     node_failures: f64,
+    obs: ObsOptions,
 }
 
 impl Default for Args {
@@ -47,6 +55,7 @@ impl Default for Args {
             seed: 42,
             reps: 3,
             node_failures: 0.0,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -56,7 +65,8 @@ fn usage() -> ! {
         "usage: canaryctl [--strategy canary|canary-ar|canary-lr|retry|ideal|rr|as]\n\
          \x20                [--workload dl|web|spark|compress|bfs]\n\
          \x20                [--invocations N] [--rate F] [--nodes N] [--seed N]\n\
-         \x20                [--reps N] [--node-failures F]"
+         \x20                [--reps N] [--node-failures F]\n\
+         \x20                [--trace-out PATH] [--telemetry-out PATH] [--timeline]"
     );
     exit(2)
 }
@@ -94,7 +104,13 @@ fn parse_workload(s: &str) -> WorkloadKind {
 fn parse_args() -> Args {
     let mut args = Args::default();
     let mut explicit_strategies: Vec<StrategyKind> = Vec::new();
-    let mut it = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, rest) = ObsOptions::extract(&raw).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
+    args.obs = obs;
+    let mut it = rest.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
             it.next().unwrap_or_else(|| {
@@ -145,7 +161,12 @@ fn main() {
 
     println!(
         "workload={} invocations={} rate={:.0}% nodes={} reps={} seed={}\n",
-        args.workload, args.invocations, args.rate * 100.0, args.nodes, args.reps, args.seed
+        args.workload,
+        args.invocations,
+        args.rate * 100.0,
+        args.nodes,
+        args.reps,
+        args.seed
     );
     println!(
         "{:<12} {:>13} {:>15} {:>12} {:>11} {:>9}",
@@ -162,6 +183,14 @@ fn main() {
             rep.cost().mean,
             rep.worst_cv() * 100.0,
         );
+    }
+    if args.obs.any() {
+        println!();
+        let observed = scenario.run_observed(args.strategies[0], args.seed);
+        export::export_result(&observed, &args.obs).unwrap_or_else(|e| {
+            eprintln!("observability export failed: {e}");
+            exit(1)
+        });
     }
     let _ = PRICING;
 }

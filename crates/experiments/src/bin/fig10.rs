@@ -7,4 +7,5 @@ fn main() {
     let opts = FigureOptions::default();
     let sets = fig10::build(&opts);
     canary_experiments::emit("fig10", &sets).expect("write results");
+    canary_experiments::export::maybe_export_observed_run().expect("export observability");
 }

@@ -7,4 +7,5 @@ fn main() {
     let opts = FigureOptions::default();
     let sets = fig6::build(&opts);
     canary_experiments::emit("fig6", &sets).expect("write results");
+    canary_experiments::export::maybe_export_observed_run().expect("export observability");
 }

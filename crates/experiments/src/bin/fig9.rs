@@ -7,4 +7,5 @@ fn main() {
     let opts = FigureOptions::default();
     let sets = fig9::build(&opts);
     canary_experiments::emit("fig9", &sets).expect("write results");
+    canary_experiments::export::maybe_export_observed_run().expect("export observability");
 }

@@ -76,4 +76,5 @@ fn main() {
     }
 
     canary_experiments::emit("workflow_study", &[makespan, boundary]).expect("write results");
+    canary_experiments::export::maybe_export_observed_run().expect("export observability");
 }

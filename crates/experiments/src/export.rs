@@ -1,0 +1,712 @@
+//! JSONL export of traces and telemetry, plus the shared `--trace-out` /
+//! `--telemetry-out` / `--timeline` CLI handling for `canaryctl` and the
+//! figure binaries.
+//!
+//! The workspace deliberately carries no JSON dependency, so the writer
+//! and the (flat-object) reader here are hand-rolled. Every trace event
+//! becomes one line:
+//!
+//! ```json
+//! {"at_us":3000000,"kind":"checkpoint_written","fn":1,"state":2,"bytes":65536,"tier":"ramdisk"}
+//! ```
+//!
+//! and a telemetry snapshot becomes one line per phase summary, counter,
+//! and database table. [`trace_from_jsonl`] round-trips every
+//! [`TraceKind`] variant, which keeps exported traces usable as test
+//! fixtures.
+
+use crate::scenario::{Scenario, StrategyKind};
+use canary_cluster::{NodeId, StorageTier};
+use canary_container::ContainerId;
+use canary_platform::{
+    FnId, JobId, RecoveryTarget, RunResult, TelemetrySnapshot, Trace, TraceEvent, TraceKind,
+};
+use canary_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Export errors (malformed JSONL on the read path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// A line could not be parsed as a flat JSON object.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::BadLine { line, reason } => {
+                write!(f, "bad JSONL at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+fn tier_label(tier: StorageTier) -> &'static str {
+    match tier {
+        StorageTier::KvStore => "kv_store",
+        StorageTier::Ramdisk => "ramdisk",
+        StorageTier::Pmem => "pmem",
+        StorageTier::Nfs => "nfs",
+        StorageTier::ObjectStore => "object_store",
+    }
+}
+
+fn tier_from_label(s: &str) -> Option<StorageTier> {
+    Some(match s {
+        "kv_store" => StorageTier::KvStore,
+        "ramdisk" => StorageTier::Ramdisk,
+        "pmem" => StorageTier::Pmem,
+        "nfs" => StorageTier::Nfs,
+        "object_store" => StorageTier::ObjectStore,
+        _ => return None,
+    })
+}
+
+/// Serialize one trace event as a single JSON line (no trailing newline).
+pub fn trace_event_to_json(e: &TraceEvent) -> String {
+    fn field_u(s: &mut String, k: &str, v: u64) {
+        let _ = write!(s, ",\"{k}\":{v}");
+    }
+    let mut s = format!("{{\"at_us\":{}", e.at.as_micros());
+    match e.kind {
+        TraceKind::JobSubmitted { job } => {
+            s.push_str(",\"kind\":\"job_submitted\"");
+            field_u(&mut s, "job", job.0 as u64);
+        }
+        TraceKind::AttemptStarted {
+            fn_id,
+            attempt,
+            node,
+            warm,
+        } => {
+            s.push_str(",\"kind\":\"attempt_started\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "attempt", attempt as u64);
+            field_u(&mut s, "node", node.0 as u64);
+            let _ = write!(s, ",\"warm\":{warm}");
+        }
+        TraceKind::AttemptFailed {
+            fn_id,
+            attempt,
+            node,
+        } => {
+            s.push_str(",\"kind\":\"attempt_failed\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "attempt", attempt as u64);
+            field_u(&mut s, "node", node.0 as u64);
+        }
+        TraceKind::FunctionCompleted { fn_id } => {
+            s.push_str(",\"kind\":\"function_completed\"");
+            field_u(&mut s, "fn", fn_id.0);
+        }
+        TraceKind::WarmPoolSpawned { container, node } => {
+            s.push_str(",\"kind\":\"warm_pool_spawned\"");
+            field_u(&mut s, "container", container.0);
+            field_u(&mut s, "node", node.0 as u64);
+        }
+        TraceKind::WarmPoolReady { container } => {
+            s.push_str(",\"kind\":\"warm_pool_ready\"");
+            field_u(&mut s, "container", container.0);
+        }
+        TraceKind::NodeFailed { node } => {
+            s.push_str(",\"kind\":\"node_failed\"");
+            field_u(&mut s, "node", node.0 as u64);
+        }
+        TraceKind::CheckpointWritten {
+            fn_id,
+            state,
+            bytes,
+            tier,
+        } => {
+            s.push_str(",\"kind\":\"checkpoint_written\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "state", state as u64);
+            field_u(&mut s, "bytes", bytes);
+            let _ = write!(s, ",\"tier\":\"{}\"", tier_label(tier));
+        }
+        TraceKind::CheckpointRestored {
+            fn_id,
+            state,
+            bytes,
+            tier,
+        } => {
+            s.push_str(",\"kind\":\"checkpoint_restored\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "state", state as u64);
+            field_u(&mut s, "bytes", bytes);
+            let _ = write!(s, ",\"tier\":\"{}\"", tier_label(tier));
+        }
+        TraceKind::JobQueued { job } => {
+            s.push_str(",\"kind\":\"job_queued\"");
+            field_u(&mut s, "job", job.0 as u64);
+        }
+        TraceKind::JobDequeued { job } => {
+            s.push_str(",\"kind\":\"job_dequeued\"");
+            field_u(&mut s, "job", job.0 as u64);
+        }
+        TraceKind::JobRejected { job } => {
+            s.push_str(",\"kind\":\"job_rejected\"");
+            field_u(&mut s, "job", job.0 as u64);
+        }
+        TraceKind::ReplicaConsumed { container, fn_id } => {
+            s.push_str(",\"kind\":\"replica_consumed\"");
+            field_u(&mut s, "container", container.0);
+            field_u(&mut s, "fn", fn_id.0);
+        }
+        TraceKind::ReplicaRefreshed { spawned, reclaimed } => {
+            s.push_str(",\"kind\":\"replica_refreshed\"");
+            field_u(&mut s, "spawned", spawned as u64);
+            field_u(&mut s, "reclaimed", reclaimed as u64);
+        }
+        TraceKind::RecoveryPlanned {
+            fn_id,
+            target,
+            detect,
+            restore,
+        } => {
+            s.push_str(",\"kind\":\"recovery_planned\"");
+            field_u(&mut s, "fn", fn_id.0);
+            match target {
+                RecoveryTarget::FreshContainer => s.push_str(",\"target\":\"fresh\""),
+                RecoveryTarget::WarmContainer(c) => {
+                    s.push_str(",\"target\":\"warm\"");
+                    field_u(&mut s, "container", c.0);
+                }
+            }
+            field_u(&mut s, "detect_us", detect.as_micros());
+            field_u(&mut s, "restore_us", restore.as_micros());
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serialize a whole trace as JSONL (one event per line).
+pub fn trace_to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        out.push_str(&trace_event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a telemetry snapshot as JSONL: a `meta` line, then one line
+/// per phase summary, counter, and database table.
+pub fn telemetry_to_jsonl(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{\"record\":\"meta\",\"enabled\":{}}}", snap.enabled);
+    for p in &snap.phases {
+        let _ = writeln!(
+            out,
+            "{{\"record\":\"phase\",\"phase\":\"{}\",\"count\":{},\"total_us\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            p.phase.label(),
+            p.count,
+            p.total.as_micros(),
+            p.mean.as_micros(),
+            p.p50.as_micros(),
+            p.p95.as_micros(),
+            p.p99.as_micros(),
+            p.max.as_micros(),
+        );
+    }
+    for (c, v) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"record\":\"counter\",\"counter\":\"{}\",\"value\":{v}}}",
+            c.label()
+        );
+    }
+    for t in &snap.tables {
+        let _ = writeln!(
+            out,
+            "{{\"record\":\"table\",\"table\":\"{}\",\"reads\":{},\"writes\":{}}}",
+            t.table, t.reads, t.writes
+        );
+    }
+    out
+}
+
+/// A flat JSON value (all the exporters emit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Val {
+    U64(u64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Val {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Val::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object (string/unsigned-integer/bool values, no
+/// nesting, no escapes — exactly what the writers above produce).
+fn parse_flat_json(line: &str) -> Result<BTreeMap<String, Val>, String> {
+    let line = line.trim();
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or("not an object")?;
+    let mut map = BTreeMap::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        rest = rest
+            .strip_prefix('"')
+            .ok_or("expected quoted key")?
+            .trim_start();
+        let end = rest.find('"').ok_or("unterminated key")?;
+        let key = rest[..end].to_string();
+        rest = rest[end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or("expected ':'")?
+            .trim_start();
+        let (val, tail) = if let Some(r) = rest.strip_prefix('"') {
+            let end = r.find('"').ok_or("unterminated string")?;
+            if r[..end].contains('\\') {
+                return Err("escapes unsupported".into());
+            }
+            (Val::Str(r[..end].to_string()), &r[end + 1..])
+        } else if let Some(r) = rest.strip_prefix("true") {
+            (Val::Bool(true), r)
+        } else if let Some(r) = rest.strip_prefix("false") {
+            (Val::Bool(false), r)
+        } else {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return Err(format!("bad value near {rest:.12?}"));
+            }
+            let n: u64 = rest[..end]
+                .parse()
+                .map_err(|e| format!("bad number: {e}"))?;
+            (Val::U64(n), &rest[end..])
+        };
+        map.insert(key, val);
+        rest = tail.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return Err("expected ',' between fields".into()),
+        }
+    }
+    Ok(map)
+}
+
+fn event_from_map(map: &BTreeMap<String, Val>) -> Result<TraceEvent, String> {
+    let u = |k: &str| -> Result<u64, String> {
+        map.get(k)
+            .and_then(Val::as_u64)
+            .ok_or_else(|| format!("missing/invalid field {k:?}"))
+    };
+    let at = SimTime::from_micros(u("at_us")?);
+    let kind_name = map
+        .get("kind")
+        .and_then(Val::as_str)
+        .ok_or("missing field \"kind\"")?;
+    let fn_id = || u("fn").map(FnId);
+    let job = || u("job").map(|j| JobId(j as u32));
+    let node = || u("node").map(|n| NodeId(n as u32));
+    let container = || u("container").map(ContainerId);
+    let tier = || {
+        map.get("tier")
+            .and_then(Val::as_str)
+            .and_then(tier_from_label)
+            .ok_or("missing/unknown tier".to_string())
+    };
+    let kind = match kind_name {
+        "job_submitted" => TraceKind::JobSubmitted { job: job()? },
+        "attempt_started" => TraceKind::AttemptStarted {
+            fn_id: fn_id()?,
+            attempt: u("attempt")? as u32,
+            node: node()?,
+            warm: map
+                .get("warm")
+                .and_then(Val::as_bool)
+                .ok_or("missing field \"warm\"")?,
+        },
+        "attempt_failed" => TraceKind::AttemptFailed {
+            fn_id: fn_id()?,
+            attempt: u("attempt")? as u32,
+            node: node()?,
+        },
+        "function_completed" => TraceKind::FunctionCompleted { fn_id: fn_id()? },
+        "warm_pool_spawned" => TraceKind::WarmPoolSpawned {
+            container: container()?,
+            node: node()?,
+        },
+        "warm_pool_ready" => TraceKind::WarmPoolReady {
+            container: container()?,
+        },
+        "node_failed" => TraceKind::NodeFailed { node: node()? },
+        "checkpoint_written" => TraceKind::CheckpointWritten {
+            fn_id: fn_id()?,
+            state: u("state")? as u32,
+            bytes: u("bytes")?,
+            tier: tier()?,
+        },
+        "checkpoint_restored" => TraceKind::CheckpointRestored {
+            fn_id: fn_id()?,
+            state: u("state")? as u32,
+            bytes: u("bytes")?,
+            tier: tier()?,
+        },
+        "job_queued" => TraceKind::JobQueued { job: job()? },
+        "job_dequeued" => TraceKind::JobDequeued { job: job()? },
+        "job_rejected" => TraceKind::JobRejected { job: job()? },
+        "replica_consumed" => TraceKind::ReplicaConsumed {
+            container: container()?,
+            fn_id: fn_id()?,
+        },
+        "replica_refreshed" => TraceKind::ReplicaRefreshed {
+            spawned: u("spawned")? as u32,
+            reclaimed: u("reclaimed")? as u32,
+        },
+        "recovery_planned" => TraceKind::RecoveryPlanned {
+            fn_id: fn_id()?,
+            target: match map.get("target").and_then(Val::as_str) {
+                Some("fresh") => RecoveryTarget::FreshContainer,
+                Some("warm") => RecoveryTarget::WarmContainer(container()?),
+                _ => return Err("missing/unknown target".into()),
+            },
+            detect: SimDuration::from_micros(u("detect_us")?),
+            restore: SimDuration::from_micros(u("restore_us")?),
+        },
+        other => return Err(format!("unknown kind {other:?}")),
+    };
+    Ok(TraceEvent { at, kind })
+}
+
+/// Parse a JSONL trace written by [`trace_to_jsonl`]. Blank lines are
+/// skipped; anything else malformed is an error with its line number.
+pub fn trace_from_jsonl(s: &str) -> Result<Trace, ExportError> {
+    let mut events = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let map = parse_flat_json(line).map_err(|reason| ExportError::BadLine {
+            line: i + 1,
+            reason,
+        })?;
+        events.push(event_from_map(&map).map_err(|reason| ExportError::BadLine {
+            line: i + 1,
+            reason,
+        })?);
+    }
+    Ok(Trace { events })
+}
+
+/// Observability CLI options shared by `canaryctl` and figure binaries.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Write the run's trace as JSONL here.
+    pub trace_out: Option<PathBuf>,
+    /// Write the run's telemetry snapshot as JSONL here.
+    pub telemetry_out: Option<PathBuf>,
+    /// Print the ASCII swimlane, recovery breakdown, and telemetry
+    /// summary to stdout.
+    pub timeline: bool,
+}
+
+impl ObsOptions {
+    /// Any output requested?
+    pub fn any(&self) -> bool {
+        self.trace_out.is_some() || self.telemetry_out.is_some() || self.timeline
+    }
+
+    /// Extract `--trace-out PATH`, `--telemetry-out PATH`, and
+    /// `--timeline` from an argument list, returning the options and the
+    /// remaining (unconsumed) arguments.
+    pub fn extract(args: &[String]) -> Result<(ObsOptions, Vec<String>), String> {
+        let mut opts = ObsOptions::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace-out" => {
+                    opts.trace_out = Some(PathBuf::from(
+                        it.next().ok_or("missing value for --trace-out")?,
+                    ));
+                }
+                "--telemetry-out" => {
+                    opts.telemetry_out = Some(PathBuf::from(
+                        it.next().ok_or("missing value for --telemetry-out")?,
+                    ));
+                }
+                "--timeline" => opts.timeline = true,
+                _ => rest.push(a.clone()),
+            }
+        }
+        Ok((opts, rest))
+    }
+}
+
+/// Write/print everything [`ObsOptions`] asks for from one run result.
+pub fn export_result(result: &RunResult, opts: &ObsOptions) -> std::io::Result<()> {
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, trace_to_jsonl(&result.trace))?;
+        eprintln!(
+            "trace: {} events -> {}",
+            result.trace.events.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.telemetry_out {
+        std::fs::write(path, telemetry_to_jsonl(&result.telemetry))?;
+        eprintln!("telemetry -> {}", path.display());
+    }
+    if opts.timeline {
+        print!("{}", canary_metrics::swimlane(&result.trace));
+        println!();
+        print!("{}", canary_metrics::recovery_breakdown(&result.trace));
+        println!();
+        print!("{}", canary_metrics::counters_summary(&result.counters));
+        println!();
+        print!("{}", canary_metrics::telemetry_summary(&result.telemetry));
+    }
+    Ok(())
+}
+
+/// Figure-binary hook: when the process arguments carry any
+/// [`ObsOptions`] flags, run one observed run of a representative
+/// scenario (100 web-service invocations at 15% errors under Canary,
+/// seed 42) and export it. Figures sweep hundreds of runs; this gives
+/// their binaries a single inspectable trace without slowing the sweep.
+pub fn maybe_export_observed_run() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, _rest) = ObsOptions::extract(&args).map_err(std::io::Error::other)?;
+    if !opts.any() {
+        return Ok(());
+    }
+    let scenario = Scenario::chameleon(
+        0.15,
+        vec![canary_platform::JobSpec::new(
+            canary_workloads::WorkloadSpec::paper_default(
+                canary_workloads::WorkloadKind::WebService,
+            ),
+            100,
+        )],
+    );
+    let result = scenario.run_observed(
+        StrategyKind::Canary(canary_core::ReplicationStrategyKind::Dynamic),
+        42,
+    );
+    export_result(&result, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<TraceEvent> {
+        let t = |us| SimTime::from_micros(us);
+        vec![
+            TraceEvent {
+                at: t(1),
+                kind: TraceKind::JobSubmitted { job: JobId(3) },
+            },
+            TraceEvent {
+                at: t(2),
+                kind: TraceKind::AttemptStarted {
+                    fn_id: FnId(7),
+                    attempt: 2,
+                    node: NodeId(1),
+                    warm: true,
+                },
+            },
+            TraceEvent {
+                at: t(3),
+                kind: TraceKind::AttemptFailed {
+                    fn_id: FnId(7),
+                    attempt: 2,
+                    node: NodeId(1),
+                },
+            },
+            TraceEvent {
+                at: t(4),
+                kind: TraceKind::FunctionCompleted { fn_id: FnId(7) },
+            },
+            TraceEvent {
+                at: t(5),
+                kind: TraceKind::WarmPoolSpawned {
+                    container: ContainerId(9),
+                    node: NodeId(0),
+                },
+            },
+            TraceEvent {
+                at: t(6),
+                kind: TraceKind::WarmPoolReady {
+                    container: ContainerId(9),
+                },
+            },
+            TraceEvent {
+                at: t(7),
+                kind: TraceKind::NodeFailed { node: NodeId(4) },
+            },
+            TraceEvent {
+                at: t(8),
+                kind: TraceKind::CheckpointWritten {
+                    fn_id: FnId(7),
+                    state: 3,
+                    bytes: 65_536,
+                    tier: StorageTier::Pmem,
+                },
+            },
+            TraceEvent {
+                at: t(9),
+                kind: TraceKind::CheckpointRestored {
+                    fn_id: FnId(7),
+                    state: 3,
+                    bytes: 65_536,
+                    tier: StorageTier::Nfs,
+                },
+            },
+            TraceEvent {
+                at: t(10),
+                kind: TraceKind::JobQueued { job: JobId(3) },
+            },
+            TraceEvent {
+                at: t(11),
+                kind: TraceKind::JobDequeued { job: JobId(3) },
+            },
+            TraceEvent {
+                at: t(12),
+                kind: TraceKind::JobRejected { job: JobId(8) },
+            },
+            TraceEvent {
+                at: t(13),
+                kind: TraceKind::ReplicaConsumed {
+                    container: ContainerId(9),
+                    fn_id: FnId(7),
+                },
+            },
+            TraceEvent {
+                at: t(14),
+                kind: TraceKind::ReplicaRefreshed {
+                    spawned: 2,
+                    reclaimed: 1,
+                },
+            },
+            TraceEvent {
+                at: t(15),
+                kind: TraceKind::RecoveryPlanned {
+                    fn_id: FnId(7),
+                    target: RecoveryTarget::WarmContainer(ContainerId(9)),
+                    detect: SimDuration::from_micros(500),
+                    restore: SimDuration::from_micros(120),
+                },
+            },
+            TraceEvent {
+                at: t(16),
+                kind: TraceKind::RecoveryPlanned {
+                    fn_id: FnId(7),
+                    target: RecoveryTarget::FreshContainer,
+                    detect: SimDuration::from_micros(500),
+                    restore: SimDuration::ZERO,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        let trace = Trace {
+            events: all_variants(),
+        };
+        let jsonl = trace_to_jsonl(&trace);
+        assert_eq!(jsonl.lines().count(), trace.events.len());
+        let back = trace_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_objects_with_kind() {
+        for e in all_variants() {
+            let line = trace_event_to_json(&e);
+            assert!(line.starts_with("{\"at_us\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert!(line.contains("\"kind\":\""), "{line}");
+            parse_flat_json(&line).unwrap();
+        }
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = trace_from_jsonl("\n{\"at_us\":1,\"kind\":\"nope\"}\n").unwrap_err();
+        match err {
+            ExportError::BadLine { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("nope"));
+            }
+        }
+        assert!(trace_from_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn telemetry_jsonl_has_meta_phase_counter_and_table_lines() {
+        use canary_platform::{Counter, Phase, Telemetry};
+        let mut tel = Telemetry::new(true);
+        tel.observe(Phase::CheckpointWrite, SimDuration::from_micros(250));
+        tel.incr(Counter::CheckpointsWritten);
+        tel.set_table_stats("worker_info", 1, 16);
+        let jsonl = telemetry_to_jsonl(&tel.snapshot());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"record\":\"meta\"") && lines[0].contains("true"));
+        assert!(lines[1].contains("\"phase\":\"checkpoint_write\""));
+        assert!(lines[1].contains("\"count\":1"));
+        assert!(lines[2].contains("\"counter\":\"checkpoints_written\""));
+        assert!(lines[3].contains("\"table\":\"worker_info\""));
+        for line in lines {
+            parse_flat_json(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn obs_options_extract_leaves_other_flags() {
+        let args: Vec<String> = ["--seed", "7", "--trace-out", "/tmp/t.jsonl", "--timeline"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (opts, rest) = ObsOptions::extract(&args).unwrap();
+        assert_eq!(
+            opts.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert!(opts.timeline);
+        assert!(opts.telemetry_out.is_none());
+        assert_eq!(rest, vec!["--seed".to_string(), "7".to_string()]);
+        assert!(ObsOptions::extract(&["--trace-out".to_string()]).is_err());
+    }
+}

@@ -72,7 +72,10 @@ mod tests {
             let rr = cost.get("RR").unwrap().y_at(rate).unwrap();
             let aas = cost.get("AS").unwrap().y_at(rate).unwrap();
             assert!(rr > 1.5 * canary, "RR ${rr} vs Canary ${canary} at {rate}%");
-            assert!(aas > 1.5 * canary, "AS ${aas} vs Canary ${canary} at {rate}%");
+            assert!(
+                aas > 1.5 * canary,
+                "AS ${aas} vs Canary ${canary} at {rate}%"
+            );
         }
         // AS execution time exceeds Canary's at high rates.
         let c_t = time.get("Canary").unwrap().y_at(50.0).unwrap();

@@ -32,10 +32,8 @@ pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
         .iter()
         .map(|&(n, rate)| {
             let n = opts.scaled(n);
-            let mut scenario = Scenario::chameleon(
-                rate,
-                vec![JobSpec::new(WorkloadSpec::web_service(20), n)],
-            );
+            let mut scenario =
+                Scenario::chameleon(rate, vec![JobSpec::new(WorkloadSpec::web_service(20), n)]);
             scenario.node_failure_rate = NODE_FAILURE_RATE;
             // Node crashes are drawn within the expected batch lifetime.
             scenario.node_failure_horizon_s = 120;

@@ -10,7 +10,7 @@
 use super::{sweep_into, trio, FigureOptions, Metric};
 use crate::scenario::Scenario;
 use canary_platform::JobSpec;
-use canary_sim::{SeriesSet, Series};
+use canary_sim::{Series, SeriesSet};
 use canary_workloads::WorkloadSpec;
 
 /// Cluster sizes swept.

@@ -31,10 +31,7 @@ pub fn build(opts: &FigureOptions) -> Vec<SeriesSet> {
             let n = opts.scaled(n);
             (
                 n as f64,
-                Scenario::chameleon(
-                    RATE,
-                    vec![JobSpec::new(WorkloadSpec::web_service(20), n)],
-                ),
+                Scenario::chameleon(RATE, vec![JobSpec::new(WorkloadSpec::web_service(20), n)]),
             )
         })
         .collect();

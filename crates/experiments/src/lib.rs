@@ -8,13 +8,17 @@
 //! Each figure also ships as a binary: `cargo run --release -p
 //! canary-experiments --bin fig7` regenerates Fig. 7; `--bin all_figures`
 //! regenerates everything into `results/`. Set `CANARY_REPS` to override
-//! the paper's 10 repetitions per point.
+//! the paper's 10 repetitions per point. Every binary additionally
+//! accepts `--trace-out` / `--telemetry-out` / `--timeline` to export an
+//! observed run as JSONL and ASCII timelines ([`export`]).
 
+pub mod export;
 pub mod figures;
 pub mod output;
 pub mod scenario;
 pub mod sweep;
 
+pub use export::{telemetry_to_jsonl, trace_from_jsonl, trace_to_jsonl, ExportError, ObsOptions};
 pub use figures::{FigureOptions, Metric};
 pub use output::emit;
 pub use scenario::{Scenario, StrategyKind, ERROR_RATES, PRICING};

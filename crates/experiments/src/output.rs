@@ -30,7 +30,10 @@ pub fn emit_to(dir: &Path, name: &str, sets: &[SeriesSet]) -> std::io::Result<Ve
         fs::write(&csv_path, csv(set))?;
         written.push(csv_path);
         let md_path = dir.join(format!("{name}{suffix}.md"));
-        fs::write(&md_path, format!("### {}\n\n{}", set.title, markdown_table(set)))?;
+        fs::write(
+            &md_path,
+            format!("### {}\n\n{}", set.title, markdown_table(set)),
+        )?;
         written.push(md_path);
     }
     Ok(written)
@@ -49,8 +52,18 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("canary_emit_{}", std::process::id()));
         let paths = emit_to(&dir, "figX", &[s1, s2]).unwrap();
         assert_eq!(paths.len(), 4);
-        assert!(paths[0].file_name().unwrap().to_str().unwrap().contains("figX_a"));
-        assert!(paths[2].file_name().unwrap().to_str().unwrap().contains("figX_b"));
+        assert!(paths[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("figX_a"));
+        assert!(paths[2]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("figX_b"));
         for p in &paths {
             assert!(p.exists());
         }

@@ -52,9 +52,7 @@ impl StrategyKind {
             StrategyKind::Canary(k) => {
                 Box::new(CanaryStrategy::new(CanaryConfig::with_replication(*k)))
             }
-            StrategyKind::RequestReplication(n) => {
-                Box::new(RequestReplicationStrategy::new(*n))
-            }
+            StrategyKind::RequestReplication(n) => Box::new(RequestReplicationStrategy::new(*n)),
             StrategyKind::ActiveStandby => Box::new(ActiveStandbyStrategy::new()),
         }
     }
@@ -71,6 +69,10 @@ pub struct Scenario {
     pub node_failure_rate: f64,
     /// Horizon for node-failure placement, seconds.
     pub node_failure_horizon_s: u64,
+    /// Record an execution trace (off for sweeps; observation only).
+    pub trace: bool,
+    /// Record telemetry histograms/counters (observation only).
+    pub telemetry: bool,
     /// The submitted jobs.
     pub jobs: Vec<JobSpec>,
 }
@@ -83,6 +85,8 @@ impl Scenario {
             error_rate,
             node_failure_rate: 0.0,
             node_failure_horizon_s: 1_200,
+            trace: false,
+            telemetry: false,
             jobs,
         }
     }
@@ -96,9 +100,20 @@ impl Scenario {
         };
         let failure = FailureModel::with_error_rate(rate).with_node_failures(node_rate);
         let mut cfg = RunConfig::new(Cluster::heterogeneous(self.nodes), failure, seed);
-        cfg.node_failure_horizon =
-            canary_sim::SimDuration::from_secs(self.node_failure_horizon_s);
+        cfg.node_failure_horizon = canary_sim::SimDuration::from_secs(self.node_failure_horizon_s);
+        cfg.trace = self.trace;
+        cfg.telemetry = self.telemetry;
         cfg
+    }
+
+    /// Run once with trace and telemetry recording enabled, regardless of
+    /// the scenario's sweep settings. Observation only: the returned
+    /// simulation outcome is identical to [`Scenario::run_once`].
+    pub fn run_observed(&self, strategy: StrategyKind, seed: u64) -> RunResult {
+        let mut observed = self.clone();
+        observed.trace = true;
+        observed.telemetry = true;
+        observed.run_once(strategy, seed)
     }
 
     /// Run once with the given strategy and seed.
@@ -109,10 +124,9 @@ impl Scenario {
 
     /// Run `reps` repetitions in parallel (distinct seeds) and aggregate.
     pub fn run_repeated(&self, strategy: StrategyKind, reps: u64) -> Repeated {
-        let runs: Vec<RunResult> = parallel_map(
-            (0..reps).collect(),
-            |rep| self.run_once(strategy, 1000 + rep * 7919),
-        );
+        let runs: Vec<RunResult> = parallel_map((0..reps).collect(), |rep| {
+            self.run_once(strategy, 1000 + rep * 7919)
+        });
         Repeated::from_runs(&runs, PRICING)
     }
 }

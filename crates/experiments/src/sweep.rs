@@ -99,7 +99,11 @@ mod tests {
     fn uses_multiple_threads_when_available() {
         // Observe at least two distinct thread ids for a slow-ish map
         // (skipped on single-core machines by construction of the cap).
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
             return;
         }
         use std::collections::HashSet;

@@ -56,6 +56,8 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
-        assert!(KvError::NotFound { key: "k1".into() }.to_string().contains("k1"));
+        assert!(KvError::NotFound { key: "k1".into() }
+            .to_string()
+            .contains("k1"));
     }
 }

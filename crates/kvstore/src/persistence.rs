@@ -204,7 +204,10 @@ mod tests {
             key: "k".into(),
             value: Bytes::from_static(b"new"),
         });
-        assert_eq!(log.latest_for("k").unwrap().value, Bytes::from_static(b"new"));
+        assert_eq!(
+            log.latest_for("k").unwrap().value,
+            Bytes::from_static(b"new")
+        );
         assert!(log.latest_for("missing").is_none());
     }
 

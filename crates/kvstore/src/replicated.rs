@@ -40,7 +40,10 @@ impl ReplicatedKv {
 
     /// Number of live members.
     pub fn live_count(&self) -> usize {
-        self.alive.iter().filter(|a| a.load(Ordering::Acquire)).count()
+        self.alive
+            .iter()
+            .filter(|a| a.load(Ordering::Acquire))
+            .count()
     }
 
     /// True when member `node` is live.
@@ -52,9 +55,7 @@ impl ReplicatedKv {
     }
 
     fn first_live(&self) -> Option<usize> {
-        self.alive
-            .iter()
-            .position(|a| a.load(Ordering::Acquire))
+        self.alive.iter().position(|a| a.load(Ordering::Acquire))
     }
 
     /// Write to every live member. Fails if the value exceeds the entry
@@ -109,7 +110,9 @@ impl ReplicatedKv {
 
     /// Entry count, from the first live member (0 when all are down).
     pub fn len(&self) -> usize {
-        self.first_live().map(|n| self.members[n].len()).unwrap_or(0)
+        self.first_live()
+            .map(|n| self.members[n].len())
+            .unwrap_or(0)
     }
 
     /// True when no live member holds data.

@@ -184,13 +184,7 @@ mod tests {
         });
         assert!(store.put("ok", Bytes::from(vec![0u8; 8])).is_ok());
         let err = store.put("big", Bytes::from(vec![0u8; 9])).unwrap_err();
-        assert_eq!(
-            err,
-            KvError::EntryTooLarge {
-                size: 9,
-                limit: 8
-            }
-        );
+        assert_eq!(err, KvError::EntryTooLarge { size: 9, limit: 8 });
         assert!(!store.contains("big"));
     }
 
@@ -253,7 +247,9 @@ mod tests {
     fn snapshot_is_complete_and_sorted() {
         let store = KvStore::with_defaults();
         for i in (0..50).rev() {
-            store.put(&format!("k{i:02}"), Bytes::from(vec![i as u8])).unwrap();
+            store
+                .put(&format!("k{i:02}"), Bytes::from(vec![i as u8]))
+                .unwrap();
         }
         let snap = store.snapshot();
         assert_eq!(snap.len(), 50);

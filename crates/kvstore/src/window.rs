@@ -94,7 +94,9 @@ impl CheckpointWindow {
         let window = inner.window;
         let ring = inner.per_fn.entry(fn_id).or_default();
         debug_assert!(
-            ring.back().map(|m| m.ckpt_id < meta.ckpt_id).unwrap_or(true),
+            ring.back()
+                .map(|m| m.ckpt_id < meta.ckpt_id)
+                .unwrap_or(true),
             "checkpoint ids must be monotonic per function"
         );
         ring.push_back(meta);

@@ -6,8 +6,8 @@
 //! is aggregated, and Canary's replicas/standbys are billed for their
 //! whole parked lifetime.
 
-use canary_platform::RunResult;
 use canary_container::ContainerPurpose;
+use canary_platform::RunResult;
 use serde::{Deserialize, Serialize};
 
 /// Per-GB·s pricing.
@@ -63,6 +63,7 @@ mod tests {
             counters: RunCounters::default(),
             finished_at: SimTime::ZERO,
             trace: Default::default(),
+            telemetry: Default::default(),
         }
     }
 

@@ -2,13 +2,17 @@
 //!
 //! Measurement and reporting for the evaluation: the paper's GB·s dollar
 //! pricing ([`PricingModel`], §V-D.4), repeated-run aggregation with the
-//! <5% variance check ([`Repeated`], §V-B), and figure rendering to ASCII
-//! tables / CSV / Markdown ([`report`]).
+//! <5% variance check ([`Repeated`], §V-B), figure rendering to ASCII
+//! tables / CSV / Markdown ([`report`]) plus the per-run telemetry
+//! summary, and trace-driven swimlane / recovery-critical-path timelines
+//! ([`timeline`]).
 
 pub mod cost;
 pub mod report;
 pub mod summary;
+pub mod timeline;
 
 pub use cost::PricingModel;
-pub use report::{ascii_table, csv, markdown_table};
+pub use report::{ascii_table, counters_summary, csv, markdown_table, telemetry_summary};
 pub use summary::{MetricSummary, Repeated};
+pub use timeline::{recovery_breakdown, recovery_spans, swimlane, RecoverySpan, TimelineOptions};

@@ -1,5 +1,7 @@
-//! Figure rendering: ASCII tables, CSV, and Markdown for EXPERIMENTS.md.
+//! Figure rendering: ASCII tables, CSV, and Markdown for EXPERIMENTS.md,
+//! plus the per-run telemetry summary table.
 
+use canary_platform::{RunCounters, TelemetrySnapshot};
 use canary_sim::SeriesSet;
 use std::fmt::Write as _;
 
@@ -93,11 +95,7 @@ pub fn csv(set: &SeriesSet) -> String {
     for &x in &xs {
         let mut row = vec![format!("{x}")];
         for s in &set.series {
-            row.push(
-                s.y_at(x)
-                    .map(|y| format!("{y}"))
-                    .unwrap_or_default(),
-            );
+            row.push(s.y_at(x).map(|y| format!("{y}")).unwrap_or_default());
         }
         let _ = writeln!(out, "{}", row.join(","));
     }
@@ -126,6 +124,81 @@ pub fn markdown_table(set: &SeriesSet) -> String {
     out
 }
 
+/// Render a run's engine-side counters as `name value` lines.
+pub fn counters_summary(c: &RunCounters) -> String {
+    let rows: [(&str, u64); 13] = [
+        ("function_failures", c.function_failures),
+        ("node_failures", c.node_failures),
+        ("containers_created", c.containers_created),
+        ("warm_recoveries", c.warm_recoveries),
+        ("cold_recoveries", c.cold_recoveries),
+        ("placement_retries", c.placement_retries),
+        ("checkpoint_bytes", c.checkpoint_bytes),
+        ("checkpoints_written", c.checkpoints_written),
+        ("restores", c.restores),
+        ("jobs_queued", c.jobs_queued),
+        ("jobs_rejected", c.jobs_rejected),
+        ("replicas_consumed", c.replicas_consumed),
+        ("replicas_refreshed", c.replicas_refreshed),
+    ];
+    let mut out = String::from("run counters\n");
+    for (name, v) in rows {
+        let _ = writeln!(out, "  {name:<22} {v}");
+    }
+    out
+}
+
+/// Render a run's telemetry snapshot as a readable summary: one row per
+/// instrumented phase (count / mean / p50 / p95 / p99 / max), then the
+/// non-zero counters, then per-table database traffic when present.
+pub fn telemetry_summary(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    if !snap.enabled {
+        let _ = writeln!(out, "telemetry: disabled for this run");
+        return out;
+    }
+    let _ = writeln!(out, "telemetry summary");
+    if snap.phases.is_empty() {
+        let _ = writeln!(out, "  (no phase samples recorded)");
+    } else {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "phase", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for p in &snap.phases {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                p.phase.label(),
+                p.count,
+                p.mean.to_string(),
+                p.p50.to_string(),
+                p.p95.to_string(),
+                p.p99.to_string(),
+                p.max.to_string(),
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "  counters:");
+        for (c, v) in &snap.counters {
+            let _ = writeln!(out, "    {:<22} {v}", c.label());
+        }
+    }
+    if !snap.tables.is_empty() {
+        let _ = writeln!(
+            out,
+            "  db tables:              {:>10} {:>10}",
+            "reads", "writes"
+        );
+        for t in &snap.tables {
+            let _ = writeln!(out, "    {:<22} {:>10} {:>10}", t.table, t.reads, t.writes);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,7 +218,15 @@ mod tests {
     #[test]
     fn ascii_contains_all_cells() {
         let t = ascii_table(&sample());
-        for needle in ["Fig X", "Retry", "Canary", "120", "480.5", "22.2", "error rate"] {
+        for needle in [
+            "Fig X",
+            "Retry",
+            "Canary",
+            "120",
+            "480.5",
+            "22.2",
+            "error rate",
+        ] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
     }
@@ -164,6 +245,35 @@ mod tests {
         let m = markdown_table(&sample());
         assert!(m.contains("|---:|---:|---:|"));
         assert!(m.starts_with("| error rate (%) | Retry | Canary |"));
+    }
+
+    #[test]
+    fn telemetry_summary_renders_phases_counters_and_tables() {
+        use canary_platform::{Counter, Phase, Telemetry};
+        use canary_sim::{SimDuration, SimTime};
+        let mut tel = Telemetry::new(true);
+        tel.span_start(Phase::RecoveryE2E, 1, SimTime::ZERO);
+        tel.span_end(Phase::RecoveryE2E, 1, SimTime::from_micros(750_000));
+        tel.observe(Phase::CheckpointWrite, SimDuration::from_millis(20));
+        tel.incr(Counter::CheckpointsWritten);
+        tel.set_table_stats("job_info", 3, 5);
+        let text = telemetry_summary(&tel.snapshot());
+        for needle in [
+            "telemetry summary",
+            "recovery_e2e",
+            "checkpoint_write",
+            "p95",
+            "checkpoints_written",
+            "job_info",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn telemetry_summary_notes_disabled_runs() {
+        let text = telemetry_summary(&TelemetrySnapshot::default());
+        assert!(text.contains("disabled"));
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! ASCII timelines rendered from execution traces.
+//!
+//! Two views over a [`Trace`]:
+//!
+//! - [`swimlane`]: one lane per node and per function across the run's
+//!   time range, so a failure ('X'), the recovery gap ('~'), the warm
+//!   resume ('W'), and the checkpoints that bound the lost work ('C')
+//!   are visible at a glance.
+//! - [`recovery_breakdown`]: the recovery critical path per failure,
+//!   split detect → restore → resume, reconstructed from the
+//!   `RecoveryPlanned` events the strategy emits.
+//!
+//! Both need a trace recorded with [`canary_platform::RunConfig::trace`]
+//! enabled; an empty trace renders a placeholder rather than panicking.
+
+use canary_platform::{FnId, Trace, TraceKind};
+use canary_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Rendering knobs for [`swimlane_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineOptions {
+    /// Columns in the time axis (each cell covers `span / width`).
+    pub width: usize,
+    /// Maximum function lanes rendered (the rest are summarized).
+    pub max_lanes: usize,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            width: 64,
+            max_lanes: 16,
+        }
+    }
+}
+
+/// One reconstructed recovery, failure to resumed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySpan {
+    /// The recovered function.
+    pub fn_id: FnId,
+    /// Attempt number that died.
+    pub attempt: u32,
+    /// When the attempt was killed.
+    pub failed_at: SimTime,
+    /// Failure-detection share (from the strategy's plan).
+    pub detect: SimDuration,
+    /// Checkpoint-restore share (from the strategy's plan).
+    pub restore: SimDuration,
+    /// Remainder: migration, replica wait, cold start.
+    pub resume: SimDuration,
+    /// Full kill-to-running duration.
+    pub total: SimDuration,
+    /// Whether execution resumed on a warm container.
+    pub warm: bool,
+}
+
+/// Reconstruct every completed recovery from a trace, in failure order.
+///
+/// A recovery is one `AttemptFailed` followed by the next
+/// `AttemptStarted` of the same function; the detect/restore split comes
+/// from the intervening `RecoveryPlanned` event. When a recovery fails
+/// again before resuming (lost resume target), the original kill time is
+/// kept — the span measures end-to-end recovery — and the latest plan's
+/// split is used.
+pub fn recovery_spans(trace: &Trace) -> Vec<RecoverySpan> {
+    struct Pending {
+        attempt: u32,
+        failed_at: SimTime,
+        detect: SimDuration,
+        restore: SimDuration,
+    }
+    let mut open: BTreeMap<u64, Pending> = BTreeMap::new();
+    let mut spans = Vec::new();
+    for e in &trace.events {
+        match e.kind {
+            TraceKind::AttemptFailed { fn_id, attempt, .. } => {
+                open.entry(fn_id.0).or_insert(Pending {
+                    attempt,
+                    failed_at: e.at,
+                    detect: SimDuration::ZERO,
+                    restore: SimDuration::ZERO,
+                });
+            }
+            TraceKind::RecoveryPlanned {
+                fn_id,
+                detect,
+                restore,
+                ..
+            } => {
+                if let Some(p) = open.get_mut(&fn_id.0) {
+                    p.detect = detect;
+                    p.restore = restore;
+                }
+            }
+            TraceKind::AttemptStarted { fn_id, warm, .. } => {
+                if let Some(p) = open.remove(&fn_id.0) {
+                    let total = e.at.saturating_since(p.failed_at);
+                    let resume = SimDuration::from_micros(
+                        total
+                            .as_micros()
+                            .saturating_sub(p.detect.as_micros())
+                            .saturating_sub(p.restore.as_micros()),
+                    );
+                    spans.push(RecoverySpan {
+                        fn_id,
+                        attempt: p.attempt,
+                        failed_at: p.failed_at,
+                        detect: p.detect,
+                        restore: p.restore,
+                        resume,
+                        total,
+                        warm,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    spans.sort_by_key(|s| (s.failed_at, s.fn_id.0));
+    spans
+}
+
+/// Render the recovery critical path, one line per failure:
+/// `detect → restore → resume` with the resume target.
+pub fn recovery_breakdown(trace: &Trace) -> String {
+    let spans = recovery_spans(trace);
+    if spans.is_empty() {
+        return "recovery critical path: no recoveries in trace\n".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recovery critical path ({} recover{})",
+        spans.len(),
+        if spans.len() == 1 { "y" } else { "ies" }
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>4} {:>12} {:>10} {:>10} {:>10} {:>10}  target",
+        "fn", "att", "failed at", "detect", "restore", "resume", "total"
+    );
+    for s in &spans {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>4} {:>12} {:>10} {:>10} {:>10} {:>10}  {}",
+            s.fn_id.to_string(),
+            s.attempt,
+            s.failed_at.to_string(),
+            s.detect.to_string(),
+            s.restore.to_string(),
+            s.resume.to_string(),
+            s.total.to_string(),
+            if s.warm { "warm replica" } else { "cold start" },
+        );
+    }
+    out
+}
+
+fn cell(width: usize, start: SimTime, span_us: u64, at: SimTime) -> usize {
+    let off = at.saturating_since(start).as_micros();
+    (((off as u128 * width as u128) / span_us.max(1) as u128) as usize).min(width - 1)
+}
+
+fn fill(lane: &mut [char], from: usize, to: usize, ch: char) {
+    let to = to.min(lane.len() - 1);
+    for c in lane.iter_mut().take(to + 1).skip(from) {
+        if *c == ' ' {
+            *c = ch;
+        }
+    }
+}
+
+/// Render a per-node / per-function swimlane with default options.
+pub fn swimlane(trace: &Trace) -> String {
+    swimlane_with(trace, TimelineOptions::default())
+}
+
+/// Render a per-node / per-function swimlane of the whole trace.
+///
+/// Legend: `=` executing, `~` recovering, `S` cold attempt start, `W`
+/// warm resume, `X` attempt failed, `C` checkpoint written, `R`
+/// checkpoint restored, `|` function completed; node lanes mark `r`
+/// replica spawned and `!` node crashed.
+pub fn swimlane_with(trace: &Trace, opts: TimelineOptions) -> String {
+    let width = opts.width.max(8);
+    if trace.events.is_empty() {
+        return "timeline: empty trace\n".to_string();
+    }
+    let start = trace.events.first().map(|e| e.at).unwrap_or(SimTime::ZERO);
+    let end = trace.events.last().map(|e| e.at).unwrap_or(SimTime::ZERO);
+    let span_us = end.saturating_since(start).as_micros().max(1);
+    let col = |at: SimTime| cell(width, start, span_us, at);
+
+    // Node lanes: replica spawns and crashes.
+    let mut nodes: BTreeMap<u32, Vec<char>> = BTreeMap::new();
+    // Function lanes: execution segments and lifecycle markers.
+    let mut fns: BTreeMap<u64, Vec<char>> = BTreeMap::new();
+    // Open execution/recovery segment starts, per function.
+    let mut running: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut recovering: BTreeMap<u64, usize> = BTreeMap::new();
+
+    let blank = || vec![' '; width];
+    for e in &trace.events {
+        let c = col(e.at);
+        match e.kind {
+            TraceKind::AttemptStarted {
+                fn_id, node, warm, ..
+            } => {
+                nodes.entry(node.0).or_insert_with(blank);
+                let lane = fns.entry(fn_id.0).or_insert_with(blank);
+                if let Some(from) = recovering.remove(&fn_id.0) {
+                    fill(lane, from, c, '~');
+                }
+                lane[c] = if warm { 'W' } else { 'S' };
+                running.insert(fn_id.0, c);
+            }
+            TraceKind::AttemptFailed { fn_id, node, .. } => {
+                nodes.entry(node.0).or_insert_with(blank);
+                let lane = fns.entry(fn_id.0).or_insert_with(blank);
+                if let Some(from) = running.remove(&fn_id.0) {
+                    fill(lane, from, c, '=');
+                }
+                lane[c] = 'X';
+                recovering.insert(fn_id.0, c);
+            }
+            TraceKind::FunctionCompleted { fn_id } => {
+                let lane = fns.entry(fn_id.0).or_insert_with(blank);
+                if let Some(from) = running.remove(&fn_id.0) {
+                    fill(lane, from, c, '=');
+                }
+                lane[c] = '|';
+            }
+            TraceKind::CheckpointWritten { fn_id, .. } => {
+                let lane = fns.entry(fn_id.0).or_insert_with(blank);
+                if lane[c] == ' ' || lane[c] == '=' {
+                    lane[c] = 'C';
+                }
+            }
+            TraceKind::CheckpointRestored { fn_id, .. } => {
+                let lane = fns.entry(fn_id.0).or_insert_with(blank);
+                if lane[c] == ' ' || lane[c] == '~' {
+                    lane[c] = 'R';
+                }
+            }
+            TraceKind::WarmPoolSpawned { node, .. } => {
+                let lane = nodes.entry(node.0).or_insert_with(blank);
+                if lane[c] == ' ' {
+                    lane[c] = 'r';
+                }
+            }
+            TraceKind::NodeFailed { node } => {
+                let lane = nodes.entry(node.0).or_insert_with(blank);
+                lane[c] = '!';
+            }
+            _ => {}
+        }
+    }
+    // Close any lanes still open at the end of the trace.
+    for (fn_id, from) in running {
+        if let Some(lane) = fns.get_mut(&fn_id) {
+            fill(lane, from, width - 1, '=');
+        }
+    }
+    for (fn_id, from) in recovering {
+        if let Some(lane) = fns.get_mut(&fn_id) {
+            fill(lane, from, width - 1, '~');
+        }
+    }
+
+    let label_w = nodes
+        .keys()
+        .map(|n| format!("node{n}").len())
+        .chain(fns.keys().map(|f| format!("fn{f}").len()))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline {start} .. {end} ({width} cols, {:.3}s/col)",
+        span_us as f64 / 1e6 / width as f64
+    );
+    let _ = writeln!(
+        out,
+        "legend: = exec  ~ recover  S start  W warm  X fail  C ckpt  R restore  | done  r replica  ! crash"
+    );
+    for (node, lane) in &nodes {
+        let _ = writeln!(
+            out,
+            "{:>label_w$} [{}]",
+            format!("node{node}"),
+            lane.iter().collect::<String>()
+        );
+    }
+    let total_fns = fns.len();
+    for (i, (fn_id, lane)) in fns.iter().enumerate() {
+        if i >= opts.max_lanes {
+            let _ = writeln!(out, "... ({} more functions)", total_fns - i);
+            break;
+        }
+        let _ = writeln!(
+            out,
+            "{:>label_w$} [{}]",
+            format!("fn{fn_id}"),
+            lane.iter().collect::<String>()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canary_cluster::NodeId;
+    use canary_platform::TraceEvent;
+
+    fn ev(us: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_micros(us),
+            kind,
+        }
+    }
+
+    fn failure_trace() -> Trace {
+        use canary_platform::RecoveryTarget;
+        Trace {
+            events: vec![
+                ev(
+                    0,
+                    TraceKind::JobSubmitted {
+                        job: canary_platform::JobId(0),
+                    },
+                ),
+                ev(
+                    1_000,
+                    TraceKind::AttemptStarted {
+                        fn_id: FnId(1),
+                        attempt: 1,
+                        node: NodeId(0),
+                        warm: false,
+                    },
+                ),
+                ev(
+                    2_000,
+                    TraceKind::CheckpointWritten {
+                        fn_id: FnId(1),
+                        state: 0,
+                        bytes: 64,
+                        tier: canary_cluster::StorageTier::Ramdisk,
+                    },
+                ),
+                ev(3_000, TraceKind::NodeFailed { node: NodeId(0) }),
+                ev(
+                    3_000,
+                    TraceKind::AttemptFailed {
+                        fn_id: FnId(1),
+                        attempt: 1,
+                        node: NodeId(0),
+                    },
+                ),
+                ev(
+                    3_000,
+                    TraceKind::CheckpointRestored {
+                        fn_id: FnId(1),
+                        state: 0,
+                        bytes: 64,
+                        tier: canary_cluster::StorageTier::Ramdisk,
+                    },
+                ),
+                ev(
+                    3_000,
+                    TraceKind::RecoveryPlanned {
+                        fn_id: FnId(1),
+                        target: RecoveryTarget::FreshContainer,
+                        detect: SimDuration::from_micros(500),
+                        restore: SimDuration::from_micros(200),
+                    },
+                ),
+                ev(
+                    4_000,
+                    TraceKind::AttemptStarted {
+                        fn_id: FnId(1),
+                        attempt: 2,
+                        node: NodeId(1),
+                        warm: true,
+                    },
+                ),
+                ev(8_000, TraceKind::FunctionCompleted { fn_id: FnId(1) }),
+            ],
+        }
+    }
+
+    #[test]
+    fn breakdown_splits_detect_restore_resume() {
+        let spans = recovery_spans(&failure_trace());
+        assert_eq!(spans.len(), 1);
+        let s = spans[0];
+        assert_eq!(s.fn_id, FnId(1));
+        assert_eq!(s.attempt, 1);
+        assert_eq!(s.total, SimDuration::from_micros(1_000));
+        assert_eq!(s.detect, SimDuration::from_micros(500));
+        assert_eq!(s.restore, SimDuration::from_micros(200));
+        assert_eq!(s.resume, SimDuration::from_micros(300));
+        assert!(s.warm);
+        let text = recovery_breakdown(&failure_trace());
+        for needle in ["fn1", "detect", "restore", "resume", "warm replica"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn swimlane_shows_failure_and_recovery() {
+        let text = swimlane(&failure_trace());
+        assert!(text.contains("node0"), "{text}");
+        assert!(text.contains("node1"), "{text}");
+        assert!(text.contains("fn1"), "{text}");
+        for marker in ['X', 'C', '=', '|', '!', 'W'] {
+            assert!(text.contains(marker), "missing {marker} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_does_not_panic() {
+        assert!(swimlane(&Trace::default()).contains("empty trace"));
+        assert!(recovery_breakdown(&Trace::default()).contains("no recoveries"));
+    }
+
+    #[test]
+    fn lane_cap_summarizes_overflow() {
+        let mut events = Vec::new();
+        for f in 0..10u64 {
+            events.push(ev(
+                f * 10,
+                TraceKind::AttemptStarted {
+                    fn_id: FnId(f),
+                    attempt: 1,
+                    node: NodeId(0),
+                    warm: false,
+                },
+            ));
+        }
+        let trace = Trace { events };
+        let text = swimlane_with(
+            &trace,
+            TimelineOptions {
+                width: 16,
+                max_lanes: 3,
+            },
+        );
+        assert!(text.contains("7 more functions"), "{text}");
+    }
+
+    #[test]
+    fn re_failure_keeps_original_kill_time() {
+        use canary_platform::RecoveryTarget;
+        let trace = Trace {
+            events: vec![
+                ev(
+                    1_000,
+                    TraceKind::AttemptFailed {
+                        fn_id: FnId(4),
+                        attempt: 1,
+                        node: NodeId(0),
+                    },
+                ),
+                ev(
+                    1_000,
+                    TraceKind::RecoveryPlanned {
+                        fn_id: FnId(4),
+                        target: RecoveryTarget::FreshContainer,
+                        detect: SimDuration::from_micros(100),
+                        restore: SimDuration::ZERO,
+                    },
+                ),
+                // The resume target dies before the attempt restarts.
+                ev(
+                    2_000,
+                    TraceKind::AttemptFailed {
+                        fn_id: FnId(4),
+                        attempt: 1,
+                        node: NodeId(1),
+                    },
+                ),
+                ev(
+                    2_000,
+                    TraceKind::RecoveryPlanned {
+                        fn_id: FnId(4),
+                        target: RecoveryTarget::FreshContainer,
+                        detect: SimDuration::from_micros(300),
+                        restore: SimDuration::ZERO,
+                    },
+                ),
+                ev(
+                    5_000,
+                    TraceKind::AttemptStarted {
+                        fn_id: FnId(4),
+                        attempt: 2,
+                        node: NodeId(2),
+                        warm: false,
+                    },
+                ),
+            ],
+        };
+        let spans = recovery_spans(&trace);
+        assert_eq!(spans.len(), 1);
+        // Measured from the first kill, split from the latest plan.
+        assert_eq!(spans[0].total, SimDuration::from_micros(4_000));
+        assert_eq!(spans[0].detect, SimDuration::from_micros(300));
+    }
+}

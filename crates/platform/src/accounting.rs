@@ -1,6 +1,10 @@
-//! Run outcomes and cost-relevant accounting.
+//! Run outcomes and cost-relevant accounting: per-function and per-job
+//! outcomes, container billing records, the [`RunCounters`] tally
+//! (failures, recoveries, checkpoint and replica-pool activity), and the
+//! complete [`RunResult`] including the optional trace and telemetry.
 
 use crate::ids::{FnId, JobId};
+use crate::telemetry::TelemetrySnapshot;
 use crate::trace::Trace;
 use canary_container::ContainerPurpose;
 use canary_sim::{SimDuration, SimTime};
@@ -90,6 +94,14 @@ pub struct RunCounters {
     pub checkpoints_written: u64,
     /// Restores performed (strategy-reported).
     pub restores: u64,
+    /// Jobs the validator parked in its admission queue.
+    pub jobs_queued: u64,
+    /// Jobs the validator rejected outright.
+    pub jobs_rejected: u64,
+    /// Warm replicas consumed by recoveries.
+    pub replicas_consumed: u64,
+    /// Replicas re-spawned by pool reconciliation after a loss.
+    pub replicas_refreshed: u64,
 }
 
 /// The complete result of one simulated run.
@@ -109,6 +121,9 @@ pub struct RunResult {
     pub finished_at: SimTime,
     /// Execution trace (empty unless `RunConfig::trace` was set).
     pub trace: Trace,
+    /// Telemetry snapshot (all-zero unless `RunConfig::telemetry` was
+    /// set).
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl RunResult {
@@ -200,6 +215,7 @@ mod tests {
             counters: RunCounters::default(),
             finished_at: SimTime::from_micros(9_000_000),
             trace: Trace::default(),
+            telemetry: TelemetrySnapshot::default(),
         };
         assert_eq!(r.makespan(), SimDuration::from_secs(9));
     }
@@ -223,9 +239,13 @@ mod tests {
             counters: RunCounters::default(),
             finished_at: SimTime::ZERO,
             trace: Trace::default(),
+            telemetry: TelemetrySnapshot::default(),
         };
         assert_eq!(r.total_recovery(), SimDuration::from_secs(30));
-        assert_eq!(r.mean_recovery_per_failure(), SimDuration::from_secs_f64(7.5));
+        assert_eq!(
+            r.mean_recovery_per_failure(),
+            SimDuration::from_secs_f64(7.5)
+        );
     }
 
     #[test]
@@ -238,6 +258,7 @@ mod tests {
             counters: RunCounters::default(),
             finished_at: SimTime::ZERO,
             trace: Trace::default(),
+            telemetry: TelemetrySnapshot::default(),
         };
         assert_eq!(r.mean_recovery_per_failure(), SimDuration::ZERO);
     }

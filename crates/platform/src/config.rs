@@ -34,6 +34,11 @@ pub struct RunConfig {
     /// Record an execution trace into the result (off by default; traces
     /// of large batches are big).
     pub trace: bool,
+    /// Record phase latency histograms and typed counters into the
+    /// result (off by default). Telemetry observes simulation time only
+    /// and never perturbs the simulated timeline: a run with telemetry
+    /// on produces the same outcomes as the same run with it off.
+    pub telemetry: bool,
 }
 
 impl RunConfig {
@@ -51,6 +56,7 @@ impl RunConfig {
             node_failure_horizon: SimDuration::from_secs(1_200),
             placement_backoff: SimDuration::from_millis(500),
             trace: false,
+            telemetry: false,
         }
     }
 
@@ -61,7 +67,10 @@ impl RunConfig {
             return Err("empty cluster".into());
         }
         if !(0.0..=1.0).contains(&self.failure.error_rate) {
-            return Err(format!("error rate {} out of range", self.failure.error_rate));
+            return Err(format!(
+                "error rate {} out of range",
+                self.failure.error_rate
+            ));
         }
         Ok(())
     }
@@ -73,7 +82,11 @@ mod tests {
 
     #[test]
     fn defaults_validate() {
-        let cfg = RunConfig::new(Cluster::chameleon_16(), FailureModel::with_error_rate(0.15), 1);
+        let cfg = RunConfig::new(
+            Cluster::chameleon_16(),
+            FailureModel::with_error_rate(0.15),
+            1,
+        );
         assert!(cfg.validate().is_ok());
     }
 

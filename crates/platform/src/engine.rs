@@ -18,6 +18,7 @@ use crate::config::RunConfig;
 use crate::ids::{FnId, JobId};
 use crate::job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
 use crate::strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};
+use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use canary_cluster::{FailureInjector, NodeId};
 use canary_container::{
@@ -93,6 +94,7 @@ pub struct Platform {
     /// Jobs waiting on each job's completion (workflow chaining).
     dependents: Vec<Vec<JobId>>,
     trace: Trace,
+    telemetry: Telemetry,
     /// Extra per-attempt state timings kept outside `PlannedAttempt` to
     /// serve node-crash progress queries: per clone.
     clone_plans: HashMap<FnId, Vec<CloneOutcome>>,
@@ -116,6 +118,7 @@ impl Platform {
             counters: RunCounters::default(),
             dependents: Vec::new(),
             trace: Trace::default(),
+            telemetry: Telemetry::new(config.telemetry),
             clone_plans: HashMap::new(),
             queue: EventQueue::new(),
             config,
@@ -222,10 +225,12 @@ impl Platform {
             },
         );
         self.counters.containers_created += 1;
-        self.record(TraceKind::WarmPoolSpawned {
+        self.emit(TraceKind::WarmPoolSpawned {
             container: id,
             node,
         });
+        self.telemetry
+            .span_start(Phase::ReplicaColdStart, id.0, now);
         // Walk the lifecycle to Initializing now; `ReplicaWarm` completes it.
         self.registry
             .transition(id, ContainerState::Launching)
@@ -263,6 +268,8 @@ impl Platform {
             },
         );
         self.counters.containers_created += 1;
+        self.telemetry
+            .span_start(Phase::ReplicaColdStart, id.0, now);
         self.registry
             .transition(id, ContainerState::Launching)
             .expect("fresh container");
@@ -307,11 +314,28 @@ impl Platform {
         &self.counters
     }
 
-    // ------------------------------------------------------------------
-    // Internals.
-    // ------------------------------------------------------------------
+    /// Mutable run counters, for strategy-side accounting (validator
+    /// queueing, replica pool refreshes).
+    pub fn counters_mut(&mut self) -> &mut RunCounters {
+        &mut self.counters
+    }
 
-    fn record(&mut self, kind: TraceKind) {
+    /// The run's telemetry recorder (read side).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The run's telemetry recorder; strategies observe their phase
+    /// latencies and counters through this. Every call is a no-op when
+    /// `RunConfig::telemetry` is off.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Append an event to the execution trace (no-op unless
+    /// `RunConfig::trace` is on). Strategies use this for events only
+    /// they can see, like checkpoint writes and validator decisions.
+    pub fn emit(&mut self, kind: TraceKind) {
         if self.config.trace {
             self.trace.events.push(TraceEvent {
                 at: self.now(),
@@ -319,6 +343,10 @@ impl Platform {
             });
         }
     }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
 
     fn finish_usage(&mut self, id: ContainerId, at: SimTime) {
         if let Some(u) = self.usage.get_mut(&id) {
@@ -453,11 +481,7 @@ impl Platform {
     fn work_at(clone: &CloneOutcome, t: SimTime) -> (u32, SimDuration) {
         // States fully done before t.
         let mut work = SimDuration::ZERO;
-        let mut volatile_state = clone
-            .timings
-            .first()
-            .map(|s| s.idx)
-            .unwrap_or(0);
+        let mut volatile_state = clone.timings.first().map(|s| s.idx).unwrap_or(0);
         let mut cursor = clone.exec_start;
         for st in &clone.timings {
             if st.done <= t {
@@ -469,8 +493,7 @@ impl Platform {
                 if t > st.start {
                     let span = st.done.saturating_since(st.start).as_secs_f64();
                     if span > 0.0 {
-                        let frac =
-                            t.saturating_since(st.start).as_secs_f64() / span;
+                        let frac = t.saturating_since(st.start).as_secs_f64() / span;
                         work += st.ref_exec.mul_f64(frac.min(1.0));
                     }
                 }
@@ -544,11 +567,7 @@ impl Platform {
             exec_start: primary.exec_start,
             end,
             completes,
-            state_completions: primary
-                .timings
-                .iter()
-                .map(|s| (s.idx, s.done))
-                .collect(),
+            state_completions: primary.timings.iter().map(|s| (s.idx, s.done)).collect(),
             from_state,
             work_done: primary.work_done,
             containers: outcomes.iter().map(|o| o.container).collect(),
@@ -569,7 +588,21 @@ impl Platform {
         let node = plan.node;
         rec.plan = Some(plan);
         self.clone_plans.insert(fn_id, outcomes);
-        self.record(TraceKind::AttemptStarted {
+        // Telemetry: this attempt's execution start closes any open
+        // recovery spans; the first attempt's start measures admission.
+        self.telemetry
+            .span_end(Phase::RecoveryE2E, fn_id.0, exec_start);
+        if warm {
+            self.telemetry
+                .span_end(Phase::WarmResume, fn_id.0, exec_start);
+        }
+        if attempt == 1 {
+            if let Some(first) = self.fns[fn_id.0 as usize].first_launch {
+                self.telemetry
+                    .observe(Phase::Admission, exec_start.saturating_since(first));
+            }
+        }
+        self.emit(TraceKind::AttemptStarted {
             fn_id,
             attempt,
             node,
@@ -578,12 +611,18 @@ impl Platform {
         self.queue.push(end, Event::AttemptEnd { fn_id, attempt });
     }
 
-    fn apply_recovery_plan(
-        &mut self,
-        fn_id: FnId,
-        plan: RecoveryPlan,
-    ) {
+    fn apply_recovery_plan(&mut self, fn_id: FnId, plan: RecoveryPlan) {
         let now = self.now();
+        self.emit(TraceKind::RecoveryPlanned {
+            fn_id,
+            target: plan.target,
+            detect: plan.detect,
+            restore: plan.restore,
+        });
+        self.telemetry.incr(Counter::RecoveriesPlanned);
+        if let RecoveryTarget::WarmContainer(_) = plan.target {
+            self.telemetry.span_start(Phase::WarmResume, fn_id.0, now);
+        }
         let rec = &mut self.fns[fn_id.0 as usize];
         rec.banked_work = rec.work_before_state(plan.resume_from_state);
         rec.status = FnStatus::Recovering;
@@ -615,12 +654,7 @@ impl Platform {
     /// Fail the in-flight attempt of `fn_id` at the current time (used for
     /// node crashes): computes partial progress, delivers durable-state
     /// callbacks, and asks the strategy for a recovery plan.
-    fn preempt_attempt(
-        &mut self,
-        strategy: &mut dyn FtStrategy,
-        fn_id: FnId,
-        kind: FailureKind,
-    ) {
+    fn preempt_attempt(&mut self, strategy: &mut dyn FtStrategy, fn_id: FnId, kind: FailureKind) {
         let now = self.now();
         let plan = self.fns[fn_id.0 as usize]
             .plan
@@ -655,6 +689,12 @@ impl Platform {
         }
 
         self.counters.function_failures += 1;
+        self.emit(TraceKind::AttemptFailed {
+            fn_id,
+            attempt: plan.attempt,
+            node: primary.node,
+        });
+        self.telemetry.span_start(Phase::RecoveryE2E, fn_id.0, now);
         let banked = self.fns[fn_id.0 as usize].banked_work;
         let p_kill = banked + work_now;
         {
@@ -721,7 +761,7 @@ impl Platform {
         }
 
         if plan.completes {
-            self.record(TraceKind::FunctionCompleted { fn_id });
+            self.emit(TraceKind::FunctionCompleted { fn_id });
             let rec = &mut self.fns[fn_id.0 as usize];
             rec.status = FnStatus::Completed;
             rec.completed_at = Some(now);
@@ -741,11 +781,12 @@ impl Platform {
             strategy.on_function_complete(self, fn_id);
         } else {
             self.counters.function_failures += 1;
-            self.record(TraceKind::AttemptFailed {
+            self.emit(TraceKind::AttemptFailed {
                 fn_id,
                 attempt,
                 node: plan.node,
             });
+            self.telemetry.span_start(Phase::RecoveryE2E, fn_id.0, now);
             let volatile_state = clones[0]
                 .timings
                 .last()
@@ -837,6 +878,9 @@ impl Platform {
             .unwrap_or(false);
         if !ok {
             // The reserved container died (node crash) or was consumed.
+            // The warm-resume span never completes; the still-open
+            // end-to-end recovery span keeps its original start.
+            self.telemetry.span_cancel(Phase::WarmResume, fn_id.0);
             let node = self
                 .registry
                 .get(container)
@@ -856,8 +900,17 @@ impl Platform {
         self.registry
             .transition(container, ContainerState::Executing)
             .expect("warm to executing");
+        self.emit(TraceKind::ReplicaConsumed { container, fn_id });
+        self.counters.replicas_consumed += 1;
+        self.telemetry.incr(Counter::ReplicasConsumed);
         let node = self.registry.get(container).expect("live container").node;
-        self.begin_attempt(strategy, fn_id, vec![(container, node, now)], from_state, true);
+        self.begin_attempt(
+            strategy,
+            fn_id,
+            vec![(container, node, now)],
+            from_state,
+            true,
+        );
     }
 
     fn handle_node_failure(&mut self, strategy: &mut dyn FtStrategy, node: NodeId) {
@@ -866,7 +919,7 @@ impl Platform {
         }
         let now = self.now();
         self.counters.node_failures += 1;
-        self.record(TraceKind::NodeFailed { node });
+        self.emit(TraceKind::NodeFailed { node });
         let victims = self.registry.fail_node(node);
         self.coldstart.invalidate_node(node);
         for &v in &victims {
@@ -912,13 +965,16 @@ impl Platform {
         self.registry
             .transition(container, ContainerState::Warm)
             .expect("initializing to warm");
-        self.record(TraceKind::WarmPoolReady { container });
+        self.emit(TraceKind::WarmPoolReady { container });
+        let now = self.now();
+        self.telemetry
+            .span_end(Phase::ReplicaColdStart, container.0, now);
         strategy.on_replica_warm(self, container);
     }
 
     fn handle_submit(&mut self, strategy: &mut dyn FtStrategy, job: JobId) {
         let now = self.now();
-        self.record(TraceKind::JobSubmitted { job });
+        self.emit(TraceKind::JobSubmitted { job });
         self.jobs[job.0 as usize].submitted_at = now;
         strategy.on_job_admitted(self, job);
         let fn_ids = self.jobs[job.0 as usize].fn_ids.clone();
@@ -961,7 +1017,9 @@ pub fn run(config: RunConfig, jobs: Vec<JobSpec>, strategy: &mut dyn FtStrategy)
         });
         p.dependents.push(Vec::new());
         match spec.after {
-            None => p.queue.push(SimTime::ZERO, Event::SubmitJob { job: job_id }),
+            None => p
+                .queue
+                .push(SimTime::ZERO, Event::SubmitJob { job: job_id }),
             Some(prereq) => {
                 assert!(
                     prereq < ji,
@@ -985,9 +1043,7 @@ pub fn run(config: RunConfig, jobs: Vec<JobSpec>, strategy: &mut dyn FtStrategy)
         match ev {
             Event::SubmitJob { job } => p.handle_submit(strategy, job),
             Event::Launch { fn_id, from_state } => p.handle_launch(strategy, fn_id, from_state),
-            Event::AttemptEnd { fn_id, attempt } => {
-                p.handle_attempt_end(strategy, fn_id, attempt)
-            }
+            Event::AttemptEnd { fn_id, attempt } => p.handle_attempt_end(strategy, fn_id, attempt),
             Event::WarmResume {
                 fn_id,
                 container,
@@ -1054,5 +1110,6 @@ pub fn run(config: RunConfig, jobs: Vec<JobSpec>, strategy: &mut dyn FtStrategy)
         counters: p.counters,
         finished_at,
         trace: p.trace,
+        telemetry: p.telemetry.snapshot(),
     }
 }

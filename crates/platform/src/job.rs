@@ -178,11 +178,7 @@ mod tests {
 
     #[test]
     fn work_prefix_sums() {
-        let rec = FnRecord::new(
-            FnId(0),
-            JobId(0),
-            Arc::new(WorkloadSpec::web_service(10)),
-        );
+        let rec = FnRecord::new(FnId(0), JobId(0), Arc::new(WorkloadSpec::web_service(10)));
         assert_eq!(rec.work_before_state(0), SimDuration::ZERO);
         assert_eq!(rec.work_before_state(1), SimDuration::from_millis(600));
         assert_eq!(rec.work_before_state(10), rec.total_work());

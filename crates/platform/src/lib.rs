@@ -10,6 +10,11 @@
 //! recovery strategies are attributable to the strategy alone, exactly
 //! like the paper swapping recovery policies on a single OpenWhisk
 //! deployment.
+//!
+//! Observability is opt-in and read-only: [`RunConfig::trace`] records the
+//! event-by-event execution [`trace`], [`RunConfig::telemetry`] collects
+//! per-phase latency histograms and typed counters ([`telemetry`]), and
+//! both land in the [`RunResult`] without affecting the simulation.
 
 pub mod accounting;
 pub mod config;
@@ -17,6 +22,7 @@ pub mod engine;
 pub mod ids;
 pub mod job;
 pub mod strategy;
+pub mod telemetry;
 pub mod trace;
 
 pub use accounting::{ContainerUsage, FnOutcome, JobOutcome, RunCounters, RunResult};
@@ -25,4 +31,7 @@ pub use engine::{run, Platform, StateTiming};
 pub use ids::{FnId, JobId};
 pub use job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
 pub use strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};
+pub use telemetry::{
+    Counter, Histogram, Phase, PhaseSummary, TableStats, Telemetry, TelemetrySnapshot,
+};
 pub use trace::{Trace, TraceEvent, TraceKind};

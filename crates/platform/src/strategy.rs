@@ -13,6 +13,7 @@ use crate::ids::{FnId, JobId};
 use canary_cluster::NodeId;
 use canary_container::ContainerId;
 use canary_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// What killed the function attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +44,7 @@ pub struct FailureInfo {
 }
 
 /// Where the recovered attempt runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RecoveryTarget {
     /// Launch a fresh container through the controller (placement chosen
     /// by the load balancer at launch time). Pays the cold start.
@@ -65,6 +66,14 @@ pub struct RecoveryPlan {
     pub delay: SimDuration,
     /// Where to run.
     pub target: RecoveryTarget,
+    /// Informational: the failure-detection share of `delay`. Recorded
+    /// in the trace's `RecoveryPlanned` event so the timeline renderer
+    /// can break recovery into detect → restore → resume; the engine's
+    /// timing uses only `delay`.
+    pub detect: SimDuration,
+    /// Informational: the checkpoint-restore share of `delay` (zero for
+    /// strategies that restart from scratch).
+    pub restore: SimDuration,
 }
 
 /// A pluggable fault-tolerance strategy.
@@ -137,6 +146,8 @@ mod tests {
             resume_from_state: 3,
             delay: SimDuration::from_secs(1),
             target: RecoveryTarget::FreshContainer,
+            detect: SimDuration::from_secs(1),
+            restore: SimDuration::ZERO,
         };
         let q = p;
         assert_eq!(q.resume_from_state, p.resume_from_state);

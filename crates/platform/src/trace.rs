@@ -1,16 +1,20 @@
 //! Execution traces: an opt-in, time-ordered log of platform events.
 //!
 //! Enabled via [`crate::RunConfig::trace`]; the engine then records every
-//! noteworthy transition (job admission, attempt starts, failures,
-//! recoveries, replica lifecycle, node crashes) into the run result.
-//! Traces make recovery behaviour inspectable — e.g. asserting that a
-//! failure is followed by a warm resume on a replica — and feed the
-//! timeline renderer in `canary-metrics`.
+//! noteworthy transition (job admission and validator queueing, attempt
+//! starts, failures, recovery plans, checkpoint writes/restores, replica
+//! lifecycle, node crashes) into the run result. Traces make recovery
+//! behaviour inspectable — e.g. asserting that a failure is followed by a
+//! warm resume on a replica — and feed the swimlane renderer in
+//! `canary_metrics::timeline` as well as the JSONL exporter in
+//! `canary_experiments::export`. Aggregate latency statistics live in the
+//! companion [`crate::telemetry`] layer.
 
 use crate::ids::{FnId, JobId};
-use canary_cluster::NodeId;
+use crate::strategy::RecoveryTarget;
+use canary_cluster::{NodeId, StorageTier};
 use canary_container::ContainerId;
-use canary_sim::SimTime;
+use canary_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -64,6 +68,69 @@ pub enum TraceKind {
         /// The node.
         node: NodeId,
     },
+    /// A checkpoint became durable on a storage tier.
+    CheckpointWritten {
+        /// The function whose state was checkpointed.
+        fn_id: FnId,
+        /// State index the checkpoint covers.
+        state: u32,
+        /// Serialized payload size.
+        bytes: u64,
+        /// Tier it landed on.
+        tier: StorageTier,
+    },
+    /// A checkpoint was read back during recovery.
+    CheckpointRestored {
+        /// The recovering function.
+        fn_id: FnId,
+        /// State index execution resumes from.
+        state: u32,
+        /// Payload size read.
+        bytes: u64,
+        /// Tier it was read from.
+        tier: StorageTier,
+    },
+    /// The validator parked a job in its admission queue.
+    JobQueued {
+        /// The job.
+        job: JobId,
+    },
+    /// The validator released a queued job for execution.
+    JobDequeued {
+        /// The job.
+        job: JobId,
+    },
+    /// The validator rejected a job outright.
+    JobRejected {
+        /// The job.
+        job: JobId,
+    },
+    /// A warm replica was consumed by a recovery.
+    ReplicaConsumed {
+        /// The container now hosting the function.
+        container: ContainerId,
+        /// The recovered function.
+        fn_id: FnId,
+    },
+    /// Pool reconciliation refreshed a runtime's replica pool after a
+    /// loss or demand change.
+    ReplicaRefreshed {
+        /// Replicas spawned this round.
+        spawned: u32,
+        /// Surplus idle replicas reclaimed this round.
+        reclaimed: u32,
+    },
+    /// The strategy issued a recovery plan for a failed attempt.
+    RecoveryPlanned {
+        /// The failed function.
+        fn_id: FnId,
+        /// Where the recovered attempt runs.
+        target: RecoveryTarget,
+        /// Failure-detection share of the recovery delay.
+        detect: SimDuration,
+        /// Restore share of the recovery delay.
+        restore: SimDuration,
+    },
 }
 
 /// One trace record.
@@ -101,6 +168,43 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::WarmPoolReady { container } => write!(f, "replica  {container} warm"),
             TraceKind::NodeFailed { node } => write!(f, "NODE     {node} crashed"),
+            TraceKind::CheckpointWritten {
+                fn_id,
+                state,
+                bytes,
+                tier,
+            } => write!(f, "ckpt     {fn_id} state {state} ({bytes} B to {tier:?})"),
+            TraceKind::CheckpointRestored {
+                fn_id,
+                state,
+                bytes,
+                tier,
+            } => write!(
+                f,
+                "restore  {fn_id} from state {state} ({bytes} B from {tier:?})"
+            ),
+            TraceKind::JobQueued { job } => write!(f, "queue    {job} held by validator"),
+            TraceKind::JobDequeued { job } => write!(f, "dequeue  {job} released by validator"),
+            TraceKind::JobRejected { job } => write!(f, "REJECT   {job} by validator"),
+            TraceKind::ReplicaConsumed { container, fn_id } => {
+                write!(f, "consume  {container} by {fn_id}")
+            }
+            TraceKind::ReplicaRefreshed { spawned, reclaimed } => {
+                write!(f, "refresh  pool +{spawned} -{reclaimed}")
+            }
+            TraceKind::RecoveryPlanned {
+                fn_id,
+                target,
+                detect,
+                restore,
+            } => {
+                write!(f, "plan     {fn_id} -> ")?;
+                match target {
+                    RecoveryTarget::FreshContainer => write!(f, "fresh container")?,
+                    RecoveryTarget::WarmContainer(c) => write!(f, "warm {c}")?,
+                }
+                write!(f, " (detect {detect}, restore {restore})")
+            }
         }
     }
 }
@@ -140,7 +244,10 @@ impl Trace {
             out.push('\n');
         }
         if self.events.len() > limit {
-            out.push_str(&format!("... ({} more events)\n", self.events.len() - limit));
+            out.push_str(&format!(
+                "... ({} more events)\n",
+                self.events.len() - limit
+            ));
         }
         out
     }
@@ -215,6 +322,132 @@ mod tests {
         assert!(s.contains("fn3"));
         assert!(s.contains("warm resume"));
         assert!(s.contains("1.500s"));
+    }
+
+    /// Pin the rendered form of every variant: these lines are what
+    /// operators read, and what doc examples and tests grep for.
+    #[test]
+    fn display_snapshot_for_every_variant() {
+        let cases: Vec<(TraceKind, &str)> = vec![
+            (TraceKind::JobSubmitted { job: JobId(0) }, "submit   job0"),
+            (
+                TraceKind::JobQueued { job: JobId(1) },
+                "queue    job1 held by validator",
+            ),
+            (
+                TraceKind::JobDequeued { job: JobId(1) },
+                "dequeue  job1 released by validator",
+            ),
+            (
+                TraceKind::JobRejected { job: JobId(2) },
+                "REJECT   job2 by validator",
+            ),
+            (
+                TraceKind::AttemptStarted {
+                    fn_id: FnId(3),
+                    attempt: 1,
+                    node: NodeId(4),
+                    warm: false,
+                },
+                "start    fn3 attempt 1 on node4",
+            ),
+            (
+                TraceKind::AttemptStarted {
+                    fn_id: FnId(3),
+                    attempt: 2,
+                    node: NodeId(5),
+                    warm: true,
+                },
+                "start    fn3 attempt 2 on node5 (warm resume)",
+            ),
+            (
+                TraceKind::AttemptFailed {
+                    fn_id: FnId(3),
+                    attempt: 1,
+                    node: NodeId(4),
+                },
+                "FAIL     fn3 attempt 1 on node4",
+            ),
+            (
+                TraceKind::FunctionCompleted { fn_id: FnId(3) },
+                "complete fn3",
+            ),
+            (
+                TraceKind::NodeFailed { node: NodeId(4) },
+                "NODE     node4 crashed",
+            ),
+            (
+                TraceKind::CheckpointWritten {
+                    fn_id: FnId(3),
+                    state: 7,
+                    bytes: 4096,
+                    tier: StorageTier::Ramdisk,
+                },
+                "ckpt     fn3 state 7 (4096 B to Ramdisk)",
+            ),
+            (
+                TraceKind::CheckpointRestored {
+                    fn_id: FnId(3),
+                    state: 7,
+                    bytes: 4096,
+                    tier: StorageTier::Nfs,
+                },
+                "restore  fn3 from state 7 (4096 B from Nfs)",
+            ),
+            (
+                TraceKind::WarmPoolSpawned {
+                    container: ContainerId(9),
+                    node: NodeId(2),
+                },
+                "replica  ctr9 spawning on node2",
+            ),
+            (
+                TraceKind::WarmPoolReady {
+                    container: ContainerId(9),
+                },
+                "replica  ctr9 warm",
+            ),
+            (
+                TraceKind::ReplicaConsumed {
+                    container: ContainerId(9),
+                    fn_id: FnId(3),
+                },
+                "consume  ctr9 by fn3",
+            ),
+            (
+                TraceKind::ReplicaRefreshed {
+                    spawned: 2,
+                    reclaimed: 1,
+                },
+                "refresh  pool +2 -1",
+            ),
+            (
+                TraceKind::RecoveryPlanned {
+                    fn_id: FnId(3),
+                    target: RecoveryTarget::FreshContainer,
+                    detect: SimDuration::from_millis(500),
+                    restore: SimDuration::from_millis(25),
+                },
+                "plan     fn3 -> fresh container (detect 0.500s, restore 0.025s)",
+            ),
+            (
+                TraceKind::RecoveryPlanned {
+                    fn_id: FnId(3),
+                    target: RecoveryTarget::WarmContainer(ContainerId(9)),
+                    detect: SimDuration::from_millis(500),
+                    restore: SimDuration::from_millis(25),
+                },
+                "plan     fn3 -> warm ctr9 (detect 0.500s, restore 0.025s)",
+            ),
+        ];
+        for (kind, expect) in cases {
+            let line = ev(2_000_000, kind).to_string();
+            assert_eq!(
+                line,
+                format!("[{:>10}] {expect}", "2.000s"),
+                "snapshot mismatch for {kind:?}"
+            );
+        }
     }
 
     #[test]

@@ -64,7 +64,8 @@ impl SimRng {
     /// parent is *not* advanced, so consumers can be added without shifting
     /// existing streams.
     pub fn split(&self, tag: u64) -> SimRng {
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ tag.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ tag.wrapping_mul(0xA076_1D64_78BD_642F);
         let mut s = [0u64; 4];
         for slot in &mut s {
             *slot = splitmix64(&mut sm);

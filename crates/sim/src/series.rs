@@ -60,7 +60,10 @@ impl Series {
 
     /// Largest y value.
     pub fn max_y(&self) -> f64 {
-        self.points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

@@ -45,7 +45,10 @@ impl fmt::Display for CodecError {
                 what,
                 len,
                 remaining,
-            } => write!(f, "bad length {len} for {what} (only {remaining} bytes left)"),
+            } => write!(
+                f,
+                "bad length {len} for {what} (only {remaining} bytes left)"
+            ),
             CodecError::BadTag { what, value } => write!(f, "bad tag {value} for {what}"),
             CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
         }
@@ -252,7 +255,9 @@ mod tests {
     #[test]
     fn round_trip_blobs_and_strings() {
         let mut e = Encoder::new();
-        e.put_bytes(&[1, 2, 3]).put_str("héllo").put_f64_slice(&[1.0, -2.0]);
+        e.put_bytes(&[1, 2, 3])
+            .put_str("héllo")
+            .put_f64_slice(&[1.0, -2.0]);
         let b = e.finish();
         let mut d = Decoder::new(&b);
         assert_eq!(d.bytes("blob").unwrap(), vec![1, 2, 3]);

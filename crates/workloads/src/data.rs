@@ -62,7 +62,8 @@ impl CensusData {
                     if g == dominant {
                         continue;
                     }
-                    let share = if g == NUM_GROUPS - 1 || (g == NUM_GROUPS - 2 && dominant == NUM_GROUPS - 1)
+                    let share = if g == NUM_GROUPS - 1
+                        || (g == NUM_GROUPS - 2 && dominant == NUM_GROUPS - 1)
                     {
                         remaining
                     } else {

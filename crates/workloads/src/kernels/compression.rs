@@ -83,7 +83,9 @@ pub fn rle_decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
             }
             TAG_LIT => {
                 if i + 1 >= input.len() {
-                    return Err(CodecError::UnexpectedEof { what: "rle literal" });
+                    return Err(CodecError::UnexpectedEof {
+                        what: "rle literal",
+                    });
                 }
                 let len = input[i + 1] as usize;
                 if len == 0 {

@@ -57,11 +57,15 @@ impl TrainingKernel {
     /// Deterministic synthetic dataset: `y = w*·x + b* + noise`.
     fn dataset(&self) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = SimRng::seed_from_u64(self.seed).split(0xDA7A);
-        let truth: Vec<f64> = (0..=self.features).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let truth: Vec<f64> = (0..=self.features)
+            .map(|_| rng.range_f64(-1.0, 1.0))
+            .collect();
         let mut xs = Vec::with_capacity(self.examples);
         let mut ys = Vec::with_capacity(self.examples);
         for _ in 0..self.examples {
-            let x: Vec<f64> = (0..self.features).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let x: Vec<f64> = (0..self.features)
+                .map(|_| rng.range_f64(-1.0, 1.0))
+                .collect();
             let mut y = truth[self.features]; // bias
             for (xi, wi) in x.iter().zip(&truth) {
                 y += xi * wi;

@@ -68,12 +68,7 @@ impl WebQueryKernel {
                 // Q2: range count — counties with population above a bar.
                 1 => {
                     let bar = rng.range_u64(10_000, 1_500_000);
-                    let count = self
-                        .data
-                        .rows
-                        .iter()
-                        .filter(|r| r.total() > bar)
-                        .count() as u64;
+                    let count = self.data.rows.iter().filter(|r| r.total() > bar).count() as u64;
                     digest = mix(digest, count);
                     scanned += n;
                 }

@@ -20,9 +20,30 @@ use std::collections::BTreeMap;
 /// Vocabulary used by the synthetic document generator. Zipf-ish: earlier
 /// words are drawn far more often.
 const VOCAB: [&str; 24] = [
-    "the", "of", "and", "to", "in", "function", "state", "checkpoint", "replica", "failure",
-    "recovery", "container", "runtime", "serverless", "cluster", "node", "storage", "latency",
-    "cost", "workload", "canary", "retry", "warm", "cold",
+    "the",
+    "of",
+    "and",
+    "to",
+    "in",
+    "function",
+    "state",
+    "checkpoint",
+    "replica",
+    "failure",
+    "recovery",
+    "container",
+    "runtime",
+    "serverless",
+    "cluster",
+    "node",
+    "storage",
+    "latency",
+    "cost",
+    "workload",
+    "canary",
+    "retry",
+    "warm",
+    "cold",
 ];
 
 /// Deterministic shard text: `chunks` chunks of `words_per_chunk` words.
@@ -141,7 +162,9 @@ impl Resumable for MapKernel {
 
     fn encode(&self, state: &MapState) -> Bytes {
         let mut e = Encoder::new();
-        e.put_u8(1).put_u64(state.next_chunk).put_u32(state.outputs.len() as u32);
+        e.put_u8(1)
+            .put_u64(state.next_chunk)
+            .put_u32(state.outputs.len() as u32);
         for counts in &state.outputs {
             encode_counts(counts, &mut e);
         }

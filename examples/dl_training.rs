@@ -61,7 +61,10 @@ fn main() {
     // Recovery: read the latest checkpoint from a survivor and resume.
     let restored_bytes = kv.get("dl/ckpt/latest").expect("checkpoint survives");
     let mut resumed = kernel.decode(&restored_bytes).expect("decode checkpoint");
-    println!("restored at epoch {}, loss {:.6}", resumed.epoch, resumed.loss);
+    println!(
+        "restored at epoch {}, loss {:.6}",
+        resumed.epoch, resumed.loss
+    );
     while kernel.step(&mut resumed) {}
 
     println!(

@@ -34,7 +34,10 @@ fn main() {
     while kernel.step(&mut state) {
         let checkpoint = kernel.encode(&state);
         if state.next == 23_000_000 {
-            println!("killed at vertex {} — restoring from checkpoint", state.next);
+            println!(
+                "killed at vertex {} — restoring from checkpoint",
+                state.next
+            );
             state = kernel.decode(&checkpoint).expect("decode");
         }
     }

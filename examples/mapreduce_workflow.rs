@@ -128,9 +128,7 @@ fn main() {
     println!(
         "\nCanary delivered the workflow {saved:.1}s earlier than retry \
          ({:.0}% of retry's failure-induced delay removed)",
-        saved
-            / (retry.makespan().as_secs_f64() - ideal.makespan().as_secs_f64())
-            * 100.0
+        saved / (retry.makespan().as_secs_f64() - ideal.makespan().as_secs_f64()) * 100.0
     );
     assert!(canary.makespan() < retry.makespan());
     assert!(canary.jobs[1].submitted_at <= retry.jobs[1].submitted_at);

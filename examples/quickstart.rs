@@ -55,8 +55,7 @@ fn main() {
 
     let retry = &rows[1];
     let canary = &rows[2];
-    let reduction = (retry.total_recovery().as_secs_f64()
-        - canary.total_recovery().as_secs_f64())
+    let reduction = (retry.total_recovery().as_secs_f64() - canary.total_recovery().as_secs_f64())
         / retry.total_recovery().as_secs_f64()
         * 100.0;
     println!(

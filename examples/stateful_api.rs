@@ -67,7 +67,11 @@ fn process(totals: &mut OrderTotals) {
     totals.next_batch += 1;
 }
 
-fn run_with_kills(service: &StateService, fn_id: u64, kills: &[u64]) -> Result<OrderTotals, ApiError> {
+fn run_with_kills(
+    service: &StateService,
+    fn_id: u64,
+    kills: &[u64],
+) -> Result<OrderTotals, ApiError> {
     let mut ctx = service.context(fn_id);
     // Register the price table as critical data (§IV-C.4a) — it must be
     // available to any container that takes over this function.

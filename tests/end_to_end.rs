@@ -117,7 +117,10 @@ fn higher_failure_rates_monotonically_increase_retry_recovery() {
     let mut last = -1.0f64;
     for rate in [0.05, 0.15, 0.30, 0.50] {
         let s = scenario(WorkloadKind::WebService, 100, rate);
-        let rec = s.run_once(StrategyKind::Retry, 41).total_recovery().as_secs_f64();
+        let rec = s
+            .run_once(StrategyKind::Retry, 41)
+            .total_recovery()
+            .as_secs_f64();
         assert!(
             rec > last,
             "recovery at rate {rate} ({rec}) should exceed previous ({last})"

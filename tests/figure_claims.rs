@@ -81,10 +81,14 @@ fn fig8_cost_gap_widens_with_rate() {
     let sets = fig8::build(&small_opts());
     let cost = &sets[0];
     let gap = |x: f64| {
-        cost.get("Retry").unwrap().y_at(x).unwrap()
-            - cost.get("Canary").unwrap().y_at(x).unwrap()
+        cost.get("Retry").unwrap().y_at(x).unwrap() - cost.get("Canary").unwrap().y_at(x).unwrap()
     };
-    assert!(gap(50.0) > gap(5.0), "gap should widen: {} vs {}", gap(50.0), gap(5.0));
+    assert!(
+        gap(50.0) > gap(5.0),
+        "gap should widen: {} vs {}",
+        gap(50.0),
+        gap(5.0)
+    );
     assert!(gap(50.0) > 0.0, "canary cheaper at 50%");
 }
 

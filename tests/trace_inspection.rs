@@ -41,14 +41,11 @@ fn trace_is_time_ordered_and_complete() {
     let r = traced_run(&mut RetryStrategy::new(), 0.25, 2);
     assert!(!r.trace.events.is_empty());
     // Nondecreasing timestamps.
-    assert!(r
-        .trace
-        .events
-        .windows(2)
-        .all(|w| w[0].at <= w[1].at));
+    assert!(r.trace.events.windows(2).all(|w| w[0].at <= w[1].at));
     // One JobSubmitted; one FunctionCompleted per function.
     assert_eq!(
-        r.trace.count(|k| matches!(k, TraceKind::JobSubmitted { .. })),
+        r.trace
+            .count(|k| matches!(k, TraceKind::JobSubmitted { .. })),
         1
     );
     assert_eq!(
@@ -58,7 +55,8 @@ fn trace_is_time_ordered_and_complete() {
     );
     // Failure events match the counters.
     assert_eq!(
-        r.trace.count(|k| matches!(k, TraceKind::AttemptFailed { .. })) as u64,
+        r.trace
+            .count(|k| matches!(k, TraceKind::AttemptFailed { .. })) as u64,
         r.counters.function_failures
     );
 }
@@ -83,7 +81,14 @@ fn every_function_story_reads_correctly() {
             .iter()
             .filter(|e| matches!(e.kind, TraceKind::AttemptFailed { .. }))
             .count();
-        assert_eq!(starts, fails + 1, "{}: {} starts {} fails", f.id, starts, fails);
+        assert_eq!(
+            starts,
+            fails + 1,
+            "{}: {} starts {} fails",
+            f.id,
+            starts,
+            fails
+        );
         assert_eq!(starts as u32, f.attempts);
     }
 }
@@ -92,12 +97,20 @@ fn every_function_story_reads_correctly() {
 fn canary_recoveries_show_warm_resumes() {
     let r = traced_run(&mut CanaryStrategy::default_dr(), 0.3, 5);
     // Replicas were spawned and became warm.
-    assert!(r.trace.count(|k| matches!(k, TraceKind::WarmPoolSpawned { .. })) > 0);
-    assert!(r.trace.count(|k| matches!(k, TraceKind::WarmPoolReady { .. })) > 0);
-    // Some attempt starts are warm resumes.
-    let warm_starts = r.trace.count(
-        |k| matches!(k, TraceKind::AttemptStarted { warm: true, .. }),
+    assert!(
+        r.trace
+            .count(|k| matches!(k, TraceKind::WarmPoolSpawned { .. }))
+            > 0
     );
+    assert!(
+        r.trace
+            .count(|k| matches!(k, TraceKind::WarmPoolReady { .. }))
+            > 0
+    );
+    // Some attempt starts are warm resumes.
+    let warm_starts = r
+        .trace
+        .count(|k| matches!(k, TraceKind::AttemptStarted { warm: true, .. }));
     assert_eq!(warm_starts as u64, r.counters.warm_recoveries);
     // And a failed function's next start is the warm resume.
     let failed_fn: FnId = r

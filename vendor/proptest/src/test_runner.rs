@@ -1,0 +1,187 @@
+//! Case scheduling and the deterministic RNG.
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases to run.
+    pub cases: u32,
+    /// Give up after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // The real crate defaults to 256; this hermetic stand-in
+            // trades volume for wall-clock (cases here often run whole
+            // simulations) while staying deterministic.
+            cases: 48,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed; the case is discarded.
+    Reject(String),
+    /// A `prop_assert*!` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+        }
+    }
+}
+
+/// Deterministic splitmix64 generator backing all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded from `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (splitmix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded generation (Lemire); bias is
+        // negligible for test-case generation purposes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)` from the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives the case loop for one `proptest!` function.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    case: u32,
+    passed: u32,
+    rejects: u32,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Runner for one property function.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            case: 0,
+            passed: 0,
+            rejects: 0,
+            // Fixed master seed: runs are reproducible across machines
+            // and invocations by design.
+            rng: TestRng::seed_from_u64(0x1DEA_5EED_CAFE_F00D),
+        }
+    }
+
+    /// RNG for the next case, or `None` once enough cases have passed.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.passed >= self.config.cases {
+            return None;
+        }
+        if self.rejects >= self.config.max_global_rejects {
+            panic!(
+                "proptest: too many prop_assume! rejections ({} of limit {})",
+                self.rejects, self.config.max_global_rejects
+            );
+        }
+        self.case += 1;
+        Some(TestRng::seed_from_u64(self.rng.next_u64()))
+    }
+
+    /// Record a passing case.
+    pub fn pass(&mut self) {
+        self.passed += 1;
+    }
+
+    /// Record a rejected (`prop_assume!`) case.
+    pub fn reject(&mut self) {
+        self.rejects += 1;
+    }
+
+    /// 1-based index of the case most recently started.
+    pub fn case_index(&self) -> u32 {
+        self.case
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(42);
+        let mut b = TestRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn u64_below_in_range() {
+        let mut r = TestRng::seed_from_u64(7);
+        for n in [1u64, 2, 10, 1000, u64::MAX] {
+            for _ in 0..50 {
+                assert!(r.u64_below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_schedules_exactly_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5));
+        let mut ran = 0;
+        while runner.next_case().is_some() {
+            runner.pass();
+            ran += 1;
+        }
+        assert_eq!(ran, 5);
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace is built in a hermetic environment with no access to a
+//! crate registry, so the handful of external dependencies are vendored
+//! as minimal API-compatible stubs (see `vendor/README.md`). The
+//! workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! forward-compatibility marker — no code path serializes through serde
+//! (structured export is hand-rolled JSON in `canary-experiments`) and
+//! no generic bound of the form `T: Serialize` exists anywhere. The
+//! traits below are therefore empty markers and the derives expand to
+//! nothing; swapping the real serde back in is a one-line change in the
+//! workspace manifest.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace never relies on generated `Serialize`/`Deserialize`
+//! impls (no serde-based encoder is linked and no `T: Serialize` bounds
+//! exist), so both derives expand to an empty token stream. This keeps
+//! the `#[derive(Serialize, Deserialize)]` annotations across the
+//! workspace compiling unchanged while the build is hermetic.
+
+use proc_macro::TokenStream;
+
+/// No-op expansion of `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op expansion of `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
