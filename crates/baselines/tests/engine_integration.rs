@@ -183,6 +183,23 @@ fn node_failures_are_survived() {
 }
 
 #[test]
+fn node_crashes_at_time_zero_are_survived() {
+    // A 1 µs horizon forces every drawn node crash to land at exactly
+    // t=0, before a single function has been placed. The engine must
+    // treat those nodes as dead from the start — no special-casing, no
+    // panic — and still finish the job on the survivors.
+    let failure = FailureModel::with_error_rate(0.05).with_node_failures(0.5);
+    let mut cfg = RunConfig::new(Cluster::chameleon_16(), failure, 37);
+    cfg.node_failure_horizon = SimDuration::from_micros(1);
+    let r = run(cfg, web_job(60), &mut RetryStrategy::new());
+    assert_eq!(r.completed_count(), 60);
+    assert!(
+        r.counters.node_failures > 0,
+        "about half the nodes should crash at t=0"
+    );
+}
+
+#[test]
 fn makespan_improves_with_cluster_size() {
     let mk = |nodes: u32| {
         let cfg = RunConfig::new(Cluster::heterogeneous(nodes), FailureModel::default(), 29);

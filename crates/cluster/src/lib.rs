@@ -8,12 +8,16 @@
 //! failure injector that kills function attempts and whole nodes at a
 //! configured error rate — exactly the methodology of §V-B.
 
+pub mod chaos;
 pub mod failure;
 pub mod network;
 pub mod node;
 pub mod storage;
 pub mod topology;
 
+pub use chaos::{
+    BurstSpec, ChaosPlan, ChaosSpec, DegradeSpec, FaultEvent, PartitionSpec, StoreOutageSpec,
+};
 pub use failure::{AttemptFailure, FailureInjector, FailureModel, NodeFailure};
 pub use network::NetworkModel;
 pub use node::{CpuClass, NodeId, NodeSpec, NodeState};

@@ -58,6 +58,21 @@ impl NetworkModel {
         latency + SimDuration::from_secs_f64(bytes as f64 / bw)
     }
 
+    /// [`NetworkModel::transfer_time`] under a chaos slowdown: latency and
+    /// serialization both stretch by `factor` (≥ 1), modelling congestion
+    /// from degradation windows or reroutes around a partition.
+    pub fn transfer_time_degraded(
+        &self,
+        cluster: &Cluster,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        factor: f64,
+    ) -> SimDuration {
+        self.transfer_time(cluster, src, dst, bytes)
+            .mul_f64(factor.max(1.0))
+    }
+
     /// Time to broadcast `bytes` from `src` to every other node
     /// (used by replicated KV-store writes); modelled as the slowest
     /// point-to-point transfer since sends are parallel.
@@ -116,6 +131,18 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(b, worst);
+    }
+
+    #[test]
+    fn degraded_transfer_scales_and_clamps() {
+        let net = NetworkModel::default();
+        let c = Cluster::heterogeneous(4);
+        let base = net.transfer_time(&c, NodeId(0), NodeId(1), 1_000_000);
+        let slow = net.transfer_time_degraded(&c, NodeId(0), NodeId(1), 1_000_000, 3.0);
+        assert_eq!(slow, base.mul_f64(3.0));
+        // Factors below 1 never speed the network up.
+        let clamped = net.transfer_time_degraded(&c, NodeId(0), NodeId(1), 1_000_000, 0.1);
+        assert_eq!(clamped, base);
     }
 
     #[test]

@@ -51,6 +51,22 @@ pub struct RestoreInfo {
     pub tier: StorageTier,
 }
 
+/// Outcome of probing the retained checkpoint window for a restore point
+/// (corruption-aware fallback restore).
+#[derive(Debug, Clone)]
+pub struct RestoreLookup {
+    /// The usable restore point, if any retained checkpoint survived
+    /// probing.
+    pub info: Option<RestoreInfo>,
+    /// Checkpoint ids skipped as corrupted, newest first.
+    pub corrupted: Vec<u64>,
+    /// True when the function had at least one retained checkpoint — so
+    /// `info == None` means every retained checkpoint was unusable
+    /// (fallback to rerun-from-start), not that the function never
+    /// checkpointed.
+    pub had_checkpoints: bool,
+}
+
 /// The Checkpointing Module.
 pub struct CheckpointingModule {
     config: CanaryConfig,
@@ -212,25 +228,68 @@ impl CheckpointingModule {
     /// Returns `None` when the function has no checkpoint (restart from
     /// state 0 with no restore cost).
     pub fn restore_info(&self, fn_id: u64, node_lost: bool) -> Option<RestoreInfo> {
-        let meta = self.window.latest(fn_id)?;
-        let rows = self.db.checkpoints_of(fn_id).ok()?;
-        let row = rows.iter().find(|r| r.ckpt_id == meta.ckpt_id)?;
-        let tier = tier_from_ordinal(row.tier);
-        let read_tier = if node_lost && !tier.is_shared() {
-            // The local copy is gone; read the asynchronously flushed copy
-            // from shared storage.
-            self.hierarchy.shared_tier
-        } else {
-            tier
-        };
-        // KV metadata lookup + payload read.
-        let duration = StorageTier::KvStore.read_time(256) + read_tier.read_time(row.bytes);
-        Some(RestoreInfo {
-            resume_from_state: row.state_index + 1,
-            duration,
-            bytes: row.bytes,
-            tier: read_tier,
-        })
+        self.restore_lookup(fn_id, node_lost, &|_| false).info
+    }
+
+    /// Corruption-aware restore probing: walk the retained window from the
+    /// newest checkpoint towards the oldest, skipping checkpoints the
+    /// `is_corrupt` oracle flags and checkpoints whose database rows were
+    /// lost (e.g. to a total store outage). Each probe pays a KV metadata
+    /// lookup that is added to the eventual restore duration. When no
+    /// retained checkpoint is usable the caller must rerun from the start.
+    pub fn restore_lookup(
+        &self,
+        fn_id: u64,
+        node_lost: bool,
+        is_corrupt: &dyn Fn(u64) -> bool,
+    ) -> RestoreLookup {
+        let metas = self.window.all(fn_id); // oldest first
+        let had_checkpoints = !metas.is_empty();
+        let mut corrupted = Vec::new();
+        let mut probe_cost = SimDuration::ZERO;
+        // A store outage makes the rows unreadable; treat that like rows
+        // lost (data may come back after a rejoin, but a recovery in
+        // flight right now cannot wait for it).
+        let rows = self.db.checkpoints_of(fn_id).unwrap_or_default();
+        for meta in metas.iter().rev() {
+            probe_cost += StorageTier::KvStore.read_time(256);
+            if is_corrupt(meta.ckpt_id) {
+                corrupted.push(meta.ckpt_id);
+                continue;
+            }
+            let Some(row) = rows.iter().find(|r| r.ckpt_id == meta.ckpt_id) else {
+                continue;
+            };
+            let tier = tier_from_ordinal(row.tier);
+            let read_tier = if node_lost && !tier.is_shared() {
+                // The local copy is gone; read the asynchronously flushed
+                // copy from shared storage.
+                self.hierarchy.shared_tier
+            } else {
+                tier
+            };
+            let duration = probe_cost + read_tier.read_time(row.bytes);
+            return RestoreLookup {
+                info: Some(RestoreInfo {
+                    resume_from_state: row.state_index + 1,
+                    duration,
+                    bytes: row.bytes,
+                    tier: read_tier,
+                }),
+                corrupted,
+                had_checkpoints,
+            };
+        }
+        RestoreLookup {
+            info: None,
+            corrupted,
+            had_checkpoints,
+        }
+    }
+
+    /// Number of checkpoints currently retained for `fn_id`.
+    pub fn retained(&self, fn_id: u64) -> usize {
+        self.window.count(fn_id)
     }
 
     /// Tier a checkpoint of `spec_bytes` lands on (for trace events).
@@ -266,11 +325,14 @@ impl CheckpointingModule {
         self.window.window()
     }
 
-    /// A function completed: drop its checkpoints and bookkeeping.
+    /// A function completed: drop its checkpoints and bookkeeping. The
+    /// database deletes are best effort — a store outage during cleanup
+    /// only leaks rows (lost with the outage anyway) and must not wedge
+    /// the completing function.
     pub fn forget(&mut self, fn_id: u64) -> Result<(), DbError> {
         for old in self.window.forget(fn_id) {
-            self.db.delete_checkpoint(fn_id, old.ckpt_id)?;
-            self.db.delete_payload(&old.location)?;
+            let _ = self.db.delete_checkpoint(fn_id, old.ckpt_id);
+            let _ = self.db.delete_payload(&old.location);
         }
         self.durable.remove(&fn_id);
         self.next_ckpt.remove(&fn_id);
@@ -453,6 +515,71 @@ mod tests {
         // Stride 3: states 2, 5, 8, ... checkpoint.
         let hits: Vec<u32> = (0..9).filter(|&i| m.is_checkpoint_state(i, 3)).collect();
         assert_eq!(hits, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn corrupted_latest_falls_back_to_previous_checkpoint() {
+        let mut m = module();
+        for s in 0..4u32 {
+            m.record(0, 10, s, 2048, SimTime::ZERO).unwrap();
+        }
+        // Window of 3 retains ckpts 1..=3 (states 1..=3); corrupt the
+        // newest (ckpt 3).
+        let clean = m.restore_lookup(10, false, &|_| false);
+        assert_eq!(clean.info.unwrap().resume_from_state, 4);
+        let fb = m.restore_lookup(10, false, &|c| c == 3);
+        let info = fb.info.unwrap();
+        assert_eq!(info.resume_from_state, 3, "must resume from n-1");
+        assert_eq!(fb.corrupted, vec![3]);
+        assert!(
+            info.duration > clean.info.unwrap().duration,
+            "the extra probe must cost restore time"
+        );
+    }
+
+    #[test]
+    fn all_corrupted_falls_back_to_rerun() {
+        let mut m = module();
+        for s in 0..4u32 {
+            m.record(0, 11, s, 2048, SimTime::ZERO).unwrap();
+        }
+        let fb = m.restore_lookup(11, false, &|_| true);
+        assert!(fb.info.is_none(), "no usable checkpoint remains");
+        assert!(fb.had_checkpoints, "this is a fallback, not a fresh fn");
+        assert_eq!(fb.corrupted.len(), 3, "every retained ckpt was probed");
+        // A function that never checkpointed is distinguishable.
+        let fresh = m.restore_lookup(99, false, &|_| true);
+        assert!(fresh.info.is_none() && !fresh.had_checkpoints);
+    }
+
+    #[test]
+    fn lost_db_rows_fall_back_like_corruption() {
+        let mut m = module();
+        for s in 0..3u32 {
+            m.record(0, 12, s, 2048, SimTime::ZERO).unwrap();
+        }
+        // A total store outage wipes every row; the window metadata alone
+        // cannot restore anything.
+        for member in 0..3 {
+            m.db.kv().fail_node(member).unwrap();
+        }
+        m.db.kv().rejoin_empty(0).unwrap();
+        let fb = m.restore_lookup(12, false, &|_| false);
+        assert!(fb.info.is_none());
+        assert!(fb.had_checkpoints);
+        assert!(fb.corrupted.is_empty(), "rows are lost, not corrupted");
+    }
+
+    #[test]
+    fn retention_still_prunes_to_window_under_corruption_probing() {
+        let mut m = module();
+        for s in 0..10u32 {
+            m.record(0, 13, s, 2048, SimTime::ZERO).unwrap();
+            // Interleave corruption-heavy probing with writes.
+            let _ = m.restore_lookup(13, false, &|c| c.is_multiple_of(2));
+        }
+        assert_eq!(m.retained(13), 3, "window must keep pruning to n");
+        assert_eq!(m.db.checkpoints_of(13).unwrap().len(), 3);
     }
 
     #[test]

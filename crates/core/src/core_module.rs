@@ -19,7 +19,7 @@ use crate::prediction::FailurePredictor;
 use crate::replication::ReplicationModule;
 use crate::runtime_manager::{ReplicaOffer, RuntimeManager};
 use crate::validator::{Admission, PlatformLimits, RequestValidator};
-use canary_cluster::CpuClass;
+use canary_cluster::{CpuClass, FaultEvent, NodeId};
 use canary_container::ContainerId;
 use canary_platform::{
     Counter, FailureInfo, FailureKind, FnId, FtStrategy, JobId, Phase, Platform, RecoveryPlan,
@@ -121,21 +121,25 @@ impl CanaryStrategy {
             max_batch: 100_000,
         });
         for node in platform.config().cluster.nodes() {
-            self.db
-                .put_worker(&WorkerInfoRow {
-                    node_id: node.id.0,
-                    cpu_class: cpu_ordinal(node.cpu),
-                    memory_mb: node.memory_mb,
-                    rack: node.rack,
-                    slots: node.container_slots,
-                })
-                .expect("worker row");
+            // Metadata writes are best effort under chaos: a store outage
+            // loses bookkeeping rows, not correctness.
+            let _ = self.db.put_worker(&WorkerInfoRow {
+                node_id: node.id.0,
+                cpu_class: cpu_ordinal(node.cpu),
+                memory_mb: node.memory_mb,
+                rack: node.rack,
+                slots: node.container_slots,
+            });
         }
         self.workers_registered = true;
     }
 
     /// Recovery-time budget for migrating a function onto a runtime and
-    /// restoring the checkpoint, given the failure kind.
+    /// restoring the checkpoint, given the failure kind. Corruption-aware:
+    /// probes the retained window newest-first, falling back to the
+    /// previous checkpoint (or all the way to rerun-from-start) when the
+    /// latest ones are unreadable, and stretches the read over a degraded
+    /// or partitioned interconnect.
     fn restore_plan(
         &mut self,
         platform: &mut Platform,
@@ -143,8 +147,47 @@ impl CanaryStrategy {
         failure: &FailureInfo,
     ) -> (u32, SimDuration) {
         let node_lost = failure.kind == FailureKind::NodeCrash;
-        match self.checkpointing.restore_info(fn_id.0, node_lost) {
+        let lookup = {
+            let chaos = platform.chaos();
+            self.checkpointing
+                .restore_lookup(fn_id.0, node_lost, &|c| chaos.corrupted(fn_id.0, c))
+        };
+        for &ckpt_id in &lookup.corrupted {
+            platform.emit(TraceKind::CheckpointCorrupted { fn_id, ckpt_id });
+            platform.telemetry_mut().incr(Counter::CheckpointsCorrupted);
+        }
+        match lookup.info {
             Some(info) => {
+                // The metadata store lives with the cluster; model the
+                // read as coming from the first worker. A degraded or
+                // partitioned path multiplies the restore and adds the
+                // payload's wire time.
+                let duration = {
+                    let cfg = platform.config();
+                    let chaos = platform.chaos();
+                    let store = NodeId(0);
+                    let factor = chaos.transfer_penalty(failure.node, store, failure.at);
+                    if factor > 1.0 {
+                        info.duration.mul_f64(factor)
+                            + cfg.network.transfer_time_degraded(
+                                &cfg.cluster,
+                                failure.node,
+                                store,
+                                info.bytes,
+                                factor,
+                            )
+                    } else {
+                        info.duration
+                    }
+                };
+                if !lookup.corrupted.is_empty() {
+                    platform.emit(TraceKind::RestoreFallback {
+                        fn_id,
+                        state: info.resume_from_state,
+                    });
+                    platform.counters_mut().restore_fallbacks += 1;
+                    platform.telemetry_mut().incr(Counter::RestoreFallbacks);
+                }
                 platform.note_restore();
                 platform.emit(TraceKind::CheckpointRestored {
                     fn_id,
@@ -153,11 +196,20 @@ impl CanaryStrategy {
                     tier: info.tier,
                 });
                 let tel = platform.telemetry_mut();
-                tel.observe(Phase::CheckpointRestore, info.duration);
+                tel.observe(Phase::CheckpointRestore, duration);
                 tel.incr(Counter::CheckpointsRestored);
-                (info.resume_from_state, info.duration)
+                (info.resume_from_state, duration)
             }
-            None => (0, SimDuration::ZERO),
+            None => {
+                if lookup.had_checkpoints {
+                    // Every retained checkpoint was corrupted or its row
+                    // lost to a store outage: rerun from the start.
+                    platform.emit(TraceKind::RestoreFallback { fn_id, state: 0 });
+                    platform.counters_mut().restore_fallbacks += 1;
+                    platform.telemetry_mut().incr(Counter::RestoreFallbacks);
+                }
+                (0, SimDuration::ZERO)
+            }
         }
     }
 
@@ -230,26 +282,22 @@ impl FtStrategy for CanaryStrategy {
             }
         }
 
-        self.db
-            .put_job(&JobInfoRow {
+        let _ = self.db.put_job(&JobInfoRow {
+            job_id: job.0,
+            runtime,
+            invocations,
+            ckpt_window: self.checkpointing.window_size() as u32,
+            replication_strategy: self.config.replication.ordinal(),
+            submitted_us: submitted.as_micros(),
+        });
+        for fn_id in fn_ids {
+            let _ = self.db.put_function(&FunctionInfoRow {
+                fn_id: fn_id.0,
                 job_id: job.0,
                 runtime,
-                invocations,
-                ckpt_window: self.checkpointing.window_size() as u32,
-                replication_strategy: self.config.replication.ordinal(),
-                submitted_us: submitted.as_micros(),
-            })
-            .expect("job row");
-        for fn_id in fn_ids {
-            self.db
-                .put_function(&FunctionInfoRow {
-                    fn_id: fn_id.0,
-                    job_id: job.0,
-                    runtime,
-                    node_id: u32::MAX,
-                    status: 0,
-                })
-                .expect("function row");
+                node_id: u32::MAX,
+                status: 0,
+            });
             self.runtime_manager.note_function_started(runtime);
             self.replication.note_attempt(runtime);
         }
@@ -294,9 +342,21 @@ impl FtStrategy for CanaryStrategy {
         }
         let effective = self.checkpointing.effective_bytes(state.ckpt_bytes);
         let tier = self.checkpointing.placement_tier(state.ckpt_bytes);
-        self.checkpointing
+        if self
+            .checkpointing
             .record(job.0, fn_id.0, state_idx, state.ckpt_bytes, at)
-            .expect("checkpoint record");
+            .is_err()
+        {
+            // Store outage: the checkpoint is skipped, the durable frontier
+            // stays put, and a later failure restores from an older state.
+            platform.emit(TraceKind::CheckpointSkipped {
+                fn_id,
+                state: state_idx,
+            });
+            platform.counters_mut().checkpoints_skipped += 1;
+            platform.telemetry_mut().incr(Counter::CheckpointsSkipped);
+            return;
+        }
         platform.note_checkpoint(effective);
         platform.emit(TraceKind::CheckpointWritten {
             fn_id,
@@ -379,16 +439,34 @@ impl FtStrategy for CanaryStrategy {
 
         // Track the failed function's row.
         let job = platform.fn_record(fn_id).job;
-        self.db
-            .put_function(&FunctionInfoRow {
-                fn_id: fn_id.0,
-                job_id: job.0,
-                runtime,
-                node_id: failure.node.0,
-                status: 2, // recovering
-            })
-            .expect("function row");
+        let _ = self.db.put_function(&FunctionInfoRow {
+            fn_id: fn_id.0,
+            job_id: job.0,
+            runtime,
+            node_id: failure.node.0,
+            status: 2, // recovering
+        });
         plan
+    }
+
+    fn on_chaos(&mut self, _platform: &mut Platform, fault: &FaultEvent) {
+        let kv = self.db.kv();
+        match *fault {
+            FaultEvent::StoreDown { member } => {
+                let _ = kv.fail_node(member as usize % kv.member_count());
+            }
+            FaultEvent::StoreRejoin { member } => {
+                let node = member as usize % kv.member_count();
+                if kv.recover_node(node).is_err() {
+                    // The whole group was down, so there is no donor to
+                    // resynchronize from: rejoin empty. The data loss
+                    // surfaces as missing checkpoint rows, and restores
+                    // fall back to rerun-from-start.
+                    let _ = kv.rejoin_empty(node);
+                }
+            }
+            _ => {}
+        }
     }
 
     fn on_replica_warm(&mut self, _platform: &mut Platform, container: ContainerId) {
@@ -407,17 +485,15 @@ impl FtStrategy for CanaryStrategy {
             let rec = platform.fn_record(fn_id);
             (rec.workload.runtime, rec.job)
         };
-        self.checkpointing.forget(fn_id.0).expect("cleanup");
+        let _ = self.checkpointing.forget(fn_id.0);
         self.runtime_manager.note_function_finished(runtime);
-        self.db
-            .put_function(&FunctionInfoRow {
-                fn_id: fn_id.0,
-                job_id: job.0,
-                runtime,
-                node_id: u32::MAX,
-                status: 3, // completed
-            })
-            .expect("function row");
+        let _ = self.db.put_function(&FunctionInfoRow {
+            fn_id: fn_id.0,
+            job_id: job.0,
+            runtime,
+            node_id: u32::MAX,
+            status: 3, // completed
+        });
         // Shrink the pool as work drains (dynamic policies track active
         // functions downward too).
         self.reconcile_pool(platform, runtime);

@@ -6,6 +6,10 @@
 //!           [--invocations N] [--rate F] [--nodes N] [--seed N]
 //!           [--reps N] [--node-failures F]
 //!           [--trace-out PATH] [--telemetry-out PATH] [--timeline]
+//!
+//! canaryctl chaos [--scenario NAME | --spec PATH] [--seed N]
+//!                 [--strategy ...] [--list]
+//!                 [--trace-out PATH] [--telemetry-out PATH] [--timeline]
 //! ```
 //!
 //! The observability flags run one extra traced+telemetered repetition
@@ -13,6 +17,12 @@
 //! and `--telemetry-out` write JSONL, `--timeline` prints the ASCII
 //! swimlane, the recovery critical-path breakdown, and the telemetry
 //! summary.
+//!
+//! The `chaos` subcommand runs one observed run of the canonical chaos
+//! demo scenario under a named fault plan (`--scenario`, see `--list`)
+//! or a TOML spec file (`--spec`). The fault schedule is spec-driven;
+//! `--seed` moves only the straggler/corruption oracles and the regular
+//! failure injection, so a failing seed reproduces byte-identically.
 //!
 //! Example: compare Canary against retry on 200 BFS functions at 25%:
 //!
@@ -22,8 +32,8 @@
 //! ```
 
 use canary_core::ReplicationStrategyKind;
-use canary_experiments::{export, ObsOptions, Scenario, StrategyKind, PRICING};
-use canary_platform::JobSpec;
+use canary_experiments::{chaos, export, ObsOptions, Scenario, StrategyKind, PRICING};
+use canary_platform::{JobSpec, TraceKind};
 use canary_workloads::{WorkloadKind, WorkloadSpec};
 use std::process::exit;
 
@@ -147,7 +157,151 @@ fn parse_args() -> Args {
     args
 }
 
+fn chaos_usage() -> ! {
+    eprintln!(
+        "usage: canaryctl chaos [--scenario NAME | --spec PATH] [--seed N]\n\
+         \x20                      [--strategy canary|canary-ar|canary-lr|retry|rr|as]\n\
+         \x20                      [--list]\n\
+         \x20                      [--trace-out PATH] [--telemetry-out PATH] [--timeline]\n\
+         scenarios: {}",
+        chaos::SCENARIOS.join(", ")
+    );
+    exit(2)
+}
+
+fn chaos_main(raw: Vec<String>) {
+    let (obs, rest) = ObsOptions::extract(&raw).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        chaos_usage()
+    });
+    let mut scenario_name = "mixed".to_string();
+    let mut spec_path: Option<String> = None;
+    let mut seed: u64 = 42;
+    let mut strategy = StrategyKind::Canary(ReplicationStrategyKind::Dynamic);
+    let mut it = rest.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                chaos_usage()
+            })
+        };
+        match flag.as_str() {
+            "--scenario" => scenario_name = value("--scenario"),
+            "--spec" => spec_path = Some(value("--spec")),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| chaos_usage()),
+            "--strategy" => strategy = parse_strategy(&value("--strategy")),
+            "--list" => {
+                for name in chaos::SCENARIOS {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--help" | "-h" => chaos_usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                chaos_usage()
+            }
+        }
+    }
+    let spec = match &spec_path {
+        Some(path) => {
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1)
+            });
+            chaos::parse_spec(&src).unwrap_or_else(|e| {
+                eprintln!("bad chaos spec {path}: {e}");
+                exit(1)
+            })
+        }
+        None => chaos::named(&scenario_name).unwrap_or_else(|| {
+            eprintln!("unknown chaos scenario: {scenario_name}");
+            chaos_usage()
+        }),
+    };
+    let scenario = chaos::demo_scenario(spec);
+    let expected: u32 = scenario.jobs.iter().map(|j| j.invocations).sum();
+    let result = scenario.run_observed(strategy, seed);
+
+    let source = spec_path.unwrap_or(scenario_name);
+    println!(
+        "chaos run: {source} strategy={} seed={seed}",
+        strategy.label()
+    );
+    println!(
+        "completed {}/{} functions, makespan {:.1} s",
+        result.completed_count(),
+        expected,
+        result.makespan().as_secs_f64()
+    );
+    for (label, count) in [
+        (
+            "partitions",
+            result
+                .trace
+                .count(|k| matches!(k, TraceKind::PartitionStarted { .. })),
+        ),
+        (
+            "store outages",
+            result
+                .trace
+                .count(|k| matches!(k, TraceKind::StoreOutage { .. })),
+        ),
+        (
+            "store rejoins",
+            result
+                .trace
+                .count(|k| matches!(k, TraceKind::StoreRejoined { .. })),
+        ),
+        (
+            "stragglers",
+            result
+                .trace
+                .count(|k| matches!(k, TraceKind::StragglerInjected { .. })),
+        ),
+        (
+            "checkpoints skipped",
+            result
+                .trace
+                .count(|k| matches!(k, TraceKind::CheckpointSkipped { .. })),
+        ),
+        (
+            "corrupted checkpoints",
+            result
+                .trace
+                .count(|k| matches!(k, TraceKind::CheckpointCorrupted { .. })),
+        ),
+        (
+            "restore fallbacks",
+            result
+                .trace
+                .count(|k| matches!(k, TraceKind::RestoreFallback { .. })),
+        ),
+    ] {
+        println!("  {label:<22} {count}");
+    }
+    if obs.any() {
+        println!();
+        export::export_result(&result, &obs).unwrap_or_else(|e| {
+            eprintln!("observability export failed: {e}");
+            exit(1)
+        });
+    }
+    if result.completed_count() != expected as usize {
+        eprintln!(
+            "FAIL: {} of {expected} functions completed",
+            result.completed_count()
+        );
+        exit(1);
+    }
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("chaos") {
+        chaos_main(std::env::args().skip(2).collect());
+        return;
+    }
     let args = parse_args();
     let mut scenario = Scenario::chameleon(
         args.rate,

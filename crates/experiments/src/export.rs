@@ -186,6 +186,56 @@ pub fn trace_event_to_json(e: &TraceEvent) -> String {
             field_u(&mut s, "detect_us", detect.as_micros());
             field_u(&mut s, "restore_us", restore.as_micros());
         }
+        TraceKind::PartitionStarted { a, b } => {
+            s.push_str(",\"kind\":\"partition_started\"");
+            field_u(&mut s, "a", a.0 as u64);
+            field_u(&mut s, "b", b.0 as u64);
+        }
+        TraceKind::PartitionHealed { a, b } => {
+            s.push_str(",\"kind\":\"partition_healed\"");
+            field_u(&mut s, "a", a.0 as u64);
+            field_u(&mut s, "b", b.0 as u64);
+        }
+        TraceKind::NetworkDegraded { pct } => {
+            s.push_str(",\"kind\":\"network_degraded\"");
+            field_u(&mut s, "pct", pct as u64);
+        }
+        TraceKind::NetworkRestored => {
+            s.push_str(",\"kind\":\"network_restored\"");
+        }
+        TraceKind::StoreOutage { member } => {
+            s.push_str(",\"kind\":\"store_outage\"");
+            field_u(&mut s, "member", member as u64);
+        }
+        TraceKind::StoreRejoined { member } => {
+            s.push_str(",\"kind\":\"store_rejoined\"");
+            field_u(&mut s, "member", member as u64);
+        }
+        TraceKind::StragglerInjected {
+            fn_id,
+            attempt,
+            pct,
+        } => {
+            s.push_str(",\"kind\":\"straggler_injected\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "attempt", attempt as u64);
+            field_u(&mut s, "pct", pct as u64);
+        }
+        TraceKind::CheckpointCorrupted { fn_id, ckpt_id } => {
+            s.push_str(",\"kind\":\"checkpoint_corrupted\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "ckpt", ckpt_id);
+        }
+        TraceKind::CheckpointSkipped { fn_id, state } => {
+            s.push_str(",\"kind\":\"checkpoint_skipped\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "state", state as u64);
+        }
+        TraceKind::RestoreFallback { fn_id, state } => {
+            s.push_str(",\"kind\":\"restore_fallback\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "state", state as u64);
+        }
     }
     s.push('}');
     s
@@ -401,6 +451,41 @@ fn event_from_map(map: &BTreeMap<String, Val>) -> Result<TraceEvent, String> {
             },
             detect: SimDuration::from_micros(u("detect_us")?),
             restore: SimDuration::from_micros(u("restore_us")?),
+        },
+        "partition_started" => TraceKind::PartitionStarted {
+            a: u("a").map(|n| NodeId(n as u32))?,
+            b: u("b").map(|n| NodeId(n as u32))?,
+        },
+        "partition_healed" => TraceKind::PartitionHealed {
+            a: u("a").map(|n| NodeId(n as u32))?,
+            b: u("b").map(|n| NodeId(n as u32))?,
+        },
+        "network_degraded" => TraceKind::NetworkDegraded {
+            pct: u("pct")? as u32,
+        },
+        "network_restored" => TraceKind::NetworkRestored,
+        "store_outage" => TraceKind::StoreOutage {
+            member: u("member")? as u32,
+        },
+        "store_rejoined" => TraceKind::StoreRejoined {
+            member: u("member")? as u32,
+        },
+        "straggler_injected" => TraceKind::StragglerInjected {
+            fn_id: fn_id()?,
+            attempt: u("attempt")? as u32,
+            pct: u("pct")? as u32,
+        },
+        "checkpoint_corrupted" => TraceKind::CheckpointCorrupted {
+            fn_id: fn_id()?,
+            ckpt_id: u("ckpt")?,
+        },
+        "checkpoint_skipped" => TraceKind::CheckpointSkipped {
+            fn_id: fn_id()?,
+            state: u("state")? as u32,
+        },
+        "restore_fallback" => TraceKind::RestoreFallback {
+            fn_id: fn_id()?,
+            state: u("state")? as u32,
         },
         other => return Err(format!("unknown kind {other:?}")),
     };
@@ -634,6 +719,65 @@ mod tests {
                     target: RecoveryTarget::FreshContainer,
                     detect: SimDuration::from_micros(500),
                     restore: SimDuration::ZERO,
+                },
+            },
+            TraceEvent {
+                at: t(17),
+                kind: TraceKind::PartitionStarted {
+                    a: NodeId(0),
+                    b: NodeId(3),
+                },
+            },
+            TraceEvent {
+                at: t(18),
+                kind: TraceKind::PartitionHealed {
+                    a: NodeId(0),
+                    b: NodeId(3),
+                },
+            },
+            TraceEvent {
+                at: t(19),
+                kind: TraceKind::NetworkDegraded { pct: 250 },
+            },
+            TraceEvent {
+                at: t(20),
+                kind: TraceKind::NetworkRestored,
+            },
+            TraceEvent {
+                at: t(21),
+                kind: TraceKind::StoreOutage { member: 1 },
+            },
+            TraceEvent {
+                at: t(22),
+                kind: TraceKind::StoreRejoined { member: 1 },
+            },
+            TraceEvent {
+                at: t(23),
+                kind: TraceKind::StragglerInjected {
+                    fn_id: FnId(7),
+                    attempt: 1,
+                    pct: 400,
+                },
+            },
+            TraceEvent {
+                at: t(24),
+                kind: TraceKind::CheckpointCorrupted {
+                    fn_id: FnId(7),
+                    ckpt_id: 3,
+                },
+            },
+            TraceEvent {
+                at: t(25),
+                kind: TraceKind::CheckpointSkipped {
+                    fn_id: FnId(7),
+                    state: 5,
+                },
+            },
+            TraceEvent {
+                at: t(26),
+                kind: TraceKind::RestoreFallback {
+                    fn_id: FnId(7),
+                    state: 2,
                 },
             },
         ]

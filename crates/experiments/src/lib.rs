@@ -12,6 +12,7 @@
 //! accepts `--trace-out` / `--telemetry-out` / `--timeline` to export an
 //! observed run as JSONL and ASCII timelines ([`export`]).
 
+pub mod chaos;
 pub mod export;
 pub mod figures;
 pub mod output;

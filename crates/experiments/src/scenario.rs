@@ -5,7 +5,7 @@ use crate::sweep::parallel_map;
 use canary_baselines::{
     ActiveStandbyStrategy, IdealStrategy, RequestReplicationStrategy, RetryStrategy,
 };
-use canary_cluster::{Cluster, FailureModel};
+use canary_cluster::{ChaosSpec, Cluster, FailureModel};
 use canary_core::{CanaryConfig, CanaryStrategy, ReplicationStrategyKind};
 use canary_metrics::{PricingModel, Repeated};
 use canary_platform::{run, FtStrategy, JobSpec, RunConfig, RunResult};
@@ -73,6 +73,10 @@ pub struct Scenario {
     pub trace: bool,
     /// Record telemetry histograms/counters (observation only).
     pub telemetry: bool,
+    /// Chaos fault plan: partitions, store outages, degradation, bursts,
+    /// stragglers, corruption (empty for plain sweeps; forced empty for
+    /// the ideal strategy).
+    pub chaos: ChaosSpec,
     /// The submitted jobs.
     pub jobs: Vec<JobSpec>,
 }
@@ -87,6 +91,7 @@ impl Scenario {
             node_failure_horizon_s: 1_200,
             trace: false,
             telemetry: false,
+            chaos: ChaosSpec::default(),
             jobs,
         }
     }
@@ -103,6 +108,9 @@ impl Scenario {
         cfg.node_failure_horizon = canary_sim::SimDuration::from_secs(self.node_failure_horizon_s);
         cfg.trace = self.trace;
         cfg.telemetry = self.telemetry;
+        if strategy != StrategyKind::Ideal {
+            cfg.chaos = self.chaos.clone();
+        }
         cfg
     }
 

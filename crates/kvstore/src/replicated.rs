@@ -146,6 +146,19 @@ impl ReplicatedKv {
         Ok(())
     }
 
+    /// Rejoin member `node` with an *empty* copy, without a donor. This is
+    /// the total-outage escape hatch: when every member failed there is
+    /// nothing to resynchronize from ([`ReplicatedKv::recover_node`]
+    /// refuses), so the member comes back serving an empty store and the
+    /// data loss is surfaced to callers as missing keys — Canary's restore
+    /// path then falls back to rerun-from-start.
+    pub fn rejoin_empty(&self, node: usize) -> Result<(), KvError> {
+        let flag = self.alive.get(node).ok_or(KvError::UnknownNode { node })?;
+        self.members[node].clear();
+        flag.store(true, Ordering::Release);
+        Ok(())
+    }
+
     /// Verify all live members hold identical contents (test/debug aid).
     pub fn replicas_consistent(&self) -> bool {
         let mut snapshots = self
@@ -221,7 +234,26 @@ mod tests {
         let g = group(2);
         assert_eq!(g.fail_node(9), Err(KvError::UnknownNode { node: 9 }));
         assert_eq!(g.recover_node(9), Err(KvError::UnknownNode { node: 9 }));
+        assert_eq!(g.rejoin_empty(9), Err(KvError::UnknownNode { node: 9 }));
         assert!(g.is_live(9).is_err());
+    }
+
+    #[test]
+    fn rejoin_empty_restores_liveness_not_data() {
+        let g = group(2);
+        g.put("k", Bytes::from_static(b"v")).unwrap();
+        g.fail_node(0).unwrap();
+        g.fail_node(1).unwrap();
+        assert_eq!(g.recover_node(0), Err(KvError::NoReplicaAvailable));
+        g.rejoin_empty(0).unwrap();
+        assert_eq!(g.live_count(), 1);
+        // The group serves again, but the old data is gone for good.
+        assert!(!g.contains("k"));
+        g.put("k2", Bytes::from_static(b"w")).unwrap();
+        assert_eq!(g.get("k2").unwrap(), Bytes::from_static(b"w"));
+        // The second member can now resync from the rejoined one.
+        g.recover_node(1).unwrap();
+        assert!(g.replicas_consistent());
     }
 
     #[test]

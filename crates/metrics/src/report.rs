@@ -126,7 +126,7 @@ pub fn markdown_table(set: &SeriesSet) -> String {
 
 /// Render a run's engine-side counters as `name value` lines.
 pub fn counters_summary(c: &RunCounters) -> String {
-    let rows: [(&str, u64); 13] = [
+    let rows: [(&str, u64); 18] = [
         ("function_failures", c.function_failures),
         ("node_failures", c.node_failures),
         ("containers_created", c.containers_created),
@@ -140,6 +140,11 @@ pub fn counters_summary(c: &RunCounters) -> String {
         ("jobs_rejected", c.jobs_rejected),
         ("replicas_consumed", c.replicas_consumed),
         ("replicas_refreshed", c.replicas_refreshed),
+        ("chaos_events", c.chaos_events),
+        ("store_outages", c.store_outages),
+        ("stragglers_injected", c.stragglers_injected),
+        ("checkpoints_skipped", c.checkpoints_skipped),
+        ("restore_fallbacks", c.restore_fallbacks),
     ];
     let mut out = String::from("run counters\n");
     for (name, v) in rows {

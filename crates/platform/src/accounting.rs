@@ -102,6 +102,16 @@ pub struct RunCounters {
     pub replicas_consumed: u64,
     /// Replicas re-spawned by pool reconciliation after a loss.
     pub replicas_refreshed: u64,
+    /// Chaos fault events dispatched by the engine (all classes).
+    pub chaos_events: u64,
+    /// Replicated-store member outages injected by the chaos plan.
+    pub store_outages: u64,
+    /// Attempts slowed down by an injected straggler fault.
+    pub stragglers_injected: u64,
+    /// Checkpoint writes dropped because the store was unavailable.
+    pub checkpoints_skipped: u64,
+    /// Restores that fell back past the newest retained checkpoint.
+    pub restore_fallbacks: u64,
 }
 
 /// The complete result of one simulated run.

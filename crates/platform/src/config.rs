@@ -1,6 +1,6 @@
 //! Run configuration.
 
-use canary_cluster::{Cluster, FailureModel, NetworkModel, StorageHierarchy};
+use canary_cluster::{ChaosSpec, Cluster, FailureModel, NetworkModel, StorageHierarchy};
 use canary_sim::SimDuration;
 
 /// Everything that defines one simulated run besides the jobs and the
@@ -15,6 +15,10 @@ pub struct RunConfig {
     pub storage: StorageHierarchy,
     /// Failure injection model.
     pub failure: FailureModel,
+    /// Chaos fault plan beyond plain kills: partitions, store outages,
+    /// network degradation, bursts, stragglers, checkpoint corruption.
+    /// Empty by default.
+    pub chaos: ChaosSpec,
     /// Master seed; every random decision derives from it.
     pub seed: u64,
     /// Serialized controller admission overhead per cold function launch
@@ -50,6 +54,7 @@ impl RunConfig {
             network: NetworkModel::default(),
             storage: StorageHierarchy::default(),
             failure,
+            chaos: ChaosSpec::default(),
             seed,
             admission_delay: SimDuration::from_millis(100),
             detection_delay: SimDuration::from_millis(1_000),
@@ -72,6 +77,7 @@ impl RunConfig {
                 self.failure.error_rate
             ));
         }
+        self.chaos.validate()?;
         Ok(())
     }
 }

@@ -20,7 +20,7 @@ use crate::job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
 use crate::strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};
 use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::trace::{Trace, TraceEvent, TraceKind};
-use canary_cluster::{FailureInjector, NodeId};
+use canary_cluster::{ChaosPlan, FailureInjector, FaultEvent, NodeId};
 use canary_container::{
     ColdStartModel, Container, ContainerId, ContainerPurpose, ContainerRegistry, ContainerState,
     PlacementError,
@@ -49,6 +49,8 @@ enum Event {
     ReplicaWarm { container: ContainerId },
     /// A node crashes.
     NodeFailure { node: NodeId },
+    /// The `idx`-th event of the chaos plan fires.
+    ChaosFault { idx: usize },
 }
 
 /// Completion timing of one state within a planned attempt.
@@ -85,6 +87,7 @@ pub struct Platform {
     registry: ContainerRegistry,
     coldstart: ColdStartModel,
     injector: FailureInjector,
+    chaos: ChaosPlan,
     strategy_rng: SimRng,
     fns: Vec<FnRecord>,
     jobs: Vec<JobRecord>,
@@ -105,11 +108,13 @@ impl Platform {
         config.validate().expect("invalid run configuration");
         let registry = ContainerRegistry::new(&config.cluster);
         let injector = FailureInjector::new(config.failure.clone(), config.seed);
+        let chaos = ChaosPlan::from_spec(&config.chaos, &config.cluster, config.seed);
         let strategy_rng = SimRng::seed_from_u64(config.seed).split(0x57_A7);
         Platform {
             registry,
             coldstart: ColdStartModel::new(),
             injector,
+            chaos,
             strategy_rng,
             fns: Vec::new(),
             jobs: Vec::new(),
@@ -137,6 +142,12 @@ impl Platform {
     /// Run configuration (cluster, network, storage, delays).
     pub fn config(&self) -> &RunConfig {
         &self.config
+    }
+
+    /// The run's chaos plan: pure oracles for stragglers and checkpoint
+    /// corruption plus time-windowed partition/degradation queries.
+    pub fn chaos(&self) -> &ChaosPlan {
+        &self.chaos
     }
 
     /// Function record.
@@ -414,7 +425,6 @@ impl Platform {
     ) -> CloneOutcome {
         let rec = &self.fns[fn_id.0 as usize];
         let spec = Arc::clone(&rec.workload);
-        let speed = self.config.cluster.node(node).speed();
         let states = &spec.states[from_state as usize..];
 
         // Reference work of the remaining states.
@@ -427,6 +437,12 @@ impl Platform {
             fn_id.0 | ((clone_idx as u64) << 48)
         };
         let kill = self.injector.attempt(oracle_fn, attempt0);
+
+        // Straggler chaos: a slowed executor divides the node's effective
+        // speed for this whole attempt. Same pure-oracle keying as kills,
+        // so clones of one attempt can straggle independently.
+        let drag = self.chaos.straggler(oracle_fn, attempt0).unwrap_or(1.0);
+        let speed = self.config.cluster.node(node).speed() / drag.max(1.0);
 
         let kill_work = kill.map(|k| ref_total.mul_f64(k.at_fraction));
 
@@ -608,6 +624,24 @@ impl Platform {
             node,
             warm,
         });
+        // Record straggler injections for this attempt's clones (the
+        // slowdown itself was already folded into the plans above).
+        for clone_idx in 0..clones.len() as u32 {
+            let oracle_fn = if clone_idx == 0 {
+                fn_id.0
+            } else {
+                fn_id.0 | ((clone_idx as u64) << 48)
+            };
+            if let Some(factor) = self.chaos.straggler(oracle_fn, attempt - 1) {
+                self.counters.stragglers_injected += 1;
+                self.telemetry.incr(Counter::StragglersInjected);
+                self.emit(TraceKind::StragglerInjected {
+                    fn_id,
+                    attempt,
+                    pct: (factor * 100.0).round() as u32,
+                });
+            }
+        }
         self.queue.push(end, Event::AttemptEnd { fn_id, attempt });
     }
 
@@ -953,6 +987,41 @@ impl Platform {
         strategy.on_containers_lost(self, &victims);
     }
 
+    fn handle_chaos(&mut self, strategy: &mut dyn FtStrategy, idx: usize) {
+        let fault = self.chaos.events()[idx].1;
+        self.counters.chaos_events += 1;
+        self.telemetry.incr(Counter::ChaosFaults);
+        match fault {
+            FaultEvent::PartitionStart { a, b } => {
+                self.emit(TraceKind::PartitionStarted { a, b });
+            }
+            FaultEvent::PartitionEnd { a, b } => {
+                self.emit(TraceKind::PartitionHealed { a, b });
+            }
+            FaultEvent::DegradeStart { factor } => {
+                self.emit(TraceKind::NetworkDegraded {
+                    pct: (factor * 100.0).round() as u32,
+                });
+            }
+            FaultEvent::DegradeEnd => self.emit(TraceKind::NetworkRestored),
+            FaultEvent::StoreDown { member } => {
+                self.counters.store_outages += 1;
+                self.telemetry.incr(Counter::StoreOutages);
+                self.emit(TraceKind::StoreOutage { member });
+            }
+            FaultEvent::StoreRejoin { member } => {
+                self.telemetry.incr(Counter::StoreRejoins);
+                self.emit(TraceKind::StoreRejoined { member });
+            }
+            FaultEvent::NodeBurst { node } => {
+                // Correlated crashes ride the regular node-failure path so
+                // recovery mechanics are identical to planned crashes.
+                self.handle_node_failure(strategy, node);
+            }
+        }
+        strategy.on_chaos(self, &fault);
+    }
+
     fn handle_replica_warm(&mut self, strategy: &mut dyn FtStrategy, container: ContainerId) {
         let ok = self
             .registry
@@ -1038,6 +1107,11 @@ pub fn run(config: RunConfig, jobs: Vec<JobSpec>, strategy: &mut dyn FtStrategy)
         p.queue.push(nf.at, Event::NodeFailure { node: nf.node });
     }
 
+    // Schedule the chaos plan's typed fault events.
+    for (idx, &(at, _)) in p.chaos.events().iter().enumerate() {
+        p.queue.push(at, Event::ChaosFault { idx });
+    }
+
     // Main loop.
     while let Some((_, ev)) = p.queue.pop() {
         match ev {
@@ -1051,6 +1125,7 @@ pub fn run(config: RunConfig, jobs: Vec<JobSpec>, strategy: &mut dyn FtStrategy)
             } => p.handle_warm_resume(strategy, fn_id, container, from_state),
             Event::ReplicaWarm { container } => p.handle_replica_warm(strategy, container),
             Event::NodeFailure { node } => p.handle_node_failure(strategy, node),
+            Event::ChaosFault { idx } => p.handle_chaos(strategy, idx),
         }
     }
 

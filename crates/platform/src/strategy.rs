@@ -10,7 +10,7 @@
 
 use crate::engine::Platform;
 use crate::ids::{FnId, JobId};
-use canary_cluster::NodeId;
+use canary_cluster::{FaultEvent, NodeId};
 use canary_container::ContainerId;
 use canary_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -122,6 +122,14 @@ pub trait FtStrategy {
         fn_id: FnId,
         failure: FailureInfo,
     ) -> RecoveryPlan;
+
+    /// A chaos fault event fired (store outage/rejoin, partition,
+    /// network degradation). The engine has already emitted the trace
+    /// event and bumped the counters; strategies that own stateful
+    /// dependencies react here (Canary fails/rejoins its replicated DB
+    /// members). Node-burst crashes are delivered through the regular
+    /// node-failure path instead, so most strategies need no override.
+    fn on_chaos(&mut self, _platform: &mut Platform, _fault: &FaultEvent) {}
 
     /// A replica container the strategy created reached the `Warm` state.
     fn on_replica_warm(&mut self, _platform: &mut Platform, _container: ContainerId) {}

@@ -92,11 +92,25 @@ pub enum Counter {
     ReplicasRefreshed,
     /// Recovery plans issued by the strategy.
     RecoveriesPlanned,
+    /// Chaos fault events dispatched by the engine (all classes).
+    ChaosFaults,
+    /// Replicated-store member outages injected.
+    StoreOutages,
+    /// Replicated-store members rejoined after an outage.
+    StoreRejoins,
+    /// Attempts slowed down by an injected straggler fault.
+    StragglersInjected,
+    /// Retained checkpoints found corrupted during restore probing.
+    CheckpointsCorrupted,
+    /// Checkpoint writes dropped because the store was unavailable.
+    CheckpointsSkipped,
+    /// Restores that fell back past the newest checkpoint.
+    RestoreFallbacks,
 }
 
 impl Counter {
     /// All counters in display order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 15] = [
         Counter::CheckpointsWritten,
         Counter::CheckpointsRestored,
         Counter::JobsQueued,
@@ -105,6 +119,13 @@ impl Counter {
         Counter::ReplicasConsumed,
         Counter::ReplicasRefreshed,
         Counter::RecoveriesPlanned,
+        Counter::ChaosFaults,
+        Counter::StoreOutages,
+        Counter::StoreRejoins,
+        Counter::StragglersInjected,
+        Counter::CheckpointsCorrupted,
+        Counter::CheckpointsSkipped,
+        Counter::RestoreFallbacks,
     ];
 
     /// Stable label used in reports and JSONL export.
@@ -118,6 +139,13 @@ impl Counter {
             Counter::ReplicasConsumed => "replicas_consumed",
             Counter::ReplicasRefreshed => "replicas_refreshed",
             Counter::RecoveriesPlanned => "recoveries_planned",
+            Counter::ChaosFaults => "chaos_faults",
+            Counter::StoreOutages => "store_outages",
+            Counter::StoreRejoins => "store_rejoins",
+            Counter::StragglersInjected => "stragglers_injected",
+            Counter::CheckpointsCorrupted => "checkpoints_corrupted",
+            Counter::CheckpointsSkipped => "checkpoints_skipped",
+            Counter::RestoreFallbacks => "restore_fallbacks",
         }
     }
 }

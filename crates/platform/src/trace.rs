@@ -131,6 +131,69 @@ pub enum TraceKind {
         /// Restore share of the recovery delay.
         restore: SimDuration,
     },
+    /// A chaos fault partitioned a node pair.
+    PartitionStarted {
+        /// One endpoint of the pair.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A chaos node-pair partition healed.
+    PartitionHealed {
+        /// One endpoint of the pair.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Cluster-wide network degradation began.
+    NetworkDegraded {
+        /// Slowdown in percent (250 = 2.5× slower).
+        pct: u32,
+    },
+    /// Cluster-wide network degradation ended.
+    NetworkRestored,
+    /// A replicated-store member went down (checkpoint store/metadata DB).
+    StoreOutage {
+        /// Member index within the replica group.
+        member: u32,
+    },
+    /// A previously-failed store member rejoined the replica group.
+    StoreRejoined {
+        /// Member index within the replica group.
+        member: u32,
+    },
+    /// An attempt was slowed down by an injected straggler fault.
+    StragglerInjected {
+        /// The slowed function.
+        fn_id: FnId,
+        /// The slowed attempt (1-based).
+        attempt: u32,
+        /// Slowdown in percent (400 = 4× slower).
+        pct: u32,
+    },
+    /// A retained checkpoint was found corrupted while probing for a
+    /// restore point.
+    CheckpointCorrupted {
+        /// The recovering function.
+        fn_id: FnId,
+        /// The corrupted checkpoint.
+        ckpt_id: u64,
+    },
+    /// A checkpoint write was dropped because the store was unavailable.
+    CheckpointSkipped {
+        /// The function whose checkpoint was lost.
+        fn_id: FnId,
+        /// State index the dropped checkpoint would have covered.
+        state: u32,
+    },
+    /// A restore fell back past the newest checkpoint (state 0 means a
+    /// full rerun from the start).
+    RestoreFallback {
+        /// The recovering function.
+        fn_id: FnId,
+        /// State index execution actually resumes from.
+        state: u32,
+    },
 }
 
 /// One trace record.
@@ -204,6 +267,36 @@ impl fmt::Display for TraceEvent {
                     RecoveryTarget::WarmContainer(c) => write!(f, "warm {c}")?,
                 }
                 write!(f, " (detect {detect}, restore {restore})")
+            }
+            TraceKind::PartitionStarted { a, b } => {
+                write!(f, "NET      {a} -x- {b} partitioned")
+            }
+            TraceKind::PartitionHealed { a, b } => write!(f, "net      {a} --- {b} healed"),
+            TraceKind::NetworkDegraded { pct } => {
+                write!(f, "NET      degraded ({pct}% slowdown)")
+            }
+            TraceKind::NetworkRestored => write!(f, "net      restored"),
+            TraceKind::StoreOutage { member } => write!(f, "STORE    member {member} down"),
+            TraceKind::StoreRejoined { member } => {
+                write!(f, "store    member {member} rejoined")
+            }
+            TraceKind::StragglerInjected {
+                fn_id,
+                attempt,
+                pct,
+            } => write!(f, "straggle {fn_id} attempt {attempt} ({pct}% slowdown)"),
+            TraceKind::CheckpointCorrupted { fn_id, ckpt_id } => {
+                write!(f, "CORRUPT  {fn_id} ckpt {ckpt_id} unreadable")
+            }
+            TraceKind::CheckpointSkipped { fn_id, state } => {
+                write!(f, "ckpt     {fn_id} state {state} SKIPPED (store down)")
+            }
+            TraceKind::RestoreFallback { fn_id, state } => {
+                if state == 0 {
+                    write!(f, "fallback {fn_id} rerun from start")
+                } else {
+                    write!(f, "fallback {fn_id} to state {state}")
+                }
             }
         }
     }
@@ -438,6 +531,69 @@ mod tests {
                     restore: SimDuration::from_millis(25),
                 },
                 "plan     fn3 -> warm ctr9 (detect 0.500s, restore 0.025s)",
+            ),
+            (
+                TraceKind::PartitionStarted {
+                    a: NodeId(0),
+                    b: NodeId(3),
+                },
+                "NET      node0 -x- node3 partitioned",
+            ),
+            (
+                TraceKind::PartitionHealed {
+                    a: NodeId(0),
+                    b: NodeId(3),
+                },
+                "net      node0 --- node3 healed",
+            ),
+            (
+                TraceKind::NetworkDegraded { pct: 250 },
+                "NET      degraded (250% slowdown)",
+            ),
+            (TraceKind::NetworkRestored, "net      restored"),
+            (
+                TraceKind::StoreOutage { member: 1 },
+                "STORE    member 1 down",
+            ),
+            (
+                TraceKind::StoreRejoined { member: 1 },
+                "store    member 1 rejoined",
+            ),
+            (
+                TraceKind::StragglerInjected {
+                    fn_id: FnId(3),
+                    attempt: 2,
+                    pct: 400,
+                },
+                "straggle fn3 attempt 2 (400% slowdown)",
+            ),
+            (
+                TraceKind::CheckpointCorrupted {
+                    fn_id: FnId(3),
+                    ckpt_id: 7,
+                },
+                "CORRUPT  fn3 ckpt 7 unreadable",
+            ),
+            (
+                TraceKind::CheckpointSkipped {
+                    fn_id: FnId(3),
+                    state: 7,
+                },
+                "ckpt     fn3 state 7 SKIPPED (store down)",
+            ),
+            (
+                TraceKind::RestoreFallback {
+                    fn_id: FnId(3),
+                    state: 2,
+                },
+                "fallback fn3 to state 2",
+            ),
+            (
+                TraceKind::RestoreFallback {
+                    fn_id: FnId(3),
+                    state: 0,
+                },
+                "fallback fn3 rerun from start",
             ),
         ];
         for (kind, expect) in cases {

@@ -1,0 +1,105 @@
+//! Golden chaos traces: the canonical `mixed` chaos scenario, pinned by
+//! seed, must reproduce byte-identical JSONL traces run after run and
+//! match the committed goldens in `tests/goldens/`.
+//!
+//! When a deliberate engine or chaos change moves the traces, re-bless
+//! with:
+//!
+//! ```sh
+//! CANARY_BLESS=1 cargo test -q -p canary-experiments --test chaos_golden
+//! ```
+//!
+//! and review the golden diff like any other code change.
+
+use canary_core::ReplicationStrategyKind;
+use canary_experiments::{chaos, trace_to_jsonl, StrategyKind};
+use canary_platform::{RunResult, TraceKind};
+use std::path::PathBuf;
+
+const CANARY: StrategyKind = StrategyKind::Canary(ReplicationStrategyKind::Dynamic);
+
+/// The pinned seeds; CI's chaos-smoke job runs the same three.
+const SEEDS: [u64; 3] = [7, 42, 1337];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/goldens")
+        .join(name)
+}
+
+fn blessing() -> bool {
+    std::env::var("CANARY_BLESS").is_ok()
+}
+
+/// Compare `actual` against the committed golden, or rewrite the golden
+/// when blessing. Failure messages name the bless command because the
+/// expected bytes are far too long to eyeball in assert output.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if blessing() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("bless {name}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {name} ({e}); run with CANARY_BLESS=1 to create it")
+    });
+    assert!(
+        expected == *actual,
+        "{name} drifted from the committed golden; if the change is \
+         deliberate, re-bless with CANARY_BLESS=1 and review the diff"
+    );
+}
+
+fn mixed_run(seed: u64) -> RunResult {
+    chaos::demo_scenario(chaos::named("mixed").expect("mixed scenario")).run_observed(CANARY, seed)
+}
+
+#[test]
+fn mixed_chaos_traces_match_goldens_for_pinned_seeds() {
+    for seed in SEEDS {
+        let result = mixed_run(seed);
+        assert_eq!(
+            result.completed_count(),
+            24,
+            "seed {seed}: every function must survive the mixed fault plan"
+        );
+        check_golden(
+            &format!("chaos_mixed_seed{seed}.jsonl"),
+            &trace_to_jsonl(&result.trace),
+        );
+    }
+}
+
+#[test]
+fn mixed_chaos_recovery_breakdown_matches_golden() {
+    let result = mixed_run(42);
+    check_golden(
+        "chaos_mixed_seed42_recovery.txt",
+        &canary_metrics::recovery_breakdown(&result.trace),
+    );
+}
+
+#[test]
+fn mixed_chaos_trace_tells_the_whole_fault_story() {
+    // The acceptance scenario: with the checkpoint store partitioned and
+    // fully down mid-run, Canary completes everything and the trace
+    // carries each fault class explicitly.
+    let result = mixed_run(42);
+    let count = |pred: fn(&TraceKind) -> bool| result.trace.count(pred);
+    assert_eq!(result.completed_count(), 24);
+    assert!(count(|k| matches!(k, TraceKind::PartitionStarted { .. })) > 0);
+    assert!(count(|k| matches!(k, TraceKind::PartitionHealed { .. })) > 0);
+    assert!(count(|k| matches!(k, TraceKind::StoreOutage { .. })) >= 3);
+    assert!(count(|k| matches!(k, TraceKind::StoreRejoined { .. })) >= 3);
+    assert!(count(|k| matches!(k, TraceKind::NetworkDegraded { .. })) > 0);
+    assert!(count(|k| matches!(k, TraceKind::StragglerInjected { .. })) > 0);
+    assert!(count(|k| matches!(k, TraceKind::CheckpointSkipped { .. })) > 0);
+    assert!(count(|k| matches!(k, TraceKind::RestoreFallback { .. })) > 0);
+}
+
+#[test]
+fn same_seed_reproduces_identical_trace_bytes() {
+    let a = trace_to_jsonl(&mixed_run(7).trace);
+    let b = trace_to_jsonl(&mixed_run(7).trace);
+    assert_eq!(a, b, "chaos runs must be byte-for-byte reproducible");
+}

@@ -43,6 +43,16 @@ fn kind_name(kind: &TraceKind) -> &'static str {
         TraceKind::WarmPoolReady { .. } => "warm_pool_ready",
         TraceKind::ReplicaConsumed { .. } => "replica_consumed",
         TraceKind::ReplicaRefreshed { .. } => "replica_refreshed",
+        TraceKind::PartitionStarted { .. } => "partition_started",
+        TraceKind::PartitionHealed { .. } => "partition_healed",
+        TraceKind::NetworkDegraded { .. } => "network_degraded",
+        TraceKind::NetworkRestored => "network_restored",
+        TraceKind::StoreOutage { .. } => "store_outage",
+        TraceKind::StoreRejoined { .. } => "store_rejoined",
+        TraceKind::StragglerInjected { .. } => "straggler_injected",
+        TraceKind::CheckpointCorrupted { .. } => "checkpoint_corrupted",
+        TraceKind::CheckpointSkipped { .. } => "checkpoint_skipped",
+        TraceKind::RestoreFallback { .. } => "restore_fallback",
     }
 }
 
