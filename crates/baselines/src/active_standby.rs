@@ -41,11 +41,15 @@ impl ActiveStandbyStrategy {
         };
         // Place the standby on the least-loaded node; skip silently when
         // the cluster is full (the function then degrades to plain retry).
-        for node in platform.nodes_by_free_slots() {
+        // `nodes_by_free_slots` is most-free-first, so the first node with
+        // a free slot is the only one worth trying.
+        let node = platform
+            .nodes_by_free_slots()
+            .find(|&n| platform.free_slots(n) > 0);
+        if let Some(node) = node {
             if let Ok((id, _ready)) = platform.create_standby(node, runtime, memory) {
                 self.standby_of.insert(fn_id, id);
                 self.owner_of.insert(id, fn_id);
-                return;
             }
         }
     }

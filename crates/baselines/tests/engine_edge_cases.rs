@@ -147,3 +147,30 @@ fn zero_invocation_free_run_has_zero_cost() {
     assert!(r.gb_seconds() > 0.0);
     assert_eq!(r.counters.containers_created, 8);
 }
+
+#[test]
+fn misordered_chain_is_a_typed_error() {
+    // A forward-pointing `after` edge is rejected before anything runs.
+    let cfg = RunConfig::new(Cluster::homogeneous(2), FailureModel::default(), 7);
+    let mut first = JobSpec::new(WorkloadSpec::web_service(2), 1);
+    first.after = Some(1);
+    let jobs = vec![first, JobSpec::new(WorkloadSpec::web_service(2), 1)];
+    let err = canary_platform::try_run(cfg, jobs, &mut RetryStrategy).unwrap_err();
+    assert_eq!(
+        err,
+        canary_platform::RunConfigError::MisorderedChain { job: 0, prereq: 1 }
+    );
+    assert_eq!(
+        err.to_string(),
+        "job 0 chains after 1, which must be an earlier batch entry"
+    );
+}
+
+#[test]
+#[should_panic(expected = "which must be an earlier batch entry")]
+fn run_keeps_the_historical_panic_for_misordered_chains() {
+    let cfg = RunConfig::new(Cluster::homogeneous(2), FailureModel::default(), 7);
+    let mut spec = JobSpec::new(WorkloadSpec::web_service(2), 1);
+    spec.after = Some(0); // self-chain: 0 is not *earlier* than itself
+    run(cfg, vec![spec], &mut RetryStrategy);
+}

@@ -1,0 +1,82 @@
+//! Scheduler-query micro-benchmarks: the three queries the recovery and
+//! placement paths issue per event, measured from the incremental indexes
+//! and from the pre-refactor naive scans, at 100/1k/10k containers — plus
+//! one end-to-end fig12-shaped run so index maintenance overhead is
+//! visible in context.
+
+use canary_bench::scheduler::{
+    active_indexed, active_scan, best_node_indexed, best_node_scan, platform_with, registry_with,
+    warm_first_indexed, warm_first_scan, SIZES,
+};
+use canary_experiments::{Scenario, StrategyKind};
+use canary_platform::JobSpec;
+use canary_workloads::{RuntimeKind, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_warm_replicas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/warm_replicas_first");
+    for &n in &SIZES {
+        let reg = registry_with(n);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &reg, |b, reg| {
+            b.iter(|| black_box(warm_first_indexed(black_box(reg), RuntimeKind::Python)))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &reg, |b, reg| {
+            b.iter(|| black_box(warm_first_scan(black_box(reg), RuntimeKind::Python)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nodes_by_free_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/best_node");
+    for &n in &SIZES {
+        let reg = registry_with(n);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &reg, |b, reg| {
+            b.iter(|| black_box(best_node_indexed(black_box(reg))))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &reg, |b, reg| {
+            b.iter(|| black_box(best_node_scan(black_box(reg))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_active_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/active_functions");
+    for &n in &SIZES {
+        let p = platform_with(n);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &p, |b, p| {
+            b.iter(|| black_box(active_indexed(black_box(p), RuntimeKind::Python)))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &p, |b, p| {
+            b.iter(|| black_box(active_scan(black_box(p), RuntimeKind::Python)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/end_to_end");
+    group.sample_size(10);
+    // Fig-12 shape: one 16-node chameleon cluster, web-service batch at
+    // 15% failures, shrunk to keep an iteration under a second.
+    group.bench_function("fig12_shaped_500", |b| {
+        b.iter(|| {
+            let mut scenario =
+                Scenario::chameleon(0.15, vec![JobSpec::new(WorkloadSpec::web_service(10), 500)]);
+            scenario.nodes = 16;
+            black_box(scenario.run_once(StrategyKind::Retry, 7))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_warm_replicas,
+    bench_nodes_by_free_slots,
+    bench_active_functions,
+    bench_end_to_end
+);
+criterion_main!(benches);

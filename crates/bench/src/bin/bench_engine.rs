@@ -1,0 +1,177 @@
+//! Quick-mode scheduler-bench runner: measures the three scheduler
+//! queries (indexed vs pre-refactor scan) at 100/1k/10k containers plus
+//! an end-to-end fig12-shaped run, and writes `BENCH_engine.json` so CI
+//! and future PRs have a perf trajectory without a full criterion run.
+//!
+//! Usage: `bench_engine [--quick] [--out PATH]`
+
+use canary_bench::scheduler::{
+    active_indexed, active_scan, best_node_indexed, best_node_scan, platform_with, registry_with,
+    warm_first_indexed, warm_first_scan, SIZES,
+};
+use canary_experiments::{Scenario, StrategyKind};
+use canary_platform::JobSpec;
+use canary_workloads::{RuntimeKind, WorkloadSpec};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median per-call nanoseconds of `f`, auto-calibrated so each repeat
+/// runs ~`budget_ms` of wall time.
+fn measure<F: FnMut()>(mut f: F, repeats: usize, budget_ms: u64) -> f64 {
+    // Calibrate.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let iters = ((budget_ms * 1_000_000) / once).clamp(10, 1_000_000);
+    let mut samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct QueryRow {
+    name: &'static str,
+    size: usize,
+    indexed_ns: f64,
+    scan_ns: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let (repeats, budget_ms, e2e_invocations) = if quick { (3, 5, 200) } else { (7, 40, 2_000) };
+
+    let mut rows: Vec<QueryRow> = Vec::new();
+    for &n in &SIZES {
+        let reg = registry_with(n);
+        let p = platform_with(n);
+        eprintln!("measuring scheduler queries at {n} containers...");
+        rows.push(QueryRow {
+            name: "warm_replicas_first",
+            size: n,
+            indexed_ns: measure(
+                || {
+                    black_box(warm_first_indexed(black_box(&reg), RuntimeKind::Python));
+                },
+                repeats,
+                budget_ms,
+            ),
+            scan_ns: measure(
+                || {
+                    black_box(warm_first_scan(black_box(&reg), RuntimeKind::Python));
+                },
+                repeats,
+                budget_ms,
+            ),
+        });
+        rows.push(QueryRow {
+            name: "best_node",
+            size: n,
+            indexed_ns: measure(
+                || {
+                    black_box(best_node_indexed(black_box(&reg)));
+                },
+                repeats,
+                budget_ms,
+            ),
+            scan_ns: measure(
+                || {
+                    black_box(best_node_scan(black_box(&reg)));
+                },
+                repeats,
+                budget_ms,
+            ),
+        });
+        rows.push(QueryRow {
+            name: "active_functions",
+            size: n,
+            indexed_ns: measure(
+                || {
+                    black_box(active_indexed(black_box(&p), RuntimeKind::Python));
+                },
+                repeats,
+                budget_ms,
+            ),
+            scan_ns: measure(
+                || {
+                    black_box(active_scan(black_box(&p), RuntimeKind::Python));
+                },
+                repeats,
+                budget_ms,
+            ),
+        });
+    }
+
+    eprintln!("running fig12-shaped end-to-end ({e2e_invocations} invocations)...");
+    let t = Instant::now();
+    let mut scenario = Scenario::chameleon(
+        0.15,
+        vec![JobSpec::new(WorkloadSpec::web_service(10), e2e_invocations)],
+    );
+    scenario.nodes = 16;
+    let result = scenario.run_once(StrategyKind::Retry, 7);
+    let e2e_ms = t.elapsed().as_secs_f64() * 1e3;
+    black_box(&result);
+
+    // Hand-formatted JSON (the sanctioned dependency set has no JSON
+    // serializer; the format is flat on purpose).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_engine/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    json.push_str("  \"queries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.scan_ns / r.indexed_ns.max(f64::MIN_POSITIVE);
+        let _ = write!(
+            json,
+            "    {{\"query\": \"{}\", \"containers\": {}, \"indexed_ns\": {:.1}, \"scan_ns\": {:.1}, \"speedup\": {:.1}}}",
+            r.name, r.size, r.indexed_ns, r.scan_ns, speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"end_to_end\": {{\"shape\": \"fig12\", \"invocations\": {}, \"nodes\": 16, \"strategy\": \"retry\", \"wall_ms\": {:.1}, \"makespan_s\": {:.1}}}",
+        e2e_invocations,
+        e2e_ms,
+        result.finished_at.as_secs_f64()
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write bench json");
+    eprintln!("wrote {out}");
+    print!("{json}");
+
+    // The refactor's contract: at 1k containers every query is at least
+    // 5x faster than the scan path. Enforced here so CI's bench-smoke
+    // job fails loudly on a regression, not just silently on a plot.
+    for r in rows.iter().filter(|r| r.size == 1_000) {
+        let speedup = r.scan_ns / r.indexed_ns.max(f64::MIN_POSITIVE);
+        assert!(
+            speedup >= 5.0,
+            "{} at 1k containers: indexed {:.1}ns vs scan {:.1}ns — only {speedup:.1}x",
+            r.name,
+            r.indexed_ns,
+            r.scan_ns
+        );
+    }
+}

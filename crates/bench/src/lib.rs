@@ -8,9 +8,15 @@
 //! - `micro` — micro-benchmarks of the substrates (event queue, PRNG,
 //!   KV store, checkpoint codec, compression and BFS kernels),
 //! - `ablations` — the design-choice ablations called out in DESIGN.md
-//!   (checkpoint mode, window size, storage tier, replication policy).
+//!   (checkpoint mode, window size, storage tier, replication policy),
+//! - `scheduler` — the engine's three scheduler queries, indexed vs the
+//!   pre-refactor naive scans, at 100/1k/10k containers.
 //!
-//! Run with `cargo bench -p canary-bench`.
+//! Run with `cargo bench -p canary-bench`. The `bench_engine` binary
+//! runs the scheduler comparison in quick mode and writes
+//! `BENCH_engine.json` (the CI `bench-smoke` artifact).
+
+pub mod scheduler;
 
 /// Standard small figure options used by the figure benchmarks: a single
 /// repetition at reduced scale, so one bench iteration is one full

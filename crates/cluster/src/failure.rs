@@ -16,7 +16,7 @@ use canary_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Failure configuration for one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FailureModel {
     /// Probability that any given function *attempt* is killed before it
     /// completes (the paper's error rate, 0.01–0.50).

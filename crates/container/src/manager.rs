@@ -3,11 +3,26 @@
 //! The invoker on each node has finite capacity; both function containers
 //! and Canary's replicated runtimes consume slots (replicas are real warm
 //! containers, which is exactly why they cost money in Figs. 8–10).
+//!
+//! Scheduler-facing queries are answered from secondary indexes that are
+//! maintained incrementally at every state transition rather than by
+//! scanning all containers per call (the paper's Runtime Manager "tracks
+//! deployed runtimes and replicas"; tracking means bookkeeping, not
+//! recomputation):
+//!
+//! - a per-runtime ordered set of warm replica containers (`BTreeSet`
+//!   preserves the sorted-by-id order the recovery path relies on), and
+//! - an ordered view of up nodes keyed by `(free slots desc, node id)`
+//!   so load-balancer placement never sorts from scratch.
+//!
+//! The naive scans survive as `*_scan` oracles for property tests and
+//! the scheduler micro-benchmarks.
 
 use crate::lifecycle::{Container, ContainerId, ContainerPurpose, ContainerState};
 use canary_cluster::{Cluster, NodeId};
 use canary_workloads::RuntimeKind;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -47,16 +62,30 @@ pub struct ContainerRegistry {
     containers: HashMap<ContainerId, Container>,
     slots_free: Vec<u32>,
     node_up: Vec<bool>,
+    /// Warm replica containers per runtime, ordered by id — maintained at
+    /// every transition into / out of `Warm`.
+    warm_replicas: HashMap<RuntimeKind, BTreeSet<ContainerId>>,
+    /// Up nodes ordered by `(free slots desc, node id)` — the
+    /// load-balancer view, maintained at every slot change.
+    nodes_by_free: BTreeSet<(Reverse<u32>, NodeId)>,
 }
 
 impl ContainerRegistry {
     /// Registry for a cluster (all nodes up, all slots free).
     pub fn new(cluster: &Cluster) -> Self {
+        let slots_free: Vec<u32> = cluster.nodes().iter().map(|n| n.container_slots).collect();
+        let nodes_by_free = slots_free
+            .iter()
+            .enumerate()
+            .map(|(i, &free)| (Reverse(free), NodeId(i as u32)))
+            .collect();
         ContainerRegistry {
             next_id: 0,
             containers: HashMap::new(),
-            slots_free: cluster.nodes().iter().map(|n| n.container_slots).collect(),
+            slots_free,
             node_up: vec![true; cluster.len()],
+            warm_replicas: HashMap::new(),
+            nodes_by_free,
         }
     }
 
@@ -68,6 +97,37 @@ impl ContainerRegistry {
     /// Is `node` up?
     pub fn node_up(&self, node: NodeId) -> bool {
         self.node_up[node.0 as usize]
+    }
+
+    /// Change `node`'s free-slot count, keeping the ordered node view in
+    /// step. Down nodes are absent from the view and stay absent.
+    fn set_free_slots(&mut self, node: NodeId, free: u32) {
+        let old = self.slots_free[node.0 as usize];
+        self.slots_free[node.0 as usize] = free;
+        if self.node_up[node.0 as usize] {
+            self.nodes_by_free.remove(&(Reverse(old), node));
+            self.nodes_by_free.insert((Reverse(free), node));
+        }
+    }
+
+    /// A container entered or left the `Warm` state: maintain the
+    /// per-runtime warm-replica index. Only replicas are indexed — warm
+    /// function containers are transient within a single launch walk.
+    fn note_warm_change(&mut self, id: ContainerId, was_warm: bool, is_warm: bool) {
+        if was_warm == is_warm {
+            return;
+        }
+        let (purpose, runtime) = match self.containers.get(&id) {
+            Some(c) if c.purpose == ContainerPurpose::Replica => (c.purpose, c.runtime),
+            _ => return,
+        };
+        debug_assert_eq!(purpose, ContainerPurpose::Replica);
+        let set = self.warm_replicas.entry(runtime).or_default();
+        if is_warm {
+            set.insert(id);
+        } else {
+            set.remove(&id);
+        }
     }
 
     /// Create a container on `node`, consuming a slot.
@@ -84,7 +144,7 @@ impl ContainerRegistry {
         if self.slots_free[idx] == 0 {
             return Err(PlacementError::NodeFull { node });
         }
-        self.slots_free[idx] -= 1;
+        self.set_free_slots(node, self.slots_free[idx] - 1);
         let id = ContainerId(self.next_id);
         self.next_id += 1;
         self.containers
@@ -104,9 +164,16 @@ impl ContainerRegistry {
             .get_mut(&id)
             .ok_or_else(|| format!("unknown container {id}"))?;
         let was_terminal = c.state.is_terminal();
+        let was_warm = c.state == ContainerState::Warm;
         c.transition(next)?;
-        if !was_terminal && c.state.is_terminal() {
-            self.slots_free[c.node.0 as usize] += 1;
+        let (node, now_terminal, is_warm) = (
+            c.node,
+            c.state.is_terminal(),
+            c.state == ContainerState::Warm,
+        );
+        self.note_warm_change(id, was_warm, is_warm);
+        if !was_terminal && now_terminal {
+            self.set_free_slots(node, self.slots_free[node.0 as usize] + 1);
         }
         Ok(())
     }
@@ -131,8 +198,21 @@ impl ContainerRegistry {
         v
     }
 
-    /// Warm replicas of `runtime`, sorted by id (deterministic choice).
-    pub fn warm_replicas(&self, runtime: RuntimeKind) -> Vec<ContainerId> {
+    /// Warm replicas of `runtime`, ascending by id (deterministic choice).
+    /// Answered from the incrementally-maintained index: O(warm replicas
+    /// of the runtime), independent of the total container count.
+    pub fn warm_replicas(&self, runtime: RuntimeKind) -> impl Iterator<Item = ContainerId> + '_ {
+        self.warm_replicas
+            .get(&runtime)
+            .into_iter()
+            .flatten()
+            .copied()
+    }
+
+    /// Naive-scan oracle for [`ContainerRegistry::warm_replicas`] — the
+    /// pre-index implementation, kept for property tests and the
+    /// scheduler micro-benchmarks.
+    pub fn warm_replicas_scan(&self, runtime: RuntimeKind) -> Vec<ContainerId> {
         let mut v: Vec<ContainerId> = self
             .containers
             .values()
@@ -147,15 +227,37 @@ impl ContainerRegistry {
         v
     }
 
+    /// Up nodes ordered by free slots (desc), node id tie-break — the
+    /// load-balancer view. Answered from the ordered index: no per-call
+    /// collection or sort.
+    pub fn nodes_by_free_slots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes_by_free.iter().map(|&(_, n)| n)
+    }
+
+    /// Naive-scan oracle for [`ContainerRegistry::nodes_by_free_slots`] —
+    /// the pre-index collect-and-sort implementation.
+    pub fn nodes_by_free_slots_scan(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.node_up.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.node_up[n.0 as usize])
+            .collect();
+        nodes.sort_by_key(|&n| (Reverse(self.slots_free[n.0 as usize]), n.0));
+        nodes
+    }
+
     /// Crash `node`: every live container on it fails, slots are frozen.
     /// Returns the failed container ids.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<ContainerId> {
         let victims = self.live_on(node);
         for &id in &victims {
             let c = self.containers.get_mut(&id).expect("live container exists");
+            let was_warm = c.state == ContainerState::Warm;
             c.state = ContainerState::Failed;
+            self.note_warm_change(id, was_warm, false);
         }
         self.node_up[node.0 as usize] = false;
+        self.nodes_by_free
+            .remove(&(Reverse(self.slots_free[node.0 as usize]), node));
         self.slots_free[node.0 as usize] = 0;
         victims
     }
@@ -174,6 +276,10 @@ mod tests {
         let cluster = Cluster::homogeneous(2);
         let reg = ContainerRegistry::new(&cluster);
         (cluster, reg)
+    }
+
+    fn warm(reg: &ContainerRegistry, runtime: RuntimeKind) -> Vec<ContainerId> {
+        reg.warm_replicas(runtime).collect()
     }
 
     #[test]
@@ -240,7 +346,7 @@ mod tests {
         let r = reg
             .create(NodeId(1), RuntimeKind::Java, ContainerPurpose::Replica)
             .unwrap();
-        assert!(reg.warm_replicas(RuntimeKind::Java).is_empty());
+        assert!(warm(&reg, RuntimeKind::Java).is_empty());
         for s in [
             ContainerState::Launching,
             ContainerState::Initializing,
@@ -248,11 +354,65 @@ mod tests {
         ] {
             reg.transition(r, s).unwrap();
         }
-        assert_eq!(reg.warm_replicas(RuntimeKind::Java), vec![r]);
-        assert!(reg.warm_replicas(RuntimeKind::Python).is_empty());
+        assert_eq!(warm(&reg, RuntimeKind::Java), vec![r]);
+        assert!(warm(&reg, RuntimeKind::Python).is_empty());
         // Consumed replica is no longer warm.
         reg.transition(r, ContainerState::Executing).unwrap();
-        assert!(reg.warm_replicas(RuntimeKind::Java).is_empty());
+        assert!(warm(&reg, RuntimeKind::Java).is_empty());
+    }
+
+    #[test]
+    fn warm_index_matches_scan_through_lifecycle() {
+        let (_c, mut reg) = registry();
+        let mut replicas = Vec::new();
+        for i in 0..6 {
+            let node = NodeId(i % 2);
+            let r = reg
+                .create(node, RuntimeKind::Python, ContainerPurpose::Replica)
+                .unwrap();
+            replicas.push(r);
+        }
+        for (i, &r) in replicas.iter().enumerate() {
+            reg.transition(r, ContainerState::Launching).unwrap();
+            reg.transition(r, ContainerState::Initializing).unwrap();
+            if i % 2 == 0 {
+                reg.transition(r, ContainerState::Warm).unwrap();
+            }
+        }
+        assert_eq!(
+            warm(&reg, RuntimeKind::Python),
+            reg.warm_replicas_scan(RuntimeKind::Python)
+        );
+        // Crash one node: its warm replicas must leave the index.
+        reg.fail_node(NodeId(0));
+        assert_eq!(
+            warm(&reg, RuntimeKind::Python),
+            reg.warm_replicas_scan(RuntimeKind::Python)
+        );
+    }
+
+    #[test]
+    fn node_ordering_matches_scan() {
+        let cluster = Cluster::homogeneous(4);
+        let mut reg = ContainerRegistry::new(&cluster);
+        for _ in 0..3 {
+            reg.create(NodeId(1), RuntimeKind::Python, ContainerPurpose::Function)
+                .unwrap();
+        }
+        reg.create(NodeId(2), RuntimeKind::Python, ContainerPurpose::Function)
+            .unwrap();
+        assert_eq!(
+            reg.nodes_by_free_slots().collect::<Vec<_>>(),
+            reg.nodes_by_free_slots_scan()
+        );
+        // Most-free first: nodes 0 and 3 are untouched and tie-break by id.
+        assert_eq!(reg.nodes_by_free_slots().next(), Some(NodeId(0)));
+        reg.fail_node(NodeId(0));
+        assert_eq!(
+            reg.nodes_by_free_slots().collect::<Vec<_>>(),
+            reg.nodes_by_free_slots_scan()
+        );
+        assert!(!reg.nodes_by_free_slots().any(|n| n == NodeId(0)));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests: the registry's incrementally-maintained indexes answer
+//! exactly like the naive scans under arbitrary container lifecycle
+//! sequences (creates, legal transitions, node crashes).
+
+use canary_cluster::{Cluster, NodeId};
+use canary_container::{ContainerId, ContainerPurpose, ContainerRegistry, ContainerState};
+use canary_workloads::RuntimeKind;
+use proptest::prelude::*;
+
+const NODES: u32 = 4;
+
+/// One step of a registry workout.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Create a container (node, runtime, purpose).
+    Create(u32, u8, u8),
+    /// Transition the `i % live`-th known container to one of its legal
+    /// successors (picked by the second index).
+    Transition(u8, u8),
+    /// Crash a node.
+    FailNode(u32),
+}
+
+fn runtime(sel: u8) -> RuntimeKind {
+    RuntimeKind::ALL[sel as usize % RuntimeKind::ALL.len()]
+}
+
+fn purpose(sel: u8) -> ContainerPurpose {
+    match sel % 3 {
+        0 => ContainerPurpose::Function,
+        1 => ContainerPurpose::Replica,
+        _ => ContainerPurpose::Standby,
+    }
+}
+
+/// Legal successors of a state, in a fixed order so the proptest index
+/// picks deterministically.
+fn successors(s: ContainerState) -> Vec<ContainerState> {
+    use ContainerState::*;
+    [
+        Launching,
+        Initializing,
+        Warm,
+        Executing,
+        Completed,
+        Failed,
+        Reclaimed,
+    ]
+    .into_iter()
+    .filter(|&n| s.can_transition_to(n))
+    .collect()
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored proptest's `prop_oneof!` picks arms uniformly, so the
+    // create/transition arms are repeated to keep node crashes rare
+    // enough that warm pools actually build up.
+    prop_oneof![
+        (0..NODES, any::<u8>(), any::<u8>()).prop_map(|(n, r, p)| Op::Create(n, r, p)),
+        (0..NODES, any::<u8>(), any::<u8>()).prop_map(|(n, r, p)| Op::Create(n, r, p)),
+        (any::<u8>(), any::<u8>()).prop_map(|(i, s)| Op::Transition(i, s)),
+        (any::<u8>(), any::<u8>()).prop_map(|(i, s)| Op::Transition(i, s)),
+        (any::<u8>(), any::<u8>()).prop_map(|(i, s)| Op::Transition(i, s)),
+        (0..NODES).prop_map(Op::FailNode),
+    ]
+}
+
+fn assert_indexes_match_scans(reg: &ContainerRegistry) {
+    for rt in RuntimeKind::ALL {
+        let indexed: Vec<ContainerId> = reg.warm_replicas(rt).collect();
+        assert_eq!(indexed, reg.warm_replicas_scan(rt), "warm index for {rt:?}");
+    }
+    let indexed: Vec<NodeId> = reg.nodes_by_free_slots().collect();
+    assert_eq!(indexed, reg.nodes_by_free_slots_scan(), "node ordering");
+}
+
+proptest! {
+    /// After every step of an arbitrary lifecycle sequence, the warm
+    /// index and the ordered node view agree with full rescans.
+    #[test]
+    fn registry_indexes_equal_naive_scans(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let cluster = Cluster::homogeneous(NODES);
+        let mut reg = ContainerRegistry::new(&cluster);
+        let mut known: Vec<ContainerId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Create(n, r, p) => {
+                    // Full/down nodes reject; that is part of the workout.
+                    if let Ok(id) = reg.create(NodeId(n), runtime(r), purpose(p)) {
+                        known.push(id);
+                    }
+                }
+                Op::Transition(i, s) => {
+                    if known.is_empty() {
+                        continue;
+                    }
+                    let id = known[i as usize % known.len()];
+                    let state = reg.get(id).expect("created container").state;
+                    let next = successors(state);
+                    if !next.is_empty() {
+                        reg.transition(id, next[s as usize % next.len()]).unwrap();
+                    }
+                }
+                Op::FailNode(n) => {
+                    reg.fail_node(NodeId(n));
+                }
+            }
+            assert_indexes_match_scans(&reg);
+        }
+    }
+}

@@ -128,7 +128,6 @@ impl ReplicationModule {
         let existing_racks: Vec<u32> = existing.iter().map(|&n| cluster.node(n).rack).collect();
         platform
             .nodes_by_free_slots() // up nodes, most-free first
-            .into_iter()
             .filter(|&n| {
                 let capacity = cluster.node(n).container_slots;
                 platform.free_slots(n) as u64 >= (capacity as u64 / 10).max(2)

@@ -5,7 +5,7 @@
 //! the job's functions would not exceed the account's concurrency limit;
 //! jobs that would exceed it are queued until capacity frees up.
 
-use canary_platform::JobSpec;
+use canary_platform::{JobSpec, RunConfigError};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::error::Error;
@@ -61,6 +61,9 @@ pub enum ValidationError {
     },
     /// The workload has no states (nothing to execute).
     EmptyWorkload,
+    /// The batch's chain structure can never be admitted (a job chains
+    /// after a batch entry at or beyond its own position).
+    BadBatch(RunConfigError),
 }
 
 impl fmt::Display for ValidationError {
@@ -79,6 +82,7 @@ impl fmt::Display for ValidationError {
                 )
             }
             ValidationError::EmptyWorkload => write!(f, "workload has no states"),
+            ValidationError::BadBatch(e) => write!(f, "malformed batch: {e}"),
         }
     }
 }
@@ -140,6 +144,18 @@ impl RequestValidator {
             });
         }
         Ok(())
+    }
+
+    /// Validate a whole batch before submission: every job passes the
+    /// per-request checks and the chain structure is admissible (each
+    /// `after` edge points to an earlier batch entry). This is the typed
+    /// front door for the mis-ordered-chain condition the engine used to
+    /// assert on deep inside `run()`.
+    pub fn validate_batch(&self, jobs: &[JobSpec]) -> Result<(), ValidationError> {
+        for job in jobs {
+            self.validate(job)?;
+        }
+        canary_platform::validate_batch(jobs).map_err(ValidationError::BadBatch)
     }
 
     /// Admission decision given the currently active function count.
@@ -258,6 +274,25 @@ mod tests {
         // Everything done: the 80 fits now.
         assert_eq!(v.dequeue_admissible(0).unwrap().invocations, 80);
         assert_eq!(v.queued_len(), 0);
+    }
+
+    #[test]
+    fn misordered_chain_rejected() {
+        let v = RequestValidator::default();
+        // Job 0 chains after entry 2, which is not an earlier entry.
+        let mut first = job(2);
+        first.after = Some(2);
+        let batch = vec![first, job(2), job(2)];
+        match v.validate_batch(&batch) {
+            Err(ValidationError::BadBatch(RunConfigError::MisorderedChain { job, prereq })) => {
+                assert_eq!((job, prereq), (0, 2));
+            }
+            other => panic!("expected BadBatch(MisorderedChain), got {other:?}"),
+        }
+        // Backwards chains are fine.
+        let mut third = job(2);
+        third.after = Some(0);
+        assert!(v.validate_batch(&[job(2), job(2), third]).is_ok());
     }
 
     #[test]

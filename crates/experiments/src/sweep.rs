@@ -16,14 +16,26 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4);
+    parallel_map_with_workers(items, workers, f)
+}
+
+/// [`parallel_map`] with an explicit worker-pool size. The pool is capped
+/// by the item count (idle workers are never spawned); `workers == 0` is
+/// treated as 1 and runs inline on the caller's thread.
+pub fn parallel_map_with_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n);
+    let workers = workers.max(1).min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -82,6 +94,42 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn preserves_order_under_many_workers() {
+        // Far more workers than cores: contention over the shared queue
+        // must not reorder the reassembled results.
+        let out = parallel_map_with_workers((0..1000).collect(), 32, |x: i32| x * x);
+        assert_eq!(out, (0..1000).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_capped_by_item_count() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // 3 items, 64 requested workers: at most 3 threads may touch work.
+        let ids = Mutex::new(HashSet::new());
+        let out = parallel_map_with_workers((0..3).collect(), 64, |x: i32| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            x + 1
+        });
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(
+            ids.lock().unwrap().len() <= 3,
+            "more worker threads than items"
+        );
+    }
+
+    #[test]
+    fn zero_workers_runs_inline() {
+        let caller = std::thread::current().id();
+        let out = parallel_map_with_workers((0..8).collect(), 0, |x: i32| {
+            assert_eq!(std::thread::current().id(), caller);
+            x - 1
+        });
+        assert_eq!(out, (-1..7).collect::<Vec<_>>());
     }
 
     #[test]

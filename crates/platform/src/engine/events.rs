@@ -1,0 +1,80 @@
+//! The engine's event vocabulary and its dispatch table.
+//!
+//! Every state change in a run is driven by one of these events popping
+//! off the deterministic queue; dispatch fans each out to its handler in
+//! [`super::handlers`].
+
+use super::Platform;
+use crate::ids::{FnId, JobId};
+use crate::strategy::FtStrategy;
+use canary_cluster::NodeId;
+use canary_container::ContainerId;
+
+/// Engine events.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Admit one job (strategy hook + function launches).
+    SubmitJob {
+        /// The job to admit.
+        job: JobId,
+    },
+    /// Launch (or relaunch) a function attempt on a fresh container.
+    Launch {
+        /// The function to launch.
+        fn_id: FnId,
+        /// First state index of the attempt.
+        from_state: u32,
+    },
+    /// The current attempt of `fn_id` ends (completion or kill).
+    AttemptEnd {
+        /// The function whose attempt ends.
+        fn_id: FnId,
+        /// Attempt number the event belongs to (stale-event fence).
+        attempt: u32,
+    },
+    /// Resume a function on a warm container (replica / standby).
+    WarmResume {
+        /// The function to resume.
+        fn_id: FnId,
+        /// The reserved warm container.
+        container: ContainerId,
+        /// First state index of the resumed attempt.
+        from_state: u32,
+    },
+    /// A replica container finished its cold start.
+    ReplicaWarm {
+        /// The container that is now warm.
+        container: ContainerId,
+    },
+    /// A node crashes.
+    NodeFailure {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// The `idx`-th event of the chaos plan fires.
+    ChaosFault {
+        /// Index into the chaos plan's event list.
+        idx: usize,
+    },
+}
+
+impl Platform {
+    /// Route one popped event to its handler.
+    pub(super) fn dispatch(&mut self, strategy: &mut dyn FtStrategy, ev: Event) {
+        match ev {
+            Event::SubmitJob { job } => self.handle_submit(strategy, job),
+            Event::Launch { fn_id, from_state } => self.handle_launch(strategy, fn_id, from_state),
+            Event::AttemptEnd { fn_id, attempt } => {
+                self.handle_attempt_end(strategy, fn_id, attempt)
+            }
+            Event::WarmResume {
+                fn_id,
+                container,
+                from_state,
+            } => self.handle_warm_resume(strategy, fn_id, container, from_state),
+            Event::ReplicaWarm { container } => self.handle_replica_warm(strategy, container),
+            Event::NodeFailure { node } => self.handle_node_failure(strategy, node),
+            Event::ChaosFault { idx } => self.handle_chaos(strategy, idx),
+        }
+    }
+}

@@ -1,57 +1,21 @@
-//! The discrete-event FaaS platform engine.
+//! Per-event handlers and the analytic attempt planner.
 //!
-//! Plays the role of OpenWhisk in the paper: admits jobs through a
-//! serialized controller, places function containers on invoker nodes,
-//! executes each function's state sequence, injects function- and
-//! node-level failures from the deterministic oracle, and delegates every
-//! recovery decision to the pluggable [`FtStrategy`].
-//!
-//! Because the failure oracle is pure in `(function, attempt)`, an
-//! attempt's entire timeline is resolvable the moment it starts: the
-//! engine plans each attempt analytically (state completion times,
-//! checkpoint overheads, kill instant) and schedules a single
-//! `AttemptEnd` event. Node crashes preempt plans; stale events are
-//! fenced by per-function attempt counters.
+//! Each handler owns one [`super::Event`] variant end to end; the shared
+//! planning machinery (clone timelines, progress accounting, recovery
+//! application) lives alongside them because it is only ever reached
+//! from a handler.
 
-use crate::accounting::{ContainerUsage, FnOutcome, JobOutcome, RunCounters, RunResult};
-use crate::config::RunConfig;
-use crate::ids::{FnId, JobId};
-use crate::job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
+use super::{Event, Platform};
+use crate::ids::FnId;
+use crate::job::{FnStatus, PlannedAttempt};
 use crate::strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};
-use crate::telemetry::{Counter, Phase, Telemetry};
-use crate::trace::{Trace, TraceEvent, TraceKind};
-use canary_cluster::{ChaosPlan, FailureInjector, FaultEvent, NodeId};
-use canary_container::{
-    ColdStartModel, Container, ContainerId, ContainerPurpose, ContainerRegistry, ContainerState,
-    PlacementError,
-};
-use canary_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use crate::telemetry::{Counter, Phase};
+use crate::trace::TraceKind;
+use canary_cluster::{FaultEvent, NodeId};
+use canary_container::{ContainerId, ContainerState, PlacementError};
+use canary_sim::{SimDuration, SimTime};
 use canary_workloads::RuntimeKind;
-use std::collections::HashMap;
 use std::sync::Arc;
-
-/// Engine events.
-#[derive(Debug, Clone)]
-enum Event {
-    /// Admit one job (strategy hook + function launches).
-    SubmitJob { job: JobId },
-    /// Launch (or relaunch) a function attempt on a fresh container.
-    Launch { fn_id: FnId, from_state: u32 },
-    /// The current attempt of `fn_id` ends (completion or kill).
-    AttemptEnd { fn_id: FnId, attempt: u32 },
-    /// Resume a function on a warm container (replica / standby).
-    WarmResume {
-        fn_id: FnId,
-        container: ContainerId,
-        from_state: u32,
-    },
-    /// A replica container finished its cold start.
-    ReplicaWarm { container: ContainerId },
-    /// A node crashes.
-    NodeFailure { node: NodeId },
-    /// The `idx`-th event of the chaos plan fires.
-    ChaosFault { idx: usize },
-}
 
 /// Completion timing of one state within a planned attempt.
 #[derive(Debug, Clone, Copy)]
@@ -68,309 +32,22 @@ pub struct StateTiming {
 
 /// Outcome of planning one clone of an attempt.
 #[derive(Debug, Clone)]
-struct CloneOutcome {
-    container: ContainerId,
-    node: NodeId,
-    exec_start: SimTime,
-    end: SimTime,
-    completes: bool,
-    timings: Vec<StateTiming>,
+pub(super) struct CloneOutcome {
+    pub(super) container: ContainerId,
+    pub(super) node: NodeId,
+    pub(super) exec_start: SimTime,
+    pub(super) end: SimTime,
+    pub(super) completes: bool,
+    pub(super) timings: Vec<StateTiming>,
     /// Reference work completed by this clone at its end.
-    work_done: SimDuration,
-}
-
-/// The simulated platform; strategies receive `&mut Platform` in their
-/// callbacks and may inspect state or create replica containers.
-pub struct Platform {
-    config: RunConfig,
-    queue: EventQueue<Event>,
-    registry: ContainerRegistry,
-    coldstart: ColdStartModel,
-    injector: FailureInjector,
-    chaos: ChaosPlan,
-    strategy_rng: SimRng,
-    fns: Vec<FnRecord>,
-    jobs: Vec<JobRecord>,
-    usage: HashMap<ContainerId, ContainerUsage>,
-    controller_free: SimTime,
-    counters: RunCounters,
-    /// Jobs waiting on each job's completion (workflow chaining).
-    dependents: Vec<Vec<JobId>>,
-    trace: Trace,
-    telemetry: Telemetry,
-    /// Extra per-attempt state timings kept outside `PlannedAttempt` to
-    /// serve node-crash progress queries: per clone.
-    clone_plans: HashMap<FnId, Vec<CloneOutcome>>,
+    pub(super) work_done: SimDuration,
 }
 
 impl Platform {
-    fn new(config: RunConfig) -> Self {
-        config.validate().expect("invalid run configuration");
-        let registry = ContainerRegistry::new(&config.cluster);
-        let injector = FailureInjector::new(config.failure.clone(), config.seed);
-        let chaos = ChaosPlan::from_spec(&config.chaos, &config.cluster, config.seed);
-        let strategy_rng = SimRng::seed_from_u64(config.seed).split(0x57_A7);
-        Platform {
-            registry,
-            coldstart: ColdStartModel::new(),
-            injector,
-            chaos,
-            strategy_rng,
-            fns: Vec::new(),
-            jobs: Vec::new(),
-            usage: HashMap::new(),
-            controller_free: SimTime::ZERO,
-            counters: RunCounters::default(),
-            dependents: Vec::new(),
-            trace: Trace::default(),
-            telemetry: Telemetry::new(config.telemetry),
-            clone_plans: HashMap::new(),
-            queue: EventQueue::new(),
-            config,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Public API used by strategies.
-    // ------------------------------------------------------------------
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.queue.now()
-    }
-
-    /// Run configuration (cluster, network, storage, delays).
-    pub fn config(&self) -> &RunConfig {
-        &self.config
-    }
-
-    /// The run's chaos plan: pure oracles for stragglers and checkpoint
-    /// corruption plus time-windowed partition/degradation queries.
-    pub fn chaos(&self) -> &ChaosPlan {
-        &self.chaos
-    }
-
-    /// Function record.
-    pub fn fn_record(&self, id: FnId) -> &FnRecord {
-        &self.fns[id.0 as usize]
-    }
-
-    /// Job record.
-    pub fn job(&self, id: JobId) -> &JobRecord {
-        &self.jobs[id.0 as usize]
-    }
-
-    /// All jobs.
-    pub fn jobs(&self) -> &[JobRecord] {
-        &self.jobs
-    }
-
-    /// Container lookup.
-    pub fn container(&self, id: ContainerId) -> Option<&Container> {
-        self.registry.get(id)
-    }
-
-    /// Warm replica containers of a runtime, deterministic order.
-    pub fn warm_replicas(&self, runtime: RuntimeKind) -> Vec<ContainerId> {
-        self.registry.warm_replicas(runtime)
-    }
-
-    /// Functions currently running or recovering with the given runtime.
-    pub fn active_functions_with_runtime(&self, runtime: RuntimeKind) -> usize {
-        self.fns
-            .iter()
-            .filter(|f| {
-                f.workload.runtime == runtime
-                    && matches!(f.status, FnStatus::Running | FnStatus::Recovering)
-            })
-            .count()
-    }
-
-    /// Up nodes ordered by free slots (desc), node id tie-break — the
-    /// load-balancer view strategies use for replica placement.
-    pub fn nodes_by_free_slots(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self
-            .config
-            .cluster
-            .ids()
-            .filter(|&n| self.registry.node_up(n))
-            .collect();
-        nodes.sort_by_key(|&n| (std::cmp::Reverse(self.registry.free_slots(n)), n.0));
-        nodes
-    }
-
-    /// Is the node up?
-    pub fn node_up(&self, node: NodeId) -> bool {
-        self.registry.node_up(node)
-    }
-
-    /// Free invoker slots on a node.
-    pub fn free_slots(&self, node: NodeId) -> u32 {
-        self.registry.free_slots(node)
-    }
-
-    /// Create a warm-pool replica container of `runtime` on `node`.
-    /// Returns its id and the time it will reach `Warm`. Billing starts
-    /// immediately (replicas cost money while parked — Figs. 8–10).
-    pub fn create_replica(
-        &mut self,
-        node: NodeId,
-        runtime: RuntimeKind,
-        memory_mb: u64,
-    ) -> Result<(ContainerId, SimTime), PlacementError> {
-        let id = self
-            .registry
-            .create(node, runtime, ContainerPurpose::Replica)?;
-        let startup = self
-            .coldstart
-            .start_container(&self.config.cluster, node, runtime);
-        let now = self.now();
-        let ready = now + startup.total();
-        self.usage.insert(
-            id,
-            ContainerUsage {
-                purpose: ContainerPurpose::Replica,
-                memory_mb,
-                created: now,
-                terminated: SimTime::MAX,
-            },
-        );
-        self.counters.containers_created += 1;
-        self.emit(TraceKind::WarmPoolSpawned {
-            container: id,
-            node,
-        });
-        self.telemetry
-            .span_start(Phase::ReplicaColdStart, id.0, now);
-        // Walk the lifecycle to Initializing now; `ReplicaWarm` completes it.
-        self.registry
-            .transition(id, ContainerState::Launching)
-            .expect("fresh container");
-        self.registry
-            .transition(id, ContainerState::Initializing)
-            .expect("launching container");
-        self.queue.push(ready, Event::ReplicaWarm { container: id });
-        Ok((id, ready))
-    }
-
-    /// Create a standby container (AS baseline): identical mechanics to a
-    /// replica but tracked under the standby purpose for cost attribution.
-    pub fn create_standby(
-        &mut self,
-        node: NodeId,
-        runtime: RuntimeKind,
-        memory_mb: u64,
-    ) -> Result<(ContainerId, SimTime), PlacementError> {
-        let id = self
-            .registry
-            .create(node, runtime, ContainerPurpose::Standby)?;
-        let startup = self
-            .coldstart
-            .start_container(&self.config.cluster, node, runtime);
-        let now = self.now();
-        let ready = now + startup.total();
-        self.usage.insert(
-            id,
-            ContainerUsage {
-                purpose: ContainerPurpose::Standby,
-                memory_mb,
-                created: now,
-                terminated: SimTime::MAX,
-            },
-        );
-        self.counters.containers_created += 1;
-        self.telemetry
-            .span_start(Phase::ReplicaColdStart, id.0, now);
-        self.registry
-            .transition(id, ContainerState::Launching)
-            .expect("fresh container");
-        self.registry
-            .transition(id, ContainerState::Initializing)
-            .expect("launching container");
-        self.queue.push(ready, Event::ReplicaWarm { container: id });
-        Ok((id, ready))
-    }
-
-    /// Tear down a warm replica/standby the strategy no longer wants.
-    pub fn reclaim_container(&mut self, id: ContainerId) {
-        if let Some(c) = self.registry.get(id) {
-            if !c.state.is_terminal() {
-                self.registry
-                    .transition(id, ContainerState::Reclaimed)
-                    .expect("non-terminal container");
-                self.finish_usage(id, self.now());
-            }
-        }
-    }
-
-    /// Deterministic RNG stream reserved for strategy decisions.
-    pub fn strategy_rng(&mut self) -> &mut SimRng {
-        &mut self.strategy_rng
-    }
-
-    /// Record a checkpoint write (counters only; the strategy owns the
-    /// actual store).
-    pub fn note_checkpoint(&mut self, bytes: u64) {
-        self.counters.checkpoints_written += 1;
-        self.counters.checkpoint_bytes += bytes;
-    }
-
-    /// Record a restore.
-    pub fn note_restore(&mut self) {
-        self.counters.restores += 1;
-    }
-
-    /// Run counters so far.
-    pub fn counters(&self) -> &RunCounters {
-        &self.counters
-    }
-
-    /// Mutable run counters, for strategy-side accounting (validator
-    /// queueing, replica pool refreshes).
-    pub fn counters_mut(&mut self) -> &mut RunCounters {
-        &mut self.counters
-    }
-
-    /// The run's telemetry recorder (read side).
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
-    }
-
-    /// The run's telemetry recorder; strategies observe their phase
-    /// latencies and counters through this. Every call is a no-op when
-    /// `RunConfig::telemetry` is off.
-    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
-        &mut self.telemetry
-    }
-
-    /// Append an event to the execution trace (no-op unless
-    /// `RunConfig::trace` is on). Strategies use this for events only
-    /// they can see, like checkpoint writes and validator decisions.
-    pub fn emit(&mut self, kind: TraceKind) {
-        if self.config.trace {
-            self.trace.events.push(TraceEvent {
-                at: self.now(),
-                kind,
-            });
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Internals.
-    // ------------------------------------------------------------------
-
-    fn finish_usage(&mut self, id: ContainerId, at: SimTime) {
-        if let Some(u) = self.usage.get_mut(&id) {
-            if u.terminated == SimTime::MAX {
-                u.terminated = at.max(u.created);
-            }
-        }
-    }
-
     /// Load balancer: node with the most free slots.
     fn pick_node(&self) -> Option<NodeId> {
-        self.nodes_by_free_slots()
-            .into_iter()
+        self.registry
+            .nodes_by_free_slots()
             .find(|&n| self.registry.free_slots(n) > 0)
     }
 
@@ -382,14 +59,14 @@ impl Platform {
         let node = self.pick_node().ok_or(PlacementError::ClusterFull)?;
         let id = self
             .registry
-            .create(node, runtime, ContainerPurpose::Function)?;
+            .create(node, runtime, crate::engine::ContainerPurpose::Function)?;
         let startup = self
             .coldstart
             .start_container(&self.config.cluster, node, runtime);
         self.usage.insert(
             id,
-            ContainerUsage {
-                purpose: ContainerPurpose::Function,
+            crate::accounting::ContainerUsage {
+                purpose: crate::engine::ContainerPurpose::Function,
                 memory_mb,
                 created: self.now(),
                 terminated: SimTime::MAX,
@@ -593,16 +270,19 @@ impl Platform {
         // Resolve pending recovery accounting now that the new attempt's
         // exec start is known.
         let exec_start = primary.exec_start;
-        let rec = &mut self.fns[fn_id.0 as usize];
-        if let Some((t_kill, p_kill)) = rec.pending_recovery.take() {
-            let redo_ref = p_kill.saturating_sub(rec.banked_work);
-            let speed = self.config.cluster.node(primary.node).speed();
-            let redo = redo_ref.mul_f64(1.0 / speed);
-            rec.recovery += exec_start.saturating_since(t_kill) + redo;
+        let primary_node = primary.node;
+        {
+            let rec = &mut self.fns[fn_id.0 as usize];
+            if let Some((t_kill, p_kill)) = rec.pending_recovery.take() {
+                let redo_ref = p_kill.saturating_sub(rec.banked_work);
+                let speed = self.config.cluster.node(primary_node).speed();
+                let redo = redo_ref.mul_f64(1.0 / speed);
+                rec.recovery += exec_start.saturating_since(t_kill) + redo;
+            }
         }
-        rec.status = FnStatus::Running;
+        self.set_fn_status(fn_id, FnStatus::Running);
         let node = plan.node;
-        rec.plan = Some(plan);
+        self.fns[fn_id.0 as usize].plan = Some(plan);
         self.clone_plans.insert(fn_id, outcomes);
         // Telemetry: this attempt's execution start closes any open
         // recovery spans; the first attempt's start measures admission.
@@ -657,9 +337,9 @@ impl Platform {
         if let RecoveryTarget::WarmContainer(_) = plan.target {
             self.telemetry.span_start(Phase::WarmResume, fn_id.0, now);
         }
-        let rec = &mut self.fns[fn_id.0 as usize];
-        rec.banked_work = rec.work_before_state(plan.resume_from_state);
-        rec.status = FnStatus::Recovering;
+        let banked = self.fns[fn_id.0 as usize].work_before_state(plan.resume_from_state);
+        self.fns[fn_id.0 as usize].banked_work = banked;
+        self.set_fn_status(fn_id, FnStatus::Recovering);
         match plan.target {
             RecoveryTarget::FreshContainer => {
                 self.counters.cold_recoveries += 1;
@@ -747,7 +427,12 @@ impl Platform {
         self.apply_recovery_plan(fn_id, rplan);
     }
 
-    fn handle_attempt_end(&mut self, strategy: &mut dyn FtStrategy, fn_id: FnId, attempt: u32) {
+    pub(super) fn handle_attempt_end(
+        &mut self,
+        strategy: &mut dyn FtStrategy,
+        fn_id: FnId,
+        attempt: u32,
+    ) {
         if self.fns[fn_id.0 as usize].attempt != attempt {
             return; // stale
         }
@@ -796,8 +481,8 @@ impl Platform {
 
         if plan.completes {
             self.emit(TraceKind::FunctionCompleted { fn_id });
+            self.set_fn_status(fn_id, FnStatus::Completed);
             let rec = &mut self.fns[fn_id.0 as usize];
-            rec.status = FnStatus::Completed;
             rec.completed_at = Some(now);
             let job = rec.job;
             let jrec = &mut self.jobs[job.0 as usize];
@@ -807,8 +492,9 @@ impl Platform {
                 jrec.completed_at = Some(now);
             }
             if job_done {
-                // Trigger chained jobs (§I workflow stages).
-                for dep in self.dependents[job.0 as usize].clone() {
+                // Trigger chained jobs (§I workflow stages). Taking the
+                // dependents list is safe — a job completes exactly once.
+                for dep in std::mem::take(&mut self.dependents[job.0 as usize]) {
                     self.queue.push(now, Event::SubmitJob { job: dep });
                 }
             }
@@ -845,7 +531,12 @@ impl Platform {
         }
     }
 
-    fn handle_launch(&mut self, strategy: &mut dyn FtStrategy, fn_id: FnId, from_state: u32) {
+    pub(super) fn handle_launch(
+        &mut self,
+        strategy: &mut dyn FtStrategy,
+        fn_id: FnId,
+        from_state: u32,
+    ) {
         if self.fns[fn_id.0 as usize].status == FnStatus::Completed {
             return;
         }
@@ -894,7 +585,7 @@ impl Platform {
         self.begin_attempt(strategy, fn_id, placed, from_state, false);
     }
 
-    fn handle_warm_resume(
+    pub(super) fn handle_warm_resume(
         &mut self,
         strategy: &mut dyn FtStrategy,
         fn_id: FnId,
@@ -947,7 +638,7 @@ impl Platform {
         );
     }
 
-    fn handle_node_failure(&mut self, strategy: &mut dyn FtStrategy, node: NodeId) {
+    pub(super) fn handle_node_failure(&mut self, strategy: &mut dyn FtStrategy, node: NodeId) {
         if !self.registry.node_up(node) {
             return;
         }
@@ -987,7 +678,7 @@ impl Platform {
         strategy.on_containers_lost(self, &victims);
     }
 
-    fn handle_chaos(&mut self, strategy: &mut dyn FtStrategy, idx: usize) {
+    pub(super) fn handle_chaos(&mut self, strategy: &mut dyn FtStrategy, idx: usize) {
         let fault = self.chaos.events()[idx].1;
         self.counters.chaos_events += 1;
         self.telemetry.incr(Counter::ChaosFaults);
@@ -1022,7 +713,11 @@ impl Platform {
         strategy.on_chaos(self, &fault);
     }
 
-    fn handle_replica_warm(&mut self, strategy: &mut dyn FtStrategy, container: ContainerId) {
+    pub(super) fn handle_replica_warm(
+        &mut self,
+        strategy: &mut dyn FtStrategy,
+        container: ContainerId,
+    ) {
         let ok = self
             .registry
             .get(container)
@@ -1041,13 +736,13 @@ impl Platform {
         strategy.on_replica_warm(self, container);
     }
 
-    fn handle_submit(&mut self, strategy: &mut dyn FtStrategy, job: JobId) {
+    pub(super) fn handle_submit(&mut self, strategy: &mut dyn FtStrategy, job: crate::ids::JobId) {
         let now = self.now();
         self.emit(TraceKind::JobSubmitted { job });
         self.jobs[job.0 as usize].submitted_at = now;
         strategy.on_job_admitted(self, job);
-        let fn_ids = self.jobs[job.0 as usize].fn_ids.clone();
-        for fn_id in fn_ids {
+        for i in 0..self.jobs[job.0 as usize].fn_ids.len() {
+            let fn_id = self.jobs[job.0 as usize].fn_ids[i];
             self.queue.push(
                 now,
                 Event::Launch {
@@ -1056,135 +751,5 @@ impl Platform {
                 },
             );
         }
-    }
-}
-
-/// Execute `jobs` under `strategy` with `config`; returns the full result.
-pub fn run(config: RunConfig, jobs: Vec<JobSpec>, strategy: &mut dyn FtStrategy) -> RunResult {
-    let mut p = Platform::new(config);
-
-    // Register jobs and functions.
-    let mut next_fn = 0u64;
-    for (ji, spec) in jobs.iter().enumerate() {
-        let job_id = JobId(ji as u32);
-        let workload = Arc::new(spec.workload.clone());
-        let fn_ids: Vec<FnId> = (0..spec.invocations)
-            .map(|_| {
-                let id = FnId(next_fn);
-                next_fn += 1;
-                p.fns.push(FnRecord::new(id, job_id, Arc::clone(&workload)));
-                id
-            })
-            .collect();
-        p.jobs.push(JobRecord {
-            id: job_id,
-            workload,
-            fn_ids,
-            submitted_at: SimTime::ZERO,
-            completed_at: None,
-            remaining: spec.invocations,
-        });
-        p.dependents.push(Vec::new());
-        match spec.after {
-            None => p
-                .queue
-                .push(SimTime::ZERO, Event::SubmitJob { job: job_id }),
-            Some(prereq) => {
-                assert!(
-                    prereq < ji,
-                    "job {ji} chains after {prereq}, which must be an earlier batch entry"
-                );
-                p.dependents[prereq].push(job_id);
-            }
-        }
-    }
-
-    // Plan node-level failures.
-    let node_failures = p
-        .injector
-        .plan_node_failures(&p.config.cluster, p.config.node_failure_horizon);
-    for nf in node_failures {
-        p.queue.push(nf.at, Event::NodeFailure { node: nf.node });
-    }
-
-    // Schedule the chaos plan's typed fault events.
-    for (idx, &(at, _)) in p.chaos.events().iter().enumerate() {
-        p.queue.push(at, Event::ChaosFault { idx });
-    }
-
-    // Main loop.
-    while let Some((_, ev)) = p.queue.pop() {
-        match ev {
-            Event::SubmitJob { job } => p.handle_submit(strategy, job),
-            Event::Launch { fn_id, from_state } => p.handle_launch(strategy, fn_id, from_state),
-            Event::AttemptEnd { fn_id, attempt } => p.handle_attempt_end(strategy, fn_id, attempt),
-            Event::WarmResume {
-                fn_id,
-                container,
-                from_state,
-            } => p.handle_warm_resume(strategy, fn_id, container, from_state),
-            Event::ReplicaWarm { container } => p.handle_replica_warm(strategy, container),
-            Event::NodeFailure { node } => p.handle_node_failure(strategy, node),
-            Event::ChaosFault { idx } => p.handle_chaos(strategy, idx),
-        }
-    }
-
-    strategy.on_run_end(&mut p);
-    let finished_at = p.now();
-
-    // Close out still-open usage records (parked replicas etc.).
-    let open: Vec<ContainerId> = p
-        .usage
-        .iter()
-        .filter(|(_, u)| u.terminated == SimTime::MAX)
-        .map(|(&id, _)| id)
-        .collect();
-    for id in open {
-        p.finish_usage(id, finished_at);
-    }
-
-    let fns: Vec<FnOutcome> = p
-        .fns
-        .iter()
-        .map(|f| {
-            assert_eq!(
-                f.status,
-                FnStatus::Completed,
-                "{} did not complete (failures: {})",
-                f.id,
-                f.failures
-            );
-            FnOutcome {
-                id: f.id,
-                job: f.job,
-                first_launch: f.first_launch.expect("launched"),
-                completed_at: f.completed_at.expect("completed"),
-                failures: f.failures,
-                recovery: f.recovery,
-                attempts: f.attempt,
-            }
-        })
-        .collect();
-    let jobs_out: Vec<JobOutcome> = p
-        .jobs
-        .iter()
-        .map(|j| JobOutcome {
-            id: j.id,
-            submitted_at: j.submitted_at,
-            completed_at: j.completed_at.expect("job completed"),
-        })
-        .collect();
-    let mut containers: Vec<ContainerUsage> = p.usage.into_values().collect();
-    containers.sort_by_key(|u| (u.created, u.terminated));
-
-    RunResult {
-        strategy: strategy.name(),
-        fns,
-        jobs: jobs_out,
-        containers,
-        counters: p.counters,
-        finished_at,
-        trace: p.trace,
-        telemetry: p.telemetry.snapshot(),
     }
 }

@@ -1,0 +1,374 @@
+//! The discrete-event FaaS platform engine.
+//!
+//! Plays the role of OpenWhisk in the paper: admits jobs through a
+//! serialized controller, places function containers on invoker nodes,
+//! executes each function's state sequence, injects function- and
+//! node-level failures from the deterministic oracle, and delegates every
+//! recovery decision to the pluggable [`FtStrategy`].
+//!
+//! Because the failure oracle is pure in `(function, attempt)`, an
+//! attempt's entire timeline is resolvable the moment it starts: the
+//! engine plans each attempt analytically (state completion times,
+//! checkpoint overheads, kill instant) and schedules a single
+//! `AttemptEnd` event. Node crashes preempt plans; stale events are
+//! fenced by per-function attempt counters.
+//!
+//! The engine is a small event kernel split along its seams:
+//!
+//! - [`mod@self`] — the [`Platform`] state, the [`run`]/[`try_run`] loop,
+//!   and the strategy-facing *mutators* (replica/standby creation,
+//!   counters, telemetry, trace emission),
+//! - [`setup`](self) — batch validation ([`RunConfigError`]) and job /
+//!   node-failure / chaos registration,
+//! - `events` — the [`Event`] enum and its dispatch table,
+//! - `handlers` — one handler per event plus the analytic attempt
+//!   planner,
+//! - `queries` — the strategy-facing *read* API, answered from
+//!   incrementally-maintained indexes rather than per-call scans.
+
+mod events;
+mod handlers;
+#[cfg(test)]
+mod proptests;
+mod queries;
+mod setup;
+
+pub use events::Event;
+pub use handlers::StateTiming;
+pub use setup::{validate_batch, RunConfigError};
+
+#[doc(hidden)]
+pub use setup::bench_platform;
+
+use crate::accounting::{ContainerUsage, FnOutcome, JobOutcome, RunCounters, RunResult};
+use crate::config::RunConfig;
+use crate::ids::{FnId, JobId};
+use crate::job::{FnRecord, FnStatus, JobRecord, JobSpec};
+use crate::strategy::FtStrategy;
+use crate::telemetry::{Phase, Telemetry};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use canary_cluster::{ChaosPlan, FailureInjector, NodeId};
+use canary_container::{
+    ColdStartModel, ContainerId, ContainerPurpose, ContainerRegistry, ContainerState,
+    PlacementError,
+};
+use canary_sim::{EventQueue, SimRng, SimTime};
+use canary_workloads::RuntimeKind;
+use handlers::CloneOutcome;
+use std::collections::HashMap;
+
+/// The simulated platform; strategies receive `&mut Platform` in their
+/// callbacks and may inspect state or create replica containers.
+pub struct Platform {
+    config: RunConfig,
+    queue: EventQueue<Event>,
+    registry: ContainerRegistry,
+    coldstart: ColdStartModel,
+    injector: FailureInjector,
+    chaos: ChaosPlan,
+    strategy_rng: SimRng,
+    fns: Vec<FnRecord>,
+    jobs: Vec<JobRecord>,
+    usage: HashMap<ContainerId, ContainerUsage>,
+    controller_free: SimTime,
+    counters: RunCounters,
+    /// Jobs waiting on each job's completion (workflow chaining).
+    dependents: Vec<Vec<JobId>>,
+    trace: Trace,
+    telemetry: Telemetry,
+    /// Extra per-attempt state timings kept outside `PlannedAttempt` to
+    /// serve node-crash progress queries: per clone.
+    clone_plans: HashMap<FnId, Vec<CloneOutcome>>,
+    /// Functions currently `Running` or `Recovering` per runtime —
+    /// maintained at every [`FnStatus`] transition so the Replication
+    /// Module's `func_act` query is O(1) instead of a scan.
+    active_by_runtime: HashMap<RuntimeKind, usize>,
+}
+
+impl Platform {
+    fn new(config: RunConfig) -> Result<Self, RunConfigError> {
+        config.validate().map_err(RunConfigError::Invalid)?;
+        let registry = ContainerRegistry::new(&config.cluster);
+        let injector = FailureInjector::new(config.failure, config.seed);
+        let chaos = ChaosPlan::from_spec(&config.chaos, &config.cluster, config.seed);
+        let strategy_rng = SimRng::seed_from_u64(config.seed).split(0x57_A7);
+        Ok(Platform {
+            registry,
+            coldstart: ColdStartModel::new(),
+            injector,
+            chaos,
+            strategy_rng,
+            fns: Vec::new(),
+            jobs: Vec::new(),
+            usage: HashMap::new(),
+            controller_free: SimTime::ZERO,
+            counters: RunCounters::default(),
+            dependents: Vec::new(),
+            trace: Trace::default(),
+            telemetry: Telemetry::new(config.telemetry),
+            clone_plans: HashMap::new(),
+            active_by_runtime: HashMap::new(),
+            queue: EventQueue::new(),
+            config,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Strategy-facing mutators. The read API lives in `queries`.
+    // ------------------------------------------------------------------
+
+    /// Create a warm-pool replica container of `runtime` on `node`.
+    /// Returns its id and the time it will reach `Warm`. Billing starts
+    /// immediately (replicas cost money while parked — Figs. 8–10).
+    pub fn create_replica(
+        &mut self,
+        node: NodeId,
+        runtime: RuntimeKind,
+        memory_mb: u64,
+    ) -> Result<(ContainerId, SimTime), PlacementError> {
+        let id = self
+            .registry
+            .create(node, runtime, ContainerPurpose::Replica)?;
+        let startup = self
+            .coldstart
+            .start_container(&self.config.cluster, node, runtime);
+        let now = self.now();
+        let ready = now + startup.total();
+        self.usage.insert(
+            id,
+            ContainerUsage {
+                purpose: ContainerPurpose::Replica,
+                memory_mb,
+                created: now,
+                terminated: SimTime::MAX,
+            },
+        );
+        self.counters.containers_created += 1;
+        self.emit(TraceKind::WarmPoolSpawned {
+            container: id,
+            node,
+        });
+        self.telemetry
+            .span_start(Phase::ReplicaColdStart, id.0, now);
+        // Walk the lifecycle to Initializing now; `ReplicaWarm` completes it.
+        self.registry
+            .transition(id, ContainerState::Launching)
+            .expect("fresh container");
+        self.registry
+            .transition(id, ContainerState::Initializing)
+            .expect("launching container");
+        self.queue.push(ready, Event::ReplicaWarm { container: id });
+        Ok((id, ready))
+    }
+
+    /// Create a standby container (AS baseline): identical mechanics to a
+    /// replica but tracked under the standby purpose for cost attribution.
+    pub fn create_standby(
+        &mut self,
+        node: NodeId,
+        runtime: RuntimeKind,
+        memory_mb: u64,
+    ) -> Result<(ContainerId, SimTime), PlacementError> {
+        let id = self
+            .registry
+            .create(node, runtime, ContainerPurpose::Standby)?;
+        let startup = self
+            .coldstart
+            .start_container(&self.config.cluster, node, runtime);
+        let now = self.now();
+        let ready = now + startup.total();
+        self.usage.insert(
+            id,
+            ContainerUsage {
+                purpose: ContainerPurpose::Standby,
+                memory_mb,
+                created: now,
+                terminated: SimTime::MAX,
+            },
+        );
+        self.counters.containers_created += 1;
+        self.telemetry
+            .span_start(Phase::ReplicaColdStart, id.0, now);
+        self.registry
+            .transition(id, ContainerState::Launching)
+            .expect("fresh container");
+        self.registry
+            .transition(id, ContainerState::Initializing)
+            .expect("launching container");
+        self.queue.push(ready, Event::ReplicaWarm { container: id });
+        Ok((id, ready))
+    }
+
+    /// Tear down a warm replica/standby the strategy no longer wants.
+    pub fn reclaim_container(&mut self, id: ContainerId) {
+        if let Some(c) = self.registry.get(id) {
+            if !c.state.is_terminal() {
+                self.registry
+                    .transition(id, ContainerState::Reclaimed)
+                    .expect("non-terminal container");
+                self.finish_usage(id, self.now());
+            }
+        }
+    }
+
+    /// Deterministic RNG stream reserved for strategy decisions.
+    pub fn strategy_rng(&mut self) -> &mut SimRng {
+        &mut self.strategy_rng
+    }
+
+    /// Record a checkpoint write (counters only; the strategy owns the
+    /// actual store).
+    pub fn note_checkpoint(&mut self, bytes: u64) {
+        self.counters.checkpoints_written += 1;
+        self.counters.checkpoint_bytes += bytes;
+    }
+
+    /// Record a restore.
+    pub fn note_restore(&mut self) {
+        self.counters.restores += 1;
+    }
+
+    /// Mutable run counters, for strategy-side accounting (validator
+    /// queueing, replica pool refreshes).
+    pub fn counters_mut(&mut self) -> &mut RunCounters {
+        &mut self.counters
+    }
+
+    /// The run's telemetry recorder; strategies observe their phase
+    /// latencies and counters through this. Every call is a no-op when
+    /// `RunConfig::telemetry` is off.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Append an event to the execution trace (no-op unless
+    /// `RunConfig::trace` is on). Strategies use this for events only
+    /// they can see, like checkpoint writes and validator decisions.
+    pub fn emit(&mut self, kind: TraceKind) {
+        if self.config.trace {
+            self.trace.events.push(TraceEvent {
+                at: self.now(),
+                kind,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared across the engine's submodules.
+    // ------------------------------------------------------------------
+
+    /// Move `fn_id` to `next`, keeping the per-runtime active-function
+    /// counter in step (active = `Running` or `Recovering`). Every
+    /// `FnStatus` write in the engine goes through here.
+    fn set_fn_status(&mut self, fn_id: FnId, next: FnStatus) {
+        let rec = &mut self.fns[fn_id.0 as usize];
+        let was_active = matches!(rec.status, FnStatus::Running | FnStatus::Recovering);
+        let is_active = matches!(next, FnStatus::Running | FnStatus::Recovering);
+        rec.status = next;
+        if was_active != is_active {
+            let runtime = rec.workload.runtime;
+            let n = self.active_by_runtime.entry(runtime).or_insert(0);
+            if is_active {
+                *n += 1;
+            } else {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+
+    fn finish_usage(&mut self, id: ContainerId, at: SimTime) {
+        if let Some(u) = self.usage.get_mut(&id) {
+            if u.terminated == SimTime::MAX {
+                u.terminated = at.max(u.created);
+            }
+        }
+    }
+}
+
+/// Execute `jobs` under `strategy` with `config`; returns the full result.
+///
+/// Panics on an invalid configuration or batch — the historical contract
+/// every experiment binary relies on. Use [`try_run`] to get the typed
+/// [`RunConfigError`] instead.
+pub fn run(config: RunConfig, jobs: Vec<JobSpec>, strategy: &mut dyn FtStrategy) -> RunResult {
+    try_run(config, jobs, strategy).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Execute `jobs` under `strategy` with `config`, surfacing configuration
+/// and batch-ordering problems as a typed [`RunConfigError`] instead of
+/// panicking.
+pub fn try_run(
+    config: RunConfig,
+    jobs: Vec<JobSpec>,
+    strategy: &mut dyn FtStrategy,
+) -> Result<RunResult, RunConfigError> {
+    let mut p = Platform::new(config)?;
+
+    setup::register_jobs(&mut p, jobs)?;
+    setup::schedule_node_failures(&mut p);
+    setup::schedule_chaos(&mut p);
+
+    // Main loop.
+    while let Some((_, ev)) = p.queue.pop() {
+        p.dispatch(strategy, ev);
+    }
+
+    strategy.on_run_end(&mut p);
+    let finished_at = p.now();
+
+    // Close out still-open usage records (parked replicas etc.).
+    let open: Vec<ContainerId> = p
+        .usage
+        .iter()
+        .filter(|(_, u)| u.terminated == SimTime::MAX)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in open {
+        p.finish_usage(id, finished_at);
+    }
+
+    let fns: Vec<FnOutcome> = p
+        .fns
+        .iter()
+        .map(|f| {
+            assert_eq!(
+                f.status,
+                FnStatus::Completed,
+                "{} did not complete (failures: {})",
+                f.id,
+                f.failures
+            );
+            FnOutcome {
+                id: f.id,
+                job: f.job,
+                first_launch: f.first_launch.expect("launched"),
+                completed_at: f.completed_at.expect("completed"),
+                failures: f.failures,
+                recovery: f.recovery,
+                attempts: f.attempt,
+            }
+        })
+        .collect();
+    let jobs_out: Vec<JobOutcome> = p
+        .jobs
+        .iter()
+        .map(|j| JobOutcome {
+            id: j.id,
+            submitted_at: j.submitted_at,
+            completed_at: j.completed_at.expect("job completed"),
+        })
+        .collect();
+    let mut containers: Vec<ContainerUsage> = p.usage.into_values().collect();
+    containers.sort_by_key(|u| (u.created, u.terminated));
+
+    Ok(RunResult {
+        strategy: strategy.name(),
+        fns,
+        jobs: jobs_out,
+        containers,
+        counters: p.counters,
+        finished_at,
+        trace: p.trace,
+        telemetry: p.telemetry.snapshot(),
+    })
+}

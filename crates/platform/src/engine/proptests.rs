@@ -1,0 +1,56 @@
+//! In-crate property tests: the per-runtime active-function counter
+//! (maintained at every `FnStatus` transition) must agree with a full
+//! scan of the function table under arbitrary transition sequences.
+
+use super::Platform;
+use crate::config::RunConfig;
+use crate::ids::FnId;
+use crate::job::{FnStatus, JobSpec};
+use canary_cluster::{Cluster, FailureModel};
+use canary_workloads::{RuntimeKind, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A platform with one job per runtime so every runtime has functions.
+fn platform(invocations_per_runtime: u32) -> Platform {
+    let config = RunConfig::new(Cluster::homogeneous(4), FailureModel::default(), 7);
+    let jobs = vec![
+        JobSpec::new(WorkloadSpec::resnet50(), invocations_per_runtime), // Python
+        JobSpec::new(WorkloadSpec::web_service(3), invocations_per_runtime), // NodeJs
+        JobSpec::new(WorkloadSpec::spark_mining(3), invocations_per_runtime), // Java
+    ];
+    let mut p = Platform::new(config).expect("valid config");
+    super::setup::register_jobs(&mut p, jobs).expect("well-formed batch");
+    p
+}
+
+fn status(sel: u8) -> FnStatus {
+    match sel % 4 {
+        0 => FnStatus::Pending,
+        1 => FnStatus::Running,
+        2 => FnStatus::Recovering,
+        _ => FnStatus::Completed,
+    }
+}
+
+proptest! {
+    /// The counter never drifts from the scan, whatever order functions
+    /// move through (or revisit) their statuses in.
+    #[test]
+    fn active_counter_equals_scan(
+        steps in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..200),
+        invocations in 1u32..8,
+    ) {
+        let mut p = platform(invocations);
+        let n_fns = 3 * invocations as u64;
+        for (i, s) in steps {
+            p.set_fn_status(FnId(i as u64 % n_fns), status(s));
+            for rt in RuntimeKind::ALL {
+                prop_assert_eq!(
+                    p.active_functions_with_runtime(rt),
+                    p.active_functions_with_runtime_scan(rt),
+                    "runtime {:?}", rt
+                );
+            }
+        }
+    }
+}

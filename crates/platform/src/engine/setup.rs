@@ -1,0 +1,123 @@
+//! Run setup: batch validation, job/function registration, and the
+//! scheduling of planned node failures and chaos faults.
+
+use super::{Event, Platform};
+use crate::config::RunConfig;
+use crate::ids::{FnId, JobId};
+use crate::job::{FnRecord, FnStatus, JobRecord, JobSpec};
+use canary_sim::SimTime;
+use std::sync::Arc;
+
+/// A run that cannot start: bad configuration or a malformed batch.
+///
+/// Surfaced by [`super::try_run`] and by the Request Validator's batch
+/// check; [`super::run`] converts it into the historical panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunConfigError {
+    /// A chained job references a prerequisite at or after its own batch
+    /// position; chains must point backwards so admission is acyclic.
+    MisorderedChain {
+        /// Batch index of the offending job.
+        job: usize,
+        /// Batch index it claimed as prerequisite.
+        prereq: usize,
+    },
+    /// `RunConfig::validate` rejected the configuration.
+    Invalid(String),
+}
+
+impl std::fmt::Display for RunConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Keep the historical assert message so `run`'s panic text is
+            // unchanged for callers that match on it.
+            RunConfigError::MisorderedChain { job, prereq } => write!(
+                f,
+                "job {job} chains after {prereq}, which must be an earlier batch entry"
+            ),
+            RunConfigError::Invalid(msg) => write!(f, "invalid run configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunConfigError {}
+
+/// Check a batch's chaining structure without running it: every `after`
+/// edge must point to an earlier batch entry.
+pub fn validate_batch(jobs: &[JobSpec]) -> Result<(), RunConfigError> {
+    for (ji, spec) in jobs.iter().enumerate() {
+        if let Some(prereq) = spec.after {
+            if prereq >= ji {
+                return Err(RunConfigError::MisorderedChain { job: ji, prereq });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Register jobs and functions, seeding the queue with the independent
+/// jobs' submissions. Consumes the batch so each workload moves into its
+/// shared `Arc` without a clone.
+pub(super) fn register_jobs(p: &mut Platform, jobs: Vec<JobSpec>) -> Result<(), RunConfigError> {
+    validate_batch(&jobs)?;
+    let mut next_fn = 0u64;
+    for (ji, spec) in jobs.into_iter().enumerate() {
+        let job_id = JobId(ji as u32);
+        let workload = Arc::new(spec.workload);
+        let fn_ids: Vec<FnId> = (0..spec.invocations)
+            .map(|_| {
+                let id = FnId(next_fn);
+                next_fn += 1;
+                p.fns.push(FnRecord::new(id, job_id, Arc::clone(&workload)));
+                id
+            })
+            .collect();
+        p.jobs.push(JobRecord {
+            id: job_id,
+            workload,
+            fn_ids,
+            submitted_at: SimTime::ZERO,
+            completed_at: None,
+            remaining: spec.invocations,
+        });
+        p.dependents.push(Vec::new());
+        match spec.after {
+            None => p
+                .queue
+                .push(SimTime::ZERO, Event::SubmitJob { job: job_id }),
+            Some(prereq) => p.dependents[prereq].push(job_id),
+        }
+    }
+    Ok(())
+}
+
+/// Plan node-level failures from the deterministic oracle.
+pub(super) fn schedule_node_failures(p: &mut Platform) {
+    let node_failures = p
+        .injector
+        .plan_node_failures(&p.config.cluster, p.config.node_failure_horizon);
+    for nf in node_failures {
+        p.queue.push(nf.at, Event::NodeFailure { node: nf.node });
+    }
+}
+
+/// Schedule the chaos plan's typed fault events.
+pub(super) fn schedule_chaos(p: &mut Platform) {
+    for (idx, &(at, _)) in p.chaos.events().iter().enumerate() {
+        p.queue.push(at, Event::ChaosFault { idx });
+    }
+}
+
+/// Build a populated `Platform` without running it — the scheduler
+/// micro-benches need direct access to the query API against a platform
+/// of known size. Every registered function is marked `Running` through
+/// the same status path the engine uses. Not part of the public API.
+#[doc(hidden)]
+pub fn bench_platform(config: RunConfig, jobs: Vec<JobSpec>) -> Platform {
+    let mut p = Platform::new(config).expect("bench config is valid");
+    register_jobs(&mut p, jobs).expect("bench batch is well-formed");
+    for i in 0..p.fns.len() {
+        p.set_fn_status(FnId(i as u64), FnStatus::Running);
+    }
+    p
+}

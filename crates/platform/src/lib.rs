@@ -27,7 +27,7 @@ pub mod trace;
 
 pub use accounting::{ContainerUsage, FnOutcome, JobOutcome, RunCounters, RunResult};
 pub use config::RunConfig;
-pub use engine::{run, Platform, StateTiming};
+pub use engine::{run, try_run, validate_batch, Event, Platform, RunConfigError, StateTiming};
 pub use ids::{FnId, JobId};
 pub use job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
 pub use strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};

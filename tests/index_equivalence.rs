@@ -1,0 +1,136 @@
+//! End-to-end equivalence of the scheduler's incremental indexes.
+//!
+//! Wraps the Canary strategy so that at every strategy callback of a real
+//! chaotic run, the indexed queries (`warm_replicas`,
+//! `nodes_by_free_slots`, `active_functions_with_runtime`) are compared
+//! against their naive-scan oracles. The container/platform crates prove
+//! the same property under *arbitrary* transition sequences; this test
+//! proves it under the sequences the engine actually generates.
+
+use canary_cluster::{Cluster, FailureModel, FaultEvent, NodeId};
+use canary_container::ContainerId;
+use canary_core::{CanaryConfig, CanaryStrategy};
+use canary_platform::engine::{run, Platform};
+use canary_platform::{FailureInfo, FnId, FtStrategy, JobId, JobSpec, RecoveryPlan, RunConfig};
+use canary_sim::{SimDuration, SimTime};
+use canary_workloads::{RuntimeKind, WorkloadSpec};
+
+/// Delegating wrapper that audits index-vs-scan agreement at every hook.
+struct AuditingStrategy {
+    inner: CanaryStrategy,
+    audits: u64,
+}
+
+impl AuditingStrategy {
+    fn audit(&mut self, platform: &Platform) {
+        for rt in RuntimeKind::ALL {
+            let indexed: Vec<ContainerId> = platform.warm_replicas(rt).collect();
+            assert_eq!(indexed, platform.warm_replicas_scan(rt), "warm {rt:?}");
+            assert_eq!(
+                platform.active_functions_with_runtime(rt),
+                platform.active_functions_with_runtime_scan(rt),
+                "active {rt:?}"
+            );
+        }
+        let nodes: Vec<NodeId> = platform.nodes_by_free_slots().collect();
+        assert_eq!(nodes, platform.nodes_by_free_slots_scan(), "node order");
+        self.audits += 1;
+    }
+}
+
+impl FtStrategy for AuditingStrategy {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn on_job_admitted(&mut self, platform: &mut Platform, job: JobId) {
+        self.audit(platform);
+        self.inner.on_job_admitted(platform, job);
+        self.audit(platform);
+    }
+
+    fn attempt_clones(&self, platform: &Platform, fn_id: FnId) -> u32 {
+        self.inner.attempt_clones(platform, fn_id)
+    }
+
+    fn state_overhead(&self, platform: &Platform, fn_id: FnId, state_idx: u32) -> SimDuration {
+        self.inner.state_overhead(platform, fn_id, state_idx)
+    }
+
+    fn on_state_durable(
+        &mut self,
+        platform: &mut Platform,
+        fn_id: FnId,
+        state_idx: u32,
+        at: SimTime,
+    ) {
+        self.inner.on_state_durable(platform, fn_id, state_idx, at);
+    }
+
+    fn on_failure(
+        &mut self,
+        platform: &mut Platform,
+        fn_id: FnId,
+        failure: FailureInfo,
+    ) -> RecoveryPlan {
+        self.audit(platform);
+        let plan = self.inner.on_failure(platform, fn_id, failure);
+        self.audit(platform);
+        plan
+    }
+
+    fn on_chaos(&mut self, platform: &mut Platform, fault: &FaultEvent) {
+        self.audit(platform);
+        self.inner.on_chaos(platform, fault);
+    }
+
+    fn on_replica_warm(&mut self, platform: &mut Platform, container: ContainerId) {
+        self.audit(platform);
+        self.inner.on_replica_warm(platform, container);
+        self.audit(platform);
+    }
+
+    fn on_containers_lost(&mut self, platform: &mut Platform, lost: &[ContainerId]) {
+        self.audit(platform);
+        self.inner.on_containers_lost(platform, lost);
+    }
+
+    fn on_function_complete(&mut self, platform: &mut Platform, fn_id: FnId) {
+        self.audit(platform);
+        self.inner.on_function_complete(platform, fn_id);
+    }
+
+    fn on_run_end(&mut self, platform: &mut Platform) {
+        self.inner.on_run_end(platform);
+        self.audit(platform);
+    }
+}
+
+#[test]
+fn indexes_match_scans_across_a_chaotic_run() {
+    for seed in [7, 42, 1337] {
+        let mut config = RunConfig::new(
+            Cluster::chameleon_16(),
+            FailureModel::with_error_rate(0.3),
+            seed,
+        );
+        // High node-failure pressure so fail_node paths are exercised.
+        config.failure.node_failure_rate = 0.4;
+        let jobs = vec![
+            JobSpec::new(WorkloadSpec::web_service(10), 24),
+            JobSpec::new(WorkloadSpec::deep_learning(3), 4),
+            JobSpec::new(WorkloadSpec::spark_mining(3), 4),
+        ];
+        let mut strategy = AuditingStrategy {
+            inner: CanaryStrategy::new(CanaryConfig::default()),
+            audits: 0,
+        };
+        let result = run(config, jobs, &mut strategy);
+        assert!(result.fns.len() == 32);
+        assert!(
+            strategy.audits > 50,
+            "expected a real workout, got {} audits",
+            strategy.audits
+        );
+    }
+}
