@@ -22,8 +22,8 @@ use crate::validator::{Admission, PlatformLimits, RequestValidator};
 use canary_cluster::{CpuClass, FaultEvent, NodeId};
 use canary_container::ContainerId;
 use canary_platform::{
-    Counter, FailureInfo, FailureKind, FnId, FtStrategy, JobId, Phase, Platform, RecoveryPlan,
-    RecoveryTarget, TraceKind,
+    ArrivalVerdict, Counter, FailureInfo, FailureKind, FnId, FtStrategy, JobId, Phase, Platform,
+    RecoveryPlan, RecoveryTarget, TraceKind,
 };
 use canary_sim::{SimDuration, SimTime};
 use canary_workloads::RuntimeKind;
@@ -114,10 +114,16 @@ impl CanaryStrategy {
         }
         // Derive account limits from the deployment (on-prem OpenWhisk
         // quotas scale with the cluster, unlike public-cloud defaults).
+        // Under an open-loop admission gate the concurrency quota mirrors
+        // the engine's cap, so validator verdicts reflect real headroom.
         let slots = platform.config().cluster.total_slots() as u32;
+        let max_concurrent = match platform.config().max_inflight {
+            Some(cap) => cap,
+            None => slots.saturating_mul(64).max(10_000),
+        };
         self.validator = RequestValidator::new(PlatformLimits {
             max_memory_mb: 10 * 1024,
-            max_concurrent: slots.saturating_mul(64).max(10_000),
+            max_concurrent,
             max_batch: 100_000,
         });
         for node in platform.config().cluster.nodes() {
@@ -244,6 +250,44 @@ impl FtStrategy for CanaryStrategy {
         }
     }
 
+    fn on_job_arrival(&mut self, platform: &mut Platform, job: JobId) -> ArrivalVerdict {
+        // Request validation runs at arrival (§IV-C.2), against the live
+        // inflight count — the validator's verdicts now reflect real
+        // headroom rather than an empty account.
+        self.register_workers(platform);
+        let spec = {
+            let j = platform.job(job);
+            canary_platform::JobSpec::new((*j.workload).clone(), j.fn_ids.len() as u32)
+        };
+        let gated = platform.config().max_inflight.is_some();
+        match self.validator.admit(&spec, platform.inflight_functions()) {
+            Ok(Admission::Admit) => {
+                if gated && platform.admission_queue_len() > 0 {
+                    // FIFO admission: there is headroom, but jobs are
+                    // already held — this one must not overtake them.
+                    // Mirror the hold so the validator's queue stays in
+                    // step with the engine's.
+                    self.validator.enqueue(spec);
+                    ArrivalVerdict::Queue
+                } else {
+                    ArrivalVerdict::Admit
+                }
+            }
+            Ok(Admission::Queue) => {
+                if gated {
+                    self.validator.enqueue(spec);
+                    ArrivalVerdict::Queue
+                } else {
+                    // No engine gate: quotas are sized so closed-batch
+                    // runs always fit, and nothing would ever drain a
+                    // held job. Admit rather than wedge.
+                    ArrivalVerdict::Admit
+                }
+            }
+            Err(_) => ArrivalVerdict::Reject,
+        }
+    }
+
     fn on_job_admitted(&mut self, platform: &mut Platform, job: JobId) {
         self.register_workers(platform);
         let (runtime, memory, invocations, fn_ids, submitted) = {
@@ -256,32 +300,6 @@ impl FtStrategy for CanaryStrategy {
                 j.submitted_at,
             )
         };
-        // Request validation (§IV-C.2). The engine has already sized the
-        // batch within platform limits for our experiments; an invalid
-        // request here is a harness bug.
-        let spec =
-            canary_platform::JobSpec::new((*platform.job(job).workload).clone(), invocations);
-        match self.validator.admit(&spec, 0) {
-            Ok(Admission::Admit) => {}
-            Ok(Admission::Queue) => {
-                // The validator would hold the job for headroom. Our
-                // experiments size account limits so jobs always fit, so
-                // the hold is recorded and immediately released — the
-                // simulated schedule is unchanged either way.
-                platform.emit(TraceKind::JobQueued { job });
-                platform.counters_mut().jobs_queued += 1;
-                platform.telemetry_mut().incr(Counter::JobsQueued);
-                platform.emit(TraceKind::JobDequeued { job });
-                platform.telemetry_mut().incr(Counter::JobsDequeued);
-            }
-            Err(e) => {
-                platform.emit(TraceKind::JobRejected { job });
-                platform.counters_mut().jobs_rejected += 1;
-                platform.telemetry_mut().incr(Counter::JobsRejected);
-                panic!("request validation failed for {job}: {e}")
-            }
-        }
-
         let _ = self.db.put_job(&JobInfoRow {
             job_id: job.0,
             runtime,
@@ -497,6 +515,17 @@ impl FtStrategy for CanaryStrategy {
         // Shrink the pool as work drains (dynamic policies track active
         // functions downward too).
         self.reconcile_pool(platform, runtime);
+        // Capacity freed: drain the validator's mirror of the admission
+        // queue. The engine invokes this hook after decrementing its
+        // inflight count but before releasing queued jobs, so draining
+        // against the live count reproduces exactly the head-of-line
+        // release set the engine computes next — the two queues move in
+        // lockstep.
+        if platform.config().max_inflight.is_some() {
+            let _released = self
+                .validator
+                .drain_admissible(platform.inflight_functions());
+        }
     }
 
     fn on_run_end(&mut self, platform: &mut Platform) {

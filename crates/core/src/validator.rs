@@ -174,11 +174,35 @@ impl RequestValidator {
     }
 
     /// Pop the next queued job that now fits within the concurrency
-    /// headroom.
+    /// headroom, scanning past jobs that do not (first-fit).
+    ///
+    /// First-fit maximizes utilization but lets small late jobs overtake
+    /// a large job stuck at the head, which can starve it under
+    /// sustained load — prefer [`Self::drain_admissible`] for open-loop
+    /// admission.
     pub fn dequeue_admissible(&mut self, active: u32) -> Option<JobSpec> {
         let headroom = self.limits.max_concurrent.saturating_sub(active);
         let pos = self.queued.iter().position(|j| j.invocations <= headroom)?;
         self.queued.remove(pos)
+    }
+
+    /// Head-of-line FIFO drain: pop queued jobs from the front while the
+    /// next one fits within the concurrency headroom, stopping at the
+    /// first that does not. No job can overtake an earlier one, so
+    /// admission order is starvation-free under sustained overload
+    /// (capacity-freed events eventually reach every queued job in
+    /// submission order).
+    pub fn drain_admissible(&mut self, active: u32) -> Vec<JobSpec> {
+        let mut headroom = self.limits.max_concurrent.saturating_sub(active);
+        let mut released = Vec::new();
+        while let Some(front) = self.queued.front() {
+            if front.invocations > headroom {
+                break;
+            }
+            headroom -= front.invocations;
+            released.push(self.queued.pop_front().expect("front was just checked"));
+        }
+        released
     }
 
     /// Jobs waiting in the queue.
@@ -274,6 +298,45 @@ mod tests {
         // Everything done: the 80 fits now.
         assert_eq!(v.dequeue_admissible(0).unwrap().invocations, 80);
         assert_eq!(v.queued_len(), 0);
+    }
+
+    #[test]
+    fn drain_is_head_of_line_fifo() {
+        let limits = PlatformLimits {
+            max_concurrent: 100,
+            ..Default::default()
+        };
+        let mut v = RequestValidator::new(limits);
+        v.enqueue(job(80));
+        v.enqueue(job(10));
+        v.enqueue(job(10));
+        // 50 active: the 80 at the head does not fit, and the 10s behind
+        // it must NOT overtake — nothing drains.
+        assert!(v.drain_admissible(50).is_empty());
+        assert_eq!(v.queued_len(), 3);
+        // All capacity freed: 80+10+10 = 100 fits the full headroom, so
+        // all three drain in FIFO order.
+        let released = v.drain_admissible(0);
+        let sizes: Vec<u32> = released.iter().map(|j| j.invocations).collect();
+        assert_eq!(sizes, vec![80, 10, 10]);
+        assert_eq!(v.queued_len(), 0);
+    }
+
+    #[test]
+    fn drain_stops_at_first_non_fit() {
+        let limits = PlatformLimits {
+            max_concurrent: 100,
+            ..Default::default()
+        };
+        let mut v = RequestValidator::new(limits);
+        v.enqueue(job(30));
+        v.enqueue(job(60));
+        v.enqueue(job(5));
+        // Headroom 50: the 30 drains, the 60 blocks, the 5 stays behind it.
+        let released = v.drain_admissible(50);
+        let sizes: Vec<u32> = released.iter().map(|j| j.invocations).collect();
+        assert_eq!(sizes, vec![30]);
+        assert_eq!(v.queued_len(), 2);
     }
 
     #[test]

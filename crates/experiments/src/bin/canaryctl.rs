@@ -10,6 +10,10 @@
 //! canaryctl chaos [--scenario NAME | --spec PATH] [--seed N]
 //!                 [--strategy ...] [--list]
 //!                 [--trace-out PATH] [--telemetry-out PATH] [--timeline]
+//!
+//! canaryctl load [--quick] [--rates F,F,...] [--jobs N]
+//!                [--max-inflight N] [--error-rate F] [--seed N]
+//!                [--strategy ...] [--out PATH]
 //! ```
 //!
 //! The observability flags run one extra traced+telemetered repetition
@@ -17,6 +21,11 @@
 //! and `--telemetry-out` write JSONL, `--timeline` prints the ASCII
 //! swimlane, the recovery critical-path breakdown, and the telemetry
 //! summary.
+//!
+//! The `load` subcommand sweeps an open-loop Poisson offered load
+//! against the admission gate and prints the response-time distribution
+//! (p50/p95/p99, queue wait, peak queue depth, SLO attainment) per
+//! strategy and rate; `--out` also writes the sweep as JSON.
 //!
 //! The `chaos` subcommand runs one observed run of the canonical chaos
 //! demo scenario under a named fault plan (`--scenario`, see `--list`)
@@ -297,10 +306,107 @@ fn chaos_main(raw: Vec<String>) {
     }
 }
 
+fn load_usage() -> ! {
+    eprintln!(
+        "usage: canaryctl load [--quick] [--rates F,F,...] [--jobs N]\n\
+         \x20                     [--max-inflight N] [--error-rate F] [--seed N]\n\
+         \x20                     [--strategy canary|canary-ar|canary-lr|retry|ideal|rr|as]\n\
+         \x20                     [--out PATH]"
+    );
+    exit(2)
+}
+
+fn load_main(raw: Vec<String>) {
+    use canary_experiments::load::{run_study, study_table, study_to_json, LoadConfig};
+    let mut cfg = LoadConfig::paper();
+    let mut mode = "full";
+    let mut strategies: Vec<StrategyKind> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = raw.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                load_usage()
+            })
+        };
+        match flag.as_str() {
+            "--quick" => {
+                cfg.jobs = LoadConfig::quick().jobs;
+                mode = "quick";
+            }
+            "--rates" => {
+                cfg.rates_hz = value("--rates")
+                    .split(',')
+                    .map(|r| r.parse().unwrap_or_else(|_| load_usage()))
+                    .collect();
+            }
+            "--jobs" => cfg.jobs = value("--jobs").parse().unwrap_or_else(|_| load_usage()),
+            "--max-inflight" => {
+                cfg.max_inflight = value("--max-inflight")
+                    .parse()
+                    .unwrap_or_else(|_| load_usage())
+            }
+            "--error-rate" => {
+                cfg.error_rate = value("--error-rate")
+                    .parse()
+                    .unwrap_or_else(|_| load_usage())
+            }
+            "--seed" => cfg.run_seed = value("--seed").parse().unwrap_or_else(|_| load_usage()),
+            "--strategy" => strategies.push(parse_strategy(&value("--strategy"))),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => load_usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                load_usage()
+            }
+        }
+    }
+    if cfg.rates_hz.is_empty()
+        || cfg.jobs == 0
+        || cfg.max_inflight == 0
+        || !(0.0..=1.0).contains(&cfg.error_rate)
+    {
+        load_usage()
+    }
+    if strategies.is_empty() {
+        strategies = vec![
+            StrategyKind::Ideal,
+            StrategyKind::Retry,
+            StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
+        ];
+    }
+    println!(
+        "open-loop load sweep: {} jobs/point, rates {:?} jobs/s, \
+         max_inflight={}, error rate {:.0}%, seed {}\n",
+        cfg.jobs,
+        cfg.rates_hz,
+        cfg.max_inflight,
+        cfg.error_rate * 100.0,
+        cfg.run_seed
+    );
+    let points = run_study(&cfg, &strategies);
+    print!("{}", study_table(&points));
+    if let Some(path) = out {
+        std::fs::write(&path, study_to_json(&cfg, mode, &points)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        println!("\nwrote {path}");
+    }
+}
+
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("chaos") {
-        chaos_main(std::env::args().skip(2).collect());
-        return;
+    match std::env::args().nth(1).as_deref() {
+        Some("chaos") => {
+            chaos_main(std::env::args().skip(2).collect());
+            return;
+        }
+        Some("load") => {
+            load_main(std::env::args().skip(2).collect());
+            return;
+        }
+        _ => {}
     }
     let args = parse_args();
     let mut scenario = Scenario::chameleon(

@@ -79,6 +79,10 @@ pub fn trace_event_to_json(e: &TraceEvent) -> String {
     }
     let mut s = format!("{{\"at_us\":{}", e.at.as_micros());
     match e.kind {
+        TraceKind::JobArrived { job } => {
+            s.push_str(",\"kind\":\"job_arrived\"");
+            field_u(&mut s, "job", job.0 as u64);
+        }
         TraceKind::JobSubmitted { job } => {
             s.push_str(",\"kind\":\"job_submitted\"");
             field_u(&mut s, "job", job.0 as u64);
@@ -395,6 +399,7 @@ fn event_from_map(map: &BTreeMap<String, Val>) -> Result<TraceEvent, String> {
             .ok_or("missing/unknown tier".to_string())
     };
     let kind = match kind_name {
+        "job_arrived" => TraceKind::JobArrived { job: job()? },
         "job_submitted" => TraceKind::JobSubmitted { job: job()? },
         "attempt_started" => TraceKind::AttemptStarted {
             fn_id: fn_id()?,
@@ -617,6 +622,10 @@ mod tests {
     fn all_variants() -> Vec<TraceEvent> {
         let t = |us| SimTime::from_micros(us);
         vec![
+            TraceEvent {
+                at: t(0),
+                kind: TraceKind::JobArrived { job: JobId(3) },
+            },
             TraceEvent {
                 at: t(1),
                 kind: TraceKind::JobSubmitted { job: JobId(3) },

@@ -15,12 +15,14 @@
 pub mod chaos;
 pub mod export;
 pub mod figures;
+pub mod load;
 pub mod output;
 pub mod scenario;
 pub mod sweep;
 
 pub use export::{telemetry_to_jsonl, trace_from_jsonl, trace_to_jsonl, ExportError, ObsOptions};
 pub use figures::{FigureOptions, Metric};
+pub use load::{open_loop_jobs, run_study, LoadConfig, LoadPoint};
 pub use output::emit;
 pub use scenario::{Scenario, StrategyKind, ERROR_RATES, PRICING};
 pub use sweep::parallel_map;

@@ -77,6 +77,9 @@ pub struct Scenario {
     /// stragglers, corruption (empty for plain sweeps; forced empty for
     /// the ideal strategy).
     pub chaos: ChaosSpec,
+    /// Admission-gate cap on concurrently inflight function invocations
+    /// (`None` = closed-batch behavior: everything admitted at arrival).
+    pub max_inflight: Option<u32>,
     /// The submitted jobs.
     pub jobs: Vec<JobSpec>,
 }
@@ -92,6 +95,7 @@ impl Scenario {
             trace: false,
             telemetry: false,
             chaos: ChaosSpec::default(),
+            max_inflight: None,
             jobs,
         }
     }
@@ -108,6 +112,7 @@ impl Scenario {
         cfg.node_failure_horizon = canary_sim::SimDuration::from_secs(self.node_failure_horizon_s);
         cfg.trace = self.trace;
         cfg.telemetry = self.telemetry;
+        cfg.max_inflight = self.max_inflight;
         if strategy != StrategyKind::Ideal {
             cfg.chaos = self.chaos.clone();
         }

@@ -4,15 +4,22 @@
 //! pricing ([`PricingModel`], §V-D.4), repeated-run aggregation with the
 //! <5% variance check ([`Repeated`], §V-B), figure rendering to ASCII
 //! tables / CSV / Markdown ([`report`]) plus the per-run telemetry
-//! summary, and trace-driven swimlane / recovery-critical-path timelines
+//! summary, latency-under-load distributions ([`load`]: response-time
+//! percentiles, queue-depth series, SLO attainment), and trace-driven
+//! swimlane / recovery-critical-path timelines
 //! ([`timeline`]).
 
 pub mod cost;
+pub mod load;
 pub mod report;
 pub mod summary;
 pub mod timeline;
 
 pub use cost::PricingModel;
+pub use load::{
+    peak_queue_depth, queue_depth_series, slo_attainment, QueueDepthPoint, ResponseStats,
+    SloSummary,
+};
 pub use report::{ascii_table, counters_summary, csv, markdown_table, telemetry_summary};
 pub use summary::{MetricSummary, Repeated};
 pub use timeline::{recovery_breakdown, recovery_spans, swimlane, RecoverySpan, TimelineOptions};

@@ -60,16 +60,41 @@ pub struct FnOutcome {
 pub struct JobOutcome {
     /// Job id.
     pub id: JobId,
-    /// Submission time.
+    /// When the request arrived at the platform (client submission).
     pub submitted_at: SimTime,
-    /// Completion of the last function.
+    /// When the admission gate released the job (`None` for rejected
+    /// jobs). `admitted_at - submitted_at` is the queue wait.
+    pub admitted_at: Option<SimTime>,
+    /// When the job's first function began executing (`None` for
+    /// rejected jobs).
+    pub first_exec_at: Option<SimTime>,
+    /// Completion of the last function (the rejection instant for
+    /// rejected jobs).
     pub completed_at: SimTime,
+    /// True when the request was rejected at arrival and never ran.
+    pub rejected: bool,
 }
 
 impl JobOutcome {
-    /// Job makespan.
+    /// Job makespan: submission (arrival) to last-function completion.
+    /// Under open-loop load this is the job's *response time*, queue
+    /// wait included.
     pub fn makespan(&self) -> SimDuration {
         self.completed_at.saturating_since(self.submitted_at)
+    }
+
+    /// Time spent held in the admission queue (zero for jobs admitted on
+    /// arrival, and for rejected jobs).
+    pub fn queue_wait(&self) -> SimDuration {
+        self.admitted_at
+            .map_or(SimDuration::ZERO, |t| t.saturating_since(self.submitted_at))
+    }
+
+    /// Submission to first execution start: queue wait plus controller
+    /// admission and cold start (`None` for rejected jobs).
+    pub fn time_to_first_exec(&self) -> Option<SimDuration> {
+        self.first_exec_at
+            .map(|t| t.saturating_since(self.submitted_at))
     }
 }
 
@@ -213,12 +238,18 @@ mod tests {
                 JobOutcome {
                     id: JobId(0),
                     submitted_at: SimTime::from_micros(0),
+                    admitted_at: Some(SimTime::from_micros(0)),
+                    first_exec_at: Some(SimTime::from_micros(100_000)),
                     completed_at: SimTime::from_micros(5_000_000),
+                    rejected: false,
                 },
                 JobOutcome {
                     id: JobId(1),
                     submitted_at: SimTime::from_micros(1_000_000),
+                    admitted_at: Some(SimTime::from_micros(2_000_000)),
+                    first_exec_at: Some(SimTime::from_micros(2_100_000)),
                     completed_at: SimTime::from_micros(9_000_000),
+                    rejected: false,
                 },
             ],
             containers: vec![],

@@ -35,6 +35,13 @@ pub struct RunConfig {
     /// Backoff before re-attempting placement when the cluster has no
     /// free slot.
     pub placement_backoff: SimDuration,
+    /// Account-level concurrency cap on simultaneously admitted function
+    /// invocations (§IV-C.2's concurrency quota). Arriving jobs that
+    /// would exceed it wait in the engine's FIFO admission queue until
+    /// running functions complete; jobs larger than the cap by themselves
+    /// are rejected at arrival. `None` (the default) admits every job
+    /// immediately, reproducing the closed-batch behaviour.
+    pub max_inflight: Option<u32>,
     /// Record an execution trace into the result (off by default; traces
     /// of large batches are big).
     pub trace: bool,
@@ -60,6 +67,7 @@ impl RunConfig {
             detection_delay: SimDuration::from_millis(1_000),
             node_failure_horizon: SimDuration::from_secs(1_200),
             placement_backoff: SimDuration::from_millis(500),
+            max_inflight: None,
             trace: false,
             telemetry: false,
         }
@@ -76,6 +84,9 @@ impl RunConfig {
                 "error rate {} out of range",
                 self.failure.error_rate
             ));
+        }
+        if self.max_inflight == Some(0) {
+            return Err("max_inflight of 0 can never admit a job".into());
         }
         self.chaos.validate()?;
         Ok(())

@@ -13,6 +13,14 @@ use canary_container::ContainerId;
 /// Engine events.
 #[derive(Debug, Clone)]
 pub enum Event {
+    /// A job's request reaches the platform (its `JobSpec` arrival
+    /// offset elapsed, or its chain prerequisite completed). The request
+    /// is validated and either admitted, parked in the FIFO admission
+    /// queue, or rejected.
+    JobArrival {
+        /// The arriving job.
+        job: JobId,
+    },
     /// Admit one job (strategy hook + function launches).
     SubmitJob {
         /// The job to admit.
@@ -62,6 +70,7 @@ impl Platform {
     /// Route one popped event to its handler.
     pub(super) fn dispatch(&mut self, strategy: &mut dyn FtStrategy, ev: Event) {
         match ev {
+            Event::JobArrival { job } => self.handle_job_arrival(strategy, job),
             Event::SubmitJob { job } => self.handle_submit(strategy, job),
             Event::Launch { fn_id, from_state } => self.handle_launch(strategy, fn_id, from_state),
             Event::AttemptEnd { fn_id, attempt } => {

@@ -6,9 +6,11 @@
 //! from a handler.
 
 use super::{Event, Platform};
-use crate::ids::FnId;
+use crate::ids::{FnId, JobId};
 use crate::job::{FnStatus, PlannedAttempt};
-use crate::strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};
+use crate::strategy::{
+    ArrivalVerdict, FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget,
+};
 use crate::telemetry::{Counter, Phase};
 use crate::trace::TraceKind;
 use canary_cluster::{FaultEvent, NodeId};
@@ -281,6 +283,12 @@ impl Platform {
             }
         }
         self.set_fn_status(fn_id, FnStatus::Running);
+        // Queue-wait accounting: the job's first execution start (min
+        // across its functions' attempts) closes the admitted→first-exec
+        // leg.
+        let job = self.fns[fn_id.0 as usize].job;
+        let jrec = &mut self.jobs[job.0 as usize];
+        jrec.first_exec = Some(jrec.first_exec.map_or(exec_start, |t| t.min(exec_start)));
         let node = plan.node;
         self.fns[fn_id.0 as usize].plan = Some(plan);
         self.clone_plans.insert(fn_id, outcomes);
@@ -485,6 +493,8 @@ impl Platform {
             let rec = &mut self.fns[fn_id.0 as usize];
             rec.completed_at = Some(now);
             let job = rec.job;
+            // Capacity freed: one fewer invocation inflight.
+            self.inflight = self.inflight.saturating_sub(1);
             let jrec = &mut self.jobs[job.0 as usize];
             jrec.remaining -= 1;
             let job_done = jrec.remaining == 0;
@@ -492,13 +502,19 @@ impl Platform {
                 jrec.completed_at = Some(now);
             }
             if job_done {
-                // Trigger chained jobs (§I workflow stages). Taking the
+                // Trigger chained jobs (§I workflow stages) through the
+                // arrival path so they meter against the admission gate
+                // and their queue wait is accounted. Taking the
                 // dependents list is safe — a job completes exactly once.
                 for dep in std::mem::take(&mut self.dependents[job.0 as usize]) {
-                    self.queue.push(now, Event::SubmitJob { job: dep });
+                    self.queue.push(now, Event::JobArrival { job: dep });
                 }
             }
+            // Capacity-freed hook first (Canary drains its validator
+            // mirror against the pre-release inflight count), then the
+            // engine releases queued jobs under the same FIFO rule.
             strategy.on_function_complete(self, fn_id);
+            self.drain_admissions();
         } else {
             self.counters.function_failures += 1;
             self.emit(TraceKind::AttemptFailed {
@@ -736,10 +752,78 @@ impl Platform {
         strategy.on_replica_warm(self, container);
     }
 
-    pub(super) fn handle_submit(&mut self, strategy: &mut dyn FtStrategy, job: crate::ids::JobId) {
+    /// Does a job of `invocations` functions fit under the concurrency
+    /// gate right now?
+    fn gate_fits(&self, invocations: u32) -> bool {
+        self.config
+            .max_inflight
+            .is_none_or(|cap| self.inflight + invocations <= cap)
+    }
+
+    /// Admit `job` now: meter its invocations against the gate and
+    /// schedule its submission.
+    fn admit_job(&mut self, job: JobId) {
+        let now = self.now();
+        self.inflight += self.jobs[job.0 as usize].fn_ids.len() as u32;
+        self.queue.push(now, Event::SubmitJob { job });
+    }
+
+    /// Release queued jobs that now fit, strictly from the front of the
+    /// FIFO (head-of-line: a blocked front job is never overtaken, which
+    /// makes sustained-overload admission starvation-free).
+    fn drain_admissions(&mut self) {
+        while let Some(&job) = self.admission_queue.front() {
+            let invocations = self.jobs[job.0 as usize].fn_ids.len() as u32;
+            if !self.gate_fits(invocations) {
+                return;
+            }
+            self.admission_queue.pop_front();
+            self.emit(TraceKind::JobDequeued { job });
+            self.telemetry.incr(Counter::JobsDequeued);
+            self.admit_job(job);
+        }
+    }
+
+    /// A job's request arrives: record the submission instant, collect
+    /// the strategy's validation verdict, and admit / queue / reject.
+    pub(super) fn handle_job_arrival(&mut self, strategy: &mut dyn FtStrategy, job: JobId) {
+        let now = self.now();
+        // Chained jobs arrive when their prerequisite completes; patch
+        // the placeholder recorded at registration.
+        self.jobs[job.0 as usize].submitted_at = now;
+        self.emit(TraceKind::JobArrived { job });
+        let verdict = strategy.on_job_arrival(self, job);
+        let invocations = self.jobs[job.0 as usize].fn_ids.len() as u32;
+        // A job larger than the whole quota can never be admitted;
+        // queueing it would wedge the FIFO forever.
+        let impossible = self
+            .config
+            .max_inflight
+            .is_some_and(|cap| invocations > cap);
+        if verdict == ArrivalVerdict::Reject || impossible {
+            self.jobs[job.0 as usize].rejected = true;
+            self.counters.jobs_rejected += 1;
+            self.telemetry.incr(Counter::JobsRejected);
+            self.emit(TraceKind::JobRejected { job });
+            return;
+        }
+        if verdict == ArrivalVerdict::Admit
+            && self.admission_queue.is_empty()
+            && self.gate_fits(invocations)
+        {
+            self.admit_job(job);
+        } else {
+            self.admission_queue.push_back(job);
+            self.counters.jobs_queued += 1;
+            self.telemetry.incr(Counter::JobsQueued);
+            self.emit(TraceKind::JobQueued { job });
+        }
+    }
+
+    pub(super) fn handle_submit(&mut self, strategy: &mut dyn FtStrategy, job: JobId) {
         let now = self.now();
         self.emit(TraceKind::JobSubmitted { job });
-        self.jobs[job.0 as usize].submitted_at = now;
+        self.jobs[job.0 as usize].admitted_at = Some(now);
         strategy.on_job_admitted(self, job);
         for i in 0..self.jobs[job.0 as usize].fn_ids.len() {
             let fn_id = self.jobs[job.0 as usize].fn_ids[i];

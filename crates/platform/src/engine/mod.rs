@@ -74,6 +74,14 @@ pub struct Platform {
     counters: RunCounters,
     /// Jobs waiting on each job's completion (workflow chaining).
     dependents: Vec<Vec<JobId>>,
+    /// FIFO admission queue: arrived jobs held until the concurrency
+    /// gate ([`RunConfig::max_inflight`]) has headroom. Strictly
+    /// head-of-line — a blocked front job is never overtaken, so
+    /// admission is starvation-free.
+    admission_queue: std::collections::VecDeque<JobId>,
+    /// Function invocations admitted and not yet completed — the load
+    /// the concurrency gate meters.
+    inflight: u32,
     trace: Trace,
     telemetry: Telemetry,
     /// Extra per-attempt state timings kept outside `PlannedAttempt` to
@@ -104,6 +112,8 @@ impl Platform {
             controller_free: SimTime::ZERO,
             counters: RunCounters::default(),
             dependents: Vec::new(),
+            admission_queue: std::collections::VecDeque::new(),
+            inflight: 0,
             trace: Trace::default(),
             telemetry: Telemetry::new(config.telemetry),
             clone_plans: HashMap::new(),
@@ -315,6 +325,10 @@ pub fn try_run(
 
     strategy.on_run_end(&mut p);
     let finished_at = p.now();
+    assert!(
+        p.admission_queue.is_empty(),
+        "admission queue must drain once arrivals stop"
+    );
 
     // Close out still-open usage records (parked replicas etc.).
     let open: Vec<ContainerId> = p
@@ -330,6 +344,7 @@ pub fn try_run(
     let fns: Vec<FnOutcome> = p
         .fns
         .iter()
+        .filter(|f| !p.jobs[f.job.0 as usize].rejected)
         .map(|f| {
             assert_eq!(
                 f.status,
@@ -355,7 +370,14 @@ pub fn try_run(
         .map(|j| JobOutcome {
             id: j.id,
             submitted_at: j.submitted_at,
-            completed_at: j.completed_at.expect("job completed"),
+            admitted_at: j.admitted_at,
+            first_exec_at: j.first_exec,
+            // A rejected job "finishes" the moment it is refused.
+            completed_at: j.completed_at.unwrap_or_else(|| {
+                assert!(j.rejected, "unfinished job that was not rejected");
+                j.submitted_at
+            }),
+            rejected: j.rejected,
         })
         .collect();
     let mut containers: Vec<ContainerUsage> = p.usage.into_values().collect();

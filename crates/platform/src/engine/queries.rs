@@ -117,6 +117,17 @@ impl Platform {
         self.registry.free_slots(node)
     }
 
+    /// Function invocations admitted and not yet completed — the load
+    /// the admission gate ([`RunConfig::max_inflight`]) meters.
+    pub fn inflight_functions(&self) -> u32 {
+        self.inflight
+    }
+
+    /// Jobs currently held in the FIFO admission queue.
+    pub fn admission_queue_len(&self) -> usize {
+        self.admission_queue.len()
+    }
+
     /// Run counters so far.
     pub fn counters(&self) -> &RunCounters {
         &self.counters

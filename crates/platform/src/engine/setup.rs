@@ -72,19 +72,26 @@ pub(super) fn register_jobs(p: &mut Platform, jobs: Vec<JobSpec>) -> Result<(), 
                 id
             })
             .collect();
+        // A job's submission time is its *arrival*: the spec's offset for
+        // independent jobs, the prerequisite's completion for chained
+        // ones (patched when the arrival fires). It is never conflated
+        // with the admission instant, which `handle_submit` records in
+        // `admitted_at` — queue wait stays measurable even in batch mode.
+        let arrival = SimTime::ZERO + spec.arrival_offset;
         p.jobs.push(JobRecord {
             id: job_id,
             workload,
             fn_ids,
-            submitted_at: SimTime::ZERO,
+            submitted_at: arrival,
+            admitted_at: None,
+            first_exec: None,
             completed_at: None,
             remaining: spec.invocations,
+            rejected: false,
         });
         p.dependents.push(Vec::new());
         match spec.after {
-            None => p
-                .queue
-                .push(SimTime::ZERO, Event::SubmitJob { job: job_id }),
+            None => p.queue.push(arrival, Event::JobArrival { job: job_id }),
             Some(prereq) => p.dependents[prereq].push(job_id),
         }
     }

@@ -23,6 +23,11 @@ pub struct JobSpec {
     /// Index (within the submitted batch) of the job that must complete
     /// before this one is admitted; `None` for independent jobs.
     pub after: Option<usize>,
+    /// Open-loop arrival offset: when (relative to run start) the job's
+    /// request reaches the platform. `ZERO` reproduces the closed-batch
+    /// behaviour of submitting everything up front. Ignored for chained
+    /// jobs, which arrive when their prerequisite completes.
+    pub arrival_offset: SimDuration,
 }
 
 impl JobSpec {
@@ -33,6 +38,7 @@ impl JobSpec {
             workload,
             invocations,
             after: None,
+            arrival_offset: SimDuration::ZERO,
         }
     }
 
@@ -43,6 +49,12 @@ impl JobSpec {
         let mut spec = Self::new(workload, invocations);
         spec.after = Some(prereq);
         spec
+    }
+
+    /// The same job arriving `offset` after run start (open-loop traffic).
+    pub fn at(mut self, offset: SimDuration) -> Self {
+        self.arrival_offset = offset;
+        self
     }
 }
 
@@ -55,12 +67,21 @@ pub struct JobRecord {
     pub workload: Arc<WorkloadSpec>,
     /// Function invocations belonging to this job.
     pub fn_ids: Vec<FnId>,
-    /// Submission time.
+    /// When the job's request arrived at the platform (the client-side
+    /// submission instant, not the admission instant).
     pub submitted_at: SimTime,
+    /// When the admission gate released the job for execution (`None`
+    /// until then). `admitted_at - submitted_at` is the queue wait.
+    pub admitted_at: Option<SimTime>,
+    /// When the job's first function began executing (`None` until then).
+    pub first_exec: Option<SimTime>,
     /// Completion time of the last function (None while running).
     pub completed_at: Option<SimTime>,
     /// Functions still outstanding.
     pub remaining: u32,
+    /// True when the request was rejected at arrival; its functions never
+    /// run.
+    pub rejected: bool,
 }
 
 /// Lifecycle of one function invocation.

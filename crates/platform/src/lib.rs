@@ -30,7 +30,9 @@ pub use config::RunConfig;
 pub use engine::{run, try_run, validate_batch, Event, Platform, RunConfigError, StateTiming};
 pub use ids::{FnId, JobId};
 pub use job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
-pub use strategy::{FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget};
+pub use strategy::{
+    ArrivalVerdict, FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget,
+};
 pub use telemetry::{
     Counter, Histogram, Phase, PhaseSummary, TableStats, Telemetry, TelemetrySnapshot,
 };

@@ -43,6 +43,24 @@ pub struct FailureInfo {
     pub volatile_state: u32,
 }
 
+/// A strategy's verdict on an arriving job (§IV-C.2 request validation).
+///
+/// The engine owns the FIFO admission queue and the concurrency gate
+/// ([`crate::RunConfig::max_inflight`]); the verdict lets a strategy's
+/// own validator reject a request outright or hold it even when the
+/// engine-level gate would pass it. `Reject` is authoritative; `Queue`
+/// is honored in addition to the engine's own gate; `Admit` defers to
+/// the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalVerdict {
+    /// No objection: admit unless the engine's concurrency gate queues it.
+    Admit,
+    /// Hold the job in the admission queue until capacity frees up.
+    Queue,
+    /// Refuse the request; its functions never run.
+    Reject,
+}
+
 /// Where the recovered attempt runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RecoveryTarget {
@@ -84,6 +102,14 @@ pub struct RecoveryPlan {
 pub trait FtStrategy {
     /// Human-readable name (used as the series label in figures).
     fn name(&self) -> String;
+
+    /// A job's request arrived (client submission, before admission).
+    /// Canary's Request Validator produces its verdict here against the
+    /// real in-flight load; the engine then applies the verdict together
+    /// with its own concurrency gate. Default: no objection.
+    fn on_job_arrival(&mut self, _platform: &mut Platform, _job: JobId) -> ArrivalVerdict {
+        ArrivalVerdict::Admit
+    }
 
     /// A job was admitted; Canary's Replication Module launches runtime
     /// replicas here (Algorithm 2 runs at job submission).

@@ -21,6 +21,13 @@ use std::fmt;
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceKind {
+    /// A job's request arrived at the platform (client submission). Under
+    /// open-loop load this precedes admission — the gap to the matching
+    /// [`TraceKind::JobSubmitted`] is the job's queue wait.
+    JobArrived {
+        /// The job.
+        job: JobId,
+    },
     /// A job was admitted by the controller.
     JobSubmitted {
         /// The job.
@@ -209,6 +216,7 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{:>10}] ", self.at.to_string())?;
         match self.kind {
+            TraceKind::JobArrived { job } => write!(f, "arrive   {job}"),
             TraceKind::JobSubmitted { job } => write!(f, "submit   {job}"),
             TraceKind::AttemptStarted {
                 fn_id,
@@ -422,6 +430,7 @@ mod tests {
     #[test]
     fn display_snapshot_for_every_variant() {
         let cases: Vec<(TraceKind, &str)> = vec![
+            (TraceKind::JobArrived { job: JobId(0) }, "arrive   job0"),
             (TraceKind::JobSubmitted { job: JobId(0) }, "submit   job0"),
             (
                 TraceKind::JobQueued { job: JobId(1) },

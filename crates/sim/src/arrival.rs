@@ -1,0 +1,337 @@
+//! Open-loop arrival processes.
+//!
+//! The paper targets *time-sensitive* applications, which only show their
+//! queueing behaviour under sustained request streams — a closed batch
+//! submitted at t=0 never exercises admission control. This module
+//! generates deterministic arrival schedules for open-loop load: each
+//! process maps `(parameters, seed)` to a monotone non-decreasing
+//! sequence of arrival offsets.
+//!
+//! Determinism and interleaving-independence come from [`SimRng::split`]:
+//! [`ArrivalProcess::offsets`] draws from a *child* stream keyed by a
+//! fixed tag, so generating a schedule never advances the caller's RNG
+//! and consuming the caller's RNG elsewhere never perturbs the schedule.
+//! Two simulations that share a seed therefore see byte-identical arrival
+//! times no matter what else they sample in between.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Stream tag under which every arrival schedule is derived (see
+/// [`SimRng::split`]); one fixed tag keeps schedules reproducible across
+/// callers without reserving per-call tags.
+const ARRIVAL_STREAM: u64 = 0xA881_4A15;
+
+/// An open-loop arrival process: how job submissions are spaced in time.
+///
+/// All variants produce offsets from t=0; the first arrival of the
+/// deterministic process is at 0, stochastic processes start with their
+/// first sampled gap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Deterministic fixed-interval arrivals: the i-th arrival lands at
+    /// exactly `i / rate_hz` seconds. The zero-variance reference stream.
+    Fixed {
+        /// Arrivals per second.
+        rate_hz: f64,
+    },
+    /// Homogeneous Poisson arrivals: i.i.d. exponential inter-arrival
+    /// gaps with mean `1 / rate_hz` — the classic open-loop workload
+    /// model.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_hz: f64,
+    },
+    /// Diurnally modulated Poisson arrivals: instantaneous rate
+    /// `base_hz * (1 + amplitude * sin(2πt / period))`, sampled by
+    /// Lewis–Shedler thinning against the peak rate. Models the
+    /// day/night swing of user-facing traffic; the long-run mean rate is
+    /// `base_hz`.
+    Diurnal {
+        /// Mean arrivals per second over a full period.
+        base_hz: f64,
+        /// Relative swing of the rate, in `[0, 1)`.
+        amplitude: f64,
+        /// Length of one modulation cycle.
+        period: SimDuration,
+    },
+    /// Bursty on/off arrivals (a two-state MMPP): exponentially
+    /// distributed ON periods with Poisson arrivals at `on_hz`,
+    /// alternating with silent exponentially distributed OFF periods.
+    /// Long-run mean rate is `on_hz * mean_on / (mean_on + mean_off)`.
+    OnOff {
+        /// Arrival rate while the source is ON, per second.
+        on_hz: f64,
+        /// Mean ON-period length.
+        mean_on: SimDuration,
+        /// Mean OFF-period length.
+        mean_off: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Fixed-interval arrivals at `rate_hz` per second.
+    pub fn fixed(rate_hz: f64) -> Self {
+        assert!(rate_hz > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Fixed { rate_hz }
+    }
+
+    /// Poisson arrivals at a mean of `rate_hz` per second.
+    pub fn poisson(rate_hz: f64) -> Self {
+        assert!(rate_hz > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Poisson { rate_hz }
+    }
+
+    /// Diurnally modulated Poisson arrivals.
+    pub fn diurnal(base_hz: f64, amplitude: f64, period: SimDuration) -> Self {
+        assert!(base_hz > 0.0, "arrival rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        assert!(period > SimDuration::ZERO, "period must be positive");
+        ArrivalProcess::Diurnal {
+            base_hz,
+            amplitude,
+            period,
+        }
+    }
+
+    /// Bursty on/off (MMPP-style) arrivals.
+    pub fn bursty(on_hz: f64, mean_on: SimDuration, mean_off: SimDuration) -> Self {
+        assert!(on_hz > 0.0, "on-rate must be positive");
+        assert!(
+            mean_on > SimDuration::ZERO,
+            "mean ON period must be positive"
+        );
+        assert!(
+            mean_off > SimDuration::ZERO,
+            "mean OFF period must be positive"
+        );
+        ArrivalProcess::OnOff {
+            on_hz,
+            mean_on,
+            mean_off,
+        }
+    }
+
+    /// Long-run mean arrival rate of the process, per second.
+    pub fn mean_rate_hz(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Fixed { rate_hz } | ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            // sin averages to zero over a full period.
+            ArrivalProcess::Diurnal { base_hz, .. } => base_hz,
+            ArrivalProcess::OnOff {
+                on_hz,
+                mean_on,
+                mean_off,
+            } => {
+                let on = mean_on.as_secs_f64();
+                let off = mean_off.as_secs_f64();
+                on_hz * on / (on + off)
+            }
+        }
+    }
+
+    /// The first `n` arrival offsets of the schedule seeded by `rng`.
+    ///
+    /// Draws from `rng.split(..)`, never from `rng` itself, so the
+    /// caller's stream is untouched and the schedule is a pure function
+    /// of `(self, rng-state, n)`. Offsets are monotone non-decreasing by
+    /// construction (gaps are never negative).
+    pub fn offsets(&self, rng: &SimRng, n: usize) -> Vec<SimDuration> {
+        let mut stream = rng.split(ARRIVAL_STREAM);
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Fixed { rate_hz } => {
+                let gap = 1.0 / rate_hz;
+                for i in 0..n {
+                    out.push(SimDuration::from_secs_f64(gap * i as f64));
+                }
+            }
+            ArrivalProcess::Poisson { rate_hz } => {
+                let mean_gap = 1.0 / rate_hz;
+                let mut t = 0.0f64;
+                for _ in 0..n {
+                    t += stream.exponential(mean_gap);
+                    out.push(SimDuration::from_secs_f64(t));
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_hz,
+                amplitude,
+                period,
+            } => {
+                // Lewis–Shedler thinning: candidates at the peak rate,
+                // accepted with probability λ(t)/peak.
+                let peak = base_hz * (1.0 + amplitude);
+                let period_s = period.as_secs_f64();
+                let mut t = 0.0f64;
+                for _ in 0..n {
+                    loop {
+                        t += stream.exponential(1.0 / peak);
+                        let phase = std::f64::consts::TAU * (t / period_s);
+                        let lambda = base_hz * (1.0 + amplitude * phase.sin());
+                        if stream.f64() * peak < lambda {
+                            break;
+                        }
+                    }
+                    out.push(SimDuration::from_secs_f64(t));
+                }
+            }
+            ArrivalProcess::OnOff {
+                on_hz,
+                mean_on,
+                mean_off,
+            } => {
+                let mut t = 0.0f64;
+                // The source starts ON; `phase_end` is when the current
+                // burst dies.
+                let mut phase_end = stream.exponential(mean_on.as_secs_f64());
+                for _ in 0..n {
+                    loop {
+                        let gap = stream.exponential(1.0 / on_hz);
+                        if t + gap <= phase_end {
+                            t += gap;
+                            break;
+                        }
+                        // The burst ends before the candidate arrival;
+                        // by memorylessness the candidate is discarded
+                        // and resampled after the silent period.
+                        t = phase_end + stream.exponential(mean_off.as_secs_f64());
+                        phase_end = t + stream.exponential(mean_on.as_secs_f64());
+                    }
+                    out.push(SimDuration::from_secs_f64(t));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_processes() -> Vec<ArrivalProcess> {
+        vec![
+            ArrivalProcess::fixed(2.0),
+            ArrivalProcess::poisson(2.0),
+            ArrivalProcess::diurnal(2.0, 0.8, SimDuration::from_secs(60)),
+            ArrivalProcess::bursty(8.0, SimDuration::from_secs(5), SimDuration::from_secs(15)),
+        ]
+    }
+
+    #[test]
+    fn fixed_is_exactly_spaced() {
+        let rng = SimRng::seed_from_u64(1);
+        let offs = ArrivalProcess::fixed(4.0).offsets(&rng, 5);
+        let expect: Vec<SimDuration> = (0..5).map(|i| SimDuration::from_millis(250 * i)).collect();
+        assert_eq!(offs, expect);
+    }
+
+    #[test]
+    fn schedules_are_monotone() {
+        let rng = SimRng::seed_from_u64(99);
+        for p in all_processes() {
+            let offs = p.offsets(&rng, 500);
+            assert_eq!(offs.len(), 500);
+            for w in offs.windows(2) {
+                assert!(w[1] >= w[0], "{p:?} went backwards: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for p in all_processes() {
+            let a = p.offsets(&SimRng::seed_from_u64(7), 200);
+            let b = p.offsets(&SimRng::seed_from_u64(7), 200);
+            assert_eq!(a, b, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn generation_does_not_advance_parent() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        let _ = ArrivalProcess::poisson(3.0).offsets(&a, 1000);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn schedule_independent_of_parent_interleaving() {
+        // Drawing from the parent before generating must not change the
+        // schedule: the schedule is keyed off the parent's *state*, which
+        // `split` reads without consuming.
+        let rng = SimRng::seed_from_u64(5);
+        let before = ArrivalProcess::poisson(1.0).offsets(&rng, 50);
+        let mut noisy = SimRng::seed_from_u64(5);
+        let schedule = ArrivalProcess::poisson(1.0).offsets(&noisy, 50);
+        let _ = noisy.next_u64();
+        assert_eq!(before, schedule);
+    }
+
+    #[test]
+    fn poisson_mean_rate_roughly_converges() {
+        let rng = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let offs = ArrivalProcess::poisson(5.0).offsets(&rng, n);
+        let span = offs.last().unwrap().as_secs_f64();
+        let rate = n as f64 / span;
+        assert!((rate - 5.0).abs() / 5.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_base() {
+        let rng = SimRng::seed_from_u64(3);
+        let period = SimDuration::from_secs(100);
+        let n = 30_000;
+        let offs = ArrivalProcess::diurnal(10.0, 0.9, period).offsets(&rng, n);
+        let span = offs.last().unwrap().as_secs_f64();
+        let rate = n as f64 / span;
+        assert!((rate - 10.0).abs() / 10.0 < 0.1, "rate {rate}");
+        // The peak half-period must be visibly denser than the trough.
+        let half = period.as_secs_f64() / 2.0;
+        let first_half = offs
+            .iter()
+            .filter(|o| o.as_secs_f64() % (2.0 * half) < half)
+            .count();
+        assert!(first_half * 2 > offs.len() * 11 / 10, "no diurnal swing");
+    }
+
+    #[test]
+    fn bursty_long_run_rate_matches_duty_cycle() {
+        let rng = SimRng::seed_from_u64(8);
+        let p =
+            ArrivalProcess::bursty(20.0, SimDuration::from_secs(10), SimDuration::from_secs(30));
+        assert!((p.mean_rate_hz() - 5.0).abs() < 1e-9);
+        let n = 20_000;
+        let offs = p.offsets(&rng, n);
+        let span = offs.last().unwrap().as_secs_f64();
+        let rate = n as f64 / span;
+        assert!((rate - 5.0).abs() / 5.0 < 0.15, "rate {rate}");
+    }
+
+    #[test]
+    fn mean_rates_are_reported() {
+        assert_eq!(ArrivalProcess::fixed(3.0).mean_rate_hz(), 3.0);
+        assert_eq!(ArrivalProcess::poisson(3.0).mean_rate_hz(), 3.0);
+        assert_eq!(
+            ArrivalProcess::diurnal(3.0, 0.5, SimDuration::from_secs(60)).mean_rate_hz(),
+            3.0
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        ArrivalProcess::poisson(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn amplitude_one_rejected() {
+        ArrivalProcess::diurnal(1.0, 1.0, SimDuration::from_secs(60));
+    }
+}

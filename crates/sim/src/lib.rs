@@ -3,8 +3,9 @@
 //! Discrete-event simulation (DES) infrastructure for the Canary
 //! reproduction: a virtual clock ([`SimTime`]/[`SimDuration`]), a
 //! deterministic future-event list ([`EventQueue`]), a splittable
-//! deterministic PRNG ([`SimRng`]), and the statistics types used to
-//! aggregate experiment results ([`Welford`], [`Percentiles`],
+//! deterministic PRNG ([`SimRng`]), open-loop arrival processes for
+//! sustained-load traffic ([`ArrivalProcess`]), and the statistics types
+//! used to aggregate experiment results ([`Welford`], [`Percentiles`],
 //! [`Histogram`], [`Series`], [`SeriesSet`]).
 //!
 //! The paper evaluates Canary on a 16-node OpenWhisk cluster with failures
@@ -29,12 +30,14 @@
 //! assert_eq!(t.as_micros(), 800_000);
 //! ```
 
+pub mod arrival;
 pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 
+pub use arrival::ArrivalProcess;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use series::{Point, Series, SeriesSet};

@@ -43,6 +43,17 @@ impl FtStrategy for AuditingStrategy {
         self.inner.name()
     }
 
+    fn on_job_arrival(
+        &mut self,
+        platform: &mut Platform,
+        job: JobId,
+    ) -> canary_platform::ArrivalVerdict {
+        self.audit(platform);
+        let verdict = self.inner.on_job_arrival(platform, job);
+        self.audit(platform);
+        verdict
+    }
+
     fn on_job_admitted(&mut self, platform: &mut Platform, job: JobId) {
         self.audit(platform);
         self.inner.on_job_admitted(platform, job);

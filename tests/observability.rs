@@ -28,6 +28,7 @@ fn obs_scenario() -> Scenario {
 
 fn kind_name(kind: &TraceKind) -> &'static str {
     match kind {
+        TraceKind::JobArrived { .. } => "job_arrived",
         TraceKind::JobSubmitted { .. } => "job_submitted",
         TraceKind::JobQueued { .. } => "job_queued",
         TraceKind::JobDequeued { .. } => "job_dequeued",
@@ -68,9 +69,11 @@ fn golden_trace_is_deterministic_and_well_formed() {
     assert_eq!(kinds_a, kinds_b, "same seed must give identical traces");
     assert_eq!(trace_to_jsonl(&a.trace), trace_to_jsonl(&b.trace));
 
-    // The grammar: a submit opens the run, node loss leads to a recovery
-    // plan, and every recovery plan is followed by a restart.
-    assert_eq!(kinds_a.first(), Some(&"job_submitted"));
+    // The grammar: an arrival followed by a submit opens the run, node
+    // loss leads to a recovery plan, and every recovery plan is followed
+    // by a restart.
+    assert_eq!(kinds_a.first(), Some(&"job_arrived"));
+    assert!(kinds_a.contains(&"job_submitted"));
     for needed in [
         "node_failed",
         "checkpoint_written",
