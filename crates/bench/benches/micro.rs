@@ -73,7 +73,7 @@ fn bench_kvstore(c: &mut Criterion) {
         b.iter(|| {
             let kv = ReplicatedKv::new(3, StoreConfig::default());
             for i in 0..1_000u32 {
-                kv.put(&format!("k{i}"), Bytes::from(vec![0u8; 256]))
+                kv.put(format!("k{i}"), Bytes::from(vec![0u8; 256]))
                     .unwrap();
             }
             black_box(kv.len())

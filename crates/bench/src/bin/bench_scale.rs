@@ -1,0 +1,342 @@
+//! Metadata-fast-path scale benchmark: drives the Canary metadata
+//! database at 10k/100k-job scale and end-to-end engine runs on 100/1000
+//! nodes, reporting events/sec, jobs/sec, metadata ops/sec, and
+//! allocations-per-event via a counting global allocator. Writes
+//! `BENCH_scale.json` so CI and future PRs have a perf trajectory.
+//!
+//! Two in-binary contracts fail the run (and CI's scale-smoke job) on a
+//! regression:
+//! - fast-path metadata ops/sec ≥ 3× the string-keyed/uncached oracle at
+//!   the largest job scale;
+//! - `ReplicatedKv::put_shared` performs zero heap allocations per
+//!   overwrite put (the refcounted key/value fan-out never deep-copies).
+//!
+//! Usage: `bench_scale [--quick] [--out PATH]`
+
+use canary_core::db::{
+    CanaryDb, CheckpointInfoRow, DbOptions, FunctionInfoRow, JobInfoRow, WorkerInfoRow,
+};
+use canary_core::ReplicationStrategyKind;
+use canary_experiments::{Scenario, StrategyKind};
+use canary_kvstore::{ReplicatedKv, StoreConfig};
+use canary_platform::JobSpec;
+use canary_workloads::{RuntimeKind, WorkloadSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation made by the process, so the benchmark can
+/// report allocations-per-event and assert the zero-copy contract.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn worker_row(node_id: u32) -> WorkerInfoRow {
+    WorkerInfoRow {
+        node_id,
+        cpu_class: (node_id % 3) as u8,
+        memory_mb: 192 * 1024,
+        rack: node_id / 16,
+        slots: 70,
+    }
+}
+
+fn job_row(job_id: u32) -> JobInfoRow {
+    JobInfoRow {
+        job_id,
+        runtime: RuntimeKind::Python,
+        invocations: 1,
+        ckpt_window: 3,
+        replication_strategy: 0,
+        submitted_us: job_id as u64,
+    }
+}
+
+fn fn_row(fn_id: u64, status: u8) -> FunctionInfoRow {
+    FunctionInfoRow {
+        fn_id,
+        job_id: fn_id as u32,
+        runtime: RuntimeKind::Python,
+        node_id: (fn_id % 97) as u32,
+        status,
+    }
+}
+
+fn ckpt_row(fn_id: u64, ckpt_id: u64) -> CheckpointInfoRow {
+    CheckpointInfoRow {
+        ckpt_id,
+        job_id: fn_id as u32,
+        fn_id,
+        state_index: ckpt_id as u32,
+        bytes: 64 * 1024,
+        tier: 0,
+        location: format!("payload/{fn_id:016}/{ckpt_id:016}"),
+        created_us: ckpt_id,
+    }
+}
+
+/// Load a db to `jobs`-job scale: worker rows plus, per job, one job row,
+/// one function row, and a 3-deep retained checkpoint window — the shape
+/// a real run leaves behind.
+fn prefill(db: &CanaryDb, jobs: u32, workers: u32) {
+    for w in 0..workers {
+        db.put_worker(&worker_row(w)).unwrap();
+    }
+    for j in 0..jobs {
+        db.put_job(&job_row(j)).unwrap();
+        let fn_id = j as u64;
+        db.put_function(&fn_row(fn_id, 1)).unwrap();
+        for c in 0..3u64 {
+            db.put_checkpoint(&ckpt_row(fn_id, c)).unwrap();
+        }
+    }
+}
+
+/// One hot metadata op group — the sequence the Core Module issues around
+/// a checkpointing function attempt: job + function lookups, a retained
+/// window read, a new checkpoint, the eviction, and a status update.
+/// 8 logical table ops per group (3-deep window).
+fn hot_group(db: &CanaryDb, fn_id: u64) {
+    let job = db.get_job(fn_id as u32).unwrap();
+    let _ = db.get_function(fn_id).unwrap();
+    let rows = db.checkpoints_of(fn_id).unwrap();
+    db.put_checkpoint(&ckpt_row(fn_id, rows.last().unwrap().ckpt_id + 1))
+        .unwrap();
+    db.delete_checkpoint(fn_id, rows[0].ckpt_id).unwrap();
+    db.put_function(&fn_row(fn_id, (job.invocations % 2) as u8 + 1))
+        .unwrap();
+}
+
+fn total_ops(db: &CanaryDb) -> u64 {
+    db.table_stats().iter().map(|(_, r, w)| r + w).sum()
+}
+
+struct MetadataPoint {
+    jobs: u32,
+    workers: u32,
+    groups: u32,
+    fast_ops_per_sec: f64,
+    fast_allocs_per_group: f64,
+    oracle_ops_per_sec: f64,
+    oracle_allocs_per_group: f64,
+}
+
+impl MetadataPoint {
+    fn speedup(&self) -> f64 {
+        self.fast_ops_per_sec / self.oracle_ops_per_sec.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measure the hot op mix against one db configuration at one scale.
+/// Returns (ops/sec, allocs per group).
+fn measure_metadata(opts: DbOptions, jobs: u32, workers: u32, groups: u32) -> (f64, f64) {
+    let db = CanaryDb::with_options(opts);
+    prefill(&db, jobs, workers);
+    // Sample functions spread across the whole id space so cache and
+    // range behavior see cold and warm keys alike.
+    let stride = (jobs / groups).max(1) as u64;
+    let ops_before = total_ops(&db);
+    let allocs_before = allocs();
+    let t = Instant::now();
+    for g in 0..groups as u64 {
+        hot_group(&db, (g * stride) % jobs as u64);
+    }
+    let wall = t.elapsed().as_secs_f64();
+    let group_allocs = (allocs() - allocs_before) as f64 / groups as f64;
+    let ops = (total_ops(&db) - ops_before) as f64;
+    (ops / wall.max(1e-12), group_allocs)
+}
+
+struct EnginePoint {
+    jobs: u32,
+    nodes: u32,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    jobs_per_sec: f64,
+    allocs_per_event: f64,
+}
+
+/// End-to-end engine run: wall time and allocation count from an
+/// unobserved run, event count from an observed replay of the same seed
+/// (observation does not change the simulation, so the counts line up).
+fn measure_engine(jobs: u32, nodes: u32) -> EnginePoint {
+    let mut scenario = Scenario::chameleon(
+        0.15,
+        vec![JobSpec::new(WorkloadSpec::web_service(10), jobs)],
+    );
+    scenario.nodes = nodes;
+    let strategy = StrategyKind::Canary(ReplicationStrategyKind::Dynamic);
+    let allocs_before = allocs();
+    let t = Instant::now();
+    let result = scenario.run_once(strategy, 42);
+    let wall = t.elapsed().as_secs_f64();
+    let run_allocs = allocs() - allocs_before;
+    assert_eq!(result.fns.len() as u32, jobs, "run did not complete");
+    let events = scenario.run_observed(strategy, 42).trace.events.len() as u64;
+    EnginePoint {
+        jobs,
+        nodes,
+        wall_ms: wall * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.max(1e-12),
+        jobs_per_sec: jobs as f64 / wall.max(1e-12),
+        allocs_per_event: run_allocs as f64 / events.max(1) as f64,
+    }
+}
+
+/// Allocations per `ReplicatedKv` overwrite put: the shared-handle path
+/// must be zero (refcount bumps only); the legacy string path pays for
+/// the key format, the key copy, and its refcount box every time.
+fn measure_replicated_put() -> (f64, f64) {
+    let kv = ReplicatedKv::new(3, StoreConfig::default());
+    let key = bytes::Bytes::from_static(b"scale/put/key");
+    let value = bytes::Bytes::from(vec![7u8; 256]);
+    kv.put_shared(key.clone(), value.clone()).unwrap(); // warm the slot
+    const PUTS: u64 = 10_000;
+    let before = allocs();
+    for _ in 0..PUTS {
+        kv.put_shared(key.clone(), value.clone()).unwrap();
+    }
+    let shared = (allocs() - before) as f64 / PUTS as f64;
+    let before = allocs();
+    for _ in 0..PUTS {
+        kv.put(format!("scale/put/{}", 12345u32), value.clone())
+            .unwrap();
+    }
+    let string = (allocs() - before) as f64 / PUTS as f64;
+    (shared, string)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+
+    // Engine points stay at 10k jobs: the event loop itself scales
+    // super-linearly in the closed-batch job count (a pre-existing
+    // property, outside this benchmark's fast path), so the 100k-job
+    // point is carried by the metadata workload below.
+    let engine_points: &[(u32, u32)] = if quick {
+        &[(2_000, 100)]
+    } else {
+        &[(10_000, 100), (10_000, 1_000)]
+    };
+    let metadata_points: &[(u32, u32, u32)] = if quick {
+        &[(10_000, 100, 300)]
+    } else {
+        &[(10_000, 100, 2_000), (100_000, 1_000, 500)]
+    };
+
+    let mut engines: Vec<EnginePoint> = Vec::new();
+    for &(jobs, nodes) in engine_points {
+        eprintln!("engine run: {jobs} jobs on {nodes} nodes...");
+        engines.push(measure_engine(jobs, nodes));
+    }
+
+    let mut metas: Vec<MetadataPoint> = Vec::new();
+    for &(jobs, workers, groups) in metadata_points {
+        eprintln!("metadata workload at {jobs}-job scale (fast path, {groups} sampled groups)...");
+        let (fast_ops, fast_allocs) = measure_metadata(DbOptions::fast(3), jobs, workers, groups);
+        eprintln!("metadata workload at {jobs}-job scale (string/uncached oracle)...");
+        let (oracle_ops, oracle_allocs) =
+            measure_metadata(DbOptions::string_oracle(3), jobs, workers, groups);
+        metas.push(MetadataPoint {
+            jobs,
+            workers,
+            groups,
+            fast_ops_per_sec: fast_ops,
+            fast_allocs_per_group: fast_allocs,
+            oracle_ops_per_sec: oracle_ops,
+            oracle_allocs_per_group: oracle_allocs,
+        });
+    }
+
+    eprintln!("replicated-put allocation audit...");
+    let (shared_put_allocs, string_put_allocs) = measure_replicated_put();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_scale/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    json.push_str("  \"engine_runs\": [\n");
+    for (i, e) in engines.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"jobs\": {}, \"nodes\": {}, \"wall_ms\": {:.1}, \"events\": {}, \"events_per_sec\": {:.0}, \"jobs_per_sec\": {:.0}, \"allocs_per_event\": {:.1}}}",
+            e.jobs, e.nodes, e.wall_ms, e.events, e.events_per_sec, e.jobs_per_sec, e.allocs_per_event
+        );
+        json.push_str(if i + 1 < engines.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"metadata\": [\n");
+    for (i, m) in metas.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"jobs\": {}, \"workers\": {}, \"sampled_groups\": {}, \"fast_ops_per_sec\": {:.0}, \"oracle_ops_per_sec\": {:.0}, \"speedup\": {:.1}, \"fast_allocs_per_group\": {:.1}, \"oracle_allocs_per_group\": {:.1}}}",
+            m.jobs, m.workers, m.groups, m.fast_ops_per_sec, m.oracle_ops_per_sec, m.speedup(),
+            m.fast_allocs_per_group, m.oracle_allocs_per_group
+        );
+        json.push_str(if i + 1 < metas.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"replicated_put\": {{\"allocs_per_shared_put\": {shared_put_allocs:.2}, \"allocs_per_string_put\": {string_put_allocs:.2}}}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write bench json");
+    eprintln!("wrote {out}");
+    print!("{json}");
+
+    // Contract 1: the fast path beats the string-keyed/uncached oracle by
+    // at least 3x metadata ops/sec at the largest job scale.
+    let largest = metas.last().expect("at least one metadata point");
+    assert!(
+        largest.speedup() >= 3.0,
+        "metadata fast path at {}-job scale: {:.0} ops/s vs oracle {:.0} ops/s — only {:.1}x (need 3x)",
+        largest.jobs,
+        largest.fast_ops_per_sec,
+        largest.oracle_ops_per_sec,
+        largest.speedup()
+    );
+    // Contract 2: a shared-handle replica-group put allocates nothing —
+    // the key and value fan out by refcount, never by copy.
+    assert!(
+        shared_put_allocs < 0.01,
+        "ReplicatedKv::put_shared allocates {shared_put_allocs:.2} per put (expected 0)"
+    );
+}

@@ -133,7 +133,7 @@ impl StateService {
     pub fn recover(&self, fn_id: u64) -> Result<(FunctionContext, RegisteredState), ApiError> {
         let bytes = self
             .kv
-            .get(&format!("api/state/{fn_id:016}"))
+            .get(format!("api/state/{fn_id:016}"))
             .map_err(|_| ApiError::NoState { fn_id })?;
         let state = decode_state(&bytes)?;
         Ok((
@@ -148,7 +148,7 @@ impl StateService {
 
     /// Latest critical-data blob registered under `name` for `fn_id`.
     pub fn critical_data(&self, fn_id: u64, name: &str) -> Result<Bytes, ApiError> {
-        Ok(self.kv.get(&format!("api/critical/{fn_id:016}/{name}"))?)
+        Ok(self.kv.get(format!("api/critical/{fn_id:016}/{name}"))?)
     }
 }
 
@@ -181,7 +181,7 @@ impl FunctionContext {
             payload,
         };
         self.service.kv.put(
-            &format!("api/state/{:016}", self.fn_id),
+            format!("api/state/{:016}", self.fn_id),
             encode_state(&state),
         )?;
         self.seq += 1;
@@ -194,7 +194,7 @@ impl FunctionContext {
         Ok(self
             .service
             .kv
-            .put(&format!("api/critical/{:016}/{name}", self.fn_id), payload)?)
+            .put(format!("api/critical/{:016}/{name}", self.fn_id), payload)?)
     }
 }
 

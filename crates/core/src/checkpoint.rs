@@ -10,6 +10,7 @@
 
 use crate::config::{CanaryConfig, CheckpointMode};
 use crate::db::{CanaryDb, CheckpointInfoRow, DbError};
+use bytes::Bytes;
 use canary_cluster::{StorageHierarchy, StorageTier};
 use canary_kvstore::{AsyncFlusher, CheckpointMeta, CheckpointWindow, PersistentLog};
 use canary_sim::{SimDuration, SimTime};
@@ -157,8 +158,11 @@ impl CheckpointingModule {
             .put_u64(bytes)
             .put_u64(now.as_micros());
         let payload = enc.finish();
-        self.db.put_payload(&location, payload.clone())?;
-        // Asynchronous flush to shared storage (survives node loss).
+        // One refcounted buffer serves every consumer: the db put (fanned
+        // out to each KV replica), and the async flush to shared storage
+        // (survives node loss). `Bytes::clone` bumps a refcount; no
+        // payload bytes are copied past this point.
+        self.db.put_payload(&location, Bytes::clone(&payload))?;
         self.flusher.enqueue(location.clone(), payload);
 
         self.db.put_checkpoint(&CheckpointInfoRow {
@@ -465,6 +469,24 @@ mod tests {
         assert!(m.db.checkpoints_of(6).unwrap().is_empty());
         assert_eq!(m.durable_state(6), 0);
         assert!(m.restore_info(6, false).is_none());
+    }
+
+    #[test]
+    fn payload_buffer_is_shared_not_copied() {
+        let mut m = module();
+        m.record(0, 11, 0, 64 * 1024, SimTime::ZERO).unwrap();
+        m.flush_barrier();
+        let row = &m.db.checkpoints_of(11).unwrap()[0];
+        let stored = m.db.get_payload(&row.location).unwrap();
+        let flushed = m.flusher.log().latest_for(&row.location).unwrap().value;
+        // The db copy and the shared-storage copy are the same underlying
+        // allocation — the record path never duplicated the payload.
+        assert_eq!(stored, flushed);
+        assert_eq!(
+            stored.as_ptr(),
+            flushed.as_ptr(),
+            "payload was deep-copied between db put and flusher enqueue"
+        );
     }
 
     #[test]

@@ -540,9 +540,12 @@ impl FtStrategy for CanaryStrategy {
         // Export the metadata database's per-table traffic into the run's
         // telemetry snapshot.
         let stats = self.db.table_stats();
+        let (cache_hits, cache_misses) = self.db.cache_stats();
         let tel = platform.telemetry_mut();
         for (table, reads, writes) in stats {
             tel.set_table_stats(table, reads, writes);
         }
+        tel.add(Counter::DbCacheHits, cache_hits);
+        tel.add(Counter::DbCacheMisses, cache_misses);
     }
 }

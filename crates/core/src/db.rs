@@ -7,10 +7,34 @@
 //! node failures exactly like checkpoints do. Each table also counts its
 //! reads and writes ([`CanaryDb::table_stats`]), surfaced through the
 //! telemetry snapshot at the end of an observed run.
+//!
+//! # Metadata fast path
+//!
+//! The hot path avoids the two per-op costs of the original
+//! implementation:
+//!
+//! - **Typed keys** ([`TableKey`]): a fixed-size stack buffer (tag byte +
+//!   big-endian ids) instead of a heap-allocated `format!` string. Lookups
+//!   borrow the stack bytes, so reads allocate no key at all. Big-endian
+//!   ids sort identically to the zero-padded decimal strings they replace,
+//!   so per-table iteration order — and therefore golden traces — is
+//!   unchanged. The old string-keyed path is retained behind
+//!   [`DbOptions::string_oracle`] as the equivalence/benchmark oracle.
+//! - **Write-through row cache**: decoded `job_info` / `function_info`
+//!   rows and per-function `checkpoint_info` vectors are kept alongside
+//!   the store, so hot reads skip the KV fetch and the row decode
+//!   entirely. Every put/remove updates the cache at the same choke point
+//!   that writes the store; a membership [generation](
+//!   canary_kvstore::ReplicatedKv::generation) mismatch (node failure,
+//!   recovery, empty rejoin) drops the whole cache, because the backing
+//!   data may have been wiped or resynced under it. Set `CANARY_NO_DB_CACHE`
+//!   to disable the cache for equivalence testing.
 
 use bytes::Bytes;
 use canary_kvstore::{KvError, ReplicatedKv, StoreConfig};
 use canary_workloads::{CodecError, Decoder, Encoder, RuntimeKind};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -267,6 +291,148 @@ row_codec!(ReplicationInfoRow, 1,
     }
 );
 
+/// Tag bytes of the typed key encoding, one per table. All tags are below
+/// any printable ASCII byte, so typed keys and the string-keyed payload
+/// namespace (`payload/...`, `spill/...`) occupy disjoint ranges of the
+/// key space and never interleave in range walks.
+const TAG_WORKER: u8 = 0x01;
+const TAG_JOB: u8 = 0x02;
+const TAG_FUNCTION: u8 = 0x03;
+const TAG_CHECKPOINT: u8 = 0x04;
+const TAG_REPLICATION: u8 = 0x05;
+
+/// A fixed-size, stack-allocated metadata table key.
+///
+/// Layout: one table tag byte followed by the row ids in big-endian.
+/// Big-endian integers sort byte-wise in numeric order — the same order
+/// as the zero-padded decimal strings they replaced — so switching the
+/// encoding changes no iteration order anywhere.
+///
+/// | table              | tag    | ids                          | len |
+/// |--------------------|--------|------------------------------|-----|
+/// | `worker_info`      | `0x01` | `node_id: u32`               | 5   |
+/// | `job_info`         | `0x02` | `job_id: u32`                | 5   |
+/// | `function_info`    | `0x03` | `fn_id: u64`                 | 9   |
+/// | `checkpoint_info`  | `0x04` | `fn_id: u64`, `ckpt_id: u64` | 17  |
+/// | `replication_info` | `0x05` | `replica_id: u64`            | 9   |
+///
+/// The key never touches the heap: it is `Copy`, lives on the stack, and
+/// KV lookups borrow its bytes directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TableKey {
+    len: u8,
+    buf: [u8; 17],
+}
+
+impl TableKey {
+    fn from_parts(tag: u8, parts: &[&[u8]]) -> Self {
+        let mut buf = [0u8; 17];
+        buf[0] = tag;
+        let mut len = 1;
+        for p in parts {
+            buf[len..len + p.len()].copy_from_slice(p);
+            len += p.len();
+        }
+        TableKey {
+            len: len as u8,
+            buf,
+        }
+    }
+
+    /// `worker_info` row key.
+    pub fn worker(node_id: u32) -> Self {
+        Self::from_parts(TAG_WORKER, &[&node_id.to_be_bytes()])
+    }
+
+    /// `job_info` row key.
+    pub fn job(job_id: u32) -> Self {
+        Self::from_parts(TAG_JOB, &[&job_id.to_be_bytes()])
+    }
+
+    /// `function_info` row key.
+    pub fn function(fn_id: u64) -> Self {
+        Self::from_parts(TAG_FUNCTION, &[&fn_id.to_be_bytes()])
+    }
+
+    /// `checkpoint_info` row key, ordered by `(fn_id, ckpt_id)`.
+    pub fn checkpoint(fn_id: u64, ckpt_id: u64) -> Self {
+        Self::from_parts(
+            TAG_CHECKPOINT,
+            &[&fn_id.to_be_bytes(), &ckpt_id.to_be_bytes()],
+        )
+    }
+
+    /// Prefix covering every checkpoint of `fn_id` (for range walks).
+    pub fn checkpoint_prefix(fn_id: u64) -> Self {
+        Self::from_parts(TAG_CHECKPOINT, &[&fn_id.to_be_bytes()])
+    }
+
+    /// `replication_info` row key.
+    pub fn replica(replica_id: u64) -> Self {
+        Self::from_parts(TAG_REPLICATION, &[&replica_id.to_be_bytes()])
+    }
+
+    /// The encoded key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl AsRef<[u8]> for TableKey {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+/// A key in whichever encoding the db instance is configured for: typed
+/// (stack, zero-alloc) or the legacy `format!` string (the oracle path —
+/// its per-op heap allocation is exactly what the fast path removes).
+enum DbKey {
+    Typed(TableKey),
+    Text(String),
+}
+
+impl AsRef<[u8]> for DbKey {
+    fn as_ref(&self) -> &[u8] {
+        match self {
+            DbKey::Typed(k) => k.as_bytes(),
+            DbKey::Text(s) => s.as_bytes(),
+        }
+    }
+}
+
+/// Construction options for [`CanaryDb`].
+#[derive(Debug, Clone, Copy)]
+pub struct DbOptions {
+    /// Replica-group size.
+    pub members: usize,
+    /// Typed stack keys (fast path) vs legacy `format!` strings (oracle).
+    pub typed_keys: bool,
+    /// Write-through row cache in front of the store.
+    pub cache: bool,
+}
+
+impl DbOptions {
+    /// The production fast path: typed keys + row cache.
+    pub fn fast(members: usize) -> Self {
+        DbOptions {
+            members,
+            typed_keys: true,
+            cache: true,
+        }
+    }
+
+    /// The pre-fast-path configuration, retained as the equivalence and
+    /// benchmark oracle: string keys, no cache, full-scan prefix queries.
+    pub fn string_oracle(members: usize) -> Self {
+        DbOptions {
+            members,
+            typed_keys: false,
+            cache: false,
+        }
+    }
+}
+
 /// Per-table read/write traffic, tracked with atomics because reads go
 /// through `&self` (the db is shared behind an `Arc`).
 #[derive(Debug, Default)]
@@ -284,11 +450,33 @@ const T_CHECKPOINT: usize = 3;
 const T_REPLICATION: usize = 4;
 const T_PAYLOAD: usize = 5;
 
+/// Decoded rows kept alongside the store. Entries exist only for rows the
+/// db itself wrote or read through this handle; a checkpoint entry is the
+/// complete retained set for that function (an absent entry means
+/// "unknown", never "empty").
+#[derive(Debug, Default)]
+struct CacheInner {
+    seen_generation: u64,
+    jobs: HashMap<u32, JobInfoRow>,
+    functions: HashMap<u64, FunctionInfoRow>,
+    checkpoints: HashMap<u64, Vec<CheckpointInfoRow>>,
+}
+
+#[derive(Debug, Default)]
+struct RowCache {
+    enabled: bool,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// The five-table metadata database over the replicated KV store.
 #[derive(Debug)]
 pub struct CanaryDb {
     kv: ReplicatedKv,
     traffic: [TableTraffic; 6],
+    typed_keys: bool,
+    cache: RowCache,
 }
 
 impl CanaryDb {
@@ -303,11 +491,22 @@ impl CanaryDb {
         "payload",
     ];
 
-    /// New database replicated across `members` cluster members.
+    /// New database replicated across `members` cluster members, on the
+    /// fast path (typed keys + row cache). Setting the `CANARY_NO_DB_CACHE`
+    /// environment variable disables the cache.
     pub fn new(members: usize) -> Self {
+        let mut opts = DbOptions::fast(members);
+        if std::env::var_os("CANARY_NO_DB_CACHE").is_some() {
+            opts.cache = false;
+        }
+        Self::with_options(opts)
+    }
+
+    /// New database with explicit fast-path/oracle configuration.
+    pub fn with_options(opts: DbOptions) -> Self {
         CanaryDb {
             kv: ReplicatedKv::new(
-                members,
+                opts.members,
                 StoreConfig {
                     shards: 16,
                     // Metadata rows are small; the entry limit applies to
@@ -316,6 +515,11 @@ impl CanaryDb {
                 },
             ),
             traffic: Default::default(),
+            typed_keys: opts.typed_keys,
+            cache: RowCache {
+                enabled: opts.cache,
+                ..Default::default()
+            },
         }
     }
 
@@ -323,12 +527,18 @@ impl CanaryDb {
         self.traffic[table].reads.fetch_add(1, Ordering::Relaxed);
     }
 
+    fn note_reads(&self, table: usize, n: u64) {
+        self.traffic[table].reads.fetch_add(n, Ordering::Relaxed);
+    }
+
     fn note_write(&self, table: usize) {
         self.traffic[table].writes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Cumulative `(table, reads, writes)` traffic, in [`Self::TABLES`]
-    /// order. Deletions count as writes.
+    /// order. Deletions count as writes. Logical reads served from the
+    /// row cache still count, so traffic is identical with the cache on
+    /// or off.
     pub fn table_stats(&self) -> Vec<(&'static str, u64, u64)> {
         Self::TABLES
             .iter()
@@ -343,78 +553,207 @@ impl CanaryDb {
             .collect()
     }
 
+    /// Row-cache `(hits, misses)` so far. Both are 0 when the cache is
+    /// disabled.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// The underlying replicated store (shared with the checkpoint
     /// payload path).
     pub fn kv(&self) -> &ReplicatedKv {
         &self.kv
     }
 
+    /// Lock the row cache, first dropping every entry if the store's
+    /// membership generation moved (a node failed, recovered, or rejoined
+    /// empty — the backing data may have been wiped or resynced under
+    /// us). Returns `None` when the cache is disabled.
+    fn cache(&self) -> Option<MutexGuard<'_, CacheInner>> {
+        if !self.cache.enabled {
+            return None;
+        }
+        let mut inner = self.cache.inner.lock();
+        let generation = self.kv.generation();
+        if inner.seen_generation != generation {
+            inner.jobs.clear();
+            inner.functions.clear();
+            inner.checkpoints.clear();
+            inner.seen_generation = generation;
+        }
+        Some(inner)
+    }
+
+    fn worker_key(&self, node_id: u32) -> DbKey {
+        if self.typed_keys {
+            DbKey::Typed(TableKey::worker(node_id))
+        } else {
+            DbKey::Text(format!("worker/{node_id:08}"))
+        }
+    }
+
+    fn job_key(&self, job_id: u32) -> DbKey {
+        if self.typed_keys {
+            DbKey::Typed(TableKey::job(job_id))
+        } else {
+            DbKey::Text(format!("job/{job_id:08}"))
+        }
+    }
+
+    fn function_key(&self, fn_id: u64) -> DbKey {
+        if self.typed_keys {
+            DbKey::Typed(TableKey::function(fn_id))
+        } else {
+            DbKey::Text(format!("fn/{fn_id:016}"))
+        }
+    }
+
+    fn checkpoint_key(&self, fn_id: u64, ckpt_id: u64) -> DbKey {
+        if self.typed_keys {
+            DbKey::Typed(TableKey::checkpoint(fn_id, ckpt_id))
+        } else {
+            DbKey::Text(format!("ckpt/{fn_id:016}/{ckpt_id:016}"))
+        }
+    }
+
+    fn replica_key(&self, replica_id: u64) -> DbKey {
+        if self.typed_keys {
+            DbKey::Typed(TableKey::replica(replica_id))
+        } else {
+            DbKey::Text(format!("repl/{replica_id:016}"))
+        }
+    }
+
     /// Insert/overwrite a `worker_info` row.
     pub fn put_worker(&self, row: &WorkerInfoRow) -> Result<(), DbError> {
         self.note_write(T_WORKER);
-        Ok(self
-            .kv
-            .put(&format!("worker/{:08}", row.node_id), row.encode())?)
+        Ok(self.kv.put(self.worker_key(row.node_id), row.encode())?)
     }
 
     /// Read a `worker_info` row.
     pub fn get_worker(&self, node_id: u32) -> Result<WorkerInfoRow, DbError> {
         self.note_read(T_WORKER);
         Ok(WorkerInfoRow::decode(
-            &self.kv.get(&format!("worker/{node_id:08}"))?,
+            &self.kv.get(self.worker_key(node_id))?,
         )?)
     }
 
-    /// Insert/overwrite a `job_info` row.
+    /// Insert/overwrite a `job_info` row (write-through: the cache is
+    /// updated at the same choke point that writes the store).
     pub fn put_job(&self, row: &JobInfoRow) -> Result<(), DbError> {
         self.note_write(T_JOB);
-        Ok(self
-            .kv
-            .put(&format!("job/{:08}", row.job_id), row.encode())?)
+        self.kv.put(self.job_key(row.job_id), row.encode())?;
+        if let Some(mut cache) = self.cache() {
+            cache.jobs.insert(row.job_id, row.clone());
+        }
+        Ok(())
     }
 
-    /// Read a `job_info` row.
+    /// Read a `job_info` row (served decoded from the row cache when
+    /// hot).
     pub fn get_job(&self, job_id: u32) -> Result<JobInfoRow, DbError> {
         self.note_read(T_JOB);
-        Ok(JobInfoRow::decode(
-            &self.kv.get(&format!("job/{job_id:08}"))?,
-        )?)
+        if let Some(mut cache) = self.cache() {
+            if let Some(row) = cache.jobs.get(&job_id) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(row.clone());
+            }
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            let row = JobInfoRow::decode(&self.kv.get(self.job_key(job_id))?)?;
+            cache.jobs.insert(job_id, row.clone());
+            return Ok(row);
+        }
+        Ok(JobInfoRow::decode(&self.kv.get(self.job_key(job_id))?)?)
     }
 
-    /// Insert/overwrite a `function_info` row.
+    /// Insert/overwrite a `function_info` row (write-through).
     pub fn put_function(&self, row: &FunctionInfoRow) -> Result<(), DbError> {
         self.note_write(T_FUNCTION);
-        Ok(self
-            .kv
-            .put(&format!("fn/{:016}", row.fn_id), row.encode())?)
+        self.kv.put(self.function_key(row.fn_id), row.encode())?;
+        if let Some(mut cache) = self.cache() {
+            cache.functions.insert(row.fn_id, row.clone());
+        }
+        Ok(())
     }
 
-    /// Read a `function_info` row.
+    /// Read a `function_info` row (served decoded from the row cache when
+    /// hot).
     pub fn get_function(&self, fn_id: u64) -> Result<FunctionInfoRow, DbError> {
         self.note_read(T_FUNCTION);
+        if let Some(mut cache) = self.cache() {
+            if let Some(row) = cache.functions.get(&fn_id) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(row.clone());
+            }
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            let row = FunctionInfoRow::decode(&self.kv.get(self.function_key(fn_id))?)?;
+            cache.functions.insert(fn_id, row.clone());
+            return Ok(row);
+        }
         Ok(FunctionInfoRow::decode(
-            &self.kv.get(&format!("fn/{fn_id:016}"))?,
+            &self.kv.get(self.function_key(fn_id))?,
         )?)
     }
 
-    /// Insert a `checkpoint_info` row.
+    /// Insert a `checkpoint_info` row. A cached retained-set for the
+    /// function is updated in place (same sorted-by-`ckpt_id` order a
+    /// fresh range read would produce); an absent entry stays absent.
     pub fn put_checkpoint(&self, row: &CheckpointInfoRow) -> Result<(), DbError> {
         self.note_write(T_CHECKPOINT);
-        Ok(self.kv.put(
-            &format!("ckpt/{:016}/{:016}", row.fn_id, row.ckpt_id),
-            row.encode(),
-        )?)
+        self.kv
+            .put(self.checkpoint_key(row.fn_id, row.ckpt_id), row.encode())?;
+        if let Some(mut cache) = self.cache() {
+            if let Some(rows) = cache.checkpoints.get_mut(&row.fn_id) {
+                match rows.binary_search_by_key(&row.ckpt_id, |r| r.ckpt_id) {
+                    Ok(i) => rows[i] = row.clone(),
+                    Err(i) => rows.insert(i, row.clone()),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Delete a `checkpoint_info` row (window eviction).
     pub fn delete_checkpoint(&self, fn_id: u64, ckpt_id: u64) -> Result<(), DbError> {
         self.note_write(T_CHECKPOINT);
-        Ok(self.kv.remove(&format!("ckpt/{fn_id:016}/{ckpt_id:016}"))?)
+        self.kv.remove(self.checkpoint_key(fn_id, ckpt_id))?;
+        if let Some(mut cache) = self.cache() {
+            if let Some(rows) = cache.checkpoints.get_mut(&fn_id) {
+                rows.retain(|r| r.ckpt_id != ckpt_id);
+            }
+        }
+        Ok(())
     }
 
     /// All retained `checkpoint_info` rows of a function, oldest first.
+    /// Served from the row cache when hot (no range walk, no decode);
+    /// traffic accounting is identical either way.
     pub fn checkpoints_of(&self, fn_id: u64) -> Result<Vec<CheckpointInfoRow>, DbError> {
-        let keys = self.kv.keys_with_prefix(&format!("ckpt/{fn_id:016}/"));
+        if let Some(mut cache) = self.cache() {
+            if let Some(rows) = cache.checkpoints.get(&fn_id) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                self.note_reads(T_CHECKPOINT, rows.len() as u64);
+                return Ok(rows.clone());
+            }
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            let rows = self.read_checkpoints(fn_id)?;
+            cache.checkpoints.insert(fn_id, rows.clone());
+            return Ok(rows);
+        }
+        self.read_checkpoints(fn_id)
+    }
+
+    /// Read the retained set from the store: an ordered range walk on the
+    /// fast path, the legacy full scan in string-oracle mode.
+    fn read_checkpoints(&self, fn_id: u64) -> Result<Vec<CheckpointInfoRow>, DbError> {
+        let keys = if self.typed_keys {
+            self.kv.keys_with_prefix(TableKey::checkpoint_prefix(fn_id))
+        } else {
+            self.kv.keys_with_prefix_scan(format!("ckpt/{fn_id:016}/"))
+        };
         keys.iter()
             .map(|k| {
                 self.note_read(T_CHECKPOINT);
@@ -428,19 +767,20 @@ impl CanaryDb {
         self.note_write(T_REPLICATION);
         Ok(self
             .kv
-            .put(&format!("repl/{:016}", row.replica_id), row.encode())?)
+            .put(self.replica_key(row.replica_id), row.encode())?)
     }
 
     /// Read a `replication_info` row.
     pub fn get_replica(&self, replica_id: u64) -> Result<ReplicationInfoRow, DbError> {
         self.note_read(T_REPLICATION);
         Ok(ReplicationInfoRow::decode(
-            &self.kv.get(&format!("repl/{replica_id:016}"))?,
+            &self.kv.get(self.replica_key(replica_id))?,
         )?)
     }
 
     /// Store a checkpoint payload (small real bytes; sizes are billed via
-    /// the storage-tier model separately).
+    /// the storage-tier model separately). The payload handle is shared
+    /// with the store, not copied.
     pub fn put_payload(&self, location: &str, payload: Bytes) -> Result<(), DbError> {
         self.note_write(T_PAYLOAD);
         Ok(self.kv.put(location, payload)?)
@@ -543,36 +883,98 @@ mod tests {
     }
 
     #[test]
-    fn db_tables_round_trip() {
-        let db = CanaryDb::new(3);
-        db.put_worker(&WorkerInfoRow {
-            node_id: 1,
-            cpu_class: 0,
-            memory_mb: 1,
-            rack: 0,
-            slots: 4,
-        })
-        .unwrap();
-        assert_eq!(db.get_worker(1).unwrap().slots, 4);
+    fn typed_keys_sort_like_the_strings_they_replaced() {
+        // Byte order of typed keys must equal byte order of the legacy
+        // zero-padded decimal strings for any id pair, per table.
+        let ids = [0u64, 1, 7, 9, 10, 99, 100, 12345, u32::MAX as u64];
+        for &a in &ids {
+            for &b in &ids {
+                let typed = TableKey::function(a)
+                    .as_bytes()
+                    .cmp(TableKey::function(b).as_bytes());
+                let text = format!("fn/{a:016}").cmp(&format!("fn/{b:016}"));
+                assert_eq!(typed, text, "fn ids {a} vs {b}");
+                let typed = TableKey::job(a as u32)
+                    .as_bytes()
+                    .cmp(TableKey::job(b as u32).as_bytes());
+                let text = format!("job/{:08}", a as u32).cmp(&format!("job/{:08}", b as u32));
+                assert_eq!(typed, text, "job ids {a} vs {b}");
+                for &(c, d) in &[(a, b), (b, a)] {
+                    let typed = TableKey::checkpoint(a, c)
+                        .as_bytes()
+                        .cmp(TableKey::checkpoint(b, d).as_bytes());
+                    let text =
+                        format!("ckpt/{a:016}/{c:016}").cmp(&format!("ckpt/{b:016}/{d:016}"));
+                    assert_eq!(typed, text, "ckpt ({a},{c}) vs ({b},{d})");
+                }
+            }
+        }
+    }
 
-        for ckpt_id in 0..4u64 {
-            db.put_checkpoint(&CheckpointInfoRow {
-                ckpt_id,
-                job_id: 0,
-                fn_id: 7,
-                state_index: ckpt_id as u32,
-                bytes: 10,
-                tier: 0,
-                location: format!("payload/7/{ckpt_id}"),
-                created_us: ckpt_id,
+    #[test]
+    fn checkpoint_prefix_covers_exactly_one_function() {
+        let prefix = TableKey::checkpoint_prefix(7);
+        assert!(TableKey::checkpoint(7, 0)
+            .as_bytes()
+            .starts_with(prefix.as_bytes()));
+        assert!(TableKey::checkpoint(7, u64::MAX)
+            .as_bytes()
+            .starts_with(prefix.as_bytes()));
+        assert!(!TableKey::checkpoint(8, 0)
+            .as_bytes()
+            .starts_with(prefix.as_bytes()));
+        assert!(!TableKey::function(7)
+            .as_bytes()
+            .starts_with(prefix.as_bytes()));
+    }
+
+    fn sample_job(job_id: u32) -> JobInfoRow {
+        JobInfoRow {
+            job_id,
+            runtime: RuntimeKind::Python,
+            invocations: 10,
+            ckpt_window: 3,
+            replication_strategy: 1,
+            submitted_us: 0,
+        }
+    }
+
+    fn sample_ckpt(fn_id: u64, ckpt_id: u64) -> CheckpointInfoRow {
+        CheckpointInfoRow {
+            ckpt_id,
+            job_id: 0,
+            fn_id,
+            state_index: ckpt_id as u32,
+            bytes: 10,
+            tier: 0,
+            location: format!("payload/{fn_id}/{ckpt_id}"),
+            created_us: ckpt_id,
+        }
+    }
+
+    #[test]
+    fn db_tables_round_trip() {
+        for opts in [DbOptions::fast(3), DbOptions::string_oracle(3)] {
+            let db = CanaryDb::with_options(opts);
+            db.put_worker(&WorkerInfoRow {
+                node_id: 1,
+                cpu_class: 0,
+                memory_mb: 1,
+                rack: 0,
+                slots: 4,
             })
             .unwrap();
+            assert_eq!(db.get_worker(1).unwrap().slots, 4);
+
+            for ckpt_id in 0..4u64 {
+                db.put_checkpoint(&sample_ckpt(7, ckpt_id)).unwrap();
+            }
+            let rows = db.checkpoints_of(7).unwrap();
+            assert_eq!(rows.len(), 4);
+            assert!(rows.windows(2).all(|w| w[0].ckpt_id < w[1].ckpt_id));
+            db.delete_checkpoint(7, 0).unwrap();
+            assert_eq!(db.checkpoints_of(7).unwrap().len(), 3);
         }
-        let rows = db.checkpoints_of(7).unwrap();
-        assert_eq!(rows.len(), 4);
-        assert!(rows.windows(2).all(|w| w[0].ckpt_id < w[1].ckpt_id));
-        db.delete_checkpoint(7, 0).unwrap();
-        assert_eq!(db.checkpoints_of(7).unwrap().len(), 3);
     }
 
     #[test]
@@ -605,18 +1007,139 @@ mod tests {
     }
 
     #[test]
-    fn metadata_survives_member_failure() {
-        let db = CanaryDb::new(3);
-        db.put_job(&JobInfoRow {
-            job_id: 5,
+    fn table_stats_are_cache_invariant() {
+        let run = |opts: DbOptions| {
+            let db = CanaryDb::with_options(opts);
+            db.put_job(&sample_job(5)).unwrap();
+            for _ in 0..3 {
+                db.get_job(5).unwrap();
+            }
+            for ckpt_id in 0..3u64 {
+                db.put_checkpoint(&sample_ckpt(1, ckpt_id)).unwrap();
+            }
+            for _ in 0..4 {
+                db.checkpoints_of(1).unwrap();
+            }
+            db.table_stats()
+        };
+        assert_eq!(
+            run(DbOptions::fast(3)),
+            run(DbOptions {
+                members: 3,
+                typed_keys: true,
+                cache: false,
+            })
+        );
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let db = CanaryDb::with_options(DbOptions::fast(3));
+        assert_eq!(db.cache_stats(), (0, 0));
+        db.put_job(&sample_job(1)).unwrap();
+        db.get_job(1).unwrap(); // hit (write-through populated it)
+        assert_eq!(db.cache_stats(), (1, 0));
+        db.put_function(&FunctionInfoRow {
+            fn_id: 9,
+            job_id: 1,
             runtime: RuntimeKind::Python,
-            invocations: 10,
-            ckpt_window: 3,
-            replication_strategy: 1,
-            submitted_us: 0,
+            node_id: 0,
+            status: 1,
         })
         .unwrap();
+        db.get_function(9).unwrap(); // hit
+        db.checkpoints_of(9).unwrap(); // miss (never read before)
+        db.checkpoints_of(9).unwrap(); // hit
+        assert_eq!(db.cache_stats(), (3, 1));
+
+        let uncached = CanaryDb::with_options(DbOptions {
+            members: 3,
+            typed_keys: true,
+            cache: false,
+        });
+        uncached.put_job(&sample_job(1)).unwrap();
+        uncached.get_job(1).unwrap();
+        assert_eq!(uncached.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn cached_reads_match_direct_after_interleaved_writes() {
+        let cached = CanaryDb::with_options(DbOptions::fast(3));
+        let direct = CanaryDb::with_options(DbOptions {
+            members: 3,
+            typed_keys: true,
+            cache: false,
+        });
+        for db in [&cached, &direct] {
+            for ckpt_id in 0..5u64 {
+                db.put_checkpoint(&sample_ckpt(3, ckpt_id)).unwrap();
+            }
+            db.checkpoints_of(3).unwrap(); // populate (cached case)
+            db.delete_checkpoint(3, 1).unwrap();
+            db.put_checkpoint(&sample_ckpt(3, 7)).unwrap();
+            db.put_checkpoint(&sample_ckpt(3, 2)).unwrap(); // overwrite
+        }
+        assert_eq!(
+            cached.checkpoints_of(3).unwrap(),
+            direct.checkpoints_of(3).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_dropped_on_membership_generation_change() {
+        let db = CanaryDb::with_options(DbOptions::fast(3));
+        db.put_job(&sample_job(5)).unwrap();
+        db.get_job(5).unwrap(); // cache hot
+                                // Total outage wipes every member; the rejoined store is empty.
+        for node in 0..3 {
+            db.kv().fail_node(node).unwrap();
+        }
+        db.kv().rejoin_empty(0).unwrap();
+        // A stale cache would happily serve job 5; the generation bump
+        // must force the read through to the (now empty) store.
+        assert!(db.get_job(5).is_err());
+        assert_eq!(db.checkpoints_of(99).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn metadata_survives_member_failure() {
+        let db = CanaryDb::new(3);
+        db.put_job(&sample_job(5)).unwrap();
         db.kv().fail_node(0).unwrap();
         assert_eq!(db.get_job(5).unwrap().invocations, 10);
+    }
+
+    #[test]
+    fn string_oracle_matches_fast_path() {
+        let fast = CanaryDb::with_options(DbOptions::fast(3));
+        let oracle = CanaryDb::with_options(DbOptions::string_oracle(3));
+        for db in [&fast, &oracle] {
+            db.put_job(&sample_job(2)).unwrap();
+            for fn_id in [1u64, 2, 300] {
+                db.put_function(&FunctionInfoRow {
+                    fn_id,
+                    job_id: 2,
+                    runtime: RuntimeKind::Java,
+                    node_id: 4,
+                    status: 1,
+                })
+                .unwrap();
+                for ckpt_id in 0..3u64 {
+                    db.put_checkpoint(&sample_ckpt(fn_id, ckpt_id)).unwrap();
+                }
+            }
+            db.delete_checkpoint(2, 0).unwrap();
+        }
+        assert_eq!(fast.get_job(2).unwrap(), oracle.get_job(2).unwrap());
+        for fn_id in [1u64, 2, 300] {
+            assert_eq!(
+                fast.get_function(fn_id).unwrap(),
+                oracle.get_function(fn_id).unwrap()
+            );
+            assert_eq!(
+                fast.checkpoints_of(fn_id).unwrap(),
+                oracle.checkpoints_of(fn_id).unwrap()
+            );
+        }
     }
 }

@@ -31,8 +31,8 @@ pub use checkpoint::{CheckpointingModule, RestoreInfo};
 pub use config::{CanaryConfig, CheckpointMode, ReplicationStrategyKind};
 pub use core_module::CanaryStrategy;
 pub use db::{
-    CanaryDb, CheckpointInfoRow, DbError, FunctionInfoRow, JobInfoRow, ReplicationInfoRow,
-    WorkerInfoRow,
+    CanaryDb, CheckpointInfoRow, DbError, DbOptions, FunctionInfoRow, JobInfoRow,
+    ReplicationInfoRow, TableKey, WorkerInfoRow,
 };
 pub use prediction::FailurePredictor;
 pub use replication::ReplicationModule;

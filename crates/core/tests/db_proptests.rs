@@ -1,0 +1,174 @@
+//! Property tests for the metadata fast path: a cached, typed-key
+//! `CanaryDb` must be observationally identical to a direct (uncached)
+//! one and to the legacy string-keyed oracle, under arbitrary op
+//! sequences — including chaos ops (member crashes, resyncing
+//! recoveries, and empty rejoins) that invalidate the row cache.
+
+use canary_core::db::{CanaryDb, CheckpointInfoRow, DbOptions, FunctionInfoRow, JobInfoRow};
+use canary_workloads::RuntimeKind;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    PutJob(u8),
+    GetJob(u8),
+    PutFunction(u8, u8),
+    GetFunction(u8),
+    PutCheckpoint(u8, u8),
+    DeleteCheckpoint(u8, u8),
+    CheckpointsOf(u8),
+    FailNode(u8),
+    RecoverNode(u8),
+    RejoinEmpty(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::PutJob),
+        (0u8..8).prop_map(Op::GetJob),
+        ((0u8..8), (0u8..4)).prop_map(|(f, s)| Op::PutFunction(f, s)),
+        (0u8..8).prop_map(Op::GetFunction),
+        ((0u8..8), (0u8..6)).prop_map(|(f, c)| Op::PutCheckpoint(f, c)),
+        ((0u8..8), (0u8..6)).prop_map(|(f, c)| Op::DeleteCheckpoint(f, c)),
+        (0u8..8).prop_map(Op::CheckpointsOf),
+        (0u8..3).prop_map(Op::FailNode),
+        (0u8..3).prop_map(Op::RecoverNode),
+        (0u8..3).prop_map(Op::RejoinEmpty),
+    ]
+}
+
+fn job_row(job_id: u32) -> JobInfoRow {
+    JobInfoRow {
+        job_id,
+        runtime: RuntimeKind::Python,
+        invocations: job_id + 1,
+        ckpt_window: 3,
+        replication_strategy: (job_id % 3) as u8,
+        submitted_us: job_id as u64 * 17,
+    }
+}
+
+fn fn_row(fn_id: u64, status: u8) -> FunctionInfoRow {
+    FunctionInfoRow {
+        fn_id,
+        job_id: fn_id as u32,
+        runtime: RuntimeKind::NodeJs,
+        node_id: (fn_id % 5) as u32,
+        status,
+    }
+}
+
+fn ckpt_row(fn_id: u64, ckpt_id: u64) -> CheckpointInfoRow {
+    CheckpointInfoRow {
+        ckpt_id,
+        job_id: fn_id as u32,
+        fn_id,
+        state_index: ckpt_id as u32,
+        bytes: 1024 + ckpt_id,
+        tier: 0,
+        location: format!("payload/{fn_id:016}/{ckpt_id:016}"),
+        created_us: ckpt_id * 31,
+    }
+}
+
+proptest! {
+    /// Drive a cached db, a direct (cache-off) db, and the string-keyed
+    /// oracle through the same op sequence and require identical
+    /// observable results after every step. Chaos ops hit all three
+    /// stores identically; the cached instance must never serve a stale
+    /// row across a membership change (total outages included).
+    #[test]
+    fn cached_reads_equal_direct_reads(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let cached = CanaryDb::with_options(DbOptions::fast(3));
+        let direct = CanaryDb::with_options(DbOptions {
+            members: 3,
+            typed_keys: true,
+            cache: false,
+        });
+        let oracle = CanaryDb::with_options(DbOptions::string_oracle(3));
+        let dbs = [&cached, &direct, &oracle];
+        for op in ops {
+            match op {
+                Op::PutJob(j) => {
+                    let oks: Vec<bool> =
+                        dbs.iter().map(|db| db.put_job(&job_row(j as u32)).is_ok()).collect();
+                    prop_assert_eq!(oks[0], oks[1]);
+                    prop_assert_eq!(oks[0], oks[2]);
+                }
+                Op::GetJob(j) => {
+                    let rows: Vec<Option<JobInfoRow>> =
+                        dbs.iter().map(|db| db.get_job(j as u32).ok()).collect();
+                    prop_assert_eq!(&rows[0], &rows[1]);
+                    prop_assert_eq!(&rows[0], &rows[2]);
+                }
+                Op::PutFunction(f, s) => {
+                    let oks: Vec<bool> = dbs
+                        .iter()
+                        .map(|db| db.put_function(&fn_row(f as u64, s)).is_ok())
+                        .collect();
+                    prop_assert_eq!(oks[0], oks[1]);
+                    prop_assert_eq!(oks[0], oks[2]);
+                }
+                Op::GetFunction(f) => {
+                    let rows: Vec<Option<FunctionInfoRow>> =
+                        dbs.iter().map(|db| db.get_function(f as u64).ok()).collect();
+                    prop_assert_eq!(&rows[0], &rows[1]);
+                    prop_assert_eq!(&rows[0], &rows[2]);
+                }
+                Op::PutCheckpoint(f, c) => {
+                    let oks: Vec<bool> = dbs
+                        .iter()
+                        .map(|db| db.put_checkpoint(&ckpt_row(f as u64, c as u64)).is_ok())
+                        .collect();
+                    prop_assert_eq!(oks[0], oks[1]);
+                    prop_assert_eq!(oks[0], oks[2]);
+                }
+                Op::DeleteCheckpoint(f, c) => {
+                    let oks: Vec<bool> = dbs
+                        .iter()
+                        .map(|db| db.delete_checkpoint(f as u64, c as u64).is_ok())
+                        .collect();
+                    prop_assert_eq!(oks[0], oks[1]);
+                    prop_assert_eq!(oks[0], oks[2]);
+                }
+                Op::CheckpointsOf(f) => {
+                    let rows: Vec<Option<Vec<CheckpointInfoRow>>> =
+                        dbs.iter().map(|db| db.checkpoints_of(f as u64).ok()).collect();
+                    prop_assert_eq!(&rows[0], &rows[1]);
+                    prop_assert_eq!(&rows[0], &rows[2]);
+                }
+                Op::FailNode(n) => {
+                    for db in dbs {
+                        let _ = db.kv().fail_node(n as usize);
+                    }
+                }
+                Op::RecoverNode(n) => {
+                    let oks: Vec<bool> = dbs
+                        .iter()
+                        .map(|db| db.kv().recover_node(n as usize).is_ok())
+                        .collect();
+                    prop_assert_eq!(oks[0], oks[1]);
+                    prop_assert_eq!(oks[0], oks[2]);
+                }
+                Op::RejoinEmpty(n) => {
+                    for db in dbs {
+                        let _ = db.kv().rejoin_empty(n as usize);
+                    }
+                }
+            }
+            // Full-table agreement after every step: every job id and
+            // every function's retained checkpoint window match across
+            // the three configurations.
+            for id in 0u8..8 {
+                let jobs: Vec<Option<JobInfoRow>> =
+                    dbs.iter().map(|db| db.get_job(id as u32).ok()).collect();
+                prop_assert_eq!(&jobs[0], &jobs[1]);
+                prop_assert_eq!(&jobs[0], &jobs[2]);
+                let windows: Vec<Option<Vec<CheckpointInfoRow>>> =
+                    dbs.iter().map(|db| db.checkpoints_of(id as u64).ok()).collect();
+                prop_assert_eq!(&windows[0], &windows[1]);
+                prop_assert_eq!(&windows[0], &windows[2]);
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! Apache Ignite as deployed in the paper (§V-C.1: replicated caching
 //! mode, native persistence enabled). Provides:
 //!
-//! - [`KvStore`]: a sharded concurrent `String -> Bytes` map with a
+//! - [`KvStore`]: a sharded concurrent ordered `Bytes -> Bytes` map with a
 //!   per-entry size limit (Algorithm 1's `db_limit`),
 //! - [`ReplicatedKv`]: full-copy replication across cluster members with
 //!   crash / resynchronize semantics,

@@ -7,11 +7,17 @@
 //! member, and a crashed member can rejoin and resynchronize from a
 //! survivor — which is what lets Canary recover functions after
 //! node-level failures (Fig. 11).
+//!
+//! A write fans one refcounted key/value pair out to every member —
+//! members share the underlying buffers instead of deep-copying per
+//! replica. Membership events (failure, recovery, empty rejoin) bump a
+//! [generation counter](ReplicatedKv::generation) so caches layered above
+//! the group can detect that the backing data may have changed under them.
 
 use crate::error::KvError;
 use crate::store::{KvStore, StoreConfig};
 use bytes::Bytes;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A KV store replicated across cluster members.
@@ -19,6 +25,11 @@ use std::sync::Arc;
 pub struct ReplicatedKv {
     members: Vec<Arc<KvStore>>,
     alive: Vec<AtomicBool>,
+    /// Bumped on every membership event that can change the group's
+    /// contents out from under a caller (node failure wipes a copy, empty
+    /// rejoin loses data, recovery resyncs). Caches keyed on this value
+    /// drop their entries when it moves.
+    generation: AtomicU64,
 }
 
 impl ReplicatedKv {
@@ -30,6 +41,7 @@ impl ReplicatedKv {
                 .map(|_| Arc::new(KvStore::new(config.clone())))
                 .collect(),
             alive: (0..members).map(|_| AtomicBool::new(true)).collect(),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -54,17 +66,37 @@ impl ReplicatedKv {
             .ok_or(KvError::UnknownNode { node })
     }
 
+    /// Current membership generation. Moves whenever a node fails,
+    /// recovers, or rejoins empty; stable across plain reads and writes.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
     fn first_live(&self) -> Option<usize> {
         self.alive.iter().position(|a| a.load(Ordering::Acquire))
     }
 
     /// Write to every live member. Fails if the value exceeds the entry
     /// limit or the whole group is down.
-    pub fn put(&self, key: &str, value: Bytes) -> Result<(), KvError> {
+    ///
+    /// The key is materialized once; every member then stores a shallow
+    /// refcounted clone of the same key and value buffers.
+    pub fn put(&self, key: impl AsRef<[u8]>, value: Bytes) -> Result<(), KvError> {
+        self.put_shared(Bytes::copy_from_slice(key.as_ref()), value)
+    }
+
+    /// [`ReplicatedKv::put`] with an already-owned key handle — the
+    /// zero-copy entry point: no key bytes are copied at all, on any
+    /// member.
+    pub fn put_shared(&self, key: Bytes, value: Bytes) -> Result<(), KvError> {
         let mut wrote = false;
         for (store, alive) in self.members.iter().zip(&self.alive) {
             if alive.load(Ordering::Acquire) {
-                store.put(key, value.clone())?;
+                store.put_shared(key.clone(), value.clone())?;
                 wrote = true;
             }
         }
@@ -76,16 +108,17 @@ impl ReplicatedKv {
     }
 
     /// Read from the first live member.
-    pub fn get(&self, key: &str) -> Result<Bytes, KvError> {
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Bytes, KvError> {
         let node = self.first_live().ok_or(KvError::NoReplicaAvailable)?;
         self.members[node].get(key)
     }
 
     /// Remove from every live member.
-    pub fn remove(&self, key: &str) -> Result<(), KvError> {
+    pub fn remove(&self, key: impl AsRef<[u8]>) -> Result<(), KvError> {
         if self.first_live().is_none() {
             return Err(KvError::NoReplicaAvailable);
         }
+        let key = key.as_ref();
         for (store, alive) in self.members.iter().zip(&self.alive) {
             if alive.load(Ordering::Acquire) {
                 store.remove(key);
@@ -95,16 +128,30 @@ impl ReplicatedKv {
     }
 
     /// True when any live member holds `key`.
-    pub fn contains(&self, key: &str) -> bool {
+    pub fn contains(&self, key: impl AsRef<[u8]>) -> bool {
         self.first_live()
             .map(|n| self.members[n].contains(key))
             .unwrap_or(false)
     }
 
-    /// Keys with prefix, from the first live member.
-    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+    /// Keys with prefix (ordered range walk), from the first live member.
+    pub fn keys_with_prefix(&self, prefix: impl AsRef<[u8]>) -> Vec<Bytes> {
         self.first_live()
             .map(|n| self.members[n].keys_with_prefix(prefix))
+            .unwrap_or_default()
+    }
+
+    /// Full-scan prefix oracle, from the first live member.
+    pub fn keys_with_prefix_scan(&self, prefix: impl AsRef<[u8]>) -> Vec<Bytes> {
+        self.first_live()
+            .map(|n| self.members[n].keys_with_prefix_scan(prefix))
+            .unwrap_or_default()
+    }
+
+    /// Keys in `[lo, hi)`, from the first live member.
+    pub fn keys_in_range(&self, lo: &[u8], hi: Option<&[u8]>) -> Vec<Bytes> {
+        self.first_live()
+            .map(|n| self.members[n].keys_in_range(lo, hi))
             .unwrap_or_default()
     }
 
@@ -126,6 +173,7 @@ impl ReplicatedKv {
         let flag = self.alive.get(node).ok_or(KvError::UnknownNode { node })?;
         flag.store(false, Ordering::Release);
         self.members[node].clear();
+        self.bump_generation();
         Ok(())
     }
 
@@ -139,10 +187,11 @@ impl ReplicatedKv {
         let donor = self.first_live().ok_or(KvError::NoReplicaAvailable)?;
         if donor != node {
             for (k, v) in self.members[donor].snapshot() {
-                self.members[node].put(&k, v)?;
+                self.members[node].put_shared(k, v)?;
             }
         }
         self.alive[node].store(true, Ordering::Release);
+        self.bump_generation();
         Ok(())
     }
 
@@ -156,6 +205,7 @@ impl ReplicatedKv {
         let flag = self.alive.get(node).ok_or(KvError::UnknownNode { node })?;
         self.members[node].clear();
         flag.store(true, Ordering::Release);
+        self.bump_generation();
         Ok(())
     }
 
@@ -171,6 +221,11 @@ impl ReplicatedKv {
             None => true,
             Some(first) => snapshots.all(|s| s == first),
         }
+    }
+
+    #[cfg(test)]
+    fn member(&self, node: usize) -> &KvStore {
+        &self.members[node]
     }
 }
 
@@ -188,6 +243,23 @@ mod tests {
         g.put("k", Bytes::from_static(b"v")).unwrap();
         assert!(g.replicas_consistent());
         assert_eq!(g.get("k").unwrap(), Bytes::from_static(b"v"));
+    }
+
+    #[test]
+    fn replicas_share_one_value_buffer() {
+        let g = group(3);
+        let value = Bytes::from(vec![0xAB; 4096]);
+        g.put_shared(Bytes::from_static(b"k"), value.clone())
+            .unwrap();
+        // Every member observes the same contents...
+        assert!(g.replicas_consistent());
+        // ...and each stored copy is the same underlying allocation as the
+        // caller's handle, not a per-replica deep copy.
+        for node in 0..3 {
+            let stored = g.member(node).get("k").unwrap();
+            assert_eq!(stored, value);
+            assert_eq!(stored.as_ptr(), value.as_ptr(), "member {node} deep-copied");
+        }
     }
 
     #[test]
@@ -211,7 +283,26 @@ mod tests {
         g.recover_node(1).unwrap();
         assert_eq!(g.live_count(), 3);
         assert!(g.replicas_consistent());
-        assert_eq!(g.members[1].len(), 2);
+        assert_eq!(g.member(1).len(), 2);
+    }
+
+    #[test]
+    fn generation_moves_only_on_membership_events() {
+        let g = group(2);
+        let g0 = g.generation();
+        g.put("k", Bytes::from_static(b"v")).unwrap();
+        g.get("k").unwrap();
+        g.remove("k").unwrap();
+        assert_eq!(g.generation(), g0, "plain ops must not move generation");
+        g.fail_node(0).unwrap();
+        let g1 = g.generation();
+        assert!(g1 > g0);
+        g.recover_node(0).unwrap();
+        let g2 = g.generation();
+        assert!(g2 > g1);
+        g.fail_node(0).unwrap();
+        g.rejoin_empty(0).unwrap();
+        assert!(g.generation() > g2);
     }
 
     #[test]
@@ -274,14 +365,14 @@ mod tests {
             let g = Arc::clone(&g);
             std::thread::spawn(move || {
                 for i in 0..200 {
-                    g.put(&format!("k{i}"), Bytes::from(vec![i as u8])).unwrap();
+                    g.put(format!("k{i}"), Bytes::from(vec![i as u8])).unwrap();
                 }
             })
         };
         writer.join().unwrap();
         g.fail_node(2).unwrap();
         for i in 200..300 {
-            g.put(&format!("k{i}"), Bytes::from(vec![i as u8])).unwrap();
+            g.put(format!("k{i}"), Bytes::from(vec![i as u8])).unwrap();
         }
         g.recover_node(2).unwrap();
         assert!(g.replicas_consistent());

@@ -1,15 +1,24 @@
 //! Sharded concurrent key-value store.
 //!
 //! The single-node building block of the replicated store: a hash-sharded
-//! map from string keys to byte values with a per-entry size limit,
+//! ordered map from byte keys to byte values with a per-entry size limit,
 //! mirroring how Canary uses Apache Ignite — application states keyed by
 //! function ID, values capped by the database entry limit (Algorithm 1's
 //! `db_limit`).
+//!
+//! Keys are raw bytes ([`Bytes`]), not strings: the metadata fast path
+//! stores fixed-size typed keys (table tag + big-endian ids) that never
+//! touch the heap on lookup, while string callers keep working through
+//! the `AsRef<[u8]>` API. Each shard is an ordered map, so prefix and
+//! range queries walk only the matching keys ([`KvStore::keys_in_range`])
+//! instead of scanning the whole table — the old full scan survives as
+//! [`KvStore::keys_with_prefix_scan`], the equivalence oracle.
 
 use crate::error::KvError;
 use bytes::Bytes;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::ops::Bound;
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -29,10 +38,20 @@ impl Default for StoreConfig {
     }
 }
 
-/// A sharded `String -> Bytes` map safe for concurrent use.
+/// Smallest byte string strictly greater than every key starting with
+/// `prefix`, or `None` when no such bound exists (prefix is empty or all
+/// `0xFF`): increment the last non-`0xFF` byte and truncate after it.
+pub(crate) fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let cut = prefix.iter().rposition(|&b| b != 0xFF)?;
+    let mut hi = prefix[..=cut].to_vec();
+    hi[cut] += 1;
+    Some(hi)
+}
+
+/// A sharded `Bytes -> Bytes` ordered map safe for concurrent use.
 #[derive(Debug)]
 pub struct KvStore {
-    shards: Vec<RwLock<HashMap<String, Bytes>>>,
+    shards: Vec<RwLock<BTreeMap<Bytes, Bytes>>>,
     config: StoreConfig,
 }
 
@@ -41,7 +60,7 @@ impl KvStore {
     pub fn new(config: StoreConfig) -> Self {
         assert!(config.shards > 0, "need at least one shard");
         let shards = (0..config.shards)
-            .map(|_| RwLock::new(HashMap::new()))
+            .map(|_| RwLock::new(BTreeMap::new()))
             .collect();
         KvStore { shards, config }
     }
@@ -56,10 +75,10 @@ impl KvStore {
         self.config.entry_limit
     }
 
-    fn shard_for(&self, key: &str) -> &RwLock<HashMap<String, Bytes>> {
+    fn shard_for(&self, key: &[u8]) -> &RwLock<BTreeMap<Bytes, Bytes>> {
         // FNV-1a keeps shard choice deterministic across runs/platforms.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in key.as_bytes() {
+        for &b in key {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
@@ -69,35 +88,47 @@ impl KvStore {
     /// Insert or replace `key`. Fails with [`KvError::EntryTooLarge`] if
     /// the value exceeds the entry limit (the caller then spills the data
     /// to a storage tier and stores a location record instead).
-    pub fn put(&self, key: &str, value: Bytes) -> Result<(), KvError> {
+    pub fn put(&self, key: impl AsRef<[u8]>, value: Bytes) -> Result<(), KvError> {
+        let key = key.as_ref();
+        self.put_shared(Bytes::copy_from_slice(key), value)
+    }
+
+    /// Insert or replace using an already-owned key handle. The refcounted
+    /// key is stored as-is, so a replica group can fan one key allocation
+    /// out to every member instead of re-allocating per copy.
+    pub fn put_shared(&self, key: Bytes, value: Bytes) -> Result<(), KvError> {
         if value.len() as u64 > self.config.entry_limit {
             return Err(KvError::EntryTooLarge {
                 size: value.len() as u64,
                 limit: self.config.entry_limit,
             });
         }
-        self.shard_for(key).write().insert(key.to_string(), value);
+        self.shard_for(&key).write().insert(key, value);
         Ok(())
     }
 
-    /// Fetch the value under `key`.
-    pub fn get(&self, key: &str) -> Result<Bytes, KvError> {
+    /// Fetch the value under `key`. The lookup borrows the caller's bytes
+    /// — no key allocation.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Bytes, KvError> {
+        let key = key.as_ref();
         self.shard_for(key)
             .read()
             .get(key)
             .cloned()
             .ok_or_else(|| KvError::NotFound {
-                key: key.to_string(),
+                key: String::from_utf8_lossy(key).into_owned(),
             })
     }
 
     /// Remove `key`, returning its value if present.
-    pub fn remove(&self, key: &str) -> Option<Bytes> {
+    pub fn remove(&self, key: impl AsRef<[u8]>) -> Option<Bytes> {
+        let key = key.as_ref();
         self.shard_for(key).write().remove(key)
     }
 
     /// True when `key` is present.
-    pub fn contains(&self, key: &str) -> bool {
+    pub fn contains(&self, key: impl AsRef<[u8]>) -> bool {
+        let key = key.as_ref();
         self.shard_for(key).read().contains_key(key)
     }
 
@@ -119,16 +150,47 @@ impl KvStore {
             .sum()
     }
 
-    /// Snapshot of all keys with the given prefix (e.g. all checkpoints of
-    /// one function).
-    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
-        let mut keys: Vec<String> = self
+    /// All keys in `[lo, hi)`, ascending. Each shard contributes an
+    /// ordered range walk (only matching keys are touched); the per-shard
+    /// results are merged with one final sort over the matches.
+    pub fn keys_in_range(&self, lo: &[u8], hi: Option<&[u8]>) -> Vec<Bytes> {
+        let upper = match hi {
+            Some(h) => Bound::Excluded(h),
+            None => Bound::Unbounded,
+        };
+        let mut keys: Vec<Bytes> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .range::<[u8], _>((Bound::Included(lo), upper))
+                    .map(|(k, _)| k.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// All keys starting with `prefix`, ascending — ordered range
+    /// iteration, not a scan.
+    pub fn keys_with_prefix(&self, prefix: impl AsRef<[u8]>) -> Vec<Bytes> {
+        let prefix = prefix.as_ref();
+        self.keys_in_range(prefix, prefix_upper_bound(prefix).as_deref())
+    }
+
+    /// Pre-range full-scan prefix query, retained as the equivalence
+    /// oracle for [`KvStore::keys_with_prefix`]: walks every key in every
+    /// shard and filters.
+    pub fn keys_with_prefix_scan(&self, prefix: impl AsRef<[u8]>) -> Vec<Bytes> {
+        let prefix = prefix.as_ref();
+        let mut keys: Vec<Bytes> = self
             .shards
             .iter()
             .flat_map(|s| {
                 s.read()
                     .keys()
-                    .filter(|k| k.starts_with(prefix))
+                    .filter(|k| k.as_ref().starts_with(prefix))
                     .cloned()
                     .collect::<Vec<_>>()
             })
@@ -138,8 +200,8 @@ impl KvStore {
     }
 
     /// Snapshot of every entry (used to rebuild a recovered replica).
-    pub fn snapshot(&self) -> Vec<(String, Bytes)> {
-        let mut out: Vec<(String, Bytes)> = self
+    pub fn snapshot(&self) -> Vec<(Bytes, Bytes)> {
+        let mut out: Vec<(Bytes, Bytes)> = self
             .shards
             .iter()
             .flat_map(|s| {
@@ -177,6 +239,15 @@ mod tests {
     }
 
     #[test]
+    fn binary_keys_work() {
+        let store = KvStore::with_defaults();
+        let key = [0x04u8, 0, 0, 0, 0, 0, 0, 0, 7];
+        store.put(key, Bytes::from_static(b"row")).unwrap();
+        assert!(store.contains(key));
+        assert_eq!(store.get(key).unwrap(), Bytes::from_static(b"row"));
+    }
+
+    #[test]
     fn entry_limit_enforced() {
         let store = KvStore::new(StoreConfig {
             shards: 4,
@@ -198,14 +269,85 @@ mod tests {
     }
 
     #[test]
-    fn prefix_scan_sorted() {
+    fn prefix_range_sorted() {
         let store = KvStore::with_defaults();
         for k in ["fn1/ckpt/2", "fn1/ckpt/1", "fn2/ckpt/1", "fn1/state"] {
             store.put(k, Bytes::new()).unwrap();
         }
         assert_eq!(
             store.keys_with_prefix("fn1/ckpt/"),
-            vec!["fn1/ckpt/1".to_string(), "fn1/ckpt/2".to_string()]
+            vec![
+                Bytes::from_static(b"fn1/ckpt/1"),
+                Bytes::from_static(b"fn1/ckpt/2")
+            ]
+        );
+        assert_eq!(
+            store.keys_with_prefix("fn1/ckpt/"),
+            store.keys_with_prefix_scan("fn1/ckpt/")
+        );
+    }
+
+    #[test]
+    fn empty_prefix_returns_every_key_in_order() {
+        let store = KvStore::with_defaults();
+        for k in ["b", "a", "c"] {
+            store.put(k, Bytes::new()).unwrap();
+        }
+        let all = store.keys_with_prefix(b"");
+        assert_eq!(
+            all,
+            vec![
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"b"),
+                Bytes::from_static(b"c")
+            ]
+        );
+        assert_eq!(all, store.keys_with_prefix_scan(b""));
+    }
+
+    #[test]
+    fn prefix_at_key_space_boundaries() {
+        let store = KvStore::with_defaults();
+        // Keys at both extremes of the byte ordering.
+        store.put([0x00u8], Bytes::new()).unwrap();
+        store.put([0x00u8, 0x01], Bytes::new()).unwrap();
+        store.put([0xFFu8], Bytes::new()).unwrap();
+        store.put([0xFFu8, 0xFF], Bytes::new()).unwrap();
+        store.put([0xFFu8, 0xFF, 0x07], Bytes::new()).unwrap();
+        // An all-0xFF prefix has no finite upper bound: the range runs to
+        // the end of the key space.
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+        assert_eq!(store.keys_with_prefix([0x00u8]).len(), 2);
+        assert_eq!(store.keys_with_prefix([0xFFu8]).len(), 3);
+        assert_eq!(store.keys_with_prefix([0xFFu8, 0xFF]).len(), 2);
+        for prefix in [&[0x00u8][..], &[0xFF][..], &[0xFF, 0xFF][..]] {
+            assert_eq!(
+                store.keys_with_prefix(prefix),
+                store.keys_with_prefix_scan(prefix),
+                "prefix {prefix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_table_prefixes_stay_separate() {
+        let store = KvStore::with_defaults();
+        // Two binary "tables" (tag byte + id) interleaved with a string
+        // namespace, mimicking the metadata layout.
+        for id in [3u8, 1, 2] {
+            store.put([0x02, id], Bytes::new()).unwrap();
+            store.put([0x03, id], Bytes::new()).unwrap();
+        }
+        store.put("payload/x", Bytes::new()).unwrap();
+        let jobs = store.keys_with_prefix([0x02u8]);
+        assert_eq!(jobs.len(), 3);
+        assert!(jobs.windows(2).all(|w| w[0] < w[1]));
+        assert!(jobs.iter().all(|k| k[0] == 0x02));
+        assert_eq!(store.keys_with_prefix([0x03u8]).len(), 3);
+        assert_eq!(store.keys_with_prefix("payload/").len(), 1);
+        assert_eq!(
+            store.keys_with_prefix([0x02u8]),
+            store.keys_with_prefix_scan([0x02u8])
         );
     }
 
@@ -248,11 +390,22 @@ mod tests {
         let store = KvStore::with_defaults();
         for i in (0..50).rev() {
             store
-                .put(&format!("k{i:02}"), Bytes::from(vec![i as u8]))
+                .put(format!("k{i:02}"), Bytes::from(vec![i as u8]))
                 .unwrap();
         }
         let snap = store.snapshot();
         assert_eq!(snap.len(), 50);
         assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn put_shared_stores_the_exact_handle() {
+        let store = KvStore::with_defaults();
+        let value = Bytes::from(vec![7u8; 128]);
+        store
+            .put_shared(Bytes::from_static(b"k"), value.clone())
+            .unwrap();
+        // The stored value is the same refcounted buffer, not a copy.
+        assert_eq!(store.get("k").unwrap().as_ptr(), value.as_ptr());
     }
 }

@@ -54,10 +54,10 @@ proptest! {
         for op in ops {
             match op {
                 Op::Put(k, v) => {
-                    let _ = kv.put(&format!("k{k}"), Bytes::from(vec![v]));
+                    let _ = kv.put(format!("k{k}"), Bytes::from(vec![v]));
                 }
                 Op::Remove(k) => {
-                    let _ = kv.remove(&format!("k{k}"));
+                    let _ = kv.remove(format!("k{k}"));
                 }
                 Op::FailNode(n) => {
                     // Keep at least one member alive so data never fully
@@ -72,6 +72,27 @@ proptest! {
             }
             prop_assert!(kv.replicas_consistent());
         }
+    }
+
+    /// Ordered range iteration returns exactly what the old filtered
+    /// full scan returned, for arbitrary binary key sets and prefixes —
+    /// including empty prefixes, prefixes at the key-space boundaries
+    /// (0x00.., 0xFF..), and prefixes longer than any stored key.
+    #[test]
+    fn prefix_range_equals_filtered_scan(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..6), 0..60),
+        prefix in proptest::collection::vec(any::<u8>(), 0..4),
+    ) {
+        let store = KvStore::new(StoreConfig { shards: 4, entry_limit: u64::MAX });
+        for k in &keys {
+            store.put(k, Bytes::new()).unwrap();
+        }
+        let ranged = store.keys_with_prefix(&prefix);
+        let scanned = store.keys_with_prefix_scan(&prefix);
+        prop_assert_eq!(&ranged, &scanned);
+        // Both are sorted and contain only matching keys.
+        prop_assert!(ranged.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ranged.iter().all(|k| k.as_ref().starts_with(&prefix[..])));
     }
 
     /// The checkpoint window never retains more than `n` checkpoints per

@@ -1,7 +1,7 @@
 //! Figure rendering: ASCII tables, CSV, and Markdown for EXPERIMENTS.md,
 //! plus the per-run telemetry summary table.
 
-use canary_platform::{RunCounters, TelemetrySnapshot};
+use canary_platform::{Counter, RunCounters, TelemetrySnapshot};
 use canary_sim::SeriesSet;
 use std::fmt::Write as _;
 
@@ -200,6 +200,24 @@ pub fn telemetry_summary(snap: &TelemetrySnapshot) -> String {
         for t in &snap.tables {
             let _ = writeln!(out, "    {:<22} {:>10} {:>10}", t.table, t.reads, t.writes);
         }
+        let (reads, writes) = snap
+            .tables
+            .iter()
+            .fold((0u64, 0u64), |(r, w), t| (r + t.reads, w + t.writes));
+        let _ = writeln!(
+            out,
+            "    {:<22} {:>10} {:>10}",
+            "metadata ops", reads, writes
+        );
+        let hits = snap.counter(Counter::DbCacheHits);
+        let misses = snap.counter(Counter::DbCacheMisses);
+        if hits + misses > 0 {
+            let _ = writeln!(
+                out,
+                "    row cache              {:>9.1}% hit rate ({hits} hits, {misses} misses)",
+                100.0 * hits as f64 / (hits + misses) as f64
+            );
+        }
     }
     out
 }
@@ -262,6 +280,9 @@ mod tests {
         tel.observe(Phase::CheckpointWrite, SimDuration::from_millis(20));
         tel.incr(Counter::CheckpointsWritten);
         tel.set_table_stats("job_info", 3, 5);
+        tel.set_table_stats("function_info", 7, 2);
+        tel.add(Counter::DbCacheHits, 8);
+        tel.add(Counter::DbCacheMisses, 2);
         let text = telemetry_summary(&tel.snapshot());
         for needle in [
             "telemetry summary",
@@ -270,9 +291,19 @@ mod tests {
             "p95",
             "checkpoints_written",
             "job_info",
+            "db_cache_hit",
+            "metadata ops",
+            "row cache",
+            "80.0% hit rate",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+        // The metadata-ops row totals the per-table traffic.
+        let ops_line = text.lines().find(|l| l.contains("metadata ops")).unwrap();
+        assert!(
+            ops_line.contains("10") && ops_line.contains('7'),
+            "{ops_line}"
+        );
     }
 
     #[test]

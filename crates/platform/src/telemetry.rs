@@ -106,11 +106,15 @@ pub enum Counter {
     CheckpointsSkipped,
     /// Restores that fell back past the newest checkpoint.
     RestoreFallbacks,
+    /// Metadata reads served from the db row cache (decode skipped).
+    DbCacheHits,
+    /// Metadata reads that went through to the store and decoded a row.
+    DbCacheMisses,
 }
 
 impl Counter {
     /// All counters in display order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 17] = [
         Counter::CheckpointsWritten,
         Counter::CheckpointsRestored,
         Counter::JobsQueued,
@@ -126,6 +130,8 @@ impl Counter {
         Counter::CheckpointsCorrupted,
         Counter::CheckpointsSkipped,
         Counter::RestoreFallbacks,
+        Counter::DbCacheHits,
+        Counter::DbCacheMisses,
     ];
 
     /// Stable label used in reports and JSONL export.
@@ -146,6 +152,8 @@ impl Counter {
             Counter::CheckpointsCorrupted => "checkpoints_corrupted",
             Counter::CheckpointsSkipped => "checkpoints_skipped",
             Counter::RestoreFallbacks => "restore_fallbacks",
+            Counter::DbCacheHits => "db_cache_hit",
+            Counter::DbCacheMisses => "db_cache_miss",
         }
     }
 }

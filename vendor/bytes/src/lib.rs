@@ -47,6 +47,12 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Copy a slice into a new refcounted buffer (the real crate's
+    /// constructor of the same name).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
     /// Copy a sub-range into a new `Bytes`.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
         Bytes::from(self.as_slice()[range].to_vec())
@@ -75,6 +81,16 @@ impl Deref for Bytes {
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Lets byte-keyed maps (`HashMap<Bytes, _>` / `BTreeMap<Bytes, _>`)
+/// look entries up from a borrowed `&[u8]` without allocating an owned
+/// key. Sound because `Hash`, `Eq`, and `Ord` all delegate to the
+/// underlying slice.
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
         self.as_slice()
     }
 }
