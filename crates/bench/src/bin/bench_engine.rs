@@ -3,6 +3,13 @@
 //! an end-to-end fig12-shaped run, and writes `BENCH_engine.json` so CI
 //! and future PRs have a perf trajectory without a full criterion run.
 //!
+//! Also measures the observability tax: the same run unobserved vs fully
+//! instrumented (trace + telemetry + causal links + hot-path profiler),
+//! with an in-binary bound so CI fails loudly if observation stops being
+//! cheap. The process installs a counting global allocator and registers
+//! it with the platform's profiler hook, so the hot-path report in the
+//! JSON carries real allocation attribution.
+//!
 //! Usage: `bench_engine [--quick] [--out PATH]`
 
 use canary_bench::scheduler::{
@@ -12,9 +19,47 @@ use canary_bench::scheduler::{
 use canary_experiments::{Scenario, StrategyKind};
 use canary_platform::JobSpec;
 use canary_workloads::{RuntimeKind, WorkloadSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counts every heap allocation, feeding the engine profiler's
+/// allocations-per-dispatch attribution (see
+/// [`canary_platform::install_alloc_counter`]).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Full observation (trace + telemetry + causal + profiler) may cost at
+/// most this factor over an unobserved run of the same scenario.
+/// Deliberately generous — the point is catching an accidental
+/// always-on cost or a superlinear regression, not micro-tuning.
+const OBSERVED_OVERHEAD_BOUND: f64 = 4.0;
 
 /// Median per-call nanoseconds of `f`, auto-calibrated so each repeat
 /// runs ~`budget_ms` of wall time.
@@ -127,6 +172,36 @@ fn main() {
     let e2e_ms = t.elapsed().as_secs_f64() * 1e3;
     black_box(&result);
 
+    // Observability tax: same scenario, unobserved vs fully
+    // instrumented, median of `repeats` runs each.
+    canary_platform::install_alloc_counter(allocs);
+    eprintln!("measuring observability overhead ({repeats} runs each)...");
+    let strategy = StrategyKind::Canary(canary_core::ReplicationStrategyKind::Dynamic);
+    let median_ms = |f: &mut dyn FnMut() -> f64| -> f64 {
+        let mut samples: Vec<f64> = (0..repeats).map(|_| f()).collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    let plain_ms = median_ms(&mut || {
+        let t = Instant::now();
+        black_box(scenario.run_once(strategy, 7));
+        t.elapsed().as_secs_f64() * 1e3
+    });
+    let mut profile = canary_platform::HotPathProfile::default();
+    let observed_ms = median_ms(&mut || {
+        let t = Instant::now();
+        let r = scenario.run_instrumented(strategy, 7);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        profile = r.profile.clone();
+        black_box(r);
+        ms
+    });
+    let overhead = observed_ms / plain_ms.max(f64::MIN_POSITIVE);
+    eprintln!(
+        "observability: unobserved {plain_ms:.1}ms, instrumented {observed_ms:.1}ms ({overhead:.2}x)"
+    );
+    eprint!("{}", canary_metrics::hot_path_report(&profile));
+
     // Hand-formatted JSON (the sanctioned dependency set has no JSON
     // serializer; the format is flat on purpose).
     let mut json = String::new();
@@ -150,11 +225,26 @@ fn main() {
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"end_to_end\": {{\"shape\": \"fig12\", \"invocations\": {}, \"nodes\": 16, \"strategy\": \"retry\", \"wall_ms\": {:.1}, \"makespan_s\": {:.1}}}",
+        "  \"end_to_end\": {{\"shape\": \"fig12\", \"invocations\": {}, \"nodes\": 16, \"strategy\": \"retry\", \"wall_ms\": {:.1}, \"makespan_s\": {:.1}}},",
         e2e_invocations,
         e2e_ms,
         result.finished_at.as_secs_f64()
     );
+    let _ = writeln!(
+        json,
+        "  \"observability\": {{\"unobserved_ms\": {plain_ms:.1}, \"instrumented_ms\": {observed_ms:.1}, \"overhead\": {overhead:.2}, \"bound\": {OBSERVED_OVERHEAD_BOUND:.1}}},"
+    );
+    json.push_str("  \"hot_path\": [\n");
+    let hot_rows: Vec<_> = profile.rows.iter().filter(|r| r.dispatches > 0).collect();
+    for (i, r) in hot_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"event\": \"{}\", \"dispatches\": {}, \"wall_ns\": {}, \"allocs\": {}}}",
+            r.event, r.dispatches, r.wall_ns, r.allocs
+        );
+        json.push_str(if i + 1 < hot_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n");
     json.push_str("}\n");
 
     std::fs::write(&out, &json).expect("write bench json");
@@ -174,4 +264,19 @@ fn main() {
             r.scan_ns
         );
     }
+
+    // The observability contract: full instrumentation stays within its
+    // declared bound of an unobserved run.
+    assert!(
+        overhead <= OBSERVED_OVERHEAD_BOUND,
+        "observability overhead {overhead:.2}x exceeds the declared \
+         {OBSERVED_OVERHEAD_BOUND:.1}x bound \
+         (unobserved {plain_ms:.1}ms vs instrumented {observed_ms:.1}ms)"
+    );
+    // And the profiler actually saw the run: every event the engine
+    // dispatched is attributed to some kind.
+    assert!(
+        profile.enabled && profile.total_dispatches() > 0,
+        "hot-path profiler recorded no dispatches"
+    );
 }

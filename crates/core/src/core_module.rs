@@ -376,13 +376,22 @@ impl FtStrategy for CanaryStrategy {
             return;
         }
         platform.note_checkpoint(effective);
+        let cost = self.checkpointing.write_cost(state.ckpt_bytes);
+        // The write cost rides the trace only under causal observation,
+        // keeping the pre-causal trace bytes untouched; blame extraction
+        // uses it to split exec time from checkpoint time.
+        let traced_cost = if platform.config().causal {
+            cost
+        } else {
+            SimDuration::ZERO
+        };
         platform.emit(TraceKind::CheckpointWritten {
             fn_id,
             state: state_idx,
             bytes: effective,
             tier,
+            cost: traced_cost,
         });
-        let cost = self.checkpointing.write_cost(state.ckpt_bytes);
         let tel = platform.telemetry_mut();
         tel.observe(Phase::CheckpointWrite, cost);
         tel.incr(Counter::CheckpointsWritten);

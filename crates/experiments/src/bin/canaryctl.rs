@@ -14,13 +14,24 @@
 //! canaryctl load [--quick] [--rates F,F,...] [--jobs N]
 //!                [--max-inflight N] [--error-rate F] [--seed N]
 //!                [--strategy ...] [--out PATH]
+//!
+//! canaryctl trace --in TRACE.jsonl [--perfetto PATH] [--spans PATH]
+//!                 [--job N] [--blame]
 //! ```
 //!
 //! The observability flags run one extra traced+telemetered repetition
 //! of the *first* strategy (at `--seed`) and export it: `--trace-out`
 //! and `--telemetry-out` write JSONL, `--timeline` prints the ASCII
 //! swimlane, the recovery critical-path breakdown, and the telemetry
-//! summary.
+//! summary. `--perfetto-out` / `--spans-out` / `--blame` additionally
+//! switch the observed run to full causal instrumentation and export
+//! Chrome/Perfetto JSON, span-per-line JSONL, or the per-job
+//! critical-path blame table.
+//!
+//! The `trace` subcommand analyzes a previously exported `--trace-out`
+//! file offline: convert it to Perfetto (`--perfetto`) or span JSONL
+//! (`--spans`), print one job's critical path (`--job`), or print the
+//! run-level blame table (`--blame`, the default).
 //!
 //! The `load` subcommand sweeps an open-loop Poisson offered load
 //! against the admission gate and prints the response-time distribution
@@ -85,7 +96,9 @@ fn usage() -> ! {
          \x20                [--workload dl|web|spark|compress|bfs]\n\
          \x20                [--invocations N] [--rate F] [--nodes N] [--seed N]\n\
          \x20                [--reps N] [--node-failures F]\n\
-         \x20                [--trace-out PATH] [--telemetry-out PATH] [--timeline]"
+         \x20                [--trace-out PATH] [--telemetry-out PATH] [--timeline]\n\
+         \x20                [--perfetto-out PATH] [--spans-out PATH] [--blame]\n\
+         subcommands: chaos, load, trace (see canaryctl <cmd> --help)"
     );
     exit(2)
 }
@@ -231,7 +244,11 @@ fn chaos_main(raw: Vec<String>) {
     };
     let scenario = chaos::demo_scenario(spec);
     let expected: u32 = scenario.jobs.iter().map(|j| j.invocations).sum();
-    let result = scenario.run_observed(strategy, seed);
+    let result = if obs.needs_causal() {
+        scenario.run_instrumented(strategy, seed)
+    } else {
+        scenario.run_observed(strategy, seed)
+    };
 
     let source = spec_path.unwrap_or(scenario_name);
     println!(
@@ -396,6 +413,88 @@ fn load_main(raw: Vec<String>) {
     }
 }
 
+fn trace_usage() -> ! {
+    eprintln!(
+        "usage: canaryctl trace --in TRACE.jsonl [--perfetto PATH] [--spans PATH]\n\
+         \x20                      [--job N] [--blame]\n\
+         analyzes/converts a trace exported with --trace-out; critical paths and\n\
+         flow arrows need a trace recorded with causal links (--perfetto-out,\n\
+         --spans-out, or --blame on the recording run)"
+    );
+    exit(2)
+}
+
+fn trace_main(raw: Vec<String>) {
+    let mut input: Option<String> = None;
+    let mut perfetto: Option<String> = None;
+    let mut spans: Option<String> = None;
+    let mut job: Option<u32> = None;
+    let mut blame = false;
+    let mut it = raw.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                trace_usage()
+            })
+        };
+        match flag.as_str() {
+            "--in" => input = Some(value("--in")),
+            "--perfetto" => perfetto = Some(value("--perfetto")),
+            "--spans" => spans = Some(value("--spans")),
+            "--job" => job = Some(value("--job").parse().unwrap_or_else(|_| trace_usage())),
+            "--blame" => blame = true,
+            "--help" | "-h" => trace_usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                trace_usage()
+            }
+        }
+    }
+    let Some(input) = input else { trace_usage() };
+    let src = std::fs::read_to_string(&input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        exit(1)
+    });
+    let trace = export::trace_from_jsonl(&src).unwrap_or_else(|e| {
+        eprintln!("bad trace {input}: {e}");
+        exit(1)
+    });
+    let forest = canary_metrics::span_forest(&trace).unwrap_or_else(|e| {
+        eprintln!("inconsistent causal links in {input}: {e}");
+        exit(1)
+    });
+    eprintln!(
+        "trace: {} events, {} spans, {} causal trees",
+        trace.events.len(),
+        forest.defined.len(),
+        forest.tree_count()
+    );
+    if let Some(path) = &perfetto {
+        std::fs::write(path, export::trace_to_perfetto(&trace)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        eprintln!("perfetto -> {path} (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = &spans {
+        std::fs::write(path, export::spans_to_jsonl(&trace)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        eprintln!("spans -> {path}");
+    }
+    if let Some(id) = job {
+        print!(
+            "{}",
+            canary_metrics::critical_path_report(&trace, canary_platform::JobId(id))
+        );
+    }
+    if blame || (perfetto.is_none() && spans.is_none() && job.is_none()) {
+        print!("{}", canary_metrics::blame_report(&trace));
+    }
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("chaos") => {
@@ -404,6 +503,10 @@ fn main() {
         }
         Some("load") => {
             load_main(std::env::args().skip(2).collect());
+            return;
+        }
+        Some("trace") => {
+            trace_main(std::env::args().skip(2).collect());
             return;
         }
         _ => {}
@@ -446,7 +549,11 @@ fn main() {
     }
     if args.obs.any() {
         println!();
-        let observed = scenario.run_observed(args.strategies[0], args.seed);
+        let observed = if args.obs.needs_causal() {
+            scenario.run_instrumented(args.strategies[0], args.seed)
+        } else {
+            scenario.run_observed(args.strategies[0], args.seed)
+        };
         export::export_result(&observed, &args.obs).unwrap_or_else(|e| {
             eprintln!("observability export failed: {e}");
             exit(1)

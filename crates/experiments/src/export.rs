@@ -19,7 +19,7 @@ use crate::scenario::{Scenario, StrategyKind};
 use canary_cluster::{NodeId, StorageTier};
 use canary_container::ContainerId;
 use canary_platform::{
-    FnId, JobId, RecoveryTarget, RunResult, TelemetrySnapshot, Trace, TraceEvent, TraceKind,
+    FnId, JobId, RecoveryTarget, RunResult, SpanId, TelemetrySnapshot, Trace, TraceEvent, TraceKind,
 };
 use canary_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -131,12 +131,18 @@ pub fn trace_event_to_json(e: &TraceEvent) -> String {
             state,
             bytes,
             tier,
+            cost,
         } => {
             s.push_str(",\"kind\":\"checkpoint_written\"");
             field_u(&mut s, "fn", fn_id.0);
             field_u(&mut s, "state", state as u64);
             field_u(&mut s, "bytes", bytes);
             let _ = write!(s, ",\"tier\":\"{}\"", tier_label(tier));
+            // Only recorded under causal observation; omitted when zero
+            // so causal-off output stays byte-identical to the old form.
+            if cost > SimDuration::ZERO {
+                field_u(&mut s, "cost_us", cost.as_micros());
+            }
         }
         TraceKind::CheckpointRestored {
             fn_id,
@@ -241,6 +247,18 @@ pub fn trace_event_to_json(e: &TraceEvent) -> String {
             field_u(&mut s, "state", state as u64);
         }
     }
+    // Causal links ride at the end of the line and only when present, so
+    // traces recorded without `RunConfig::causal` keep their exact
+    // pre-causal bytes (the golden-trace guarantee).
+    if e.span.is_some() {
+        field_u(&mut s, "span", e.span.0);
+        if e.parent.is_some() {
+            field_u(&mut s, "parent", e.parent.0);
+        }
+        if e.cause.is_some() {
+            field_u(&mut s, "cause", e.cause.0);
+        }
+    }
     s.push('}');
     s
 }
@@ -259,7 +277,11 @@ pub fn trace_to_jsonl(trace: &Trace) -> String {
 /// per phase summary, counter, and database table.
 pub fn telemetry_to_jsonl(snap: &TelemetrySnapshot) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{{\"record\":\"meta\",\"enabled\":{}}}", snap.enabled);
+    let _ = writeln!(
+        out,
+        "{{\"record\":\"meta\",\"enabled\":{},\"spans_orphaned\":{}}}",
+        snap.enabled, snap.spans_orphaned
+    );
     for p in &snap.phases {
         let _ = writeln!(
             out,
@@ -429,6 +451,7 @@ fn event_from_map(map: &BTreeMap<String, Val>) -> Result<TraceEvent, String> {
             state: u("state")? as u32,
             bytes: u("bytes")?,
             tier: tier()?,
+            cost: SimDuration::from_micros(map.get("cost_us").and_then(Val::as_u64).unwrap_or(0)),
         },
         "checkpoint_restored" => TraceKind::CheckpointRestored {
             fn_id: fn_id()?,
@@ -494,7 +517,14 @@ fn event_from_map(map: &BTreeMap<String, Val>) -> Result<TraceEvent, String> {
         },
         other => return Err(format!("unknown kind {other:?}")),
     };
-    Ok(TraceEvent { at, kind })
+    let link = |k: &str| SpanId(map.get(k).and_then(Val::as_u64).unwrap_or(0));
+    Ok(TraceEvent {
+        at,
+        kind,
+        span: link("span"),
+        parent: link("parent"),
+        cause: link("cause"),
+    })
 }
 
 /// Parse a JSONL trace written by [`trace_to_jsonl`]. Blank lines are
@@ -517,6 +547,252 @@ pub fn trace_from_jsonl(s: &str) -> Result<Trace, ExportError> {
     Ok(Trace { events })
 }
 
+// ---------------------------------------------------------------------
+// Standard-tool exporters: Chrome/Perfetto trace_event JSON and a
+// span-per-line JSONL.
+// ---------------------------------------------------------------------
+
+/// Track (Perfetto `tid`) an event renders on: cluster-wide faults on
+/// track 0, job lifecycle on track 1, each function on its own track.
+fn perfetto_tid(kind: &TraceKind) -> u64 {
+    const CLUSTER: u64 = 0;
+    const JOBS: u64 = 1;
+    const FN_BASE: u64 = 10;
+    match *kind {
+        TraceKind::JobArrived { .. }
+        | TraceKind::JobSubmitted { .. }
+        | TraceKind::JobQueued { .. }
+        | TraceKind::JobDequeued { .. }
+        | TraceKind::JobRejected { .. } => JOBS,
+        TraceKind::AttemptStarted { fn_id, .. }
+        | TraceKind::AttemptFailed { fn_id, .. }
+        | TraceKind::FunctionCompleted { fn_id }
+        | TraceKind::CheckpointWritten { fn_id, .. }
+        | TraceKind::CheckpointRestored { fn_id, .. }
+        | TraceKind::CheckpointCorrupted { fn_id, .. }
+        | TraceKind::CheckpointSkipped { fn_id, .. }
+        | TraceKind::RestoreFallback { fn_id, .. }
+        | TraceKind::RecoveryPlanned { fn_id, .. }
+        | TraceKind::ReplicaConsumed { fn_id, .. }
+        | TraceKind::StragglerInjected { fn_id, .. } => FN_BASE + fn_id.0,
+        TraceKind::WarmPoolSpawned { .. }
+        | TraceKind::WarmPoolReady { .. }
+        | TraceKind::ReplicaRefreshed { .. }
+        | TraceKind::NodeFailed { .. }
+        | TraceKind::PartitionStarted { .. }
+        | TraceKind::PartitionHealed { .. }
+        | TraceKind::NetworkDegraded { .. }
+        | TraceKind::NetworkRestored
+        | TraceKind::StoreOutage { .. }
+        | TraceKind::StoreRejoined { .. } => CLUSTER,
+    }
+}
+
+/// Human-readable event label: the [`TraceEvent`] display line without
+/// its timestamp prefix. Contains no characters that need JSON escaping.
+fn event_label(e: &TraceEvent) -> String {
+    let line = e.to_string();
+    match line.split_once("] ") {
+        Some((_, body)) => body.trim().to_string(),
+        None => line,
+    }
+}
+
+/// Convert a trace to Chrome/Perfetto `trace_event` JSON (the
+/// `{"traceEvents":[...]}` object form; open with `chrome://tracing` or
+/// <https://ui.perfetto.dev>).
+///
+/// Attempts render as `B`/`E` duration slices on their function's track,
+/// recovery windows (plan → restart) likewise, and everything else as
+/// instant events. When the trace carries causal links
+/// ([`canary_platform::RunConfig::causal`]), each `cause` link becomes a
+/// flow arrow (`s`/`f` pair) so a chaos fault visibly points at the
+/// attempts it killed and the recovery it triggered. Works on linkless
+/// traces too — there are simply no arrows.
+pub fn trace_to_perfetto(trace: &Trace) -> String {
+    // First pass: where does each span land (for flow-arrow sources)?
+    let mut span_site: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // span -> (ts, tid)
+    for e in &trace.events {
+        if e.span.is_some() {
+            span_site.insert(e.span.0, (e.at.as_micros(), perfetto_tid(&e.kind)));
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, line: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    // Track-name metadata.
+    let mut fn_tracks: BTreeMap<u64, FnId> = BTreeMap::new();
+    for e in &trace.events {
+        let tid = perfetto_tid(&e.kind);
+        if tid >= 10 {
+            fn_tracks.insert(tid, FnId(tid - 10));
+        }
+    }
+    for (tid, name) in [(0u64, "cluster/faults"), (1, "jobs")] {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+    }
+    for (tid, fn_id) in &fn_tracks {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{fn_id}\"}}}}"
+            ),
+        );
+    }
+    // Open B slices per function track: attempt and recovery windows.
+    let mut open_attempt: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut open_recovery: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut last_ts = 0u64;
+    for e in &trace.events {
+        let ts = e.at.as_micros();
+        last_ts = last_ts.max(ts);
+        let tid = perfetto_tid(&e.kind);
+        match e.kind {
+            TraceKind::AttemptStarted { fn_id, attempt, .. } => {
+                if open_recovery.remove(&fn_id.0).is_some() {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!("{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"),
+                    );
+                }
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"B\",\"name\":\"attempt {attempt}\",\"cat\":\"attempt\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"
+                    ),
+                );
+                open_attempt.insert(fn_id.0, ());
+            }
+            TraceKind::AttemptFailed { fn_id, .. } | TraceKind::FunctionCompleted { fn_id } => {
+                if open_attempt.remove(&fn_id.0).is_some() {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!("{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"),
+                    );
+                }
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"lifecycle\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\"}}",
+                        event_label(e)
+                    ),
+                );
+            }
+            TraceKind::RecoveryPlanned { fn_id, .. } => {
+                if open_recovery.remove(&fn_id.0).is_some() {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!("{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"),
+                    );
+                }
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"B\",\"name\":\"recovery\",\"cat\":\"recovery\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"
+                    ),
+                );
+                open_recovery.insert(fn_id.0, ());
+            }
+            _ => {
+                let scope = if tid == 0 { "g" } else { "t" };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"event\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"s\":\"{scope}\"}}",
+                        event_label(e)
+                    ),
+                );
+            }
+        }
+        // Cause links become flow arrows, id'd by the target span.
+        if e.cause.is_some() {
+            if let Some(&(src_ts, src_tid)) = span_site.get(&e.cause.0) {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"s\",\"name\":\"cause\",\"cat\":\"causal\",\"id\":{},\"pid\":0,\"tid\":{src_tid},\"ts\":{src_ts}}}",
+                        e.span.0
+                    ),
+                );
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"cause\",\"cat\":\"causal\",\"id\":{},\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}",
+                        e.span.0
+                    ),
+                );
+            }
+        }
+    }
+    // Close anything still open so every B has its E.
+    for (fn_raw, ()) in open_recovery {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{last_ts}}}",
+                10 + fn_raw
+            ),
+        );
+    }
+    for (fn_raw, ()) in open_attempt {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{last_ts}}}",
+                10 + fn_raw
+            ),
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serialize a trace as span-per-line JSONL: every event's span identity,
+/// links, timestamp, kind, and human-readable label on one line. The
+/// natural input for log-pipeline tooling (`jq`-friendly).
+pub fn spans_to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        let map = parse_flat_json(&trace_event_to_json(e)).expect("own writer output parses");
+        let kind = map.get("kind").and_then(Val::as_str).unwrap_or("?");
+        let _ = write!(
+            out,
+            "{{\"span\":{},\"parent\":{},\"cause\":{},\"at_us\":{},\"kind\":\"{kind}\",\"label\":\"{}\"}}",
+            e.span.0,
+            e.parent.0,
+            e.cause.0,
+            e.at.as_micros(),
+            event_label(e),
+        );
+        out.push('\n');
+    }
+    out
+}
+
 /// Observability CLI options shared by `canaryctl` and figure binaries.
 #[derive(Debug, Clone, Default)]
 pub struct ObsOptions {
@@ -527,17 +803,37 @@ pub struct ObsOptions {
     /// Print the ASCII swimlane, recovery breakdown, and telemetry
     /// summary to stdout.
     pub timeline: bool,
+    /// Write the run's trace as Chrome/Perfetto `trace_event` JSON here.
+    pub perfetto_out: Option<PathBuf>,
+    /// Write the run's trace as span-per-line JSONL here.
+    pub spans_out: Option<PathBuf>,
+    /// Print the per-job critical-path blame report to stdout.
+    pub blame: bool,
 }
 
 impl ObsOptions {
     /// Any output requested?
     pub fn any(&self) -> bool {
-        self.trace_out.is_some() || self.telemetry_out.is_some() || self.timeline
+        self.trace_out.is_some()
+            || self.telemetry_out.is_some()
+            || self.timeline
+            || self.perfetto_out.is_some()
+            || self.spans_out.is_some()
+            || self.blame
     }
 
-    /// Extract `--trace-out PATH`, `--telemetry-out PATH`, and
-    /// `--timeline` from an argument list, returning the options and the
-    /// remaining (unconsumed) arguments.
+    /// Do the requested outputs want causal span links in the trace?
+    /// (Flow arrows, span JSONL, and blame are all link-powered; plain
+    /// trace/telemetry exports are not, and must stay byte-identical to
+    /// historical goldens.)
+    pub fn needs_causal(&self) -> bool {
+        self.perfetto_out.is_some() || self.spans_out.is_some() || self.blame
+    }
+
+    /// Extract `--trace-out PATH`, `--telemetry-out PATH`, `--timeline`,
+    /// `--perfetto-out PATH`, `--spans-out PATH`, and `--blame` from an
+    /// argument list, returning the options and the remaining
+    /// (unconsumed) arguments.
     pub fn extract(args: &[String]) -> Result<(ObsOptions, Vec<String>), String> {
         let mut opts = ObsOptions::default();
         let mut rest = Vec::new();
@@ -555,6 +851,17 @@ impl ObsOptions {
                     ));
                 }
                 "--timeline" => opts.timeline = true,
+                "--perfetto-out" => {
+                    opts.perfetto_out = Some(PathBuf::from(
+                        it.next().ok_or("missing value for --perfetto-out")?,
+                    ));
+                }
+                "--spans-out" => {
+                    opts.spans_out = Some(PathBuf::from(
+                        it.next().ok_or("missing value for --spans-out")?,
+                    ));
+                }
+                "--blame" => opts.blame = true,
                 _ => rest.push(a.clone()),
             }
         }
@@ -576,6 +883,14 @@ pub fn export_result(result: &RunResult, opts: &ObsOptions) -> std::io::Result<(
         std::fs::write(path, telemetry_to_jsonl(&result.telemetry))?;
         eprintln!("telemetry -> {}", path.display());
     }
+    if let Some(path) = &opts.perfetto_out {
+        std::fs::write(path, trace_to_perfetto(&result.trace))?;
+        eprintln!("perfetto -> {}", path.display());
+    }
+    if let Some(path) = &opts.spans_out {
+        std::fs::write(path, spans_to_jsonl(&result.trace))?;
+        eprintln!("spans -> {}", path.display());
+    }
     if opts.timeline {
         print!("{}", canary_metrics::swimlane(&result.trace));
         println!();
@@ -584,6 +899,13 @@ pub fn export_result(result: &RunResult, opts: &ObsOptions) -> std::io::Result<(
         print!("{}", canary_metrics::counters_summary(&result.counters));
         println!();
         print!("{}", canary_metrics::telemetry_summary(&result.telemetry));
+        if result.profile.enabled {
+            println!();
+            print!("{}", canary_metrics::hot_path_report(&result.profile));
+        }
+    }
+    if opts.blame {
+        print!("{}", canary_metrics::blame_report(&result.trace));
     }
     Ok(())
 }
@@ -608,10 +930,12 @@ pub fn maybe_export_observed_run() -> std::io::Result<()> {
             100,
         )],
     );
-    let result = scenario.run_observed(
-        StrategyKind::Canary(canary_core::ReplicationStrategyKind::Dynamic),
-        42,
-    );
+    let strategy = StrategyKind::Canary(canary_core::ReplicationStrategyKind::Dynamic);
+    let result = if opts.needs_causal() {
+        scenario.run_instrumented(strategy, 42)
+    } else {
+        scenario.run_observed(strategy, 42)
+    };
     export_result(&result, &opts)
 }
 
@@ -622,173 +946,141 @@ mod tests {
     fn all_variants() -> Vec<TraceEvent> {
         let t = |us| SimTime::from_micros(us);
         vec![
-            TraceEvent {
-                at: t(0),
-                kind: TraceKind::JobArrived { job: JobId(3) },
-            },
-            TraceEvent {
-                at: t(1),
-                kind: TraceKind::JobSubmitted { job: JobId(3) },
-            },
-            TraceEvent {
-                at: t(2),
-                kind: TraceKind::AttemptStarted {
+            TraceEvent::new(t(0), TraceKind::JobArrived { job: JobId(3) }),
+            TraceEvent::new(t(1), TraceKind::JobSubmitted { job: JobId(3) }),
+            TraceEvent::new(
+                t(2),
+                TraceKind::AttemptStarted {
                     fn_id: FnId(7),
                     attempt: 2,
                     node: NodeId(1),
                     warm: true,
                 },
-            },
-            TraceEvent {
-                at: t(3),
-                kind: TraceKind::AttemptFailed {
+            ),
+            TraceEvent::new(
+                t(3),
+                TraceKind::AttemptFailed {
                     fn_id: FnId(7),
                     attempt: 2,
                     node: NodeId(1),
                 },
-            },
-            TraceEvent {
-                at: t(4),
-                kind: TraceKind::FunctionCompleted { fn_id: FnId(7) },
-            },
-            TraceEvent {
-                at: t(5),
-                kind: TraceKind::WarmPoolSpawned {
+            ),
+            TraceEvent::new(t(4), TraceKind::FunctionCompleted { fn_id: FnId(7) }),
+            TraceEvent::new(
+                t(5),
+                TraceKind::WarmPoolSpawned {
                     container: ContainerId(9),
                     node: NodeId(0),
                 },
-            },
-            TraceEvent {
-                at: t(6),
-                kind: TraceKind::WarmPoolReady {
+            ),
+            TraceEvent::new(
+                t(6),
+                TraceKind::WarmPoolReady {
                     container: ContainerId(9),
                 },
-            },
-            TraceEvent {
-                at: t(7),
-                kind: TraceKind::NodeFailed { node: NodeId(4) },
-            },
-            TraceEvent {
-                at: t(8),
-                kind: TraceKind::CheckpointWritten {
+            ),
+            TraceEvent::new(t(7), TraceKind::NodeFailed { node: NodeId(4) }),
+            TraceEvent::new(
+                t(8),
+                TraceKind::CheckpointWritten {
                     fn_id: FnId(7),
                     state: 3,
                     bytes: 65_536,
                     tier: StorageTier::Pmem,
+                    cost: SimDuration::ZERO,
                 },
-            },
-            TraceEvent {
-                at: t(9),
-                kind: TraceKind::CheckpointRestored {
+            ),
+            TraceEvent::new(
+                t(9),
+                TraceKind::CheckpointRestored {
                     fn_id: FnId(7),
                     state: 3,
                     bytes: 65_536,
                     tier: StorageTier::Nfs,
                 },
-            },
-            TraceEvent {
-                at: t(10),
-                kind: TraceKind::JobQueued { job: JobId(3) },
-            },
-            TraceEvent {
-                at: t(11),
-                kind: TraceKind::JobDequeued { job: JobId(3) },
-            },
-            TraceEvent {
-                at: t(12),
-                kind: TraceKind::JobRejected { job: JobId(8) },
-            },
-            TraceEvent {
-                at: t(13),
-                kind: TraceKind::ReplicaConsumed {
+            ),
+            TraceEvent::new(t(10), TraceKind::JobQueued { job: JobId(3) }),
+            TraceEvent::new(t(11), TraceKind::JobDequeued { job: JobId(3) }),
+            TraceEvent::new(t(12), TraceKind::JobRejected { job: JobId(8) }),
+            TraceEvent::new(
+                t(13),
+                TraceKind::ReplicaConsumed {
                     container: ContainerId(9),
                     fn_id: FnId(7),
                 },
-            },
-            TraceEvent {
-                at: t(14),
-                kind: TraceKind::ReplicaRefreshed {
+            ),
+            TraceEvent::new(
+                t(14),
+                TraceKind::ReplicaRefreshed {
                     spawned: 2,
                     reclaimed: 1,
                 },
-            },
-            TraceEvent {
-                at: t(15),
-                kind: TraceKind::RecoveryPlanned {
+            ),
+            TraceEvent::new(
+                t(15),
+                TraceKind::RecoveryPlanned {
                     fn_id: FnId(7),
                     target: RecoveryTarget::WarmContainer(ContainerId(9)),
                     detect: SimDuration::from_micros(500),
                     restore: SimDuration::from_micros(120),
                 },
-            },
-            TraceEvent {
-                at: t(16),
-                kind: TraceKind::RecoveryPlanned {
+            ),
+            TraceEvent::new(
+                t(16),
+                TraceKind::RecoveryPlanned {
                     fn_id: FnId(7),
                     target: RecoveryTarget::FreshContainer,
                     detect: SimDuration::from_micros(500),
                     restore: SimDuration::ZERO,
                 },
-            },
-            TraceEvent {
-                at: t(17),
-                kind: TraceKind::PartitionStarted {
+            ),
+            TraceEvent::new(
+                t(17),
+                TraceKind::PartitionStarted {
                     a: NodeId(0),
                     b: NodeId(3),
                 },
-            },
-            TraceEvent {
-                at: t(18),
-                kind: TraceKind::PartitionHealed {
+            ),
+            TraceEvent::new(
+                t(18),
+                TraceKind::PartitionHealed {
                     a: NodeId(0),
                     b: NodeId(3),
                 },
-            },
-            TraceEvent {
-                at: t(19),
-                kind: TraceKind::NetworkDegraded { pct: 250 },
-            },
-            TraceEvent {
-                at: t(20),
-                kind: TraceKind::NetworkRestored,
-            },
-            TraceEvent {
-                at: t(21),
-                kind: TraceKind::StoreOutage { member: 1 },
-            },
-            TraceEvent {
-                at: t(22),
-                kind: TraceKind::StoreRejoined { member: 1 },
-            },
-            TraceEvent {
-                at: t(23),
-                kind: TraceKind::StragglerInjected {
+            ),
+            TraceEvent::new(t(19), TraceKind::NetworkDegraded { pct: 250 }),
+            TraceEvent::new(t(20), TraceKind::NetworkRestored),
+            TraceEvent::new(t(21), TraceKind::StoreOutage { member: 1 }),
+            TraceEvent::new(t(22), TraceKind::StoreRejoined { member: 1 }),
+            TraceEvent::new(
+                t(23),
+                TraceKind::StragglerInjected {
                     fn_id: FnId(7),
                     attempt: 1,
                     pct: 400,
                 },
-            },
-            TraceEvent {
-                at: t(24),
-                kind: TraceKind::CheckpointCorrupted {
+            ),
+            TraceEvent::new(
+                t(24),
+                TraceKind::CheckpointCorrupted {
                     fn_id: FnId(7),
                     ckpt_id: 3,
                 },
-            },
-            TraceEvent {
-                at: t(25),
-                kind: TraceKind::CheckpointSkipped {
+            ),
+            TraceEvent::new(
+                t(25),
+                TraceKind::CheckpointSkipped {
                     fn_id: FnId(7),
                     state: 5,
                 },
-            },
-            TraceEvent {
-                at: t(26),
-                kind: TraceKind::RestoreFallback {
+            ),
+            TraceEvent::new(
+                t(26),
+                TraceKind::RestoreFallback {
                     fn_id: FnId(7),
                     state: 2,
                 },
-            },
+            ),
         ]
     }
 
@@ -867,5 +1159,116 @@ mod tests {
         assert!(opts.telemetry_out.is_none());
         assert_eq!(rest, vec!["--seed".to_string(), "7".to_string()]);
         assert!(ObsOptions::extract(&["--trace-out".to_string()]).is_err());
+    }
+
+    #[test]
+    fn obs_options_extract_causal_flags() {
+        let args: Vec<String> = [
+            "--perfetto-out",
+            "/tmp/p.json",
+            "--spans-out",
+            "/tmp/s.jsonl",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (opts, rest) = ObsOptions::extract(&args).unwrap();
+        assert!(rest.is_empty());
+        assert!(opts.needs_causal() && opts.any());
+        let (opts, _) = ObsOptions::extract(&["--blame".to_string()]).unwrap();
+        assert!(opts.blame && opts.needs_causal());
+        let (opts, _) = ObsOptions::extract(&["--timeline".to_string()]).unwrap();
+        assert!(!opts.needs_causal());
+    }
+
+    /// A causal trace: every link field and the checkpoint `cost` make
+    /// it through the writer and back.
+    fn causal_trace() -> Trace {
+        let mut events = all_variants();
+        for (i, e) in events.iter_mut().enumerate() {
+            e.span = SpanId(i as u64 + 1);
+            if i > 0 {
+                e.parent = SpanId(i as u64); // previous event's span
+            }
+            if i > 1 {
+                e.cause = SpanId(i as u64 - 1);
+            }
+        }
+        Trace { events }
+    }
+
+    #[test]
+    fn causal_links_roundtrip_through_jsonl() {
+        let trace = causal_trace();
+        let jsonl = trace_to_jsonl(&trace);
+        assert!(jsonl.contains("\"span\":1"));
+        assert!(jsonl.contains("\"parent\":1"));
+        assert!(jsonl.contains("\"cause\":1"));
+        let back = trace_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn linkless_trace_jsonl_omits_link_fields() {
+        // Byte-compatibility with pre-causal goldens: with causal off
+        // the writer emits no span/parent/cause/cost_us keys at all.
+        let trace = Trace {
+            events: all_variants(),
+        };
+        let jsonl = trace_to_jsonl(&trace);
+        for key in ["\"span\"", "\"parent\"", "\"cause\"", "\"cost_us\""] {
+            assert!(!jsonl.contains(key), "unexpected {key} in linkless JSONL");
+        }
+        let back = trace_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn checkpoint_cost_roundtrips_when_nonzero() {
+        let mut e = TraceEvent::new(
+            SimTime::from_micros(5),
+            TraceKind::CheckpointWritten {
+                fn_id: FnId(1),
+                state: 2,
+                bytes: 64,
+                tier: StorageTier::Ramdisk,
+                cost: SimDuration::from_micros(1234),
+            },
+        );
+        e.span = SpanId(9);
+        let line = trace_event_to_json(&e);
+        assert!(line.contains("\"cost_us\":1234"));
+        let back = trace_from_jsonl(&format!("{line}\n")).unwrap();
+        assert_eq!(back.events[0], e);
+    }
+
+    #[test]
+    fn perfetto_export_is_balanced_and_arrowed() {
+        let out = trace_to_perfetto(&causal_trace());
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(out.trim_end().ends_with("]}"));
+        // Every B has a matching E and cause links became s/f arrows.
+        let count = |ph: &str| out.matches(&format!("\"ph\":\"{ph}\"")).count();
+        assert_eq!(count("B"), count("E"));
+        assert!(count("s") > 0);
+        assert_eq!(count("s"), count("f"));
+        assert!(out.contains("thread_name"));
+        // Works on a linkless trace too — just no arrows.
+        let plain = trace_to_perfetto(&Trace {
+            events: all_variants(),
+        });
+        assert_eq!(plain.matches("\"ph\":\"s\"").count(), 0);
+    }
+
+    #[test]
+    fn spans_jsonl_is_one_line_per_event() {
+        let trace = causal_trace();
+        let out = spans_to_jsonl(&trace);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), trace.events.len());
+        assert!(lines[0].starts_with("{\"span\":1,\"parent\":0,\"cause\":0,"));
+        for line in lines {
+            parse_flat_json(line).unwrap();
+        }
     }
 }

@@ -73,6 +73,11 @@ pub struct Scenario {
     pub trace: bool,
     /// Record telemetry histograms/counters (observation only).
     pub telemetry: bool,
+    /// Thread causal span/parent/cause links through the trace
+    /// (observation only; requires `trace`).
+    pub causal: bool,
+    /// Profile the engine's own hot path (observation only).
+    pub profile: bool,
     /// Chaos fault plan: partitions, store outages, degradation, bursts,
     /// stragglers, corruption (empty for plain sweeps; forced empty for
     /// the ideal strategy).
@@ -94,6 +99,8 @@ impl Scenario {
             node_failure_horizon_s: 1_200,
             trace: false,
             telemetry: false,
+            causal: false,
+            profile: false,
             chaos: ChaosSpec::default(),
             max_inflight: None,
             jobs,
@@ -112,6 +119,8 @@ impl Scenario {
         cfg.node_failure_horizon = canary_sim::SimDuration::from_secs(self.node_failure_horizon_s);
         cfg.trace = self.trace;
         cfg.telemetry = self.telemetry;
+        cfg.causal = self.causal;
+        cfg.profile = self.profile;
         cfg.max_inflight = self.max_inflight;
         if strategy != StrategyKind::Ideal {
             cfg.chaos = self.chaos.clone();
@@ -126,6 +135,20 @@ impl Scenario {
         let mut observed = self.clone();
         observed.trace = true;
         observed.telemetry = true;
+        observed.run_once(strategy, seed)
+    }
+
+    /// Run once fully instrumented: trace, telemetry, causal span links,
+    /// and the engine hot-path profiler all on. Observation only — the
+    /// simulated timeline is identical to [`Scenario::run_once`]; only
+    /// the recorded trace carries extra link fields, so its JSONL is a
+    /// superset of [`Scenario::run_observed`]'s.
+    pub fn run_instrumented(&self, strategy: StrategyKind, seed: u64) -> RunResult {
+        let mut observed = self.clone();
+        observed.trace = true;
+        observed.telemetry = true;
+        observed.causal = true;
+        observed.profile = true;
         observed.run_once(strategy, seed)
     }
 

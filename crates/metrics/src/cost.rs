@@ -64,6 +64,7 @@ mod tests {
             finished_at: SimTime::ZERO,
             trace: Default::default(),
             telemetry: Default::default(),
+            profile: Default::default(),
         }
     }
 

@@ -9,17 +9,24 @@
 //! swimlane / recovery-critical-path timelines
 //! ([`timeline`]).
 
+pub mod causal;
 pub mod cost;
 pub mod load;
 pub mod report;
 pub mod summary;
 pub mod timeline;
 
+pub use causal::{
+    aggregate_blame, blame_report, critical_path, critical_path_report, critical_paths,
+    span_forest, Blame, CausalError, CpStep, CriticalPath, SpanForest,
+};
 pub use cost::PricingModel;
 pub use load::{
     peak_queue_depth, queue_depth_series, slo_attainment, QueueDepthPoint, ResponseStats,
     SloSummary,
 };
-pub use report::{ascii_table, counters_summary, csv, markdown_table, telemetry_summary};
+pub use report::{
+    ascii_table, counters_summary, csv, hot_path_report, markdown_table, telemetry_summary,
+};
 pub use summary::{MetricSummary, Repeated};
 pub use timeline::{recovery_breakdown, recovery_spans, swimlane, RecoverySpan, TimelineOptions};

@@ -201,6 +201,7 @@ mod tests {
             finished_at: SimTime::ZERO,
             trace: Trace::default(),
             telemetry: Default::default(),
+            profile: Default::default(),
         }
     }
 
@@ -240,22 +241,10 @@ mod tests {
         let at = |s| SimTime::ZERO + SimDuration::from_secs(s);
         let trace = Trace {
             events: vec![
-                TraceEvent {
-                    at: at(1),
-                    kind: TraceKind::JobQueued { job: JobId(0) },
-                },
-                TraceEvent {
-                    at: at(2),
-                    kind: TraceKind::JobQueued { job: JobId(1) },
-                },
-                TraceEvent {
-                    at: at(3),
-                    kind: TraceKind::JobDequeued { job: JobId(0) },
-                },
-                TraceEvent {
-                    at: at(4),
-                    kind: TraceKind::JobDequeued { job: JobId(1) },
-                },
+                TraceEvent::new(at(1), TraceKind::JobQueued { job: JobId(0) }),
+                TraceEvent::new(at(2), TraceKind::JobQueued { job: JobId(1) }),
+                TraceEvent::new(at(3), TraceKind::JobDequeued { job: JobId(0) }),
+                TraceEvent::new(at(4), TraceKind::JobDequeued { job: JobId(1) }),
             ],
         };
         let series = queue_depth_series(&trace);

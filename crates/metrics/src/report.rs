@@ -1,7 +1,7 @@
 //! Figure rendering: ASCII tables, CSV, and Markdown for EXPERIMENTS.md,
 //! plus the per-run telemetry summary table.
 
-use canary_platform::{Counter, RunCounters, TelemetrySnapshot};
+use canary_platform::{Counter, HotPathProfile, RunCounters, TelemetrySnapshot};
 use canary_sim::SeriesSet;
 use std::fmt::Write as _;
 
@@ -185,6 +185,13 @@ pub fn telemetry_summary(snap: &TelemetrySnapshot) -> String {
             );
         }
     }
+    if snap.spans_orphaned > 0 {
+        let _ = writeln!(
+            out,
+            "  WARNING: {} telemetry span(s) left open at snapshot (lost samples)",
+            snap.spans_orphaned
+        );
+    }
     if !snap.counters.is_empty() {
         let _ = writeln!(out, "  counters:");
         for (c, v) in &snap.counters {
@@ -218,6 +225,51 @@ pub fn telemetry_summary(snap: &TelemetrySnapshot) -> String {
                 100.0 * hits as f64 / (hits + misses) as f64
             );
         }
+    }
+    out
+}
+
+/// Render the engine hot-path profile: one row per dispatched event
+/// kind with dispatch count, wall cost, and allocation attribution.
+/// Rows are in the engine's fixed event-kind order; kinds never
+/// dispatched are skipped.
+pub fn hot_path_report(profile: &HotPathProfile) -> String {
+    let mut out = String::new();
+    if !profile.enabled {
+        let _ = writeln!(out, "hot-path profile: disabled for this run");
+        return out;
+    }
+    let _ = writeln!(out, "engine hot-path profile");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "event", "dispatches", "wall", "ns/disp", "allocs", "allocs/disp"
+    );
+    for r in profile.rows.iter().filter(|r| r.dispatches > 0) {
+        let n = r.dispatches as f64;
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} {:>12} {:>10.0} {:>10} {:>11.2}",
+            r.event,
+            r.dispatches,
+            format!("{:.3}ms", r.wall_ns as f64 / 1e6),
+            r.wall_ns as f64 / n,
+            r.allocs,
+            r.allocs as f64 / n,
+        );
+    }
+    let total_n = profile.total_dispatches() as f64;
+    if total_n > 0.0 {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} {:>12} {:>10.0} {:>10} {:>11.2}",
+            "total",
+            profile.total_dispatches(),
+            format!("{:.3}ms", profile.total_wall_ns() as f64 / 1e6),
+            profile.total_wall_ns() as f64 / total_n,
+            profile.total_allocs(),
+            profile.total_allocs() as f64 / total_n,
+        );
     }
     out
 }

@@ -319,10 +319,7 @@ mod tests {
     use canary_platform::TraceEvent;
 
     fn ev(us: u64, kind: TraceKind) -> TraceEvent {
-        TraceEvent {
-            at: SimTime::from_micros(us),
-            kind,
-        }
+        TraceEvent::new(SimTime::from_micros(us), kind)
     }
 
     fn failure_trace() -> Trace {
@@ -351,6 +348,7 @@ mod tests {
                         state: 0,
                         bytes: 64,
                         tier: canary_cluster::StorageTier::Ramdisk,
+                        cost: SimDuration::ZERO,
                     },
                 ),
                 ev(3_000, TraceKind::NodeFailed { node: NodeId(0) }),

@@ -4,6 +4,7 @@
 //! complete [`RunResult`] including the optional trace and telemetry.
 
 use crate::ids::{FnId, JobId};
+use crate::profile::HotPathProfile;
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::Trace;
 use canary_container::ContainerPurpose;
@@ -159,6 +160,10 @@ pub struct RunResult {
     /// Telemetry snapshot (all-zero unless `RunConfig::telemetry` was
     /// set).
     pub telemetry: TelemetrySnapshot,
+    /// Engine hot-path profile (empty unless `RunConfig::profile` was
+    /// set).
+    #[serde(default)]
+    pub profile: HotPathProfile,
 }
 
 impl RunResult {
@@ -257,6 +262,7 @@ mod tests {
             finished_at: SimTime::from_micros(9_000_000),
             trace: Trace::default(),
             telemetry: TelemetrySnapshot::default(),
+            profile: HotPathProfile::default(),
         };
         assert_eq!(r.makespan(), SimDuration::from_secs(9));
     }
@@ -281,6 +287,7 @@ mod tests {
             finished_at: SimTime::ZERO,
             trace: Trace::default(),
             telemetry: TelemetrySnapshot::default(),
+            profile: HotPathProfile::default(),
         };
         assert_eq!(r.total_recovery(), SimDuration::from_secs(30));
         assert_eq!(
@@ -300,6 +307,7 @@ mod tests {
             finished_at: SimTime::ZERO,
             trace: Trace::default(),
             telemetry: TelemetrySnapshot::default(),
+            profile: HotPathProfile::default(),
         };
         assert_eq!(r.mean_recovery_per_failure(), SimDuration::ZERO);
     }

@@ -50,6 +50,16 @@ pub struct RunConfig {
     /// and never perturbs the simulated timeline: a run with telemetry
     /// on produces the same outcomes as the same run with it off.
     pub telemetry: bool,
+    /// Assign causal span ids and `parent`/`cause` links to every trace
+    /// event at emit time (off by default; requires `trace`). Causal
+    /// observation never perturbs the simulated timeline, and with it off
+    /// trace output is byte-identical to the pre-causal format.
+    pub causal: bool,
+    /// Profile the engine's own hot path: per-event-kind dispatch counts,
+    /// cumulative wall-clock handler cost (host time, not simulated
+    /// time), and allocation counts when an allocator hook is installed
+    /// (off by default). Purely observational.
+    pub profile: bool,
 }
 
 impl RunConfig {
@@ -70,6 +80,8 @@ impl RunConfig {
             max_inflight: None,
             trace: false,
             telemetry: false,
+            causal: false,
+            profile: false,
         }
     }
 
@@ -87,6 +99,9 @@ impl RunConfig {
         }
         if self.max_inflight == Some(0) {
             return Err("max_inflight of 0 can never admit a job".into());
+        }
+        if self.causal && !self.trace {
+            return Err("causal span links require trace to be enabled".into());
         }
         self.chaos.validate()?;
         Ok(())

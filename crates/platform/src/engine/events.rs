@@ -66,6 +66,39 @@ pub enum Event {
     },
 }
 
+/// Number of [`Event`] kinds (the hot-path profiler keys fixed-size
+/// tables by kind).
+pub(super) const EVENT_KINDS: usize = 8;
+
+/// Stable labels for the hot-path profiler's per-kind report rows, in
+/// [`Event::kind_index`] order.
+pub(super) const EVENT_KIND_LABELS: [&str; EVENT_KINDS] = [
+    "job_arrival",
+    "submit_job",
+    "launch",
+    "attempt_end",
+    "warm_resume",
+    "replica_warm",
+    "node_failure",
+    "chaos_fault",
+];
+
+impl Event {
+    /// Dense index of this event's kind, for profiler tables.
+    pub(super) fn kind_index(&self) -> usize {
+        match self {
+            Event::JobArrival { .. } => 0,
+            Event::SubmitJob { .. } => 1,
+            Event::Launch { .. } => 2,
+            Event::AttemptEnd { .. } => 3,
+            Event::WarmResume { .. } => 4,
+            Event::ReplicaWarm { .. } => 5,
+            Event::NodeFailure { .. } => 6,
+            Event::ChaosFault { .. } => 7,
+        }
+    }
+}
+
 impl Platform {
     /// Route one popped event to its handler.
     pub(super) fn dispatch(&mut self, strategy: &mut dyn FtStrategy, ev: Event) {

@@ -488,7 +488,7 @@ impl Platform {
         }
 
         if plan.completes {
-            self.emit(TraceKind::FunctionCompleted { fn_id });
+            let done_span = self.emit(TraceKind::FunctionCompleted { fn_id });
             self.set_fn_status(fn_id, FnStatus::Completed);
             let rec = &mut self.fns[fn_id.0 as usize];
             rec.completed_at = Some(now);
@@ -507,6 +507,9 @@ impl Platform {
                 // and their queue wait is accounted. Taking the
                 // dependents list is safe — a job completes exactly once.
                 for dep in std::mem::take(&mut self.dependents[job.0 as usize]) {
+                    // The chained job's arrival is caused by this
+                    // completion (it finished the prerequisite job).
+                    self.causal_note_arrival_cause(dep, done_span);
                     self.queue.push(now, Event::JobArrival { job: dep });
                 }
             }
@@ -692,6 +695,9 @@ impl Platform {
             self.preempt_attempt(strategy, fn_id, FailureKind::NodeCrash);
         }
         strategy.on_containers_lost(self, &victims);
+        // Everything emitted while handling the crash (killed attempts,
+        // pool churn) blamed the crash span; later events must not.
+        self.causal_clear_fault_context();
     }
 
     pub(super) fn handle_chaos(&mut self, strategy: &mut dyn FtStrategy, idx: usize) {
@@ -710,7 +716,9 @@ impl Platform {
                     pct: (factor * 100.0).round() as u32,
                 });
             }
-            FaultEvent::DegradeEnd => self.emit(TraceKind::NetworkRestored),
+            FaultEvent::DegradeEnd => {
+                self.emit(TraceKind::NetworkRestored);
+            }
             FaultEvent::StoreDown { member } => {
                 self.counters.store_outages += 1;
                 self.telemetry.incr(Counter::StoreOutages);
@@ -740,7 +748,11 @@ impl Platform {
             .map(|c| c.state == ContainerState::Initializing)
             .unwrap_or(false);
         if !ok {
-            return; // died or was reclaimed during startup
+            // Died or was reclaimed during startup: the cold-start span
+            // will never end, so cancel it instead of leaking it.
+            self.telemetry
+                .span_cancel(Phase::ReplicaColdStart, container.0);
+            return;
         }
         self.registry
             .transition(container, ContainerState::Warm)

@@ -26,6 +26,7 @@
 //! - `queries` — the strategy-facing *read* API, answered from
 //!   incrementally-maintained indexes rather than per-call scans.
 
+mod causal;
 mod events;
 mod handlers;
 #[cfg(test)]
@@ -44,9 +45,10 @@ use crate::accounting::{ContainerUsage, FnOutcome, JobOutcome, RunCounters, RunR
 use crate::config::RunConfig;
 use crate::ids::{FnId, JobId};
 use crate::job::{FnRecord, FnStatus, JobRecord, JobSpec};
+use crate::profile::{HotPathProfile, HotPathRow};
 use crate::strategy::FtStrategy;
 use crate::telemetry::{Phase, Telemetry};
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{SpanId, Trace, TraceEvent, TraceKind};
 use canary_cluster::{ChaosPlan, FailureInjector, NodeId};
 use canary_container::{
     ColdStartModel, ContainerId, ContainerPurpose, ContainerRegistry, ContainerState,
@@ -84,6 +86,12 @@ pub struct Platform {
     inflight: u32,
     trace: Trace,
     telemetry: Telemetry,
+    /// Span-assignment bookkeeping for causal trace links (all-empty and
+    /// untouched unless [`RunConfig::causal`] is on).
+    causal: causal::CausalState,
+    /// Hot-path profiler accumulators (untouched unless
+    /// [`RunConfig::profile`] is on).
+    profiler: ProfileAccum,
     /// Extra per-attempt state timings kept outside `PlannedAttempt` to
     /// serve node-crash progress queries: per clone.
     clone_plans: HashMap<FnId, Vec<CloneOutcome>>,
@@ -116,6 +124,8 @@ impl Platform {
             inflight: 0,
             trace: Trace::default(),
             telemetry: Telemetry::new(config.telemetry),
+            causal: causal::CausalState::default(),
+            profiler: ProfileAccum::default(),
             clone_plans: HashMap::new(),
             active_by_runtime: HashMap::new(),
             queue: EventQueue::new(),
@@ -254,13 +264,27 @@ impl Platform {
     /// Append an event to the execution trace (no-op unless
     /// `RunConfig::trace` is on). Strategies use this for events only
     /// they can see, like checkpoint writes and validator decisions.
-    pub fn emit(&mut self, kind: TraceKind) {
-        if self.config.trace {
-            self.trace.events.push(TraceEvent {
-                at: self.now(),
-                kind,
-            });
+    ///
+    /// Returns the event's span id — [`SpanId::NONE`] unless
+    /// [`RunConfig::causal`] assigned one — so emit sites can thread a
+    /// cause into later events.
+    pub fn emit(&mut self, kind: TraceKind) -> SpanId {
+        if !self.config.trace {
+            return SpanId::NONE;
         }
+        let (span, parent, cause) = if self.config.causal {
+            self.causal_links(&kind)
+        } else {
+            (SpanId::NONE, SpanId::NONE, SpanId::NONE)
+        };
+        self.trace.events.push(TraceEvent {
+            at: self.now(),
+            kind,
+            span,
+            parent,
+            cause,
+        });
+        span
     }
 
     // ------------------------------------------------------------------
@@ -295,6 +319,38 @@ impl Platform {
     }
 }
 
+/// Per-event-kind hot-path accumulators ([`RunConfig::profile`]).
+#[derive(Debug, Default)]
+struct ProfileAccum {
+    dispatches: [u64; events::EVENT_KINDS],
+    wall_ns: [u64; events::EVENT_KINDS],
+    allocs: [u64; events::EVENT_KINDS],
+}
+
+impl ProfileAccum {
+    fn record(&mut self, kind: usize, wall_ns: u64, allocs: u64) {
+        self.dispatches[kind] += 1;
+        self.wall_ns[kind] += wall_ns;
+        self.allocs[kind] += allocs;
+    }
+
+    fn snapshot(&self) -> HotPathProfile {
+        HotPathProfile {
+            enabled: true,
+            rows: events::EVENT_KIND_LABELS
+                .iter()
+                .enumerate()
+                .map(|(i, &label)| HotPathRow {
+                    event: label.to_string(),
+                    dispatches: self.dispatches[i],
+                    wall_ns: self.wall_ns[i],
+                    allocs: self.allocs[i],
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Execute `jobs` under `strategy` with `config`; returns the full result.
 ///
 /// Panics on an invalid configuration or batch — the historical contract
@@ -318,12 +374,35 @@ pub fn try_run(
     setup::schedule_node_failures(&mut p);
     setup::schedule_chaos(&mut p);
 
-    // Main loop.
-    while let Some((_, ev)) = p.queue.pop() {
-        p.dispatch(strategy, ev);
+    // Main loop. The profiled variant times every dispatch with host
+    // wall-clock (simulated time never advances inside a handler, so the
+    // whole measurement is sim-time-free) and attributes allocations when
+    // a counting-allocator hook is installed.
+    if p.config.profile {
+        while let Some((_, ev)) = p.queue.pop() {
+            let kind = ev.kind_index();
+            let allocs_before = crate::profile::alloc_count();
+            let started = std::time::Instant::now();
+            p.dispatch(strategy, ev);
+            let wall_ns = started.elapsed().as_nanos() as u64;
+            let allocs = crate::profile::alloc_count().saturating_sub(allocs_before);
+            p.profiler.record(kind, wall_ns, allocs);
+        }
+    } else {
+        while let Some((_, ev)) = p.queue.pop() {
+            p.dispatch(strategy, ev);
+        }
     }
 
     strategy.on_run_end(&mut p);
+    // Every telemetry span opened during the run must have been ended or
+    // cancelled by now; a leak here means a phase histogram silently lost
+    // samples (the snapshot also reports leaks as `spans_orphaned`).
+    debug_assert_eq!(
+        p.telemetry.open_span_count(),
+        0,
+        "telemetry spans left open at run end"
+    );
     let finished_at = p.now();
     assert!(
         p.admission_queue.is_empty(),
@@ -383,6 +462,11 @@ pub fn try_run(
     let mut containers: Vec<ContainerUsage> = p.usage.into_values().collect();
     containers.sort_by_key(|u| (u.created, u.terminated));
 
+    let profile = if p.config.profile {
+        p.profiler.snapshot()
+    } else {
+        HotPathProfile::default()
+    };
     Ok(RunResult {
         strategy: strategy.name(),
         fns,
@@ -392,5 +476,6 @@ pub fn try_run(
         finished_at,
         trace: p.trace,
         telemetry: p.telemetry.snapshot(),
+        profile,
     })
 }

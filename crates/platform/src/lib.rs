@@ -13,14 +13,18 @@
 //!
 //! Observability is opt-in and read-only: [`RunConfig::trace`] records the
 //! event-by-event execution [`trace`], [`RunConfig::telemetry`] collects
-//! per-phase latency histograms and typed counters ([`telemetry`]), and
-//! both land in the [`RunResult`] without affecting the simulation.
+//! per-phase latency histograms and typed counters ([`telemetry`]),
+//! [`RunConfig::causal`] threads span/parent/cause links through the trace
+//! at emit time, [`RunConfig::profile`] measures the engine's own hot path
+//! ([`profile`]), and all of it lands in the [`RunResult`] without
+//! affecting the simulation.
 
 pub mod accounting;
 pub mod config;
 pub mod engine;
 pub mod ids;
 pub mod job;
+pub mod profile;
 pub mod strategy;
 pub mod telemetry;
 pub mod trace;
@@ -30,10 +34,11 @@ pub use config::RunConfig;
 pub use engine::{run, try_run, validate_batch, Event, Platform, RunConfigError, StateTiming};
 pub use ids::{FnId, JobId};
 pub use job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
+pub use profile::{install_alloc_counter, HotPathProfile, HotPathRow};
 pub use strategy::{
     ArrivalVerdict, FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget,
 };
 pub use telemetry::{
     Counter, Histogram, Phase, PhaseSummary, TableStats, Telemetry, TelemetrySnapshot,
 };
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{SpanId, Trace, TraceEvent, TraceKind};

@@ -315,6 +315,11 @@ pub struct TelemetrySnapshot {
     pub counters: Vec<(Counter, u64)>,
     /// Per-table database traffic (Canary runs only), by table name.
     pub tables: Vec<TableStats>,
+    /// Spans still open when the snapshot was taken — starts that never
+    /// saw a matching end or cancel. Anything non-zero means a phase
+    /// histogram silently lost samples.
+    #[serde(default)]
+    pub spans_orphaned: u64,
 }
 
 impl TelemetrySnapshot {
@@ -413,6 +418,12 @@ impl Telemetry {
         self.open.remove(&(phase, key));
     }
 
+    /// Spans currently open (started, neither ended nor cancelled). The
+    /// engine asserts this drains to zero at run end.
+    pub fn open_span_count(&self) -> usize {
+        self.open.len()
+    }
+
     /// Report a database table's cumulative read/write counts
     /// (overwrites any previous report for the table).
     pub fn set_table_stats(&mut self, table: &str, reads: u64, writes: u64) {
@@ -474,6 +485,7 @@ impl Telemetry {
             phases,
             counters,
             tables,
+            spans_orphaned: self.open.len() as u64,
         }
     }
 }

@@ -18,6 +18,36 @@ use canary_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Identity of one trace span. Every emitted [`TraceEvent`] gets a fresh
+/// `SpanId` at emit time when [`crate::RunConfig::causal`] is on; the id
+/// `0` is reserved as the "no span" sentinel so that links stay `Copy`
+/// and cost nothing to carry when causal observation is off.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "no span / no link" sentinel.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for the sentinel value.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for a real span id.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span{}", self.0)
+    }
+}
+
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceKind {
@@ -85,6 +115,12 @@ pub enum TraceKind {
         bytes: u64,
         /// Tier it landed on.
         tier: StorageTier,
+        /// Synchronous write cost charged to the attempt's execution
+        /// timeline. Recorded only under [`crate::RunConfig::causal`]
+        /// (zero otherwise) so critical-path blame can split an attempt's
+        /// wall time into exec vs checkpoint components.
+        #[serde(default)]
+        cost: SimDuration,
     },
     /// A checkpoint was read back during recovery.
     CheckpointRestored {
@@ -210,6 +246,32 @@ pub struct TraceEvent {
     pub at: SimTime,
     /// What happened.
     pub kind: TraceKind,
+    /// This event's own span identity. [`SpanId::NONE`] unless the run
+    /// recorded causal links ([`crate::RunConfig::causal`]).
+    #[serde(default)]
+    pub span: SpanId,
+    /// Containment link: the span this event belongs under (a job root
+    /// for its attempts, an attempt for its checkpoints, ...).
+    #[serde(default)]
+    pub parent: SpanId,
+    /// Trigger link across trees: the earlier span that caused this event
+    /// (a chaos fault for the attempts it killed, a recovery plan for the
+    /// restarted attempt, ...).
+    #[serde(default)]
+    pub cause: SpanId,
+}
+
+impl TraceEvent {
+    /// An event with no causal links (the pre-causal wire form).
+    pub fn new(at: SimTime, kind: TraceKind) -> Self {
+        TraceEvent {
+            at,
+            kind,
+            span: SpanId::NONE,
+            parent: SpanId::NONE,
+            cause: SpanId::NONE,
+        }
+    }
 }
 
 impl fmt::Display for TraceEvent {
@@ -244,6 +306,7 @@ impl fmt::Display for TraceEvent {
                 state,
                 bytes,
                 tier,
+                ..
             } => write!(f, "ckpt     {fn_id} state {state} ({bytes} B to {tier:?})"),
             TraceKind::CheckpointRestored {
                 fn_id,
@@ -359,10 +422,7 @@ mod tests {
     use super::*;
 
     fn ev(us: u64, kind: TraceKind) -> TraceEvent {
-        TraceEvent {
-            at: SimTime::from_micros(us),
-            kind,
-        }
+        TraceEvent::new(SimTime::from_micros(us), kind)
     }
 
     #[test]
@@ -484,6 +544,7 @@ mod tests {
                     state: 7,
                     bytes: 4096,
                     tier: StorageTier::Ramdisk,
+                    cost: SimDuration::ZERO,
                 },
                 "ckpt     fn3 state 7 (4096 B to Ramdisk)",
             ),

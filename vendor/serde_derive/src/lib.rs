@@ -8,14 +8,17 @@
 
 use proc_macro::TokenStream;
 
-/// No-op expansion of `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+/// No-op expansion of `#[derive(Serialize)]`. Registers the `serde`
+/// helper attribute so field annotations like `#[serde(default)]`
+/// compile exactly as they would against the real derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op expansion of `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+/// No-op expansion of `#[derive(Deserialize)]`. Registers the `serde`
+/// helper attribute, as above.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
