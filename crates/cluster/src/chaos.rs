@@ -65,6 +65,19 @@ pub struct BurstSpec {
     pub count: u32,
 }
 
+/// A scheduled crash of Canary's own control plane: the metadata
+/// substrate dies mid-run (losing every in-memory copy, with a write torn
+/// mid-record on the log) and restarts from its write-ahead log.
+///
+/// Unlike the other specs this one is timed in **microseconds**, so the
+/// crash-point sweep can land a crash strictly between any two adjacent
+/// events of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerCrashSpec {
+    /// When the control plane dies, microseconds into the run.
+    pub at_us: u64,
+}
+
 /// Declarative chaos configuration for one run. The default is no chaos.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosSpec {
@@ -76,6 +89,10 @@ pub struct ChaosSpec {
     pub degrades: Vec<DegradeSpec>,
     /// Correlated zone/burst node failures.
     pub bursts: Vec<BurstSpec>,
+    /// Control-plane crash-restarts (metadata substrate dies and recovers
+    /// from its write-ahead log).
+    #[serde(default)]
+    pub controller_crashes: Vec<ControllerCrashSpec>,
     /// Probability that a given attempt runs on a straggling executor.
     pub straggler_rate: f64,
     /// Slowdown multiplier (≥ 1) applied to a straggling attempt.
@@ -95,6 +112,7 @@ impl Default for ChaosSpec {
             store_outages: Vec::new(),
             degrades: Vec::new(),
             bursts: Vec::new(),
+            controller_crashes: Vec::new(),
             straggler_rate: 0.0,
             straggler_factor: 4.0,
             corruption_rate: 0.0,
@@ -110,6 +128,7 @@ impl ChaosSpec {
             && self.store_outages.is_empty()
             && self.degrades.is_empty()
             && self.bursts.is_empty()
+            && self.controller_crashes.is_empty()
             && self.straggler_rate <= 0.0
             && self.corruption_rate <= 0.0
     }
@@ -215,6 +234,9 @@ pub enum FaultEvent {
         /// The crashing node.
         node: NodeId,
     },
+    /// The control plane's metadata substrate crashes and restarts from
+    /// its write-ahead log (or empty, when durability is off).
+    ControllerCrash,
 }
 
 fn at_secs(s: u64) -> SimTime {
@@ -271,6 +293,9 @@ impl ChaosPlan {
             for node in victims {
                 events.push((at_secs(b.at_s), FaultEvent::NodeBurst { node: node.id }));
             }
+        }
+        for c in &spec.controller_crashes {
+            events.push((SimTime::from_micros(c.at_us), FaultEvent::ControllerCrash));
         }
         // Stable by time: same-time events keep spec order, so the
         // schedule is a pure function of (spec, cluster).
@@ -526,6 +551,33 @@ mod tests {
         s.store_outages.clear();
         s.straggler_rate = 1.5;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn controller_crash_expands_at_microsecond_precision() {
+        let mut s = spec();
+        s.controller_crashes = vec![
+            ControllerCrashSpec { at_us: 12_000_001 },
+            ControllerCrashSpec { at_us: 7 },
+        ];
+        assert!(s.validate().is_ok());
+        assert!(!s.is_empty());
+        let plan = ChaosPlan::from_spec(&s, &Cluster::heterogeneous(8), 42);
+        let crashes: Vec<SimTime> = plan
+            .events()
+            .iter()
+            .filter_map(|(at, e)| matches!(e, FaultEvent::ControllerCrash).then_some(*at))
+            .collect();
+        assert_eq!(
+            crashes,
+            vec![SimTime::from_micros(7), SimTime::from_micros(12_000_001)],
+            "crashes must schedule at exact microsecond offsets, time-ordered"
+        );
+        let only = ChaosSpec {
+            controller_crashes: vec![ControllerCrashSpec { at_us: 5 }],
+            ..Default::default()
+        };
+        assert!(!only.is_empty());
     }
 
     #[test]

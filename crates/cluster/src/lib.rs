@@ -16,7 +16,8 @@ pub mod storage;
 pub mod topology;
 
 pub use chaos::{
-    BurstSpec, ChaosPlan, ChaosSpec, DegradeSpec, FaultEvent, PartitionSpec, StoreOutageSpec,
+    BurstSpec, ChaosPlan, ChaosSpec, ControllerCrashSpec, DegradeSpec, FaultEvent, PartitionSpec,
+    StoreOutageSpec,
 };
 pub use failure::{AttemptFailure, FailureInjector, FailureModel, NodeFailure};
 pub use network::NetworkModel;

@@ -476,7 +476,7 @@ impl FtStrategy for CanaryStrategy {
         plan
     }
 
-    fn on_chaos(&mut self, _platform: &mut Platform, fault: &FaultEvent) {
+    fn on_chaos(&mut self, platform: &mut Platform, fault: &FaultEvent) {
         let kv = self.db.kv();
         match *fault {
             FaultEvent::StoreDown { member } => {
@@ -490,6 +490,43 @@ impl FtStrategy for CanaryStrategy {
                     // surfaces as missing checkpoint rows, and restores
                     // fall back to rerun-from-start.
                     let _ = kv.rejoin_empty(node);
+                }
+            }
+            FaultEvent::ControllerCrash => {
+                // The control plane itself dies: every in-memory metadata
+                // copy (and the row cache) is lost with the process, a
+                // torn in-flight record is left on the WAL, and the store
+                // is rebuilt from snapshot + log. Recovery is modeled as
+                // instantaneous in simulated time — the restarted
+                // controller resumes the same deterministic schedule —
+                // so only the trace and counters record that it happened.
+                // Without a WAL (CANARY_NO_WAL) the metadata is simply
+                // gone and later restores fall back to rerun-from-start.
+                match self.db.crash_and_recover() {
+                    Ok(recovery) => {
+                        platform.emit(TraceKind::ControllerRecovered {
+                            snapshot: recovery.snapshot_entries,
+                            replayed: recovery.replayed_records,
+                            torn: recovery.torn_tail,
+                        });
+                        let counters = platform.counters_mut();
+                        counters.wal_records_replayed += recovery.replayed_records;
+                        counters.wal_torn_tails += recovery.torn_tail as u64;
+                        platform
+                            .telemetry_mut()
+                            .add(Counter::WalRecordsReplayed, recovery.replayed_records);
+                    }
+                    Err(e) => {
+                        // Corrupt WAL: recovery already fell back to an
+                        // empty store inside crash_and_recover's callee;
+                        // record a lossy restart.
+                        debug_assert!(false, "wal recovery failed: {e}");
+                        platform.emit(TraceKind::ControllerRecovered {
+                            snapshot: 0,
+                            replayed: 0,
+                            torn: false,
+                        });
+                    }
                 }
             }
             _ => {}

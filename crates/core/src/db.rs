@@ -29,9 +29,21 @@
 //!   recovery, empty rejoin) drops the whole cache, because the backing
 //!   data may have been wiped or resynced under it. Set `CANARY_NO_DB_CACHE`
 //!   to disable the cache for equivalence testing.
+//!
+//! # Durability
+//!
+//! With [`DbOptions::durable`] set (the production default through
+//! [`CanaryDb::new`]; set `CANARY_NO_WAL` to disable), every mutation of
+//! the replica group is written through a [write-ahead log](
+//! canary_kvstore::Wal) with periodic compacting snapshots — the
+//! "native persistence" half of the paper's Ignite deployment. A
+//! controller crash ([`CanaryDb::crash_and_recover`]) then rebuilds the
+//! typed-key tables, the membership generation, and the liveness bitmap
+//! from snapshot + log, and the row cache — which dies with the process —
+//! is dropped so post-restart reads repopulate it from recovered rows.
 
 use bytes::Bytes;
-use canary_kvstore::{KvError, ReplicatedKv, StoreConfig};
+use canary_kvstore::{KvError, ReplicatedKv, StoreConfig, WalConfig, WalError, WalRecovery};
 use canary_workloads::{CodecError, Decoder, Encoder, RuntimeKind};
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
@@ -46,6 +58,8 @@ pub enum DbError {
     Store(KvError),
     /// Row (de)serialization failure.
     Codec(CodecError),
+    /// Write-ahead-log corruption surfaced during crash recovery.
+    Wal(WalError),
 }
 
 impl fmt::Display for DbError {
@@ -53,6 +67,7 @@ impl fmt::Display for DbError {
         match self {
             DbError::Store(e) => write!(f, "store error: {e}"),
             DbError::Codec(e) => write!(f, "codec error: {e}"),
+            DbError::Wal(e) => write!(f, "wal error: {e}"),
         }
     }
 }
@@ -68,6 +83,12 @@ impl From<KvError> for DbError {
 impl From<CodecError> for DbError {
     fn from(e: CodecError) -> Self {
         DbError::Codec(e)
+    }
+}
+
+impl From<WalError> for DbError {
+    fn from(e: WalError) -> Self {
+        DbError::Wal(e)
     }
 }
 
@@ -410,15 +431,31 @@ pub struct DbOptions {
     pub typed_keys: bool,
     /// Write-through row cache in front of the store.
     pub cache: bool,
+    /// Log every mutation through a write-ahead log so the store survives
+    /// a controller crash ([`CanaryDb::crash_and_recover`]).
+    pub durable: bool,
+    /// Compact the WAL into a snapshot every this-many records.
+    pub wal_snapshot_every: u64,
 }
 
 impl DbOptions {
-    /// The production fast path: typed keys + row cache.
+    /// The production fast path: typed keys + row cache, memory-only.
     pub fn fast(members: usize) -> Self {
         DbOptions {
             members,
             typed_keys: true,
             cache: true,
+            durable: false,
+            wal_snapshot_every: WalConfig::default().snapshot_every,
+        }
+    }
+
+    /// The fast path with the write-ahead log attached — what the control
+    /// plane runs in production ([`CanaryDb::new`]).
+    pub fn durable(members: usize) -> Self {
+        DbOptions {
+            durable: true,
+            ..Self::fast(members)
         }
     }
 
@@ -429,6 +466,8 @@ impl DbOptions {
             members,
             typed_keys: false,
             cache: false,
+            durable: false,
+            wal_snapshot_every: WalConfig::default().snapshot_every,
         }
     }
 }
@@ -492,28 +531,42 @@ impl CanaryDb {
     ];
 
     /// New database replicated across `members` cluster members, on the
-    /// fast path (typed keys + row cache). Setting the `CANARY_NO_DB_CACHE`
-    /// environment variable disables the cache.
+    /// fast path (typed keys + row cache) with the write-ahead log
+    /// attached. Setting the `CANARY_NO_DB_CACHE` environment variable
+    /// disables the cache; `CANARY_NO_WAL` disables durability (a
+    /// controller crash then loses all metadata).
     pub fn new(members: usize) -> Self {
-        let mut opts = DbOptions::fast(members);
+        let mut opts = DbOptions::durable(members);
         if std::env::var_os("CANARY_NO_DB_CACHE").is_some() {
             opts.cache = false;
+        }
+        if std::env::var_os("CANARY_NO_WAL").is_some() {
+            opts.durable = false;
         }
         Self::with_options(opts)
     }
 
     /// New database with explicit fast-path/oracle configuration.
     pub fn with_options(opts: DbOptions) -> Self {
-        CanaryDb {
-            kv: ReplicatedKv::new(
+        let store_config = StoreConfig {
+            shards: 16,
+            // Metadata rows are small; the entry limit applies to
+            // checkpoint payloads, not table rows.
+            entry_limit: u64::MAX,
+        };
+        let kv = if opts.durable {
+            ReplicatedKv::durable(
                 opts.members,
-                StoreConfig {
-                    shards: 16,
-                    // Metadata rows are small; the entry limit applies to
-                    // checkpoint payloads, not table rows.
-                    entry_limit: u64::MAX,
+                store_config,
+                WalConfig {
+                    snapshot_every: opts.wal_snapshot_every,
                 },
-            ),
+            )
+        } else {
+            ReplicatedKv::new(opts.members, store_config)
+        };
+        CanaryDb {
+            kv,
             traffic: Default::default(),
             typed_keys: opts.typed_keys,
             cache: RowCache {
@@ -521,6 +574,28 @@ impl CanaryDb {
                 ..Default::default()
             },
         }
+    }
+
+    /// Kill and restart the control plane's metadata substrate in place:
+    /// every in-memory copy (and the row cache, which lives in the same
+    /// process) is lost, a torn in-flight record is left on the log, and
+    /// the group is rebuilt from the WAL's snapshot + log. Without a WAL
+    /// the restart is lossy: the store comes back empty and readers see
+    /// missing rows (Canary's restore path then falls back to
+    /// rerun-from-start).
+    pub fn crash_and_recover(&self) -> Result<WalRecovery, DbError> {
+        let recovery = self.kv.crash_and_recover(true)?;
+        if self.cache.enabled {
+            let mut inner = self.cache.inner.lock();
+            inner.jobs.clear();
+            inner.functions.clear();
+            inner.checkpoints.clear();
+            // Perfect recovery restores the generation to its pre-crash
+            // value, so re-sync the watermark explicitly — the cache died
+            // with the process either way.
+            inner.seen_generation = self.kv.generation();
+        }
+        Ok(recovery)
     }
 
     fn note_read(&self, table: usize) {
@@ -1025,9 +1100,8 @@ mod tests {
         assert_eq!(
             run(DbOptions::fast(3)),
             run(DbOptions {
-                members: 3,
-                typed_keys: true,
                 cache: false,
+                ..DbOptions::fast(3)
             })
         );
     }
@@ -1053,9 +1127,8 @@ mod tests {
         assert_eq!(db.cache_stats(), (3, 1));
 
         let uncached = CanaryDb::with_options(DbOptions {
-            members: 3,
-            typed_keys: true,
             cache: false,
+            ..DbOptions::fast(3)
         });
         uncached.put_job(&sample_job(1)).unwrap();
         uncached.get_job(1).unwrap();
@@ -1066,9 +1139,8 @@ mod tests {
     fn cached_reads_match_direct_after_interleaved_writes() {
         let cached = CanaryDb::with_options(DbOptions::fast(3));
         let direct = CanaryDb::with_options(DbOptions {
-            members: 3,
-            typed_keys: true,
             cache: false,
+            ..DbOptions::fast(3)
         });
         for db in [&cached, &direct] {
             for ckpt_id in 0..5u64 {

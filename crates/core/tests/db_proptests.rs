@@ -3,10 +3,17 @@
 //! one and to the legacy string-keyed oracle, under arbitrary op
 //! sequences — including chaos ops (member crashes, resyncing
 //! recoveries, and empty rejoins) that invalidate the row cache.
+//!
+//! A second property covers durability: a WAL-backed db that crash-
+//! restarts at arbitrary points (log-replay-only and snapshot+replay
+//! configurations both) must stay observationally identical to an
+//! in-memory db that never crashed — rows, retained checkpoint windows,
+//! and the membership generation counter all included.
 
 use canary_core::db::{CanaryDb, CheckpointInfoRow, DbOptions, FunctionInfoRow, JobInfoRow};
 use canary_workloads::RuntimeKind;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,6 +27,9 @@ enum Op {
     FailNode(u8),
     RecoverNode(u8),
     RejoinEmpty(u8),
+    /// Kill every db except the first (the never-crashing oracle) and
+    /// recover it from its WAL, torn in-flight record included.
+    CrashRestart,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -34,6 +44,24 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0u8..3).prop_map(Op::FailNode),
         (0u8..3).prop_map(Op::RecoverNode),
         (0u8..3).prop_map(Op::RejoinEmpty),
+    ]
+}
+
+/// The durable-equivalence op mix: everything above plus crash-restarts
+/// at ~1-in-9 odds, frequent enough that most sequences crash at least
+/// once (the vendored `prop_oneof!` has no weight syntax, hence the
+/// repeated arms).
+fn durable_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        op_strategy(),
+        op_strategy(),
+        op_strategy(),
+        op_strategy(),
+        op_strategy(),
+        op_strategy(),
+        op_strategy(),
+        op_strategy(),
+        Just(Op::CrashRestart),
     ]
 }
 
@@ -71,6 +99,116 @@ fn ckpt_row(fn_id: u64, ckpt_id: u64) -> CheckpointInfoRow {
     }
 }
 
+fn all_equal<T: PartialEq + std::fmt::Debug>(xs: &[T]) -> Result<(), TestCaseError> {
+    for x in &xs[1..] {
+        prop_assert_eq!(&xs[0], x);
+    }
+    Ok(())
+}
+
+/// Apply one op to every db, requiring identical observable results.
+/// `Op::CrashRestart` spares `dbs[0]` — it is the oracle the recovered
+/// stores are judged against.
+fn apply_op(dbs: &[&CanaryDb], op: &Op) -> Result<(), TestCaseError> {
+    match *op {
+        Op::PutJob(j) => {
+            let oks: Vec<bool> = dbs
+                .iter()
+                .map(|db| db.put_job(&job_row(j as u32)).is_ok())
+                .collect();
+            all_equal(&oks)?;
+        }
+        Op::GetJob(j) => {
+            let rows: Vec<Option<JobInfoRow>> =
+                dbs.iter().map(|db| db.get_job(j as u32).ok()).collect();
+            all_equal(&rows)?;
+        }
+        Op::PutFunction(f, s) => {
+            let oks: Vec<bool> = dbs
+                .iter()
+                .map(|db| db.put_function(&fn_row(f as u64, s)).is_ok())
+                .collect();
+            all_equal(&oks)?;
+        }
+        Op::GetFunction(f) => {
+            let rows: Vec<Option<FunctionInfoRow>> = dbs
+                .iter()
+                .map(|db| db.get_function(f as u64).ok())
+                .collect();
+            all_equal(&rows)?;
+        }
+        Op::PutCheckpoint(f, c) => {
+            let oks: Vec<bool> = dbs
+                .iter()
+                .map(|db| db.put_checkpoint(&ckpt_row(f as u64, c as u64)).is_ok())
+                .collect();
+            all_equal(&oks)?;
+        }
+        Op::DeleteCheckpoint(f, c) => {
+            let oks: Vec<bool> = dbs
+                .iter()
+                .map(|db| db.delete_checkpoint(f as u64, c as u64).is_ok())
+                .collect();
+            all_equal(&oks)?;
+        }
+        Op::CheckpointsOf(f) => {
+            let rows: Vec<Option<Vec<CheckpointInfoRow>>> = dbs
+                .iter()
+                .map(|db| db.checkpoints_of(f as u64).ok())
+                .collect();
+            all_equal(&rows)?;
+        }
+        Op::FailNode(n) => {
+            for db in dbs {
+                let _ = db.kv().fail_node(n as usize);
+            }
+        }
+        Op::RecoverNode(n) => {
+            let oks: Vec<bool> = dbs
+                .iter()
+                .map(|db| db.kv().recover_node(n as usize).is_ok())
+                .collect();
+            all_equal(&oks)?;
+        }
+        Op::RejoinEmpty(n) => {
+            for db in dbs {
+                let _ = db.kv().rejoin_empty(n as usize);
+            }
+        }
+        Op::CrashRestart => {
+            for db in &dbs[1..] {
+                let info = db.crash_and_recover();
+                prop_assert!(info.is_ok(), "recovery failed: {:?}", info.err());
+                // The crash leaves a torn in-flight record behind; a
+                // clean recovery must detect and discard it every time.
+                prop_assert!(info.unwrap().torn_tail);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Full-table agreement: every job id, every function row, and every
+/// function's retained checkpoint window match across all dbs.
+fn check_tables(dbs: &[&CanaryDb]) -> Result<(), TestCaseError> {
+    for id in 0u8..8 {
+        let jobs: Vec<Option<JobInfoRow>> =
+            dbs.iter().map(|db| db.get_job(id as u32).ok()).collect();
+        all_equal(&jobs)?;
+        let fns: Vec<Option<FunctionInfoRow>> = dbs
+            .iter()
+            .map(|db| db.get_function(id as u64).ok())
+            .collect();
+        all_equal(&fns)?;
+        let windows: Vec<Option<Vec<CheckpointInfoRow>>> = dbs
+            .iter()
+            .map(|db| db.checkpoints_of(id as u64).ok())
+            .collect();
+        all_equal(&windows)?;
+    }
+    Ok(())
+}
+
 proptest! {
     /// Drive a cached db, a direct (cache-off) db, and the string-keyed
     /// oracle through the same op sequence and require identical
@@ -81,94 +219,48 @@ proptest! {
     fn cached_reads_equal_direct_reads(ops in proptest::collection::vec(op_strategy(), 0..120)) {
         let cached = CanaryDb::with_options(DbOptions::fast(3));
         let direct = CanaryDb::with_options(DbOptions {
-            members: 3,
-            typed_keys: true,
             cache: false,
+            ..DbOptions::fast(3)
         });
         let oracle = CanaryDb::with_options(DbOptions::string_oracle(3));
         let dbs = [&cached, &direct, &oracle];
-        for op in ops {
-            match op {
-                Op::PutJob(j) => {
-                    let oks: Vec<bool> =
-                        dbs.iter().map(|db| db.put_job(&job_row(j as u32)).is_ok()).collect();
-                    prop_assert_eq!(oks[0], oks[1]);
-                    prop_assert_eq!(oks[0], oks[2]);
-                }
-                Op::GetJob(j) => {
-                    let rows: Vec<Option<JobInfoRow>> =
-                        dbs.iter().map(|db| db.get_job(j as u32).ok()).collect();
-                    prop_assert_eq!(&rows[0], &rows[1]);
-                    prop_assert_eq!(&rows[0], &rows[2]);
-                }
-                Op::PutFunction(f, s) => {
-                    let oks: Vec<bool> = dbs
-                        .iter()
-                        .map(|db| db.put_function(&fn_row(f as u64, s)).is_ok())
-                        .collect();
-                    prop_assert_eq!(oks[0], oks[1]);
-                    prop_assert_eq!(oks[0], oks[2]);
-                }
-                Op::GetFunction(f) => {
-                    let rows: Vec<Option<FunctionInfoRow>> =
-                        dbs.iter().map(|db| db.get_function(f as u64).ok()).collect();
-                    prop_assert_eq!(&rows[0], &rows[1]);
-                    prop_assert_eq!(&rows[0], &rows[2]);
-                }
-                Op::PutCheckpoint(f, c) => {
-                    let oks: Vec<bool> = dbs
-                        .iter()
-                        .map(|db| db.put_checkpoint(&ckpt_row(f as u64, c as u64)).is_ok())
-                        .collect();
-                    prop_assert_eq!(oks[0], oks[1]);
-                    prop_assert_eq!(oks[0], oks[2]);
-                }
-                Op::DeleteCheckpoint(f, c) => {
-                    let oks: Vec<bool> = dbs
-                        .iter()
-                        .map(|db| db.delete_checkpoint(f as u64, c as u64).is_ok())
-                        .collect();
-                    prop_assert_eq!(oks[0], oks[1]);
-                    prop_assert_eq!(oks[0], oks[2]);
-                }
-                Op::CheckpointsOf(f) => {
-                    let rows: Vec<Option<Vec<CheckpointInfoRow>>> =
-                        dbs.iter().map(|db| db.checkpoints_of(f as u64).ok()).collect();
-                    prop_assert_eq!(&rows[0], &rows[1]);
-                    prop_assert_eq!(&rows[0], &rows[2]);
-                }
-                Op::FailNode(n) => {
-                    for db in dbs {
-                        let _ = db.kv().fail_node(n as usize);
-                    }
-                }
-                Op::RecoverNode(n) => {
-                    let oks: Vec<bool> = dbs
-                        .iter()
-                        .map(|db| db.kv().recover_node(n as usize).is_ok())
-                        .collect();
-                    prop_assert_eq!(oks[0], oks[1]);
-                    prop_assert_eq!(oks[0], oks[2]);
-                }
-                Op::RejoinEmpty(n) => {
-                    for db in dbs {
-                        let _ = db.kv().rejoin_empty(n as usize);
-                    }
-                }
-            }
-            // Full-table agreement after every step: every job id and
-            // every function's retained checkpoint window match across
-            // the three configurations.
-            for id in 0u8..8 {
-                let jobs: Vec<Option<JobInfoRow>> =
-                    dbs.iter().map(|db| db.get_job(id as u32).ok()).collect();
-                prop_assert_eq!(&jobs[0], &jobs[1]);
-                prop_assert_eq!(&jobs[0], &jobs[2]);
-                let windows: Vec<Option<Vec<CheckpointInfoRow>>> =
-                    dbs.iter().map(|db| db.checkpoints_of(id as u64).ok()).collect();
-                prop_assert_eq!(&windows[0], &windows[1]);
-                prop_assert_eq!(&windows[0], &windows[2]);
-            }
+        for op in &ops {
+            apply_op(&dbs, op)?;
+            check_tables(&dbs)?;
+        }
+    }
+
+    /// Three-way durability equivalence: an in-memory db that never
+    /// crashes, a durable db that recovers by replaying its whole log,
+    /// and a durable db that recovers from snapshot + log tail must stay
+    /// observationally identical under arbitrary op sequences with
+    /// crash-restarts mixed in — including membership fail / recover /
+    /// rejoin-empty churn, so the generation counter that drives row-
+    /// cache invalidation provably survives restarts.
+    #[test]
+    fn durable_recovery_matches_memory_and_snapshot_replay(
+        ops in proptest::collection::vec(durable_op_strategy(), 0..100)
+    ) {
+        let memory = CanaryDb::with_options(DbOptions::fast(3));
+        let log_replay = CanaryDb::with_options(DbOptions {
+            durable: true,
+            wal_snapshot_every: u64::MAX, // never snapshot: replay everything
+            ..DbOptions::fast(3)
+        });
+        let snapshotting = CanaryDb::with_options(DbOptions {
+            durable: true,
+            wal_snapshot_every: 8, // compact aggressively
+            ..DbOptions::fast(3)
+        });
+        let dbs = [&memory, &log_replay, &snapshotting];
+        for op in &ops {
+            apply_op(&dbs, op)?;
+            // The membership generation is restored exactly (not merely
+            // bumped past), so cached rows from before the crash stay
+            // valid unless a membership change actually happened.
+            prop_assert_eq!(log_replay.kv().generation(), memory.kv().generation());
+            prop_assert_eq!(snapshotting.kv().generation(), memory.kv().generation());
+            check_tables(&dbs)?;
         }
     }
 }

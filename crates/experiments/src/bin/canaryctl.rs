@@ -8,8 +8,10 @@
 //!           [--trace-out PATH] [--telemetry-out PATH] [--timeline]
 //!
 //! canaryctl chaos [--scenario NAME | --spec PATH] [--seed N]
-//!                 [--strategy ...] [--list]
+//!                 [--strategy ...] [--list] [--wal-out PATH]
 //!                 [--trace-out PATH] [--telemetry-out PATH] [--timeline]
+//!
+//! canaryctl wal --in WAL.bin
 //!
 //! canaryctl load [--quick] [--rates F,F,...] [--jobs N]
 //!                [--max-inflight N] [--error-rate F] [--seed N]
@@ -43,6 +45,12 @@
 //! or a TOML spec file (`--spec`). The fault schedule is spec-driven;
 //! `--seed` moves only the straggler/corruption oracles and the regular
 //! failure injection, so a failing seed reproduces byte-identically.
+//! With `--wal-out` (canary strategies only) the metadata db's
+//! write-ahead log image is dumped after the run for offline inspection.
+//!
+//! The `wal` subcommand inspects such a dump: the snapshot header, every
+//! logged record, and any torn tail. Corruption is reported as a typed
+//! error and exits nonzero.
 //!
 //! Example: compare Canary against retry on 200 BFS functions at 25%:
 //!
@@ -98,7 +106,7 @@ fn usage() -> ! {
          \x20                [--reps N] [--node-failures F]\n\
          \x20                [--trace-out PATH] [--telemetry-out PATH] [--timeline]\n\
          \x20                [--perfetto-out PATH] [--spans-out PATH] [--blame]\n\
-         subcommands: chaos, load, trace (see canaryctl <cmd> --help)"
+         subcommands: chaos, load, trace, wal (see canaryctl <cmd> --help)"
     );
     exit(2)
 }
@@ -183,7 +191,7 @@ fn chaos_usage() -> ! {
     eprintln!(
         "usage: canaryctl chaos [--scenario NAME | --spec PATH] [--seed N]\n\
          \x20                      [--strategy canary|canary-ar|canary-lr|retry|rr|as]\n\
-         \x20                      [--list]\n\
+         \x20                      [--list] [--wal-out PATH]\n\
          \x20                      [--trace-out PATH] [--telemetry-out PATH] [--timeline]\n\
          scenarios: {}",
         chaos::SCENARIOS.join(", ")
@@ -200,6 +208,7 @@ fn chaos_main(raw: Vec<String>) {
     let mut spec_path: Option<String> = None;
     let mut seed: u64 = 42;
     let mut strategy = StrategyKind::Canary(ReplicationStrategyKind::Dynamic);
+    let mut wal_out: Option<String> = None;
     let mut it = rest.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
@@ -213,6 +222,7 @@ fn chaos_main(raw: Vec<String>) {
             "--spec" => spec_path = Some(value("--spec")),
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| chaos_usage()),
             "--strategy" => strategy = parse_strategy(&value("--strategy")),
+            "--wal-out" => wal_out = Some(value("--wal-out")),
             "--list" => {
                 for name in chaos::SCENARIOS {
                     println!("{name}");
@@ -244,10 +254,32 @@ fn chaos_main(raw: Vec<String>) {
     };
     let scenario = chaos::demo_scenario(spec);
     let expected: u32 = scenario.jobs.iter().map(|j| j.invocations).sum();
-    let result = if obs.needs_causal() {
-        scenario.run_instrumented(strategy, seed)
-    } else {
-        scenario.run_observed(strategy, seed)
+    let result = match &wal_out {
+        Some(path) => {
+            // The WAL lives inside the Canary strategy's metadata db, so
+            // build the strategy out here and keep it after the run.
+            let StrategyKind::Canary(kind) = strategy else {
+                eprintln!("--wal-out requires a canary strategy (the WAL is its metadata log)");
+                chaos_usage()
+            };
+            let mut built =
+                canary_core::CanaryStrategy::new(canary_core::CanaryConfig::with_replication(kind));
+            let result = scenario.run_observed_with(strategy, &mut built, seed);
+            match built.db().kv().wal() {
+                Some(wal) => {
+                    let bytes = wal.to_bytes();
+                    std::fs::write(path, &bytes).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    println!("wal image -> {path} ({} bytes)", bytes.len());
+                }
+                None => eprintln!("note: durability is off (CANARY_NO_WAL); no WAL to dump"),
+            }
+            result
+        }
+        None if obs.needs_causal() => scenario.run_instrumented(strategy, seed),
+        None => scenario.run_observed(strategy, seed),
     };
 
     let source = spec_path.unwrap_or(scenario_name);
@@ -303,6 +335,16 @@ fn chaos_main(raw: Vec<String>) {
             result
                 .trace
                 .count(|k| matches!(k, TraceKind::RestoreFallback { .. })),
+        ),
+        (
+            "controller crashes",
+            result
+                .trace
+                .count(|k| matches!(k, TraceKind::ControllerCrashed)),
+        ),
+        (
+            "wal records replayed",
+            result.counters.wal_records_replayed as usize,
         ),
     ] {
         println!("  {label:<22} {count}");
@@ -495,10 +537,115 @@ fn trace_main(raw: Vec<String>) {
     }
 }
 
+fn wal_usage() -> ! {
+    eprintln!(
+        "usage: canaryctl wal --in WAL.bin\n\
+         inspects a write-ahead-log image dumped with `canaryctl chaos --wal-out`:\n\
+         prints the snapshot header, every logged record, and any torn tail;\n\
+         exits nonzero if the image is corrupt"
+    );
+    exit(2)
+}
+
+fn wal_op_line(op: &canary_kvstore::WalOp) -> String {
+    use canary_kvstore::WalOp;
+    let printable = |b: &[u8]| -> String {
+        if b.iter().all(|c| c.is_ascii_graphic() || *c == b' ') {
+            String::from_utf8_lossy(b).into_owned()
+        } else {
+            format!("<{} bytes>", b.len())
+        }
+    };
+    match op {
+        WalOp::Put { key, value } => {
+            format!("put    {} ({} bytes)", printable(key), value.len())
+        }
+        WalOp::Remove { key } => format!("remove {}", printable(key)),
+        WalOp::FailNode(n) => format!("fail-node    {n}"),
+        WalOp::RecoverNode(n) => format!("recover-node {n}"),
+        WalOp::RejoinEmpty(n) => format!("rejoin-empty {n}"),
+    }
+}
+
+fn wal_main(raw: Vec<String>) {
+    use canary_kvstore::{Wal, WalConfig};
+    let mut input: Option<String> = None;
+    let mut it = raw.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                wal_usage()
+            })
+        };
+        match flag.as_str() {
+            "--in" => input = Some(value("--in")),
+            "--help" | "-h" => wal_usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                wal_usage()
+            }
+        }
+    }
+    let Some(input) = input else { wal_usage() };
+    let bytes = std::fs::read(&input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        exit(1)
+    });
+    let wal = Wal::from_bytes(&bytes, WalConfig::default()).unwrap_or_else(|e| {
+        eprintln!("corrupt wal image {input}: {e}");
+        exit(1)
+    });
+    let replay = wal.replay().unwrap_or_else(|e| {
+        eprintln!("corrupt wal log {input}: {e}");
+        exit(1)
+    });
+    let stats = wal.stats();
+    println!(
+        "wal image: {} bytes ({} snapshot + {} log)",
+        bytes.len(),
+        stats.snapshot_bytes,
+        stats.log_bytes
+    );
+    match &replay.snapshot {
+        Some(snap) => {
+            let alive: Vec<String> = snap
+                .alive
+                .iter()
+                .enumerate()
+                .map(|(i, a)| format!("{i}{}", if *a { "+" } else { "-" }))
+                .collect();
+            println!(
+                "snapshot: generation {}, members [{}], {} entries",
+                snap.generation,
+                alive.join(" "),
+                snap.entries.len()
+            );
+        }
+        None => println!("snapshot: none (log never compacted)"),
+    }
+    println!(
+        "log: {} records, {} bytes replayed",
+        replay.ops.len(),
+        replay.replayed_bytes
+    );
+    for (i, op) in replay.ops.iter().enumerate() {
+        println!("  [{i:>4}] {}", wal_op_line(op));
+    }
+    match replay.torn_at {
+        Some(offset) => println!("torn tail at log offset {offset} (discarded on replay)"),
+        None => println!("clean tail (log ends on a record boundary)"),
+    }
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("chaos") => {
             chaos_main(std::env::args().skip(2).collect());
+            return;
+        }
+        Some("wal") => {
+            wal_main(std::env::args().skip(2).collect());
             return;
         }
         Some("load") => {

@@ -28,12 +28,14 @@
 //! `canaryctl chaos --scenario NAME --seed N`.
 
 use crate::scenario::Scenario;
-use canary_cluster::{BurstSpec, ChaosSpec, DegradeSpec, PartitionSpec, StoreOutageSpec};
+use canary_cluster::{
+    BurstSpec, ChaosSpec, ControllerCrashSpec, DegradeSpec, PartitionSpec, StoreOutageSpec,
+};
 use canary_platform::JobSpec;
 use canary_workloads::{WorkloadKind, WorkloadSpec};
 
 /// Names of the curated chaos scenarios, in menu order.
-pub const SCENARIOS: [&str; 7] = [
+pub const SCENARIOS: [&str; 8] = [
     "partition",
     "store-outage",
     "degrade",
@@ -41,6 +43,7 @@ pub const SCENARIOS: [&str; 7] = [
     "corruption",
     "burst",
     "mixed",
+    "controller-crash",
 ];
 
 /// Look up a curated chaos scenario by name.
@@ -128,6 +131,15 @@ pub fn named(name: &str) -> Option<ChaosSpec> {
             });
             spec.straggler_rate = 0.2;
             spec.corruption_rate = 0.35;
+        }
+        "controller-crash" => {
+            // The full mixed storm plus a control-plane crash-restart in
+            // the thick of it. The crash instant is an odd microsecond so
+            // it can never collide with (and reorder against) regular
+            // engine events, which land on coarser timestamps.
+            spec = named("mixed").expect("mixed scenario exists");
+            spec.controller_crashes
+                .push(ControllerCrashSpec { at_us: 22_500_001 });
         }
         _ => return None,
     }
@@ -217,6 +229,12 @@ fn finish_block(spec: &mut ChaosSpec, section: &str, block: Block) -> Result<(),
                 at_s: block.require(section, "at_s")? as u64,
                 rack: block.require(section, "rack")? as u32,
                 count: block.require(section, "count")? as u32,
+            });
+        }
+        "controller_crash" => {
+            block.check_keys(section, &["at_us"])?;
+            spec.controller_crashes.push(ControllerCrashSpec {
+                at_us: block.require(section, "at_us")? as u64,
             });
         }
         other => return Err(format!("unknown section [[{other}]]")),
@@ -344,6 +362,33 @@ mod tests {
         assert_eq!(spec.store_outages[1].rejoin_s, None, "rejoin is optional");
         assert_eq!(spec.degrades.len(), 1);
         assert_eq!(spec.bursts.len(), 1);
+    }
+
+    #[test]
+    fn controller_crash_scenario_extends_mixed() {
+        let spec = named("controller-crash").unwrap();
+        let mixed = named("mixed").unwrap();
+        assert_eq!(spec.partitions, mixed.partitions);
+        assert_eq!(spec.store_outages, mixed.store_outages);
+        assert_eq!(spec.controller_crashes.len(), 1);
+        assert_eq!(
+            spec.controller_crashes[0].at_us % 2,
+            1,
+            "crash instant must be an odd microsecond so it never ties \
+             with a regular event timestamp"
+        );
+        assert!(mixed.controller_crashes.is_empty());
+    }
+
+    #[test]
+    fn controller_crash_blocks_parse() {
+        let spec = parse_spec("[[controller_crash]]\nat_us = 22500001\n").unwrap();
+        assert_eq!(
+            spec.controller_crashes,
+            vec![ControllerCrashSpec { at_us: 22_500_001 }]
+        );
+        let err = parse_spec("[[controller_crash]]\nat_s = 3\n").unwrap_err();
+        assert!(err.contains("at_s"), "{err}");
     }
 
     #[test]

@@ -246,6 +246,19 @@ pub fn trace_event_to_json(e: &TraceEvent) -> String {
             field_u(&mut s, "fn", fn_id.0);
             field_u(&mut s, "state", state as u64);
         }
+        TraceKind::ControllerCrashed => {
+            s.push_str(",\"kind\":\"controller_crashed\"");
+        }
+        TraceKind::ControllerRecovered {
+            snapshot,
+            replayed,
+            torn,
+        } => {
+            s.push_str(",\"kind\":\"controller_recovered\"");
+            field_u(&mut s, "snapshot", snapshot);
+            field_u(&mut s, "replayed", replayed);
+            field_u(&mut s, "torn", torn as u64);
+        }
     }
     // Causal links ride at the end of the line and only when present, so
     // traces recorded without `RunConfig::causal` keep their exact
@@ -515,6 +528,12 @@ fn event_from_map(map: &BTreeMap<String, Val>) -> Result<TraceEvent, String> {
             fn_id: fn_id()?,
             state: u("state")? as u32,
         },
+        "controller_crashed" => TraceKind::ControllerCrashed,
+        "controller_recovered" => TraceKind::ControllerRecovered {
+            snapshot: u("snapshot")?,
+            replayed: u("replayed")?,
+            torn: u("torn")? != 0,
+        },
         other => return Err(format!("unknown kind {other:?}")),
     };
     let link = |k: &str| SpanId(map.get(k).and_then(Val::as_u64).unwrap_or(0));
@@ -584,7 +603,9 @@ fn perfetto_tid(kind: &TraceKind) -> u64 {
         | TraceKind::NetworkDegraded { .. }
         | TraceKind::NetworkRestored
         | TraceKind::StoreOutage { .. }
-        | TraceKind::StoreRejoined { .. } => CLUSTER,
+        | TraceKind::StoreRejoined { .. }
+        | TraceKind::ControllerCrashed
+        | TraceKind::ControllerRecovered { .. } => CLUSTER,
     }
 }
 
@@ -1079,6 +1100,15 @@ mod tests {
                 TraceKind::RestoreFallback {
                     fn_id: FnId(7),
                     state: 2,
+                },
+            ),
+            TraceEvent::new(t(27), TraceKind::ControllerCrashed),
+            TraceEvent::new(
+                t(28),
+                TraceKind::ControllerRecovered {
+                    snapshot: 12,
+                    replayed: 34,
+                    torn: true,
                 },
             ),
         ]

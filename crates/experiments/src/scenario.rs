@@ -158,6 +158,23 @@ impl Scenario {
         run(self.config(strategy, seed), self.jobs.clone(), s.as_mut())
     }
 
+    /// Like [`Scenario::run_observed`], but driving a caller-built
+    /// strategy object, so state the strategy retains after the run —
+    /// e.g. the Canary metadata db and its write-ahead log — can be
+    /// inspected or exported. `kind` must match the strategy for the
+    /// config (the ideal kind forces a failure-free run).
+    pub fn run_observed_with(
+        &self,
+        kind: StrategyKind,
+        strategy: &mut dyn FtStrategy,
+        seed: u64,
+    ) -> RunResult {
+        let mut observed = self.clone();
+        observed.trace = true;
+        observed.telemetry = true;
+        run(observed.config(kind, seed), observed.jobs.clone(), strategy)
+    }
+
     /// Run `reps` repetitions in parallel (distinct seeds) and aggregate.
     pub fn run_repeated(&self, strategy: StrategyKind, reps: u64) -> Repeated {
         let runs: Vec<RunResult> = parallel_map((0..reps).collect(), |rep| {

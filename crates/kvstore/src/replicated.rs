@@ -16,9 +16,25 @@
 
 use crate::error::KvError;
 use crate::store::{KvStore, StoreConfig};
+use crate::wal::{SnapshotState, Wal, WalConfig, WalError, WalOp};
 use bytes::Bytes;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// What a crash-restart recovered from the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalRecovery {
+    /// Whether a WAL was attached; without one the restart loses all data.
+    pub durable: bool,
+    /// Rows loaded from the compacted snapshot.
+    pub snapshot_entries: u64,
+    /// Log records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Log bytes replayed (excludes any discarded torn tail).
+    pub replayed_bytes: u64,
+    /// True when a torn trailing record was found and discarded.
+    pub torn_tail: bool,
+}
 
 /// A KV store replicated across cluster members.
 #[derive(Debug)]
@@ -30,10 +46,13 @@ pub struct ReplicatedKv {
     /// rejoin loses data, recovery resyncs). Caches keyed on this value
     /// drop their entries when it moves.
     generation: AtomicU64,
+    /// When present, every mutation is logged through here before it is
+    /// acknowledged — the group can then be rebuilt after a crash.
+    wal: Option<Arc<Wal>>,
 }
 
 impl ReplicatedKv {
-    /// Create a replica group of `members` full copies.
+    /// Create a replica group of `members` full copies (memory-only).
     pub fn new(members: usize, config: StoreConfig) -> Self {
         assert!(members > 0, "replica group needs a member");
         ReplicatedKv {
@@ -42,7 +61,35 @@ impl ReplicatedKv {
                 .collect(),
             alive: (0..members).map(|_| AtomicBool::new(true)).collect(),
             generation: AtomicU64::new(0),
+            wal: None,
         }
+    }
+
+    /// Create a durable replica group backed by a fresh write-ahead log.
+    pub fn durable(members: usize, config: StoreConfig, wal_config: WalConfig) -> Self {
+        let mut group = ReplicatedKv::new(members, config);
+        group.wal = Some(Arc::new(Wal::new(wal_config)));
+        group
+    }
+
+    /// Open a durable replica group from an existing WAL, replaying its
+    /// snapshot + log into a fresh group and continuing to log through it.
+    /// A torn tail is discarded (and truncated away); corruption surfaces
+    /// as a typed [`WalError`].
+    pub fn open(
+        members: usize,
+        config: StoreConfig,
+        wal: Arc<Wal>,
+    ) -> Result<(Self, WalRecovery), WalError> {
+        let mut group = ReplicatedKv::new(members, config);
+        group.wal = Some(wal);
+        let recovery = group.restore_from_wal()?;
+        Ok((group, recovery))
+    }
+
+    /// The attached write-ahead log, when the group is durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// Number of members (live or not).
@@ -101,6 +148,7 @@ impl ReplicatedKv {
             }
         }
         if wrote {
+            self.log_op(&WalOp::Put { key, value });
             Ok(())
         } else {
             Err(KvError::NoReplicaAvailable)
@@ -124,6 +172,9 @@ impl ReplicatedKv {
                 store.remove(key);
             }
         }
+        self.log_op(&WalOp::Remove {
+            key: Bytes::copy_from_slice(key),
+        });
         Ok(())
     }
 
@@ -174,6 +225,7 @@ impl ReplicatedKv {
         flag.store(false, Ordering::Release);
         self.members[node].clear();
         self.bump_generation();
+        self.log_op(&WalOp::FailNode(node as u32));
         Ok(())
     }
 
@@ -192,6 +244,7 @@ impl ReplicatedKv {
         }
         self.alive[node].store(true, Ordering::Release);
         self.bump_generation();
+        self.log_op(&WalOp::RecoverNode(node as u32));
         Ok(())
     }
 
@@ -206,7 +259,170 @@ impl ReplicatedKv {
         self.members[node].clear();
         flag.store(true, Ordering::Release);
         self.bump_generation();
+        self.log_op(&WalOp::RejoinEmpty(node as u32));
         Ok(())
+    }
+
+    /// Log one acknowledged mutation, compacting the WAL into a snapshot
+    /// once enough records accumulate. No-op for memory-only groups.
+    ///
+    /// Compaction is deferred while live members have diverged (an
+    /// empty-rejoined member lags its peers until it fails and resyncs
+    /// from a donor): the snapshot fans one member's rows to every live
+    /// member, which would erase that divergence. The log suffix keeps
+    /// growing in the meantime and replay reproduces the divergence
+    /// op-by-op, so correctness never depends on compacting.
+    fn log_op(&self, op: &WalOp) {
+        if let Some(wal) = &self.wal {
+            wal.append(op);
+            if wal.wants_snapshot() && self.replicas_consistent() {
+                wal.install_snapshot(&self.group_snapshot());
+            }
+        }
+    }
+
+    /// Capture the whole group state for a compacting snapshot: the
+    /// generation, the liveness bitmap, and one live member's contents
+    /// (the caller checks live members are identical; on a total outage
+    /// the contents are empty, which is exactly the state to restore).
+    fn group_snapshot(&self) -> SnapshotState {
+        SnapshotState {
+            generation: self.generation(),
+            alive: self
+                .alive
+                .iter()
+                .map(|a| a.load(Ordering::Acquire))
+                .collect(),
+            entries: self
+                .first_live()
+                .map(|n| self.members[n].snapshot())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Apply one replayed op without re-logging it. Replay mirrors a
+    /// historically acknowledged mutation, so errors cannot recur; they
+    /// are ignored rather than propagated.
+    fn apply_replayed(&self, op: &WalOp) {
+        match op {
+            WalOp::Put { key, value } => {
+                for (store, alive) in self.members.iter().zip(&self.alive) {
+                    if alive.load(Ordering::Acquire) {
+                        let _ = store.put_shared(key.clone(), value.clone());
+                    }
+                }
+            }
+            WalOp::Remove { key } => {
+                for (store, alive) in self.members.iter().zip(&self.alive) {
+                    if alive.load(Ordering::Acquire) {
+                        store.remove(key);
+                    }
+                }
+            }
+            WalOp::FailNode(n) => {
+                if let Some(flag) = self.alive.get(*n as usize) {
+                    flag.store(false, Ordering::Release);
+                    self.members[*n as usize].clear();
+                    self.bump_generation();
+                }
+            }
+            WalOp::RecoverNode(n) => {
+                let node = *n as usize;
+                if node < self.members.len() {
+                    if let Some(donor) = self.first_live() {
+                        if donor != node {
+                            for (k, v) in self.members[donor].snapshot() {
+                                let _ = self.members[node].put_shared(k, v);
+                            }
+                        }
+                        self.alive[node].store(true, Ordering::Release);
+                        self.bump_generation();
+                    }
+                }
+            }
+            WalOp::RejoinEmpty(n) => {
+                if let Some(flag) = self.alive.get(*n as usize) {
+                    self.members[*n as usize].clear();
+                    flag.store(true, Ordering::Release);
+                    self.bump_generation();
+                }
+            }
+        }
+    }
+
+    /// Wipe the group and rebuild it from the attached WAL: load the
+    /// snapshot (generation, liveness, one member's rows fanned to every
+    /// live member), then replay the log suffix through the normal
+    /// mutation paths so the generation counter ends exactly where it was.
+    /// A torn tail is discarded and truncated away.
+    fn restore_from_wal(&self) -> Result<WalRecovery, WalError> {
+        let wal = self.wal.as_ref().expect("restore requires a WAL");
+        let replay = wal.replay()?;
+        for member in &self.members {
+            member.clear();
+        }
+        let (base_generation, alive, entries) = match &replay.snapshot {
+            Some(snap) => (snap.generation, snap.alive.clone(), snap.entries.clone()),
+            None => (0, vec![true; self.members.len()], Vec::new()),
+        };
+        self.generation.store(base_generation, Ordering::Release);
+        for (flag, restored) in self.alive.iter().zip(&alive) {
+            flag.store(*restored, Ordering::Release);
+        }
+        for (member, alive) in self.members.iter().zip(&self.alive) {
+            if alive.load(Ordering::Acquire) {
+                for (k, v) in &entries {
+                    let _ = member.put_shared(k.clone(), v.clone());
+                }
+            }
+        }
+        for op in &replay.ops {
+            self.apply_replayed(op);
+        }
+        if let Some(torn_at) = replay.torn_at {
+            wal.truncate_log_to(torn_at);
+        }
+        Ok(WalRecovery {
+            durable: true,
+            snapshot_entries: entries.len() as u64,
+            replayed_records: replay.ops.len() as u64,
+            replayed_bytes: replay.replayed_bytes,
+            torn_tail: replay.torn_at.is_some(),
+        })
+    }
+
+    /// Simulate the control plane dying and restarting: all in-memory
+    /// copies are lost, then the group is rebuilt from the WAL's
+    /// snapshot and log. When `tear` is set, a torn partial record is
+    /// first appended to the log — the write that was in flight when the
+    /// process died — which recovery must discard.
+    ///
+    /// Without a WAL the restart is lossy: every member comes back live
+    /// but empty (the `rejoin_empty` story, group-wide), and the
+    /// generation is bumped so caches above notice the data changed.
+    pub fn crash_and_recover(&self, tear: bool) -> Result<WalRecovery, WalError> {
+        match &self.wal {
+            Some(wal) => {
+                if tear {
+                    wal.append_torn(
+                        &WalOp::Put {
+                            key: Bytes::from_static(b"__inflight__"),
+                            value: Bytes::from_static(&[0xAA; 32]),
+                        },
+                        11,
+                    );
+                }
+                self.restore_from_wal()
+            }
+            None => {
+                for (member, alive) in self.members.iter().zip(&self.alive) {
+                    member.clear();
+                    alive.store(true, Ordering::Release);
+                }
+                self.bump_generation();
+                Ok(WalRecovery::default())
+            }
+        }
     }
 
     /// Verify all live members hold identical contents (test/debug aid).
@@ -355,6 +571,93 @@ mod tests {
         assert!(!g.contains("k"));
         assert!(g.replicas_consistent());
         assert!(g.is_empty());
+    }
+
+    fn durable_group(n: usize, snapshot_every: u64) -> ReplicatedKv {
+        ReplicatedKv::durable(
+            n,
+            StoreConfig::default(),
+            crate::wal::WalConfig { snapshot_every },
+        )
+    }
+
+    #[test]
+    fn durable_crash_recovery_restores_data_liveness_and_generation() {
+        let g = durable_group(3, 1_000_000);
+        g.put("a", Bytes::from_static(b"1")).unwrap();
+        g.fail_node(1).unwrap();
+        g.put("b", Bytes::from_static(b"2")).unwrap();
+        g.remove("a").unwrap();
+        let generation = g.generation();
+        let recovery = g.crash_and_recover(true).unwrap();
+        assert!(recovery.durable);
+        assert!(recovery.torn_tail, "torn in-flight write must be detected");
+        assert_eq!(recovery.replayed_records, 4);
+        assert_eq!(g.generation(), generation, "generation restored exactly");
+        assert!(!g.is_live(1).unwrap(), "liveness bitmap restored");
+        assert_eq!(g.live_count(), 2);
+        assert!(!g.contains("a"));
+        assert_eq!(g.get("b").unwrap(), Bytes::from_static(b"2"));
+        assert!(g.replicas_consistent());
+        // The torn tail was truncated away: the log keeps accepting writes
+        // and a second crash still recovers cleanly.
+        g.put("c", Bytes::from_static(b"3")).unwrap();
+        let again = g.crash_and_recover(false).unwrap();
+        assert!(!again.torn_tail);
+        assert_eq!(g.get("c").unwrap(), Bytes::from_static(b"3"));
+    }
+
+    #[test]
+    fn durable_recovery_goes_through_snapshots() {
+        // snapshot_every=2 forces many compactions; recovery must land on
+        // the same state as an uncompacted log would.
+        let g = durable_group(3, 2);
+        for i in 0..20 {
+            g.put(format!("k{i}"), Bytes::from(vec![i as u8])).unwrap();
+        }
+        g.fail_node(0).unwrap();
+        g.put("late", Bytes::from_static(b"x")).unwrap();
+        assert!(g.wal().unwrap().stats().snapshots_installed > 0);
+        g.crash_and_recover(true).unwrap();
+        assert_eq!(g.len(), 21);
+        assert!(!g.is_live(0).unwrap());
+        assert!(g.replicas_consistent());
+    }
+
+    #[test]
+    fn crash_without_wal_loses_everything_but_serves_again() {
+        let g = group(2);
+        g.put("k", Bytes::from_static(b"v")).unwrap();
+        let g0 = g.generation();
+        let recovery = g.crash_and_recover(true).unwrap();
+        assert!(!recovery.durable);
+        assert_eq!(recovery.replayed_records, 0);
+        assert!(!g.contains("k"), "memory-only restart is lossy");
+        assert_eq!(g.live_count(), 2);
+        assert!(g.generation() > g0, "caches must notice the loss");
+        g.put("k2", Bytes::from_static(b"w")).unwrap();
+        assert_eq!(g.get("k2").unwrap(), Bytes::from_static(b"w"));
+    }
+
+    #[test]
+    fn open_rebuilds_a_fresh_group_from_an_existing_wal() {
+        let g = durable_group(2, 3);
+        g.put("a", Bytes::from_static(b"1")).unwrap();
+        g.fail_node(0).unwrap();
+        g.recover_node(0).unwrap();
+        g.put("b", Bytes::from_static(b"2")).unwrap();
+        let image = g.wal().unwrap().to_bytes();
+        let wal = Arc::new(
+            crate::wal::Wal::from_bytes(&image, crate::wal::WalConfig { snapshot_every: 3 })
+                .unwrap(),
+        );
+        let (reopened, recovery) = ReplicatedKv::open(2, StoreConfig::default(), wal).unwrap();
+        assert!(recovery.durable);
+        assert_eq!(reopened.generation(), g.generation());
+        assert_eq!(reopened.len(), g.len());
+        assert_eq!(reopened.get("a").unwrap(), Bytes::from_static(b"1"));
+        assert_eq!(reopened.get("b").unwrap(), Bytes::from_static(b"2"));
+        assert!(reopened.replicas_consistent());
     }
 
     #[test]

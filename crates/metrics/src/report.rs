@@ -126,7 +126,7 @@ pub fn markdown_table(set: &SeriesSet) -> String {
 
 /// Render a run's engine-side counters as `name value` lines.
 pub fn counters_summary(c: &RunCounters) -> String {
-    let rows: [(&str, u64); 18] = [
+    let rows: [(&str, u64); 21] = [
         ("function_failures", c.function_failures),
         ("node_failures", c.node_failures),
         ("containers_created", c.containers_created),
@@ -145,6 +145,9 @@ pub fn counters_summary(c: &RunCounters) -> String {
         ("stragglers_injected", c.stragglers_injected),
         ("checkpoints_skipped", c.checkpoints_skipped),
         ("restore_fallbacks", c.restore_fallbacks),
+        ("controller_crashes", c.controller_crashes),
+        ("wal_records_replayed", c.wal_records_replayed),
+        ("wal_torn_tails", c.wal_torn_tails),
     ];
     let mut out = String::from("run counters\n");
     for (name, v) in rows {

@@ -138,6 +138,12 @@ pub struct RunCounters {
     pub checkpoints_skipped: u64,
     /// Restores that fell back past the newest retained checkpoint.
     pub restore_fallbacks: u64,
+    /// Control-plane crash-restarts injected by the chaos plan.
+    pub controller_crashes: u64,
+    /// WAL records replayed across all controller recoveries.
+    pub wal_records_replayed: u64,
+    /// Torn trailing WAL records discarded during controller recoveries.
+    pub wal_torn_tails: u64,
 }
 
 /// The complete result of one simulated run.

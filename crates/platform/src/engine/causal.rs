@@ -177,6 +177,14 @@ impl Platform {
                 }
                 (none, cause)
             }
+            TraceKind::ControllerCrashed => {
+                // The recovery emitted while handling the crash blames
+                // this span via the fault context, exactly like node
+                // failures; the engine closes it after the handler.
+                self.causal.fault_context = span;
+                (none, none)
+            }
+            TraceKind::ControllerRecovered { .. } => (none, self.causal.fault_context),
         };
         (span, parent, cause)
     }

@@ -733,8 +733,23 @@ impl Platform {
                 // recovery mechanics are identical to planned crashes.
                 self.handle_node_failure(strategy, node);
             }
+            FaultEvent::ControllerCrash => {
+                // The engine only announces the crash; the strategy owns
+                // the metadata substrate and performs (and traces) the
+                // WAL recovery in its `on_chaos` hook. The engine's own
+                // state — the event queue and the admission FIFO — is
+                // *not* part of the crashing process and survives.
+                self.counters.controller_crashes += 1;
+                self.telemetry.incr(Counter::ControllerCrashes);
+                self.emit(TraceKind::ControllerCrashed);
+            }
         }
         strategy.on_chaos(self, &fault);
+        // Recovery work emitted by the strategy blamed the crash span;
+        // later events must not.
+        if matches!(fault, FaultEvent::ControllerCrash) {
+            self.causal_clear_fault_context();
+        }
     }
 
     pub(super) fn handle_replica_warm(

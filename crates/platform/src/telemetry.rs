@@ -110,11 +110,15 @@ pub enum Counter {
     DbCacheHits,
     /// Metadata reads that went through to the store and decoded a row.
     DbCacheMisses,
+    /// Control-plane crash-restarts injected by chaos.
+    ControllerCrashes,
+    /// WAL records replayed across all controller recoveries.
+    WalRecordsReplayed,
 }
 
 impl Counter {
     /// All counters in display order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::CheckpointsWritten,
         Counter::CheckpointsRestored,
         Counter::JobsQueued,
@@ -132,6 +136,8 @@ impl Counter {
         Counter::RestoreFallbacks,
         Counter::DbCacheHits,
         Counter::DbCacheMisses,
+        Counter::ControllerCrashes,
+        Counter::WalRecordsReplayed,
     ];
 
     /// Stable label used in reports and JSONL export.
@@ -154,6 +160,8 @@ impl Counter {
             Counter::RestoreFallbacks => "restore_fallbacks",
             Counter::DbCacheHits => "db_cache_hit",
             Counter::DbCacheMisses => "db_cache_miss",
+            Counter::ControllerCrashes => "controller_crashes",
+            Counter::WalRecordsReplayed => "wal_records_replayed",
         }
     }
 }

@@ -237,6 +237,20 @@ pub enum TraceKind {
         /// State index execution actually resumes from.
         state: u32,
     },
+    /// The control plane's metadata substrate crashed: every in-memory
+    /// copy is lost and the write in flight is torn mid-record.
+    ControllerCrashed,
+    /// The control plane restarted, rebuilding its metadata from the
+    /// write-ahead log (snapshot + replayed records). With durability off
+    /// both counts are 0 and the metadata is simply gone.
+    ControllerRecovered {
+        /// Rows loaded from the compacted snapshot.
+        snapshot: u64,
+        /// Log records replayed on top of the snapshot.
+        replayed: u64,
+        /// Whether a torn trailing record was found and discarded.
+        torn: bool,
+    },
 }
 
 /// One trace record.
@@ -368,6 +382,23 @@ impl fmt::Display for TraceEvent {
                 } else {
                     write!(f, "fallback {fn_id} to state {state}")
                 }
+            }
+            TraceKind::ControllerCrashed => {
+                write!(f, "CTRL     control plane crashed (metadata lost)")
+            }
+            TraceKind::ControllerRecovered {
+                snapshot,
+                replayed,
+                torn,
+            } => {
+                write!(
+                    f,
+                    "ctrl     recovered from WAL: {snapshot} snapshot rows + {replayed} records"
+                )?;
+                if torn {
+                    write!(f, " (torn tail discarded)")?;
+                }
+                Ok(())
             }
         }
     }

@@ -98,6 +98,54 @@ fn mixed_chaos_trace_tells_the_whole_fault_story() {
 }
 
 #[test]
+fn controller_crash_trace_matches_golden() {
+    // The durable-control-plane scenario: the full mixed storm plus a
+    // controller crash-restart mid-run. The golden pins both crash
+    // markers and — because recovery is lossless and instantaneous in
+    // simulated time — an event stream otherwise identical to the mixed
+    // golden for the same seed.
+    let result = chaos::demo_scenario(chaos::named("controller-crash").expect("scenario"))
+        .run_observed(CANARY, 42);
+    assert_eq!(result.completed_count(), 24);
+    assert_eq!(result.counters.controller_crashes, 1);
+    assert_eq!(
+        result
+            .trace
+            .count(|k| matches!(k, TraceKind::ControllerRecovered { .. })),
+        1
+    );
+    assert!(result.counters.wal_records_replayed > 0);
+    check_golden(
+        "chaos_controller_crash_seed42.jsonl",
+        &trace_to_jsonl(&result.trace),
+    );
+}
+
+#[test]
+fn controller_crash_golden_is_the_mixed_golden_plus_markers() {
+    // Cross-golden invariant, checked against the committed bytes so CI
+    // catches a drift in either file: strip the crash markers from the
+    // controller-crash golden and the mixed seed-42 golden must remain.
+    let read = |name: &str| {
+        std::fs::read_to_string(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing golden {name} ({e}); bless with CANARY_BLESS=1"))
+    };
+    let filtered: String = read("chaos_controller_crash_seed42.jsonl")
+        .lines()
+        .filter(|l| {
+            !l.contains("\"kind\":\"controller_crashed\"")
+                && !l.contains("\"kind\":\"controller_recovered\"")
+        })
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    assert!(
+        filtered == read("chaos_mixed_seed42.jsonl"),
+        "crash markers aside, the controller-crash golden must equal the \
+         mixed golden byte-for-byte"
+    );
+}
+
+#[test]
 fn same_seed_reproduces_identical_trace_bytes() {
     let a = trace_to_jsonl(&mixed_run(7).trace);
     let b = trace_to_jsonl(&mixed_run(7).trace);

@@ -54,6 +54,8 @@ fn kind_name(kind: &TraceKind) -> &'static str {
         TraceKind::CheckpointCorrupted { .. } => "checkpoint_corrupted",
         TraceKind::CheckpointSkipped { .. } => "checkpoint_skipped",
         TraceKind::RestoreFallback { .. } => "restore_fallback",
+        TraceKind::ControllerCrashed => "controller_crashed",
+        TraceKind::ControllerRecovered { .. } => "controller_recovered",
     }
 }
 
