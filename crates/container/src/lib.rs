@@ -12,6 +12,7 @@ pub mod coldstart;
 pub mod image;
 pub mod lifecycle;
 pub mod manager;
+mod slot_index;
 
 pub use coldstart::{ColdStartModel, StartupCost};
 pub use image::ImageProfile;

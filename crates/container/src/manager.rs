@@ -19,6 +19,7 @@
 //! the scheduler micro-benchmarks.
 
 use crate::lifecycle::{Container, ContainerId, ContainerPurpose, ContainerState};
+use crate::slot_index::FreeSlotIndex;
 use canary_cluster::{Cluster, NodeId};
 use canary_workloads::RuntimeKind;
 use std::cmp::Reverse;
@@ -59,29 +60,30 @@ impl Error for PlacementError {}
 #[derive(Debug)]
 pub struct ContainerRegistry {
     next_id: u64,
-    containers: HashMap<ContainerId, Container>,
+    /// Dense arena indexed by `ContainerId` — ids are allocated
+    /// sequentially, so slot `i` IS container `i`. Lookups on the
+    /// engine's per-launch hot path are a bounds-checked array index,
+    /// not a hash probe.
+    containers: Vec<Container>,
     slots_free: Vec<u32>,
     node_up: Vec<bool>,
     /// Warm replica containers per runtime, ordered by id — maintained at
     /// every transition into / out of `Warm`.
     warm_replicas: HashMap<RuntimeKind, BTreeSet<ContainerId>>,
-    /// Up nodes ordered by `(free slots desc, node id)` — the
-    /// load-balancer view, maintained at every slot change.
-    nodes_by_free: BTreeSet<(Reverse<u32>, NodeId)>,
+    /// Up nodes bucketed by free-slot count — the load-balancer view in
+    /// `(free slots desc, node id)` order, maintained in O(1) bit flips
+    /// per slot change (see [`crate::slot_index`]).
+    nodes_by_free: FreeSlotIndex,
 }
 
 impl ContainerRegistry {
     /// Registry for a cluster (all nodes up, all slots free).
     pub fn new(cluster: &Cluster) -> Self {
         let slots_free: Vec<u32> = cluster.nodes().iter().map(|n| n.container_slots).collect();
-        let nodes_by_free = slots_free
-            .iter()
-            .enumerate()
-            .map(|(i, &free)| (Reverse(free), NodeId(i as u32)))
-            .collect();
+        let nodes_by_free = FreeSlotIndex::new(&slots_free);
         ContainerRegistry {
             next_id: 0,
-            containers: HashMap::new(),
+            containers: Vec::new(),
             slots_free,
             node_up: vec![true; cluster.len()],
             warm_replicas: HashMap::new(),
@@ -105,8 +107,7 @@ impl ContainerRegistry {
         let old = self.slots_free[node.0 as usize];
         self.slots_free[node.0 as usize] = free;
         if self.node_up[node.0 as usize] {
-            self.nodes_by_free.remove(&(Reverse(old), node));
-            self.nodes_by_free.insert((Reverse(free), node));
+            self.nodes_by_free.update(node, old, free);
         }
     }
 
@@ -117,7 +118,7 @@ impl ContainerRegistry {
         if was_warm == is_warm {
             return;
         }
-        let (purpose, runtime) = match self.containers.get(&id) {
+        let (purpose, runtime) = match self.containers.get(id.0 as usize) {
             Some(c) if c.purpose == ContainerPurpose::Replica => (c.purpose, c.runtime),
             _ => return,
         };
@@ -147,21 +148,21 @@ impl ContainerRegistry {
         self.set_free_slots(node, self.slots_free[idx] - 1);
         let id = ContainerId(self.next_id);
         self.next_id += 1;
-        self.containers
-            .insert(id, Container::new(id, node, runtime, purpose));
+        debug_assert_eq!(id.0 as usize, self.containers.len(), "dense id arena");
+        self.containers.push(Container::new(id, node, runtime, purpose));
         Ok(id)
     }
 
     /// Look up a container.
     pub fn get(&self, id: ContainerId) -> Option<&Container> {
-        self.containers.get(&id)
+        self.containers.get(id.0 as usize)
     }
 
     /// Apply a lifecycle transition; terminal transitions release the slot.
     pub fn transition(&mut self, id: ContainerId, next: ContainerState) -> Result<(), String> {
         let c = self
             .containers
-            .get_mut(&id)
+            .get_mut(id.0 as usize)
             .ok_or_else(|| format!("unknown container {id}"))?;
         let was_terminal = c.state.is_terminal();
         let was_warm = c.state == ContainerState::Warm;
@@ -181,7 +182,7 @@ impl ContainerRegistry {
     /// Containers currently in `state` with `purpose`, cluster-wide.
     pub fn count(&self, purpose: ContainerPurpose, state: ContainerState) -> usize {
         self.containers
-            .values()
+            .iter()
             .filter(|c| c.purpose == purpose && c.state == state)
             .count()
     }
@@ -190,7 +191,7 @@ impl ContainerRegistry {
     pub fn live_on(&self, node: NodeId) -> Vec<ContainerId> {
         let mut v: Vec<ContainerId> = self
             .containers
-            .values()
+            .iter()
             .filter(|c| c.node == node && !c.state.is_terminal())
             .map(|c| c.id)
             .collect();
@@ -215,7 +216,7 @@ impl ContainerRegistry {
     pub fn warm_replicas_scan(&self, runtime: RuntimeKind) -> Vec<ContainerId> {
         let mut v: Vec<ContainerId> = self
             .containers
-            .values()
+            .iter()
             .filter(|c| {
                 c.purpose == ContainerPurpose::Replica
                     && c.runtime == runtime
@@ -231,7 +232,17 @@ impl ContainerRegistry {
     /// load-balancer view. Answered from the ordered index: no per-call
     /// collection or sort.
     pub fn nodes_by_free_slots(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes_by_free.iter().map(|&(_, n)| n)
+        self.nodes_by_free.iter()
+    }
+
+    /// The load balancer's placement choice: the up node with the most
+    /// free slots (smallest id tie-break), or `None` when every up node
+    /// is full. Equivalent to the first `nodes_by_free_slots()` entry
+    /// with a free slot, but O(1) — including when the cluster is full,
+    /// which is exactly when placement gets retried the hardest.
+    pub fn best_free_node(&self) -> Option<NodeId> {
+        let n = self.nodes_by_free.first()?;
+        (self.slots_free[n.0 as usize] > 0).then_some(n)
     }
 
     /// Naive-scan oracle for [`ContainerRegistry::nodes_by_free_slots`] —
@@ -250,14 +261,21 @@ impl ContainerRegistry {
     pub fn fail_node(&mut self, node: NodeId) -> Vec<ContainerId> {
         let victims = self.live_on(node);
         for &id in &victims {
-            let c = self.containers.get_mut(&id).expect("live container exists");
+            let c = self
+                .containers
+                .get_mut(id.0 as usize)
+                .expect("live container exists");
             let was_warm = c.state == ContainerState::Warm;
             c.state = ContainerState::Failed;
             self.note_warm_change(id, was_warm, false);
         }
+        // Only up nodes are indexed; a second failure of the same node
+        // must stay the no-op it always was.
+        if self.node_up[node.0 as usize] {
+            self.nodes_by_free
+                .retire(node, self.slots_free[node.0 as usize]);
+        }
         self.node_up[node.0 as usize] = false;
-        self.nodes_by_free
-            .remove(&(Reverse(self.slots_free[node.0 as usize]), node));
         self.slots_free[node.0 as usize] = 0;
         victims
     }

@@ -1,0 +1,230 @@
+//! Bucketed free-slot index: the load balancer's `(free slots desc,
+//! node id asc)` view of up nodes, maintained in O(1) per slot change.
+//!
+//! The previous implementation kept a `BTreeSet<(Reverse<u32>, NodeId)>`;
+//! every container create/terminate did a remove + insert, each
+//! O(log nodes) of pointer-chasing that dominated the engine's launch
+//! handler at 10k-node scale. Free-slot counts only step by one, and
+//! their range is tiny (0..=slots-per-node), so the ordered view
+//! decomposes into one *bucket per free count*, each holding an
+//! id-ordered set of nodes. A slot change moves a node between adjacent
+//! buckets: two bit flips.
+//!
+//! Each bucket is a two-level bitmap over node ids — a word layer and a
+//! summary layer with one bit per word — so membership updates are O(1)
+//! and `first()` / in-order iteration skip empty regions 4096 ids at a
+//! time. Iteration order (buckets from most-free down, ids ascending
+//! within a bucket) is exactly the old BTreeSet order: the swap is
+//! invisible to placement, and traces stay byte-identical.
+
+use canary_cluster::NodeId;
+
+/// An id-ordered set of `NodeId`s as a two-level bitmap.
+#[derive(Debug, Clone, Default)]
+struct NodeSet {
+    /// Bit `w` of `summary[w / 64]` is set iff `words[w] != 0`.
+    summary: Vec<u64>,
+    /// Bit `i % 64` of `words[i / 64]` is set iff node `i` is a member.
+    words: Vec<u64>,
+    /// Member count, for O(1) emptiness checks.
+    len: u32,
+}
+
+impl NodeSet {
+    fn with_capacity(nodes: usize) -> Self {
+        let words = nodes.div_ceil(64);
+        NodeSet {
+            summary: vec![0; words.div_ceil(64)],
+            words: vec![0; words],
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, id: u32) {
+        let w = (id / 64) as usize;
+        let bit = 1u64 << (id % 64);
+        debug_assert_eq!(self.words[w] & bit, 0, "node already in bucket");
+        self.words[w] |= bit;
+        self.summary[w / 64] |= 1u64 << (w % 64);
+        self.len += 1;
+    }
+
+    fn remove(&mut self, id: u32) {
+        let w = (id / 64) as usize;
+        let bit = 1u64 << (id % 64);
+        debug_assert_ne!(self.words[w] & bit, 0, "node not in bucket");
+        self.words[w] &= !bit;
+        if self.words[w] == 0 {
+            self.summary[w / 64] &= !(1u64 << (w % 64));
+        }
+        self.len -= 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Smallest member id, skipping empty words via the summary layer.
+    fn first(&self) -> Option<u32> {
+        for (s, &sw) in self.summary.iter().enumerate() {
+            if sw != 0 {
+                let w = s * 64 + sw.trailing_zeros() as usize;
+                return Some((w * 64) as u32 + self.words[w].trailing_zeros() as u32);
+            }
+        }
+        None
+    }
+
+    /// Members in ascending id order.
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.summary.iter().enumerate().flat_map(move |(s, &sw)| {
+            let words = &self.words;
+            BitIter(sw).flat_map(move |sb| {
+                let w = s * 64 + sb as usize;
+                BitIter(words[w]).map(move |b| (w * 64) as u32 + b)
+            })
+        })
+    }
+}
+
+/// Iterates the set bit positions of a word, ascending.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+/// Up nodes bucketed by free-slot count, iterable as `(free desc, id
+/// asc)` — the load-balancer order.
+#[derive(Debug, Clone)]
+pub(crate) struct FreeSlotIndex {
+    /// `buckets[f]`: up nodes with exactly `f` free slots.
+    buckets: Vec<NodeSet>,
+    /// Highest `f` with a non-empty bucket, or `None` when no node is in
+    /// the index. A cursor, exact at all times.
+    max_free: Option<u32>,
+}
+
+impl FreeSlotIndex {
+    /// Index over `nodes` ids where node `i` starts with `initial[i]`
+    /// free slots (all nodes up).
+    pub(crate) fn new(initial: &[u32]) -> Self {
+        let top = initial.iter().copied().max().unwrap_or(0) as usize;
+        let mut buckets = vec![NodeSet::with_capacity(initial.len()); top + 1];
+        for (i, &free) in initial.iter().enumerate() {
+            buckets[free as usize].insert(i as u32);
+        }
+        let mut idx = FreeSlotIndex {
+            buckets,
+            max_free: None,
+        };
+        idx.max_free = idx.scan_max(top as u32);
+        idx
+    }
+
+    fn scan_max(&self, from: u32) -> Option<u32> {
+        (0..=from).rev().find(|&f| !self.buckets[f as usize].is_empty())
+    }
+
+    /// Move `node` from `old` free slots to `new` (both within the
+    /// initial range). O(1) plus a bounded cursor walk.
+    pub(crate) fn update(&mut self, node: NodeId, old: u32, new: u32) {
+        self.buckets[old as usize].remove(node.0);
+        self.buckets[new as usize].insert(node.0);
+        let cur = self.max_free.expect("index holds the node being moved");
+        if new > cur {
+            self.max_free = Some(new);
+        } else if old == cur && self.buckets[old as usize].is_empty() {
+            self.max_free = self.scan_max(cur);
+        }
+    }
+
+    /// Drop `node` (with `free` slots) from the index entirely — it went
+    /// down and must no longer be offered to the load balancer.
+    pub(crate) fn retire(&mut self, node: NodeId, free: u32) {
+        self.buckets[free as usize].remove(node.0);
+        if self.max_free == Some(free) && self.buckets[free as usize].is_empty() {
+            self.max_free = self.scan_max(free);
+        }
+    }
+
+    /// The first node in load-balancer order: most free slots, smallest
+    /// id. O(1) via the cursor + two-level bitmap.
+    pub(crate) fn first(&self) -> Option<NodeId> {
+        let f = self.max_free?;
+        self.buckets[f as usize].first().map(NodeId)
+    }
+
+    /// All indexed nodes, free slots descending, ids ascending within a
+    /// free count — identical to the retired BTreeSet's order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let top = self.max_free.map_or(0, |f| f + 1);
+        (0..top)
+            .rev()
+            .flat_map(move |f| self.buckets[f as usize].iter().map(NodeId))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_free_desc_then_id() {
+        let mut idx = FreeSlotIndex::new(&[2, 3, 3, 1]);
+        let order: Vec<u32> = idx.iter().map(|n| n.0).collect();
+        assert_eq!(order, vec![1, 2, 0, 3]);
+        assert_eq!(idx.first(), Some(NodeId(1)));
+        // Consume a slot on node 1: node 2 now leads.
+        idx.update(NodeId(1), 3, 2);
+        assert_eq!(idx.first(), Some(NodeId(2)));
+        let order: Vec<u32> = idx.iter().map(|n| n.0).collect();
+        assert_eq!(order, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn cursor_tracks_drain_and_refill() {
+        let mut idx = FreeSlotIndex::new(&[1, 1]);
+        idx.update(NodeId(0), 1, 0);
+        idx.update(NodeId(1), 1, 0);
+        assert_eq!(idx.first(), Some(NodeId(0)), "0-free nodes stay listed");
+        idx.update(NodeId(1), 0, 1);
+        assert_eq!(idx.first(), Some(NodeId(1)));
+        assert_eq!(idx.iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn retire_removes_from_view() {
+        let mut idx = FreeSlotIndex::new(&[2, 2, 2]);
+        idx.retire(NodeId(0), 2);
+        assert_eq!(idx.first(), Some(NodeId(1)));
+        assert_eq!(idx.iter().count(), 2);
+        idx.retire(NodeId(1), 2);
+        idx.retire(NodeId(2), 2);
+        assert_eq!(idx.first(), None);
+        assert_eq!(idx.iter().count(), 0);
+    }
+
+    #[test]
+    fn wide_id_space_skips_empty_words() {
+        // Nodes spread past several 64-id words and one summary word.
+        let mut initial = vec![0u32; 5000];
+        initial[4999] = 7;
+        initial[4500] = 7;
+        let mut idx = FreeSlotIndex::new(&initial);
+        assert_eq!(idx.first(), Some(NodeId(4500)));
+        idx.update(NodeId(4500), 7, 6);
+        assert_eq!(idx.first(), Some(NodeId(4999)));
+        let head: Vec<u32> = idx.iter().take(3).map(|n| n.0).collect();
+        assert_eq!(head, vec![4999, 4500, 0]);
+    }
+}

@@ -97,7 +97,9 @@ impl RuntimeManager {
                 affected.push(e.runtime);
             }
         }
-        affected.sort_by_key(|r| format!("{r}"));
+        // Same lexicographic order `format!("{r}")` gave, without a
+        // String allocation per lost container.
+        affected.sort_by_key(|r| r.label());
         affected.dedup();
         affected
     }

@@ -100,7 +100,7 @@ impl JobOutcome {
 }
 
 /// Miscellaneous run counters.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunCounters {
     /// Function-level failures injected.
     pub function_failures: u64,
@@ -144,6 +144,11 @@ pub struct RunCounters {
     pub wal_records_replayed: u64,
     /// Torn trailing WAL records discarded during controller recoveries.
     pub wal_torn_tails: u64,
+    /// Events dequeued and dispatched by the run loop. The honest
+    /// denominator for events/s and allocs/event throughput claims —
+    /// counted in the loop itself, with or without tracing.
+    #[serde(default)]
+    pub events_dispatched: u64,
 }
 
 /// The complete result of one simulated run.

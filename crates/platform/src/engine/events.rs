@@ -10,8 +10,9 @@ use crate::strategy::FtStrategy;
 use canary_cluster::NodeId;
 use canary_container::ContainerId;
 
-/// Engine events.
-#[derive(Debug, Clone)]
+/// Engine events. `Copy` so the event pool can slab-store them and hand
+/// out plain handles without ownership gymnastics.
+#[derive(Debug, Clone, Copy)]
 pub enum Event {
     /// A job's request reaches the platform (its `JobSpec` arrival
     /// offset elapsed, or its chain prerequisite completed). The request

@@ -48,9 +48,7 @@ pub(super) struct CloneOutcome {
 impl Platform {
     /// Load balancer: node with the most free slots.
     fn pick_node(&self) -> Option<NodeId> {
-        self.registry
-            .nodes_by_free_slots()
-            .find(|&n| self.registry.free_slots(n) > 0)
+        self.registry.best_free_node()
     }
 
     fn create_function_container(
@@ -65,7 +63,7 @@ impl Platform {
         let startup = self
             .coldstart
             .start_container(&self.config.cluster, node, runtime);
-        self.usage.insert(
+        self.push_usage(
             id,
             crate::accounting::ContainerUsage {
                 purpose: crate::engine::ContainerPurpose::Function,
@@ -89,7 +87,9 @@ impl Platform {
     }
 
     /// Plan one clone's execution from `from_state`, beginning at
-    /// `exec_start` on `node`.
+    /// `exec_start` on `node`. `timings` is a recycled (cleared) buffer
+    /// the outcome takes ownership of — steady-state planning allocates
+    /// nothing.
     #[allow(clippy::too_many_arguments)] // one-call-site planning helper
     fn plan_clone(
         &self,
@@ -101,6 +101,7 @@ impl Platform {
         from_state: u32,
         clone_idx: u32,
         attempt0: u32,
+        mut timings: Vec<StateTiming>,
     ) -> CloneOutcome {
         let rec = &self.fns[fn_id.0 as usize];
         let spec = Arc::clone(&rec.workload);
@@ -125,7 +126,7 @@ impl Platform {
 
         let kill_work = kill.map(|k| ref_total.mul_f64(k.at_fraction));
 
-        let mut timings = Vec::with_capacity(states.len());
+        debug_assert!(timings.is_empty(), "recycled timing buffer not cleared");
         let mut t = exec_start;
         let mut done_work = SimDuration::ZERO;
         for (off, st) in states.iter().enumerate() {
@@ -203,29 +204,30 @@ impl Platform {
         &mut self,
         strategy: &mut dyn FtStrategy,
         fn_id: FnId,
-        clones: Vec<(ContainerId, NodeId, SimTime)>,
+        clones: &[(ContainerId, NodeId, SimTime)],
         from_state: u32,
         warm: bool,
     ) {
         let attempt = self.fns[fn_id.0 as usize].attempt + 1;
         self.fns[fn_id.0 as usize].attempt = attempt;
 
-        let outcomes: Vec<CloneOutcome> = clones
-            .iter()
-            .enumerate()
-            .map(|(c, &(ctr, node, exec_start))| {
-                self.plan_clone(
-                    strategy,
-                    fn_id,
-                    ctr,
-                    node,
-                    exec_start,
-                    from_state,
-                    c as u32,
-                    attempt - 1,
-                )
-            })
-            .collect();
+        let mut outcomes: Vec<CloneOutcome> = self.clone_buf_pool.get();
+        for (c, &(ctr, node, exec_start)) in clones.iter().enumerate() {
+            let timings = self.timing_buf_pool.get();
+            let outcome = self.plan_clone(
+                strategy,
+                fn_id,
+                ctr,
+                node,
+                exec_start,
+                from_state,
+                c as u32,
+                attempt - 1,
+                timings,
+            );
+            outcomes.push(outcome);
+        }
+        let outcomes = outcomes;
 
         // Winner: earliest completing clone; if none completes the attempt
         // fails when the last clone dies.
@@ -256,16 +258,20 @@ impl Platform {
             }
         };
 
+        let mut state_completions = self.completion_buf_pool.get();
+        let mut containers = self.container_buf_pool.get();
         let primary = &outcomes[primary_idx];
+        state_completions.extend(primary.timings.iter().map(|s| (s.idx, s.done)));
+        containers.extend(outcomes.iter().map(|o| o.container));
         let plan = PlannedAttempt {
             attempt,
             exec_start: primary.exec_start,
             end,
             completes,
-            state_completions: primary.timings.iter().map(|s| (s.idx, s.done)).collect(),
+            state_completions,
             from_state,
             work_done: primary.work_done,
-            containers: outcomes.iter().map(|o| o.container).collect(),
+            containers,
             node: primary.node,
         };
 
@@ -330,7 +336,19 @@ impl Platform {
                 });
             }
         }
-        self.queue.push(end, Event::AttemptEnd { fn_id, attempt });
+        self.schedule(end, Event::AttemptEnd { fn_id, attempt });
+    }
+
+    /// Return an attempt's planning buffers to their pools so the next
+    /// attempt plans without allocating. Called wherever a plan and its
+    /// clone outcomes are retired together.
+    fn recycle_attempt(&mut self, plan: PlannedAttempt, mut clones: Vec<CloneOutcome>) {
+        self.completion_buf_pool.put(plan.state_completions);
+        self.container_buf_pool.put(plan.containers);
+        for outcome in clones.drain(..) {
+            self.timing_buf_pool.put(outcome.timings);
+        }
+        self.clone_buf_pool.put(clones);
     }
 
     fn apply_recovery_plan(&mut self, fn_id: FnId, plan: RecoveryPlan) {
@@ -351,7 +369,7 @@ impl Platform {
         match plan.target {
             RecoveryTarget::FreshContainer => {
                 self.counters.cold_recoveries += 1;
-                self.queue.push(
+                self.schedule(
                     now + plan.delay,
                     Event::Launch {
                         fn_id,
@@ -361,7 +379,7 @@ impl Platform {
             }
             RecoveryTarget::WarmContainer(container) => {
                 self.counters.warm_recoveries += 1;
-                self.queue.push(
+                self.schedule(
                     now + plan.delay,
                     Event::WarmResume {
                         fn_id,
@@ -396,25 +414,30 @@ impl Platform {
             })
             .expect("at least one clone");
         let (volatile_state, work_now) = Self::work_at(primary, now);
+        let primary_node = primary.node;
 
         // Durable callbacks for states completed before the crash.
         if clones.len() == 1 {
-            let durable: Vec<(u32, SimTime)> = primary
-                .timings
-                .iter()
-                .filter(|s| s.done <= now)
-                .map(|s| (s.idx, s.done))
-                .collect();
-            for (idx, at) in durable {
+            let mut durable = std::mem::take(&mut self.durable_scratch);
+            durable.clear();
+            durable.extend(
+                clones[0]
+                    .timings
+                    .iter()
+                    .filter(|s| s.done <= now)
+                    .map(|s| (s.idx, s.done)),
+            );
+            for &(idx, at) in &durable {
                 strategy.on_state_durable(self, fn_id, idx, at);
             }
+            self.durable_scratch = durable;
         }
 
         self.counters.function_failures += 1;
         self.emit(TraceKind::AttemptFailed {
             fn_id,
             attempt: plan.attempt,
-            node: primary.node,
+            node: primary_node,
         });
         self.telemetry.span_start(Phase::RecoveryE2E, fn_id.0, now);
         let banked = self.fns[fn_id.0 as usize].banked_work;
@@ -427,12 +450,13 @@ impl Platform {
         let info = FailureInfo {
             kind,
             at: now,
-            node: primary.node,
+            node: primary_node,
             attempt: plan.attempt - 1,
             volatile_state,
         };
         let rplan = strategy.on_failure(self, fn_id, info);
         self.apply_recovery_plan(fn_id, rplan);
+        self.recycle_attempt(plan, clones);
     }
 
     pub(super) fn handle_attempt_end(
@@ -456,15 +480,19 @@ impl Platform {
 
         // Durable-state callbacks (single-clone strategies only).
         if clones.len() == 1 {
-            let durable: Vec<(u32, SimTime)> = clones[0]
-                .timings
-                .iter()
-                .filter(|s| s.done <= now)
-                .map(|s| (s.idx, s.done))
-                .collect();
-            for (idx, at) in durable {
+            let mut durable = std::mem::take(&mut self.durable_scratch);
+            durable.clear();
+            durable.extend(
+                clones[0]
+                    .timings
+                    .iter()
+                    .filter(|s| s.done <= now)
+                    .map(|s| (s.idx, s.done)),
+            );
+            for &(idx, at) in &durable {
                 strategy.on_state_durable(self, fn_id, idx, at);
             }
+            self.durable_scratch = durable;
         }
 
         // Terminate clone containers at their individual end times.
@@ -510,7 +538,7 @@ impl Platform {
                     // The chained job's arrival is caused by this
                     // completion (it finished the prerequisite job).
                     self.causal_note_arrival_cause(dep, done_span);
-                    self.queue.push(now, Event::JobArrival { job: dep });
+                    self.schedule(now, Event::JobArrival { job: dep });
                 }
             }
             // Capacity-freed hook first (Canary drains its validator
@@ -548,6 +576,7 @@ impl Platform {
             let rplan = strategy.on_failure(self, fn_id, info);
             self.apply_recovery_plan(fn_id, rplan);
         }
+        self.recycle_attempt(plan, clones);
     }
 
     pub(super) fn handle_launch(
@@ -563,7 +592,7 @@ impl Platform {
         // Serialized controller admission.
         if now < self.controller_free {
             let at = self.controller_free;
-            self.queue.push(at, Event::Launch { fn_id, from_state });
+            self.schedule(at, Event::Launch { fn_id, from_state });
             return;
         }
         self.controller_free = now + self.config.admission_delay;
@@ -573,7 +602,8 @@ impl Platform {
             let rec = &self.fns[fn_id.0 as usize];
             (rec.workload.runtime, rec.workload.memory_mb)
         };
-        let mut placed: Vec<(ContainerId, NodeId, SimTime)> = Vec::with_capacity(clones as usize);
+        let mut placed = std::mem::take(&mut self.placed_scratch);
+        placed.clear();
         for _ in 0..clones {
             match self.create_function_container(runtime, memory_mb) {
                 Ok((ctr, node, startup)) => placed.push((ctr, node, now + startup)),
@@ -590,10 +620,11 @@ impl Platform {
                         self.config.cluster.ids().any(|n| self.registry.node_up(n)),
                         "every node is down; the run cannot make progress"
                     );
-                    self.queue.push(
+                    self.schedule(
                         now + self.config.placement_backoff,
                         Event::Launch { fn_id, from_state },
                     );
+                    self.placed_scratch = placed;
                     return;
                 }
             }
@@ -601,7 +632,8 @@ impl Platform {
         if self.fns[fn_id.0 as usize].first_launch.is_none() {
             self.fns[fn_id.0 as usize].first_launch = Some(now);
         }
-        self.begin_attempt(strategy, fn_id, placed, from_state, false);
+        self.begin_attempt(strategy, fn_id, &placed, from_state, false);
+        self.placed_scratch = placed;
     }
 
     pub(super) fn handle_warm_resume(
@@ -648,13 +680,7 @@ impl Platform {
         self.counters.replicas_consumed += 1;
         self.telemetry.incr(Counter::ReplicasConsumed);
         let node = self.registry.get(container).expect("live container").node;
-        self.begin_attempt(
-            strategy,
-            fn_id,
-            vec![(container, node, now)],
-            from_state,
-            true,
-        );
+        self.begin_attempt(strategy, fn_id, &[(container, node, now)], from_state, true);
     }
 
     pub(super) fn handle_node_failure(&mut self, strategy: &mut dyn FtStrategy, node: NodeId) {
@@ -792,7 +818,7 @@ impl Platform {
     fn admit_job(&mut self, job: JobId) {
         let now = self.now();
         self.inflight += self.jobs[job.0 as usize].fn_ids.len() as u32;
-        self.queue.push(now, Event::SubmitJob { job });
+        self.schedule(now, Event::SubmitJob { job });
     }
 
     /// Release queued jobs that now fit, strictly from the front of the
@@ -854,7 +880,7 @@ impl Platform {
         strategy.on_job_admitted(self, job);
         for i in 0..self.jobs[job.0 as usize].fn_ids.len() {
             let fn_id = self.jobs[job.0 as usize].fn_ids[i];
-            self.queue.push(
+            self.schedule(
                 now,
                 Event::Launch {
                     fn_id,

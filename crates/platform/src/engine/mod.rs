@@ -29,6 +29,7 @@
 mod causal;
 mod events;
 mod handlers;
+mod pool;
 #[cfg(test)]
 mod proptests;
 mod queries;
@@ -49,21 +50,37 @@ use crate::profile::{HotPathProfile, HotPathRow};
 use crate::strategy::FtStrategy;
 use crate::telemetry::{Phase, Telemetry};
 use crate::trace::{SpanId, Trace, TraceEvent, TraceKind};
-use canary_cluster::{ChaosPlan, FailureInjector, NodeId};
+use canary_cluster::{ChaosPlan, FailureInjector, NodeId, ShardMap};
 use canary_container::{
     ColdStartModel, ContainerId, ContainerPurpose, ContainerRegistry, ContainerState,
     PlacementError,
 };
-use canary_sim::{EventQueue, SimRng, SimTime};
+use canary_sim::{ShardedEventQueue, SimRng, SimTime};
 use canary_workloads::RuntimeKind;
 use handlers::CloneOutcome;
+use pool::{EventHandle, EventPool, VecPool};
 use std::collections::HashMap;
 
 /// The simulated platform; strategies receive `&mut Platform` in their
 /// callbacks and may inspect state or create replica containers.
 pub struct Platform {
     config: RunConfig,
-    queue: EventQueue<Event>,
+    /// The future-event list, split into rack-affine shards and merged
+    /// back by `(time, global seq)` — the merge order is identical for
+    /// every shard count, so sharding is invisible to every trace byte.
+    /// Entries are generation-checked handles into `pool`, not events.
+    queue: ShardedEventQueue<EventHandle>,
+    /// Slab storage for queued events (zero allocations at steady state).
+    pool: EventPool,
+    /// Rack→shard routing for node-affine events; id-spread for the rest.
+    shard_map: ShardMap,
+    /// One independent split-PRNG child stream per shard, reserved for
+    /// shard-local decisions. The engine itself never draws from these
+    /// (simulation behavior must not depend on the shard count); they
+    /// exist so per-shard machinery — future parallel executors,
+    /// shard-local sampling — has a stream that is stable under resharding
+    /// of *other* shards.
+    shard_rngs: Vec<SimRng>,
     registry: ContainerRegistry,
     coldstart: ColdStartModel,
     injector: FailureInjector,
@@ -71,7 +88,9 @@ pub struct Platform {
     strategy_rng: SimRng,
     fns: Vec<FnRecord>,
     jobs: Vec<JobRecord>,
-    usage: HashMap<ContainerId, ContainerUsage>,
+    /// Usage records indexed by dense `ContainerId` (one entry per
+    /// container ever created, pushed in id order).
+    usage: Vec<ContainerUsage>,
     controller_free: SimTime,
     counters: RunCounters,
     /// Jobs waiting on each job's completion (workflow chaining).
@@ -99,6 +118,19 @@ pub struct Platform {
     /// maintained at every [`FnStatus`] transition so the Replication
     /// Module's `func_act` query is O(1) instead of a scan.
     active_by_runtime: HashMap<RuntimeKind, usize>,
+    /// Recycled buffers for the attempt planner: per-clone outcome lists,
+    /// per-clone state timings, and the `PlannedAttempt` vectors. Steady-
+    /// state attempt planning allocates nothing — finished attempts feed
+    /// their buffers back here.
+    clone_buf_pool: VecPool<CloneOutcome>,
+    timing_buf_pool: VecPool<StateTiming>,
+    completion_buf_pool: VecPool<(u32, SimTime)>,
+    container_buf_pool: VecPool<ContainerId>,
+    /// Scratch for `handle_launch` placement (swapped in and out per
+    /// launch; never dropped).
+    placed_scratch: Vec<(ContainerId, NodeId, SimTime)>,
+    /// Scratch for durable-state callback delivery.
+    durable_scratch: Vec<(u32, SimTime)>,
 }
 
 impl Platform {
@@ -108,6 +140,14 @@ impl Platform {
         let injector = FailureInjector::new(config.failure, config.seed);
         let chaos = ChaosPlan::from_spec(&config.chaos, &config.cluster, config.seed);
         let strategy_rng = SimRng::seed_from_u64(config.seed).split(0x57_A7);
+        let shards = config.shards.max(1);
+        let shard_map = ShardMap::new(&config.cluster, shards);
+        // Child streams keyed by shard index: splitting is stable and
+        // non-advancing, so shard k's stream is the same no matter how
+        // many sibling shards exist.
+        let shard_rngs = (0..shards)
+            .map(|s| SimRng::seed_from_u64(config.seed).split(0x5A4D_0000 | s as u64))
+            .collect();
         Ok(Platform {
             registry,
             coldstart: ColdStartModel::new(),
@@ -116,7 +156,7 @@ impl Platform {
             strategy_rng,
             fns: Vec::new(),
             jobs: Vec::new(),
-            usage: HashMap::new(),
+            usage: Vec::new(),
             controller_free: SimTime::ZERO,
             counters: RunCounters::default(),
             dependents: Vec::new(),
@@ -125,12 +165,55 @@ impl Platform {
             trace: Trace::default(),
             telemetry: Telemetry::new(config.telemetry),
             causal: causal::CausalState::default(),
-            profiler: ProfileAccum::default(),
+            profiler: ProfileAccum::new(shards as usize),
             clone_plans: HashMap::new(),
             active_by_runtime: HashMap::new(),
-            queue: EventQueue::new(),
+            clone_buf_pool: VecPool::default(),
+            timing_buf_pool: VecPool::default(),
+            completion_buf_pool: VecPool::default(),
+            container_buf_pool: VecPool::default(),
+            placed_scratch: Vec::new(),
+            durable_scratch: Vec::new(),
+            queue: ShardedEventQueue::new(shards as usize),
+            pool: EventPool::default(),
+            shard_map,
+            shard_rngs,
             config,
         })
+    }
+
+    /// Route `event` to its rack-affine shard and schedule it at `time`.
+    /// Routing is pure placement of the event *storage* — the sharded
+    /// queue's global-sequence merge guarantees the pop order is the same
+    /// whichever shard an event lands on.
+    pub(super) fn schedule(&mut self, time: SimTime, event: Event) {
+        let shard = self.shard_of_event(&event);
+        let handle = self.pool.alloc(event);
+        self.queue.push(shard, time, handle);
+    }
+
+    /// The shard an event belongs to: node-affine events follow their
+    /// node's rack; job/function events spread by id; chaos faults (rare,
+    /// cluster-global) anchor on shard 0.
+    fn shard_of_event(&self, event: &Event) -> usize {
+        match *event {
+            Event::JobArrival { job } | Event::SubmitJob { job } => {
+                self.shard_map.shard_of_key(job.0 as u64)
+            }
+            Event::Launch { fn_id, .. } => self.shard_map.shard_of_key(fn_id.0),
+            Event::AttemptEnd { fn_id, .. } => self.fns[fn_id.0 as usize]
+                .plan
+                .as_ref()
+                .map(|p| self.shard_map.shard_of(p.node))
+                .unwrap_or_else(|| self.shard_map.shard_of_key(fn_id.0)),
+            Event::WarmResume { container, .. } | Event::ReplicaWarm { container } => self
+                .registry
+                .get(container)
+                .map(|c| self.shard_map.shard_of(c.node))
+                .unwrap_or(0),
+            Event::NodeFailure { node } => self.shard_map.shard_of(node),
+            Event::ChaosFault { .. } => 0,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -154,7 +237,7 @@ impl Platform {
             .start_container(&self.config.cluster, node, runtime);
         let now = self.now();
         let ready = now + startup.total();
-        self.usage.insert(
+        self.push_usage(
             id,
             ContainerUsage {
                 purpose: ContainerPurpose::Replica,
@@ -177,7 +260,7 @@ impl Platform {
         self.registry
             .transition(id, ContainerState::Initializing)
             .expect("launching container");
-        self.queue.push(ready, Event::ReplicaWarm { container: id });
+        self.schedule(ready, Event::ReplicaWarm { container: id });
         Ok((id, ready))
     }
 
@@ -197,7 +280,7 @@ impl Platform {
             .start_container(&self.config.cluster, node, runtime);
         let now = self.now();
         let ready = now + startup.total();
-        self.usage.insert(
+        self.push_usage(
             id,
             ContainerUsage {
                 purpose: ContainerPurpose::Standby,
@@ -215,7 +298,7 @@ impl Platform {
         self.registry
             .transition(id, ContainerState::Initializing)
             .expect("launching container");
-        self.queue.push(ready, Event::ReplicaWarm { container: id });
+        self.schedule(ready, Event::ReplicaWarm { container: id });
         Ok((id, ready))
     }
 
@@ -234,6 +317,16 @@ impl Platform {
     /// Deterministic RNG stream reserved for strategy decisions.
     pub fn strategy_rng(&mut self) -> &mut SimRng {
         &mut self.strategy_rng
+    }
+
+    /// Deterministic RNG child stream of one event-loop shard. Streams
+    /// are split per shard index from the master seed, so shard `k`'s
+    /// stream does not depend on the total shard count or on draws taken
+    /// from any sibling. Reserved for shard-local machinery; the engine
+    /// itself never draws from these (the simulated timeline must be
+    /// independent of `RunConfig::shards`).
+    pub fn shard_rng(&mut self, shard: usize) -> &mut SimRng {
+        &mut self.shard_rngs[shard]
     }
 
     /// Record a checkpoint write (counters only; the strategy owns the
@@ -310,8 +403,19 @@ impl Platform {
         }
     }
 
+    /// Record a fresh container's usage row. Container ids are handed out
+    /// densely by the registry, so usage is a plain vector push.
+    fn push_usage(&mut self, id: ContainerId, usage: ContainerUsage) {
+        debug_assert_eq!(
+            id.0 as usize,
+            self.usage.len(),
+            "usage rows must stay in step with dense container ids"
+        );
+        self.usage.push(usage);
+    }
+
     fn finish_usage(&mut self, id: ContainerId, at: SimTime) {
-        if let Some(u) = self.usage.get_mut(&id) {
+        if let Some(u) = self.usage.get_mut(id.0 as usize) {
             if u.terminated == SimTime::MAX {
                 u.terminated = at.max(u.created);
             }
@@ -319,34 +423,83 @@ impl Platform {
     }
 }
 
-/// Per-event-kind hot-path accumulators ([`RunConfig::profile`]).
+/// Per-shard, per-event-kind hot-path accumulators
+/// ([`RunConfig::profile`]).
+///
+/// Attribution is recorded against the shard that dequeued the event, so
+/// under a sharded loop the report still *tiles*: each kind's totals are
+/// exactly the sum of that kind's per-shard rows (wall time and — with a
+/// counting-allocator hook installed — allocations included).
 #[derive(Debug, Default)]
 struct ProfileAccum {
-    dispatches: [u64; events::EVENT_KINDS],
-    wall_ns: [u64; events::EVENT_KINDS],
-    allocs: [u64; events::EVENT_KINDS],
+    /// `[shard][kind]` accumulators, flattened.
+    dispatches: Vec<u64>,
+    wall_ns: Vec<u64>,
+    allocs: Vec<u64>,
+    shards: usize,
 }
 
 impl ProfileAccum {
-    fn record(&mut self, kind: usize, wall_ns: u64, allocs: u64) {
-        self.dispatches[kind] += 1;
-        self.wall_ns[kind] += wall_ns;
-        self.allocs[kind] += allocs;
+    fn new(shards: usize) -> Self {
+        let n = shards.max(1) * events::EVENT_KINDS;
+        ProfileAccum {
+            dispatches: vec![0; n],
+            wall_ns: vec![0; n],
+            allocs: vec![0; n],
+            shards: shards.max(1),
+        }
+    }
+
+    fn record(&mut self, shard: usize, kind: usize, wall_ns: u64, allocs: u64) {
+        let i = shard * events::EVENT_KINDS + kind;
+        self.dispatches[i] += 1;
+        self.wall_ns[i] += wall_ns;
+        self.allocs[i] += allocs;
     }
 
     fn snapshot(&self) -> HotPathProfile {
+        let row = |shard: usize, kind: usize, label: &str| {
+            let i = shard * events::EVENT_KINDS + kind;
+            HotPathRow {
+                event: label.to_string(),
+                dispatches: self.dispatches[i],
+                wall_ns: self.wall_ns[i],
+                allocs: self.allocs[i],
+            }
+        };
+        // Totals first (the stable pre-sharding schema), then the
+        // per-shard tiles that sum to them.
+        let rows = events::EVENT_KIND_LABELS
+            .iter()
+            .enumerate()
+            .map(|(kind, &label)| {
+                let mut total = HotPathRow {
+                    event: label.to_string(),
+                    ..HotPathRow::default()
+                };
+                for shard in 0..self.shards {
+                    let r = row(shard, kind, label);
+                    total.dispatches += r.dispatches;
+                    total.wall_ns += r.wall_ns;
+                    total.allocs += r.allocs;
+                }
+                total
+            })
+            .collect();
+        let per_shard = (0..self.shards)
+            .map(|shard| crate::profile::HotPathShard {
+                shard: shard as u32,
+                rows: events::EVENT_KIND_LABELS
+                    .iter()
+                    .enumerate()
+                    .map(|(kind, &label)| row(shard, kind, label))
+                    .collect(),
+            })
+            .collect();
         HotPathProfile {
             enabled: true,
-            rows: events::EVENT_KIND_LABELS
-                .iter()
-                .enumerate()
-                .map(|(i, &label)| HotPathRow {
-                    event: label.to_string(),
-                    dispatches: self.dispatches[i],
-                    wall_ns: self.wall_ns[i],
-                    allocs: self.allocs[i],
-                })
-                .collect(),
+            rows,
+            per_shard,
         }
     }
 }
@@ -374,25 +527,41 @@ pub fn try_run(
     setup::schedule_node_failures(&mut p);
     setup::schedule_chaos(&mut p);
 
-    // Main loop. The profiled variant times every dispatch with host
-    // wall-clock (simulated time never advances inside a handler, so the
-    // whole measurement is sim-time-free) and attributes allocations when
-    // a counting-allocator hook is installed.
+    // Main loop: drain same-timestamp event groups as batches (one queue
+    // scan per group instead of per event) and dispatch each batch entry
+    // in the global `(time, seq)` order the drain preserves. Events a
+    // handler schedules at the drained timestamp land in the next batch —
+    // exactly where one-at-a-time popping would put them. The profiled
+    // variant times every dispatch with host wall-clock (simulated time
+    // never advances inside a handler, so the whole measurement is
+    // sim-time-free), attributes allocations when a counting-allocator
+    // hook is installed, and bills both to the shard that dequeued the
+    // event.
+    let mut batch: Vec<(usize, EventHandle)> = Vec::new();
     if p.config.profile {
-        while let Some((_, ev)) = p.queue.pop() {
-            let kind = ev.kind_index();
-            let allocs_before = crate::profile::alloc_count();
-            let started = std::time::Instant::now();
-            p.dispatch(strategy, ev);
-            let wall_ns = started.elapsed().as_nanos() as u64;
-            let allocs = crate::profile::alloc_count().saturating_sub(allocs_before);
-            p.profiler.record(kind, wall_ns, allocs);
+        while p.queue.pop_batch(&mut batch).is_some() {
+            for &(shard, handle) in &batch {
+                let ev = p.pool.take(handle);
+                let kind = ev.kind_index();
+                let allocs_before = crate::profile::alloc_count();
+                let started = std::time::Instant::now();
+                p.dispatch(strategy, ev);
+                let wall_ns = started.elapsed().as_nanos() as u64;
+                let allocs = crate::profile::alloc_count().saturating_sub(allocs_before);
+                p.profiler.record(shard, kind, wall_ns, allocs);
+                p.counters.events_dispatched += 1;
+            }
         }
     } else {
-        while let Some((_, ev)) = p.queue.pop() {
-            p.dispatch(strategy, ev);
+        while p.queue.pop_batch(&mut batch).is_some() {
+            for &(_, handle) in &batch {
+                let ev = p.pool.take(handle);
+                p.dispatch(strategy, ev);
+                p.counters.events_dispatched += 1;
+            }
         }
     }
+    debug_assert_eq!(p.pool.len(), 0, "event pool leaked entries at run end");
 
     strategy.on_run_end(&mut p);
     // Every telemetry span opened during the run must have been ended or
@@ -410,14 +579,10 @@ pub fn try_run(
     );
 
     // Close out still-open usage records (parked replicas etc.).
-    let open: Vec<ContainerId> = p
-        .usage
-        .iter()
-        .filter(|(_, u)| u.terminated == SimTime::MAX)
-        .map(|(&id, _)| id)
-        .collect();
-    for id in open {
-        p.finish_usage(id, finished_at);
+    for u in &mut p.usage {
+        if u.terminated == SimTime::MAX {
+            u.terminated = finished_at.max(u.created);
+        }
     }
 
     let fns: Vec<FnOutcome> = p
@@ -459,7 +624,7 @@ pub fn try_run(
             rejected: j.rejected,
         })
         .collect();
-    let mut containers: Vec<ContainerUsage> = p.usage.into_values().collect();
+    let mut containers: Vec<ContainerUsage> = p.usage;
     containers.sort_by_key(|u| (u.created, u.terminated));
 
     let profile = if p.config.profile {

@@ -91,7 +91,7 @@ pub(super) fn register_jobs(p: &mut Platform, jobs: Vec<JobSpec>) -> Result<(), 
         });
         p.dependents.push(Vec::new());
         match spec.after {
-            None => p.queue.push(arrival, Event::JobArrival { job: job_id }),
+            None => p.schedule(arrival, Event::JobArrival { job: job_id }),
             Some(prereq) => p.dependents[prereq].push(job_id),
         }
     }
@@ -104,14 +104,15 @@ pub(super) fn schedule_node_failures(p: &mut Platform) {
         .injector
         .plan_node_failures(&p.config.cluster, p.config.node_failure_horizon);
     for nf in node_failures {
-        p.queue.push(nf.at, Event::NodeFailure { node: nf.node });
+        p.schedule(nf.at, Event::NodeFailure { node: nf.node });
     }
 }
 
 /// Schedule the chaos plan's typed fault events.
 pub(super) fn schedule_chaos(p: &mut Platform) {
-    for (idx, &(at, _)) in p.chaos.events().iter().enumerate() {
-        p.queue.push(at, Event::ChaosFault { idx });
+    for idx in 0..p.chaos.events().len() {
+        let at = p.chaos.events()[idx].0;
+        p.schedule(at, Event::ChaosFault { idx });
     }
 }
 

@@ -1,0 +1,90 @@
+//! String interning for hot-path labels.
+//!
+//! Recording paths that used to key maps by `String` (telemetry table
+//! stats, strategy-reported labels) intern the name once into a
+//! [`SymbolTable`] and carry a copyable 4-byte [`Symbol`] from then on.
+//! The text is resolved back only at export time (snapshots, reports) —
+//! the steady-state recording path allocates nothing.
+
+use std::collections::HashMap;
+
+/// A small-int handle to an interned string. Only meaningful together
+/// with the [`SymbolTable`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Dense index of this symbol (0-based, in interning order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only intern pool: each distinct string is stored once and
+/// addressed by the [`Symbol`] returned at first sight.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    by_text: HashMap<String, Symbol>,
+    texts: Vec<String>,
+}
+
+impl SymbolTable {
+    /// New, empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// The symbol for `text`, interning it on first sight. Repeat calls
+    /// with a known string are allocation-free.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(&sym) = self.by_text.get(text) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.texts.len()).expect("symbol table fits in u32"));
+        self.texts.push(text.to_string());
+        self.by_text.insert(text.to_string(), sym);
+        sym
+    }
+
+    /// The text behind `sym`. Panics on a symbol from another table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.texts[sym.0 as usize]
+    }
+
+    /// Distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("jobs");
+        let b = t.intern("functions");
+        let a2 = t.intern("jobs");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "jobs");
+        assert_eq!(t.resolve(b), "functions");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -23,6 +23,7 @@ pub mod accounting;
 pub mod config;
 pub mod engine;
 pub mod ids;
+pub mod intern;
 pub mod job;
 pub mod profile;
 pub mod strategy;
@@ -34,7 +35,8 @@ pub use config::RunConfig;
 pub use engine::{run, try_run, validate_batch, Event, Platform, RunConfigError, StateTiming};
 pub use ids::{FnId, JobId};
 pub use job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
-pub use profile::{install_alloc_counter, HotPathProfile, HotPathRow};
+pub use intern::{Symbol, SymbolTable};
+pub use profile::{install_alloc_counter, HotPathProfile, HotPathRow, HotPathShard};
 pub use strategy::{
     ArrivalVerdict, FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget,
 };

@@ -355,7 +355,12 @@ pub struct Telemetry {
     enabled: bool,
     histograms: BTreeMap<Phase, Histogram>,
     counters: BTreeMap<Counter, u64>,
-    tables: BTreeMap<String, (u64, u64)>,
+    /// Table traffic keyed by interned name — the recording path never
+    /// allocates a `String` after a table's first report; the text is
+    /// resolved from `names` only when a snapshot is exported.
+    tables: BTreeMap<crate::intern::Symbol, (u64, u64)>,
+    /// Intern pool for table names.
+    names: crate::intern::SymbolTable,
     /// Open spans: `(phase, key)` → start time. Keys are caller-chosen
     /// (function id for recovery phases, container id for cold starts).
     open: HashMap<(Phase, u64), SimTime>,
@@ -433,12 +438,14 @@ impl Telemetry {
     }
 
     /// Report a database table's cumulative read/write counts
-    /// (overwrites any previous report for the table).
+    /// (overwrites any previous report for the table). Allocates only
+    /// the first time a given table name is seen.
     pub fn set_table_stats(&mut self, table: &str, reads: u64, writes: u64) {
         if !self.enabled {
             return;
         }
-        self.tables.insert(table.to_string(), (reads, writes));
+        let sym = self.names.intern(table);
+        self.tables.insert(sym, (reads, writes));
     }
 
     /// Live histogram for a phase, if any samples were recorded.
@@ -479,15 +486,18 @@ impl Telemetry {
                 (v > 0).then_some((c, v))
             })
             .collect();
-        let tables = self
+        // Resolve interned names back to text, sorted by name so the
+        // export order is independent of interning order.
+        let mut tables: Vec<TableStats> = self
             .tables
             .iter()
-            .map(|(table, &(reads, writes))| TableStats {
-                table: table.clone(),
+            .map(|(&sym, &(reads, writes))| TableStats {
+                table: self.names.resolve(sym).to_string(),
                 reads,
                 writes,
             })
             .collect();
+        tables.sort_by(|a, b| a.table.cmp(&b.table));
         TelemetrySnapshot {
             enabled: self.enabled,
             phases,

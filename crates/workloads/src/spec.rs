@@ -31,16 +31,20 @@ pub enum RuntimeKind {
 impl RuntimeKind {
     /// All runtimes, in the order the paper plots them (Fig. 4).
     pub const ALL: [RuntimeKind; 3] = [RuntimeKind::Python, RuntimeKind::NodeJs, RuntimeKind::Java];
+
+    /// Stable lowercase label (what `Display` prints), allocation-free.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuntimeKind::Python => "python",
+            RuntimeKind::NodeJs => "nodejs",
+            RuntimeKind::Java => "java",
+        }
+    }
 }
 
 impl fmt::Display for RuntimeKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            RuntimeKind::Python => "python",
-            RuntimeKind::NodeJs => "nodejs",
-            RuntimeKind::Java => "java",
-        };
-        f.write_str(s)
+        f.write_str(self.label())
     }
 }
 

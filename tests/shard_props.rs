@@ -1,0 +1,289 @@
+//! Shard-count invariance: the sharded event loop is purely structural.
+//!
+//! The engine splits its future-event list into rack-affine shards and
+//! merges them back by `(time, global seq)`. Because the sequence
+//! counter is global, the merged pop order is identical to the legacy
+//! single queue for *every* shard count — so traces must stay
+//! byte-identical and counters exactly equal at shards 1, 2, 4, and 16,
+//! for arbitrary chaos plans. The golden tests below enforce the
+//! strongest form of the contract: the committed goldens (blessed under
+//! the single-shard engine) are compared directly at shards 4 and 16,
+//! with no bless path — a shard count must never require a re-bless.
+
+use canary_cluster::{ChaosSpec, DegradeSpec, PartitionSpec, StoreOutageSpec};
+use canary_core::ReplicationStrategyKind;
+use canary_experiments::load::open_loop_jobs;
+use canary_experiments::{chaos, trace_to_jsonl, Scenario, StrategyKind};
+use canary_platform::JobSpec;
+use canary_workloads::WorkloadSpec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+const CANARY: StrategyKind = StrategyKind::Canary(ReplicationStrategyKind::Dynamic);
+
+fn with_shards(mut s: Scenario, shards: u32) -> Scenario {
+    s.shards = shards;
+    s
+}
+
+/// Arbitrary-but-valid chaos plans covering every fault class, with
+/// windows scaled to short web-service makespans.
+fn chaos_spec() -> impl Strategy<Value = ChaosSpec> {
+    (
+        (0u64..8, 1u64..20),              // partition from, length
+        (1.5f64..4.0, 0u64..8, 1u64..15), // degrade factor, from, length
+        (0u32..3, 0u64..8, 0u64..20),     // outage member, from, rejoin delay
+        0.0f64..0.4,                      // straggler_rate
+        0.0f64..0.6,                      // corruption_rate
+    )
+        .prop_map(|(part, deg, outage, straggler_rate, corruption_rate)| {
+            let (from_s, len) = part;
+            let (factor, deg_from, deg_len) = deg;
+            let (member, out_from, rejoin) = outage;
+            let mut spec = ChaosSpec {
+                straggler_rate,
+                corruption_rate,
+                ..ChaosSpec::default()
+            };
+            spec.partitions.push(PartitionSpec {
+                a: 0,
+                b: 5,
+                from_s,
+                until_s: from_s + len,
+            });
+            spec.degrades.push(DegradeSpec {
+                factor,
+                from_s: deg_from,
+                until_s: deg_from + deg_len,
+            });
+            spec.store_outages.push(StoreOutageSpec {
+                member,
+                from_s: out_from,
+                rejoin_s: (rejoin > 0).then(|| out_from + rejoin),
+            });
+            spec.validate().expect("generated specs must be valid");
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary chaos plan, error rate, and seed: every shard count
+    /// produces the byte-identical trace and exactly equal counters.
+    #[test]
+    fn traces_and_counters_are_shard_count_invariant(
+        spec in chaos_spec(),
+        rate in 0.0f64..0.4,
+        seed in 0u64..500,
+    ) {
+        let base = {
+            let mut s = Scenario::chameleon(
+                rate,
+                vec![JobSpec::new(WorkloadSpec::web_service(10), 16)],
+            );
+            s.node_failure_rate = 0.3;
+            s.chaos = spec;
+            s
+        };
+        let reference = with_shards(base.clone(), 1).run_observed(CANARY, seed);
+        let ref_jsonl = trace_to_jsonl(&reference.trace);
+        for shards in [2u32, 4, 16] {
+            let sharded = with_shards(base.clone(), shards).run_observed(CANARY, seed);
+            prop_assert_eq!(
+                &trace_to_jsonl(&sharded.trace),
+                &ref_jsonl,
+                "trace drifted at shards={}",
+                shards
+            );
+            prop_assert_eq!(
+                sharded.counters,
+                reference.counters,
+                "counters drifted at shards={}",
+                shards
+            );
+            prop_assert_eq!(sharded.finished_at, reference.finished_at);
+        }
+    }
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/goldens")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed golden {name}: {e}"))
+}
+
+/// The committed chaos goldens — blessed under the single-shard engine —
+/// must match byte-for-byte at shards 1, 4, and 16. Deliberately no
+/// bless path here: a golden that only passes after re-blessing for a
+/// shard count is a broken merge order, not a new baseline.
+#[test]
+fn chaos_goldens_hold_at_every_shard_count_without_reblessing() {
+    for seed in [7u64, 42, 1337] {
+        let expected = golden(&format!("chaos_mixed_seed{seed}.jsonl"));
+        for shards in [1u32, 4, 16] {
+            let scenario = with_shards(
+                chaos::demo_scenario(chaos::named("mixed").expect("mixed scenario")),
+                shards,
+            );
+            let result = scenario.run_observed(CANARY, seed);
+            assert_eq!(
+                trace_to_jsonl(&result.trace),
+                expected,
+                "seed {seed}: mixed chaos golden drifted at shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn controller_crash_golden_holds_at_every_shard_count() {
+    let expected = golden("chaos_controller_crash_seed42.jsonl");
+    for shards in [1u32, 4, 16] {
+        let scenario = with_shards(
+            chaos::demo_scenario(chaos::named("controller-crash").expect("scenario")),
+            shards,
+        );
+        let result = scenario.run_observed(CANARY, 42);
+        assert_eq!(
+            trace_to_jsonl(&result.trace),
+            expected,
+            "controller-crash golden drifted at shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn open_loop_golden_holds_at_every_shard_count() {
+    let expected = golden("open_loop_seed42.jsonl");
+    for shards in [1u32, 4, 16] {
+        let mut scenario = Scenario::chameleon(0.25, open_loop_jobs(2.5, 8, 0xA11));
+        scenario.max_inflight = Some(4);
+        scenario.shards = shards;
+        let result = scenario.run_observed(CANARY, 42);
+        assert_eq!(
+            trace_to_jsonl(&result.trace),
+            expected,
+            "open-loop golden drifted at shards={shards}"
+        );
+    }
+}
+
+/// The hot-path profile tiles under sharding: each event kind's totals
+/// row is exactly the sum of that kind's per-shard rows, and the profile
+/// agrees with the run loop's own dispatch counter.
+#[test]
+fn hot_path_profile_tiles_across_shards() {
+    let mut scenario = Scenario::chameleon(
+        0.15,
+        vec![JobSpec::new(WorkloadSpec::web_service(10), 24)],
+    );
+    scenario.nodes = 8;
+    scenario.shards = 4;
+    let result = scenario.run_instrumented(CANARY, 42);
+    let profile = &result.profile;
+    assert!(profile.enabled);
+    assert_eq!(profile.per_shard.len(), 4, "one tile per shard");
+    for (kind, total) in profile.rows.iter().enumerate() {
+        let tiled: u64 = profile
+            .per_shard
+            .iter()
+            .map(|t| t.rows[kind].dispatches)
+            .sum();
+        assert_eq!(
+            tiled, total.dispatches,
+            "kind {} does not tile: per-shard sum {} != total {}",
+            total.event, tiled, total.dispatches
+        );
+        let tiled_wall: u64 = profile.per_shard.iter().map(|t| t.rows[kind].wall_ns).sum();
+        assert_eq!(tiled_wall, total.wall_ns, "wall time must tile exactly");
+        let tiled_allocs: u64 = profile.per_shard.iter().map(|t| t.rows[kind].allocs).sum();
+        assert_eq!(tiled_allocs, total.allocs, "allocs must tile exactly");
+    }
+    assert_eq!(
+        profile.total_dispatches(),
+        result.counters.events_dispatched,
+        "profiler and run-loop dispatch counts must agree"
+    );
+    // With rack-affine routing over 8 nodes / 4 shards, the work must
+    // actually spread: more than one shard sees dispatches.
+    let busy = profile
+        .per_shard
+        .iter()
+        .filter(|t| t.rows.iter().any(|r| r.dispatches > 0))
+        .count();
+    assert!(busy > 1, "sharded run must dispatch on more than one shard");
+}
+
+/// Same instrumented run at 1 and 4 shards: observation (profiler and
+/// per-shard tiling) must not move the simulation either.
+#[test]
+fn instrumented_runs_are_shard_count_invariant() {
+    let base = Scenario::chameleon(
+        0.2,
+        vec![JobSpec::new(WorkloadSpec::web_service(10), 12)],
+    );
+    let a = with_shards(base.clone(), 1).run_instrumented(CANARY, 7);
+    let b = with_shards(base, 4).run_instrumented(CANARY, 7);
+    assert_eq!(trace_to_jsonl(&a.trace), trace_to_jsonl(&b.trace));
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(
+        a.profile.total_dispatches(),
+        b.profile.total_dispatches(),
+        "dispatch totals must match across shard counts"
+    );
+}
+
+#[test]
+fn canaryctl_help_documents_shards() {
+    let out = Command::new(env!("CARGO_BIN_EXE_canaryctl"))
+        .arg("--help")
+        .output()
+        .expect("run canaryctl --help");
+    assert_eq!(out.status.code(), Some(2), "usage exits with 2");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--shards"), "help must document --shards");
+    assert!(
+        text.contains("byte-identical"),
+        "help must state the invariance guarantee"
+    );
+}
+
+#[test]
+fn canaryctl_shards_flag_round_trips() {
+    let out = Command::new(env!("CARGO_BIN_EXE_canaryctl"))
+        .args([
+            "--shards",
+            "3",
+            "--workload",
+            "web",
+            "--invocations",
+            "5",
+            "--reps",
+            "1",
+        ])
+        .output()
+        .expect("run canaryctl");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("shards=3"),
+        "run header must echo the shard count; got:\n{text}"
+    );
+}
+
+#[test]
+fn canaryctl_rejects_zero_shards() {
+    let out = Command::new(env!("CARGO_BIN_EXE_canaryctl"))
+        .args(["--shards", "0"])
+        .output()
+        .expect("run canaryctl");
+    assert_eq!(out.status.code(), Some(2), "--shards 0 must be rejected");
+}
