@@ -20,11 +20,11 @@
 //!
 //! Usage: `bench_scale [--quick] [--shards N] [--out PATH]`
 
+use canary_baselines::IdealStrategy;
+use canary_cluster::{Cluster, FailureModel};
 use canary_core::db::{
     CanaryDb, CheckpointInfoRow, DbOptions, FunctionInfoRow, JobInfoRow, WorkerInfoRow,
 };
-use canary_baselines::IdealStrategy;
-use canary_cluster::{Cluster, FailureModel};
 use canary_core::ReplicationStrategyKind;
 use canary_experiments::{Scenario, StrategyKind};
 use canary_kvstore::{ReplicatedKv, StoreConfig};

@@ -356,6 +356,23 @@ impl ChaosPlan {
         rng.bernoulli(self.spec.corruption_rate)
     }
 
+    /// Which chunk of a chunked checkpoint the corruption lands on, when
+    /// [`Self::corrupted`] says the checkpoint is corrupted. Drawn from a
+    /// separately tagged stream so the checkpoint-level verdict — and
+    /// every trace pinned against it — is untouched by the chunk draw.
+    /// Pure in `(fn_id, ckpt_id, chunk_count)`.
+    pub fn corrupted_chunk(&self, fn_id: u64, ckpt_id: u64, chunk_count: u32) -> Option<u32> {
+        if chunk_count == 0 || !self.corrupted(fn_id, ckpt_id) {
+            return None;
+        }
+        let tag = fn_id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(ckpt_id)
+            .wrapping_add(0xC4A7);
+        let mut rng = self.corrupt_base.split(tag);
+        Some(rng.u64_below(chunk_count as u64) as u32)
+    }
+
     /// Cluster-wide network slowdown factor active at `at` (≥ 1).
     pub fn net_factor(&self, at: SimTime) -> f64 {
         self.spec
@@ -439,6 +456,30 @@ mod tests {
             assert_eq!(a.straggler(f, 0), b.straggler(f, 0));
             assert_eq!(a.corrupted(f, 3), b.corrupted(f, 3));
         }
+    }
+
+    #[test]
+    fn chunk_corruption_agrees_with_checkpoint_verdict() {
+        let c = Cluster::heterogeneous(8);
+        let plan = ChaosPlan::from_spec(&spec(), &c, 42);
+        let mut hits = 0u32;
+        for f in 0..500u64 {
+            for k in 0..4u64 {
+                let chunk = plan.corrupted_chunk(f, k, 13);
+                assert_eq!(
+                    chunk.is_some(),
+                    plan.corrupted(f, k),
+                    "chunk draw must agree with the checkpoint verdict"
+                );
+                if let Some(i) = chunk {
+                    assert!(i < 13, "chunk index in range: {i}");
+                    assert_eq!(plan.corrupted_chunk(f, k, 13), Some(i), "pure");
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 0, "corruption rate 0.2 over 2000 draws must hit");
+        assert_eq!(plan.corrupted_chunk(7, 0, 0), None, "no chunks, no hit");
     }
 
     #[test]

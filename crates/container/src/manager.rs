@@ -149,7 +149,8 @@ impl ContainerRegistry {
         let id = ContainerId(self.next_id);
         self.next_id += 1;
         debug_assert_eq!(id.0 as usize, self.containers.len(), "dense id arena");
-        self.containers.push(Container::new(id, node, runtime, purpose));
+        self.containers
+            .push(Container::new(id, node, runtime, purpose));
         Ok(id)
     }
 

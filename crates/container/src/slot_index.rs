@@ -69,7 +69,7 @@ impl NodeSet {
         for (s, &sw) in self.summary.iter().enumerate() {
             if sw != 0 {
                 let w = s * 64 + sw.trailing_zeros() as usize;
-                return Some((w * 64) as u32 + self.words[w].trailing_zeros() as u32);
+                return Some((w * 64) as u32 + self.words[w].trailing_zeros());
             }
         }
         None
@@ -132,7 +132,9 @@ impl FreeSlotIndex {
     }
 
     fn scan_max(&self, from: u32) -> Option<u32> {
-        (0..=from).rev().find(|&f| !self.buckets[f as usize].is_empty())
+        (0..=from)
+            .rev()
+            .find(|&f| !self.buckets[f as usize].is_empty())
     }
 
     /// Move `node` from `old` free slots to `new` (both within the

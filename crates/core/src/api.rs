@@ -57,6 +57,105 @@ impl From<CodecError> for ApiError {
     }
 }
 
+/// A KV key for the API namespace, rendered into a stack buffer.
+///
+/// The API sits on the recovery hot path — `recover` runs once per
+/// failover, `register_state` once per step of every resumable kernel —
+/// and the keys were previously built with `format!`, a heap allocation
+/// per call. The layouts are fixed and short ("api/state/" + a
+/// zero-padded decimal id; "api/critical/" + id + "/" + name), so they
+/// render into a 96-byte inline buffer instead; only a critical-data
+/// name longer than the buffer spills to the heap.
+///
+/// The rendered bytes are pinned byte-identical to the old `format!`
+/// layout (`{fn_id:016}`: zero-padded *minimum* width 16, growing up to
+/// 20 digits for large ids) — stored data written before this change
+/// remains addressable, and `api_keys_match_the_formatted_layout` in the
+/// test module guards the equivalence.
+struct ApiKey {
+    buf: [u8; Self::INLINE],
+    len: u8,
+    /// Set only when the key outgrew the inline buffer.
+    spill: Option<Vec<u8>>,
+}
+
+impl ApiKey {
+    const INLINE: usize = 96;
+
+    /// Key of a function's rolling registered state:
+    /// `api/state/<fn_id:016>`. Always fits inline.
+    fn state(fn_id: u64) -> Self {
+        let mut k = ApiKey {
+            buf: [0; Self::INLINE],
+            len: 0,
+            spill: None,
+        };
+        k.push(b"api/state/");
+        k.push_decimal_padded(fn_id);
+        k
+    }
+
+    /// Key of a named critical-data blob:
+    /// `api/critical/<fn_id:016>/<name>`. Spills to the heap only for
+    /// names longer than the inline buffer allows (> 62 bytes).
+    fn critical(fn_id: u64, name: &str) -> Self {
+        let mut k = ApiKey {
+            buf: [0; Self::INLINE],
+            len: 0,
+            spill: None,
+        };
+        k.push(b"api/critical/");
+        k.push_decimal_padded(fn_id);
+        k.push(b"/");
+        k.push(name.as_bytes());
+        k
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        if let Some(v) = &mut self.spill {
+            v.extend_from_slice(bytes);
+            return;
+        }
+        let len = self.len as usize;
+        if len + bytes.len() <= Self::INLINE {
+            self.buf[len..len + bytes.len()].copy_from_slice(bytes);
+            self.len += bytes.len() as u8;
+        } else {
+            let mut v = Vec::with_capacity(len + bytes.len());
+            v.extend_from_slice(&self.buf[..len]);
+            v.extend_from_slice(bytes);
+            self.spill = Some(v);
+        }
+    }
+
+    /// `{n:016}`: zero-padded decimal, minimum width 16 — wider when the
+    /// id needs more digits (u64::MAX is 20).
+    fn push_decimal_padded(&mut self, n: u64) {
+        let mut digits = [b'0'; 20];
+        let mut i = digits.len();
+        let mut rest = n;
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (rest % 10) as u8;
+            rest /= 10;
+            if rest == 0 {
+                break;
+            }
+        }
+        let start = i.min(digits.len() - 16);
+        self.push(&digits[start..]);
+    }
+}
+
+impl AsRef<[u8]> for ApiKey {
+    fn as_ref(&self) -> &[u8] {
+        match &self.spill {
+            Some(v) => v,
+            None => &self.buf[..self.len as usize],
+        }
+    }
+}
+
 /// A registered state snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisteredState {
@@ -133,7 +232,7 @@ impl StateService {
     pub fn recover(&self, fn_id: u64) -> Result<(FunctionContext, RegisteredState), ApiError> {
         let bytes = self
             .kv
-            .get(format!("api/state/{fn_id:016}"))
+            .get(ApiKey::state(fn_id))
             .map_err(|_| ApiError::NoState { fn_id })?;
         let state = decode_state(&bytes)?;
         Ok((
@@ -148,7 +247,7 @@ impl StateService {
 
     /// Latest critical-data blob registered under `name` for `fn_id`.
     pub fn critical_data(&self, fn_id: u64, name: &str) -> Result<Bytes, ApiError> {
-        Ok(self.kv.get(format!("api/critical/{fn_id:016}/{name}"))?)
+        Ok(self.kv.get(ApiKey::critical(fn_id, name))?)
     }
 }
 
@@ -180,10 +279,9 @@ impl FunctionContext {
             name: name.to_string(),
             payload,
         };
-        self.service.kv.put(
-            format!("api/state/{:016}", self.fn_id),
-            encode_state(&state),
-        )?;
+        self.service
+            .kv
+            .put(ApiKey::state(self.fn_id), encode_state(&state))?;
         self.seq += 1;
         Ok(state.seq)
     }
@@ -194,7 +292,7 @@ impl FunctionContext {
         Ok(self
             .service
             .kv
-            .put(format!("api/critical/{:016}/{name}", self.fn_id), payload)?)
+            .put(ApiKey::critical(self.fn_id, name), payload)?)
     }
 }
 
@@ -248,6 +346,74 @@ fn finish<K: Resumable>(
 mod tests {
     use super::*;
     use canary_workloads::{BfsKernel, CompressionKernel, TrainingKernel};
+
+    /// The stack-buffer key path must stay byte-identical to the
+    /// `format!` layout it replaced, or previously stored rows become
+    /// unreachable. Pins ids across the decimal-width boundary (including
+    /// u64::MAX, whose 20 digits exceed the 16-wide zero padding) and
+    /// names across empty / unicode / inline-capacity / heap-spill.
+    #[test]
+    fn api_keys_match_the_formatted_layout() {
+        let ids = [
+            0u64,
+            1,
+            42,
+            9_999_999_999_999_999,
+            10_000_000_000_000_000,
+            u64::MAX,
+        ];
+        let names = [
+            "",
+            "model",
+            "поток-θ",
+            &"n".repeat(62),  // largest critical name that stays inline
+            &"n".repeat(63),  // first to spill
+            &"n".repeat(300), // far past the inline buffer
+        ];
+        for id in ids {
+            assert_eq!(
+                ApiKey::state(id).as_ref(),
+                format!("api/state/{id:016}").as_bytes(),
+                "state key layout drifted for fn {id}"
+            );
+            for name in names {
+                assert_eq!(
+                    ApiKey::critical(id, name).as_ref(),
+                    format!("api/critical/{id:016}/{name}").as_bytes(),
+                    "critical key layout drifted for fn {id}, name len {}",
+                    name.len()
+                );
+            }
+        }
+    }
+
+    /// Rows written under the old formatted keys stay readable through
+    /// the typed key path (the on-store layout is unchanged).
+    #[test]
+    fn formatted_keys_and_typed_keys_address_the_same_rows() {
+        let svc = StateService::new(2);
+        let ctx = svc.context(u64::MAX);
+        ctx.register_critical("w", Bytes::from_static(b"blob"))
+            .unwrap();
+        assert_eq!(
+            svc.kv()
+                .get(format!("api/critical/{:016}/w", u64::MAX))
+                .unwrap(),
+            Bytes::from_static(b"blob")
+        );
+        svc.kv()
+            .put(
+                format!("api/state/{:016}", 5u64),
+                encode_state(&RegisteredState {
+                    seq: 0,
+                    name: "s".into(),
+                    payload: Bytes::from_static(b"v"),
+                }),
+            )
+            .unwrap();
+        let (_, state) = svc.recover(5).unwrap();
+        assert_eq!(state.payload, Bytes::from_static(b"v"));
+    }
 
     #[test]
     fn state_codec_round_trip() {

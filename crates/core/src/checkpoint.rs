@@ -1,4 +1,4 @@
-//! The Checkpointing Module (Algorithm 1).
+//! The Checkpointing Module (Algorithm 1), incremental edition.
 //!
 //! Records each completed state of every tracked function: payloads small
 //! enough for the KV store's per-entry limit are stored there; larger
@@ -7,7 +7,22 @@
 //! latest-*n* window (initially 3, dynamically adjusted) evicts the oldest
 //! checkpoint (lines 14–16). Checkpoints are asynchronously flushed to
 //! shared storage so they survive node-level failures (§IV-C.4b).
+//!
+//! The default storage path is **content-addressed and incremental** (see
+//! [`crate::chunk`] and DESIGN.md §14): payloads split into fixed-size
+//! chunks, each chunk is stored once under its FNV-1a hash with a
+//! refcount, and what lands at the checkpoint's location key is a small
+//! *manifest* of chunk hashes delta-encoded against the previous retained
+//! checkpoint. An unchanged chunk costs one copy-run entry instead of a
+//! re-store. The historical whole-blob path survives as
+//! [`CkptOptions::blob_oracle`] — the differential test suite replays
+//! identical operation sequences against both and demands byte-identical
+//! restores.
 
+use crate::chunk::{
+    decode_manifest, encode_manifest, fnv1a64, restore_from_manifest, ChunkStats, ChunkStore,
+    ManifestError,
+};
 use crate::config::{CanaryConfig, CheckpointMode};
 use crate::db::{CanaryDb, CheckpointInfoRow, DbError};
 use bytes::Bytes;
@@ -15,8 +30,92 @@ use canary_cluster::{StorageHierarchy, StorageTier};
 use canary_kvstore::{AsyncFlusher, CheckpointMeta, CheckpointWindow, PersistentLog};
 use canary_sim::{SimDuration, SimTime};
 use canary_workloads::Encoder;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Checkpoint storage-path options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptOptions {
+    /// Store whole payload blobs at the location key (the pre-incremental
+    /// path). Kept as the differential oracle: identical op sequences
+    /// against both paths must restore identical bytes.
+    pub blob_oracle: bool,
+    /// Fixed chunk size of the content-addressed path.
+    pub chunk_size: usize,
+}
+
+impl Default for CkptOptions {
+    fn default() -> Self {
+        CkptOptions {
+            blob_oracle: false,
+            chunk_size: crate::chunk::DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+/// State blocks in a synthetic checkpoint image (plus one header block).
+pub const PAYLOAD_STATE_BLOCKS: u32 = 12;
+/// A state block churns every this-many states (staggered by block
+/// index), so consecutive checkpoints share most chunks — the
+/// delta-friendly shape real incremental-checkpoint systems exploit.
+pub const PAYLOAD_CHURN_PERIOD: u32 = 4;
+
+/// Build the checkpoint image for one durable state: a header block
+/// (the function's registered state record, zero-padded to the chunk
+/// boundary) followed by [`PAYLOAD_STATE_BLOCKS`] synthetic state blocks.
+/// Block `i` keeps its exact contents until its next churn state
+/// (`(state + i) % PAYLOAD_CHURN_PERIOD == 0`), so under the default
+/// period 3 of 12 blocks change per state and the rest dedup away.
+/// Deterministic in (fn_id, state_index, billed bytes, time) — the
+/// differential suite rebuilds it to check restores byte-for-byte.
+pub fn build_payload(
+    fn_id: u64,
+    state_index: u32,
+    billed_bytes: u64,
+    now: SimTime,
+    block: usize,
+) -> Bytes {
+    let block = block.max(1);
+    let mut out = Vec::with_capacity(block * (PAYLOAD_STATE_BLOCKS as usize + 1));
+    let mut enc = Encoder::with_capacity(40);
+    enc.put_u8(1)
+        .put_u64(fn_id)
+        .put_u32(state_index)
+        .put_u64(billed_bytes)
+        .put_u64(now.as_micros());
+    out.extend_from_slice(&enc.finish());
+    out.resize(out.len().div_ceil(block) * block, 0);
+    for i in 1..=PAYLOAD_STATE_BLOCKS {
+        // The most recent state at which this block churned; wrapping is
+        // fine — every pre-first-churn state maps to the same sentinel.
+        let last_churn = state_index.wrapping_sub((state_index + i) % PAYLOAD_CHURN_PERIOD);
+        let mut seed = [0u8; 16];
+        seed[..8].copy_from_slice(&fn_id.to_le_bytes());
+        seed[8..12].copy_from_slice(&i.to_le_bytes());
+        seed[12..].copy_from_slice(&last_churn.to_le_bytes());
+        let mut s = fnv1a64(&seed) | 1;
+        let end = out.len() + block;
+        while out.len() < end {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let bytes = s.to_le_bytes();
+            let take = (end - out.len()).min(8);
+            out.extend_from_slice(&bytes[..take]);
+        }
+    }
+    Bytes::from(out)
+}
+
+/// One retained checkpoint's resolved manifest, kept in memory for base
+/// resolution, refcount release on eviction, and migration pricing.
+struct ManifestRec {
+    ckpt_id: u64,
+    hashes: Vec<u64>,
+    new_chunks: u32,
+    new_bytes: u64,
+    total_bytes: u64,
+}
 
 fn tier_ordinal(t: StorageTier) -> u8 {
     match t {
@@ -68,13 +167,52 @@ pub struct RestoreLookup {
     pub had_checkpoints: bool,
 }
 
+/// What migrating a function's checkpointed state to a warm replica on a
+/// surviving node will cost: only the chunks the replica lacks move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrateInfo {
+    /// The checkpoint the replica resumes from.
+    pub ckpt_id: u64,
+    /// First state index NOT covered by that checkpoint.
+    pub resume_from_state: u32,
+    /// Probe plus delta-transfer time over the shared tier.
+    pub duration: SimDuration,
+    /// Bytes actually transferred (the manifest's new-chunk share of the
+    /// billed payload; the rest already sits on shared storage the
+    /// replica can read).
+    pub bytes: u64,
+    /// Chunks shipped (the manifest entries the replica lacked).
+    pub chunks: u32,
+}
+
+/// Outcome of probing the window for a migration target (mirror of
+/// [`RestoreLookup`] with delta-transfer pricing).
+#[derive(Debug, Clone)]
+pub struct MigrateLookup {
+    /// The usable migration point, if any retained checkpoint survived.
+    pub info: Option<MigrateInfo>,
+    /// Checkpoint ids skipped as corrupted, newest first.
+    pub corrupted: Vec<u64>,
+    /// True when the function had at least one retained checkpoint.
+    pub had_checkpoints: bool,
+}
+
 /// The Checkpointing Module.
 pub struct CheckpointingModule {
     config: CanaryConfig,
+    options: CkptOptions,
     hierarchy: StorageHierarchy,
     db: Arc<CanaryDb>,
     window: CheckpointWindow,
     flusher: AsyncFlusher,
+    /// Content-addressed chunk bodies (the shared checkpoint-data tier).
+    chunks: ChunkStore,
+    /// Per-function retained manifests, oldest first (mirrors `window`).
+    chains: HashMap<u64, VecDeque<ManifestRec>>,
+    /// Per-function most-recently-evicted manifest: the delta base of the
+    /// oldest retained checkpoint resolves here after eviction. Holds no
+    /// chunk references — only the hash list.
+    ghosts: HashMap<u64, (u64, Vec<u64>)>,
     /// States completed & durable per function (the resume point).
     durable: HashMap<u64, u32>,
     /// Next checkpoint id per function.
@@ -85,23 +223,44 @@ pub struct CheckpointingModule {
 }
 
 impl CheckpointingModule {
-    /// New module over the given database and storage hierarchy.
+    /// New module over the given database and storage hierarchy, on the
+    /// default (content-addressed, incremental) storage path.
     pub fn new(config: CanaryConfig, hierarchy: StorageHierarchy, db: Arc<CanaryDb>) -> Self {
+        Self::with_options(config, hierarchy, db, CkptOptions::default())
+    }
+
+    /// New module with an explicit storage path (the differential suite
+    /// runs chunked and blob-oracle modules side by side).
+    pub fn with_options(
+        config: CanaryConfig,
+        hierarchy: StorageHierarchy,
+        db: Arc<CanaryDb>,
+        options: CkptOptions,
+    ) -> Self {
         config.validate().expect("invalid Canary configuration");
         hierarchy.validate().expect("invalid storage hierarchy");
         let window = CheckpointWindow::new(config.ckpt_window);
         let flusher = AsyncFlusher::new(Arc::new(PersistentLog::new()));
         CheckpointingModule {
             config,
+            options,
             hierarchy,
             db,
             window,
             flusher,
+            chunks: ChunkStore::new(),
+            chains: HashMap::new(),
+            ghosts: HashMap::new(),
             durable: HashMap::new(),
             next_ckpt: HashMap::new(),
             writes: 0,
             bytes_written: 0,
         }
+    }
+
+    /// The active storage-path options.
+    pub fn options(&self) -> CkptOptions {
+        self.options
     }
 
     /// Billed payload size after the checkpoint-mode adjustment: explicit
@@ -124,8 +283,10 @@ impl CheckpointingModule {
         tier.write_time(bytes) + StorageTier::KvStore.write_time(256)
     }
 
-    /// Record one durable state (Algorithm 1 body). Returns the evicted
-    /// checkpoint id when the window overflowed.
+    /// Record one durable state (Algorithm 1 body). Builds the
+    /// deterministic checkpoint image for this state and stores it via
+    /// [`Self::record_payload`]. Returns the evicted checkpoint id when
+    /// the window overflowed.
     pub fn record(
         &mut self,
         job_id: u32,
@@ -133,6 +294,35 @@ impl CheckpointingModule {
         state_index: u32,
         spec_bytes: u64,
         now: SimTime,
+    ) -> Result<Option<u64>, DbError> {
+        // A small *real* payload: the function's registered state record
+        // plus synthetic state blocks with realistic churn. Sizes are
+        // billed through `write_cost`; storing multi-GB synthetic blobs
+        // would add nothing but memory pressure.
+        let payload = build_payload(
+            fn_id,
+            state_index,
+            self.effective_bytes(spec_bytes),
+            now,
+            self.options.chunk_size,
+        );
+        self.record_payload(job_id, fn_id, state_index, spec_bytes, now, payload)
+    }
+
+    /// Record one durable state with a caller-supplied payload image (the
+    /// differential suite drives arbitrary payloads through both storage
+    /// paths). Exactly one location-keyed database put and one async
+    /// flush happen per checkpoint in either mode — in blob mode the
+    /// payload itself, in chunked mode the manifest, while chunk bodies
+    /// live in the content-addressed store.
+    pub fn record_payload(
+        &mut self,
+        job_id: u32,
+        fn_id: u64,
+        state_index: u32,
+        spec_bytes: u64,
+        now: SimTime,
+        payload: Bytes,
     ) -> Result<Option<u64>, DbError> {
         let bytes = self.effective_bytes(spec_bytes);
         let tier = self.hierarchy.place(bytes);
@@ -148,22 +338,52 @@ impl CheckpointingModule {
             format!("spill/{:?}/{fn_id:016}/{ckpt_id:016}", tier)
         };
 
-        // A small *real* payload: the function's registered state record.
-        // Sizes are billed through `write_cost`; storing multi-GB synthetic
-        // blobs would add nothing but memory pressure.
-        let mut enc = Encoder::with_capacity(40);
-        enc.put_u8(1)
-            .put_u64(fn_id)
-            .put_u32(state_index)
-            .put_u64(bytes)
-            .put_u64(now.as_micros());
-        let payload = enc.finish();
+        let stored = if self.options.blob_oracle {
+            payload
+        } else {
+            // Chunk the payload: `slice` shares the payload allocation, so
+            // a newly stored chunk body costs a refcount bump, not a copy.
+            let chunk = self.options.chunk_size.max(1);
+            let mut hashes = Vec::with_capacity(payload.len().div_ceil(chunk));
+            let mut new_chunks = 0u32;
+            let mut new_bytes = 0u64;
+            let mut off = 0;
+            while off < payload.len() {
+                let end = (off + chunk).min(payload.len());
+                let body = payload.slice(off..end);
+                let len = body.len() as u64;
+                let (hash, fresh) = self.chunks.insert(body);
+                if fresh {
+                    new_chunks += 1;
+                    new_bytes += len;
+                }
+                hashes.push(hash);
+                off = end;
+            }
+            let chain = self.chains.entry(fn_id).or_default();
+            let base = chain.back().map(|r| (r.ckpt_id, r.hashes.as_slice()));
+            let wire = encode_manifest(
+                ckpt_id,
+                base,
+                &hashes,
+                payload.len() as u64,
+                fnv1a64(&payload),
+            );
+            chain.push_back(ManifestRec {
+                ckpt_id,
+                hashes,
+                new_chunks,
+                new_bytes,
+                total_bytes: payload.len() as u64,
+            });
+            wire
+        };
         // One refcounted buffer serves every consumer: the db put (fanned
         // out to each KV replica), and the async flush to shared storage
         // (survives node loss). `Bytes::clone` bumps a refcount; no
         // payload bytes are copied past this point.
-        self.db.put_payload(&location, Bytes::clone(&payload))?;
-        self.flusher.enqueue(location.clone(), payload);
+        self.db.put_payload(&location, Bytes::clone(&stored))?;
+        self.flusher.enqueue(location.clone(), stored);
 
         self.db.put_checkpoint(&CheckpointInfoRow {
             ckpt_id,
@@ -190,6 +410,7 @@ impl CheckpointingModule {
             // Algorithm 1 line 15: remove the oldest checkpoint.
             self.db.delete_checkpoint(fn_id, old.ckpt_id)?;
             self.db.delete_payload(&old.location)?;
+            self.release_retired(fn_id, old.ckpt_id);
         }
 
         self.durable
@@ -199,6 +420,37 @@ impl CheckpointingModule {
         self.writes += 1;
         self.bytes_written += bytes;
         Ok(evicted.map(|m| m.ckpt_id))
+    }
+
+    /// Drop a retired checkpoint's manifest: release its per-occurrence
+    /// chunk references and stash its hash list as the function's ghost
+    /// base, so the (now oldest) retained manifest keeps decoding.
+    fn release_retired(&mut self, fn_id: u64, ckpt_id: u64) {
+        let rec = self.chains.get_mut(&fn_id).and_then(|chain| {
+            let pos = chain.iter().position(|r| r.ckpt_id == ckpt_id)?;
+            chain.remove(pos)
+        });
+        if let Some(rec) = rec {
+            for &hash in &rec.hashes {
+                self.chunks.release(hash);
+            }
+            self.ghosts.insert(fn_id, (rec.ckpt_id, rec.hashes));
+        }
+    }
+
+    /// Resolve a manifest delta base to its hash list: retained chain
+    /// first, then the ghost of the most recently evicted checkpoint.
+    fn resolve_base(&self, fn_id: u64, base: u64) -> Option<Vec<u64>> {
+        if let Some(rec) = self
+            .chains
+            .get(&fn_id)
+            .and_then(|c| c.iter().find(|r| r.ckpt_id == base))
+        {
+            return Some(rec.hashes.clone());
+        }
+        self.ghosts
+            .get(&fn_id)
+            .and_then(|(id, hashes)| (*id == base).then(|| hashes.clone()))
     }
 
     /// Durable resume point of a function (states completed & persisted).
@@ -291,6 +543,171 @@ impl CheckpointingModule {
         }
     }
 
+    /// Migration probing: walk the retained window newest→oldest exactly
+    /// like [`Self::restore_lookup`] (same per-probe metadata cost, same
+    /// corruption and lost-row skips), but price the chosen checkpoint as
+    /// a *delta* transfer — only the chunks the warm replica lacks (the
+    /// manifest's new-chunk share; everything else is already on shared
+    /// storage it can read) move over the shared tier. In blob-oracle
+    /// mode the full payload moves, so migration degenerates to the
+    /// rerun-from-checkpoint read cost.
+    pub fn migrate_lookup(&self, fn_id: u64, is_corrupt: &dyn Fn(u64) -> bool) -> MigrateLookup {
+        let metas = self.window.all(fn_id); // oldest first
+        let had_checkpoints = !metas.is_empty();
+        let mut corrupted = Vec::new();
+        let mut probe_cost = SimDuration::ZERO;
+        let rows = self.db.checkpoints_of(fn_id).unwrap_or_default();
+        for meta in metas.iter().rev() {
+            probe_cost += StorageTier::KvStore.read_time(256);
+            if is_corrupt(meta.ckpt_id) {
+                corrupted.push(meta.ckpt_id);
+                continue;
+            }
+            let Some(row) = rows.iter().find(|r| r.ckpt_id == meta.ckpt_id) else {
+                continue;
+            };
+            let (ratio, chunks) = self.delta_profile(fn_id, meta.ckpt_id);
+            let bytes = ((row.bytes as f64) * ratio).max(1.0) as u64;
+            let duration = probe_cost + self.hierarchy.shared_tier.read_time(bytes);
+            return MigrateLookup {
+                info: Some(MigrateInfo {
+                    ckpt_id: meta.ckpt_id,
+                    resume_from_state: row.state_index + 1,
+                    duration,
+                    bytes,
+                    chunks,
+                }),
+                corrupted,
+                had_checkpoints,
+            };
+        }
+        MigrateLookup {
+            info: None,
+            corrupted,
+            had_checkpoints,
+        }
+    }
+
+    /// Fraction of a checkpoint's payload that is new relative to its
+    /// delta base, and how many chunks that is. 1.0 (everything moves)
+    /// for the blob oracle or when the manifest is no longer retained.
+    fn delta_profile(&self, fn_id: u64, ckpt_id: u64) -> (f64, u32) {
+        if self.options.blob_oracle {
+            return (1.0, 0);
+        }
+        match self
+            .chains
+            .get(&fn_id)
+            .and_then(|c| c.iter().find(|r| r.ckpt_id == ckpt_id))
+        {
+            Some(rec) if rec.total_bytes > 0 => (
+                rec.new_bytes as f64 / rec.total_bytes as f64,
+                rec.new_chunks,
+            ),
+            _ => (1.0, 0),
+        }
+    }
+
+    /// Decode stored location bytes and reassemble the payload: in
+    /// chunked mode that means manifest decode (chain + ghost base
+    /// resolution) plus per-chunk hash-verified reads. Every failure mode
+    /// is a typed [`ManifestError`]; wrong bytes are unrepresentable.
+    pub fn restore_stored(&self, fn_id: u64, stored: &[u8]) -> Result<Bytes, ManifestError> {
+        let manifest = decode_manifest(stored, |base| self.resolve_base(fn_id, base))?;
+        restore_from_manifest(&manifest, &self.chunks)
+    }
+
+    /// Restore the actual payload bytes of the newest usable retained
+    /// checkpoint, walking newest→oldest past checkpoints the oracle
+    /// flags, checkpoints whose stored bytes are gone, and — in chunked
+    /// mode — checkpoints whose manifests fail to decode or whose chunks
+    /// fail hash verification. A corrupted chunk therefore invalidates
+    /// exactly the checkpoints referencing it. Returns the checkpoint id
+    /// and its byte-exact payload.
+    pub fn restore_payload(
+        &self,
+        fn_id: u64,
+        is_corrupt: &dyn Fn(u64) -> bool,
+    ) -> Option<(u64, Bytes)> {
+        let metas = self.window.all(fn_id);
+        for meta in metas.iter().rev() {
+            if is_corrupt(meta.ckpt_id) {
+                continue;
+            }
+            let Ok(stored) = self.db.get_payload(&meta.location) else {
+                continue;
+            };
+            if self.options.blob_oracle {
+                return Some((meta.ckpt_id, stored));
+            }
+            match self.restore_stored(fn_id, &stored) {
+                Ok(payload) => return Some((meta.ckpt_id, payload)),
+                Err(_) => continue,
+            }
+        }
+        None
+    }
+
+    /// Chunk-store access (corruption injection and refcount tie-outs in
+    /// the differential and fuzz suites).
+    pub fn chunk_store(&self) -> &ChunkStore {
+        &self.chunks
+    }
+
+    /// Mutable chunk-store access (test-side fault injection).
+    pub fn chunk_store_mut(&mut self) -> &mut ChunkStore {
+        &mut self.chunks
+    }
+
+    /// Lifetime chunk dedup statistics.
+    pub fn chunk_stats(&self) -> ChunkStats {
+        self.chunks.stats()
+    }
+
+    /// The resolved chunk hashes of a retained checkpoint (corruption
+    /// targeting in tests).
+    pub fn chunk_hashes(&self, fn_id: u64, ckpt_id: u64) -> Option<Vec<u64>> {
+        self.chains
+            .get(&fn_id)
+            .and_then(|c| c.iter().find(|r| r.ckpt_id == ckpt_id))
+            .map(|r| r.hashes.clone())
+    }
+
+    /// Number of chunks in a retained checkpoint's manifest (`0` when the
+    /// checkpoint is unknown or the module runs blob-style).
+    pub fn chunk_count(&self, fn_id: u64, ckpt_id: u64) -> u32 {
+        self.chains
+            .get(&fn_id)
+            .and_then(|c| c.iter().find(|r| r.ckpt_id == ckpt_id))
+            .map_or(0, |r| r.hashes.len() as u32)
+    }
+
+    /// Land a chaos-drawn corruption on the physical chunk at position
+    /// `chunk_idx` of a retained checkpoint's manifest: flips one bit in
+    /// the stored body, so byte-level restores fail verification for
+    /// exactly the checkpoints whose manifests reference that chunk.
+    /// Returns the corrupted chunk's hash.
+    pub fn corrupt_ckpt_chunk(&mut self, fn_id: u64, ckpt_id: u64, chunk_idx: u32) -> Option<u64> {
+        let hash = *self
+            .chains
+            .get(&fn_id)
+            .and_then(|c| c.iter().find(|r| r.ckpt_id == ckpt_id))
+            .and_then(|r| r.hashes.get(chunk_idx as usize))?;
+        self.chunks
+            .corrupt_chunk(hash, chunk_idx as usize)
+            .then_some(hash)
+    }
+
+    /// Total manifest entry occurrences across every retained checkpoint
+    /// — must equal the chunk store's total refcount at all times.
+    pub fn retained_entry_count(&self) -> u64 {
+        self.chains
+            .values()
+            .flat_map(|c| c.iter())
+            .map(|r| r.hashes.len() as u64)
+            .sum()
+    }
+
     /// Number of checkpoints currently retained for `fn_id`.
     pub fn retained(&self, fn_id: u64) -> usize {
         self.window.count(fn_id)
@@ -320,6 +737,7 @@ impl CheckpointingModule {
                 // Best effort: eviction cleanup failures only leak rows.
                 let _ = self.db.delete_checkpoint(old.fn_id, old.ckpt_id);
                 let _ = self.db.delete_payload(&old.location);
+                self.release_retired(old.fn_id, old.ckpt_id);
             }
         }
     }
@@ -338,6 +756,14 @@ impl CheckpointingModule {
             let _ = self.db.delete_checkpoint(fn_id, old.ckpt_id);
             let _ = self.db.delete_payload(&old.location);
         }
+        if let Some(chain) = self.chains.remove(&fn_id) {
+            for rec in chain {
+                for &hash in &rec.hashes {
+                    self.chunks.release(hash);
+                }
+            }
+        }
+        self.ghosts.remove(&fn_id);
         self.durable.remove(&fn_id);
         self.next_ckpt.remove(&fn_id);
         Ok(())
@@ -612,5 +1038,139 @@ mod tests {
         let (writes, bytes) = m.stats();
         assert_eq!(writes, 2);
         assert_eq!(bytes, 2000);
+    }
+
+    fn oracle_module() -> CheckpointingModule {
+        CheckpointingModule::with_options(
+            CanaryConfig::default(),
+            StorageHierarchy::default(),
+            Arc::new(CanaryDb::new(3)),
+            CkptOptions {
+                blob_oracle: true,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn chunked_restore_matches_blob_oracle() {
+        let mut chunked = module();
+        let mut blob = oracle_module();
+        assert!(!chunked.options().blob_oracle && blob.options().blob_oracle);
+        for s in 0..6u32 {
+            let now = SimTime::from_micros(s as u64 * 1000);
+            chunked.record(0, 21, s, 64 * 1024, now).unwrap();
+            blob.record(0, 21, s, 64 * 1024, now).unwrap();
+        }
+        let (cid, cbytes) = chunked.restore_payload(21, &|_| false).unwrap();
+        let (bid, bbytes) = blob.restore_payload(21, &|_| false).unwrap();
+        assert_eq!(cid, bid);
+        assert_eq!(cbytes, bbytes, "restores must be byte-identical");
+    }
+
+    #[test]
+    fn consecutive_checkpoints_dedup_unchanged_chunks() {
+        let mut m = module();
+        for s in 0..8u32 {
+            m.record(0, 22, s, 4096, SimTime::ZERO).unwrap();
+        }
+        let stats = m.chunk_stats();
+        assert!(stats.deduped > stats.written, "most chunks must dedup");
+        let logical = stats.bytes_written + stats.bytes_deduped;
+        assert!(
+            logical >= 2 * stats.bytes_written,
+            "churn shape must yield at least 2x dedup: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_chunk_invalidates_exactly_referencing_checkpoints() {
+        let mut m = module();
+        for s in 0..4u32 {
+            m.record(0, 30, s, 2048, SimTime::from_micros(s as u64))
+                .unwrap();
+        }
+        // Retained ckpts 1..=3. The newest's header chunk is unique to it.
+        let h3 = m.chunk_hashes(30, 3).unwrap();
+        let h2 = m.chunk_hashes(30, 2).unwrap();
+        let h1 = m.chunk_hashes(30, 1).unwrap();
+        let unique = h3
+            .iter()
+            .find(|h| !h2.contains(h) && !h1.contains(h))
+            .copied()
+            .unwrap();
+        assert!(m.chunk_store_mut().corrupt_chunk(unique, 9));
+        let (id, bytes) = m.restore_payload(30, &|_| false).unwrap();
+        assert_eq!(id, 2, "only the referencing checkpoint is invalidated");
+        let expect = build_payload(30, 2, 2048, SimTime::from_micros(2), 64);
+        assert_eq!(bytes, expect, "fallback restore is byte-exact");
+    }
+
+    #[test]
+    fn ghost_base_keeps_oldest_retained_manifest_decodable() {
+        let mut m = module();
+        for s in 0..5u32 {
+            m.record(0, 31, s, 2048, SimTime::ZERO).unwrap();
+        }
+        // Ckpts 2..=4 retained; ckpt 2's delta base (ckpt 1) was evicted
+        // and survives only as the ghost hash list.
+        let (id, bytes) = m.restore_payload(31, &|c| c >= 3).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(bytes, build_payload(31, 2, 2048, SimTime::ZERO, 64));
+    }
+
+    #[test]
+    fn refcounts_tie_out_and_forget_empties_store() {
+        let mut m = module();
+        for fn_id in [40u64, 41] {
+            for s in 0..6u32 {
+                m.record(0, fn_id, s, 1024, SimTime::ZERO).unwrap();
+            }
+        }
+        assert_eq!(m.chunk_store().total_refs(), m.retained_entry_count());
+        m.forget(40).unwrap();
+        assert_eq!(m.chunk_store().total_refs(), m.retained_entry_count());
+        m.forget(41).unwrap();
+        assert!(m.chunk_store().is_empty(), "all refs released, no bodies");
+    }
+
+    #[test]
+    fn migration_delta_is_cheaper_than_rerun_restore() {
+        let mut m = module();
+        for s in 0..4u32 {
+            m.record(0, 50, s, 98 * 1024 * 1024, SimTime::ZERO).unwrap();
+        }
+        let rerun = m.restore_lookup(50, true, &|_| false).info.unwrap();
+        let mig = m.migrate_lookup(50, &|_| false).info.unwrap();
+        assert_eq!(mig.resume_from_state, rerun.resume_from_state);
+        assert!(mig.bytes < rerun.bytes, "only the delta moves");
+        assert!(mig.chunks > 0);
+        assert!(
+            mig.duration < rerun.duration,
+            "delta transfer must beat the full shared-tier read"
+        );
+        // The blob oracle has no delta: migration degenerates to the full
+        // read and the speedup disappears.
+        let mut b = oracle_module();
+        for s in 0..4u32 {
+            b.record(0, 50, s, 98 * 1024 * 1024, SimTime::ZERO).unwrap();
+        }
+        let bmig = b.migrate_lookup(50, &|_| false).info.unwrap();
+        let brerun = b.restore_lookup(50, true, &|_| false).info.unwrap();
+        assert_eq!(bmig.duration, brerun.duration);
+    }
+
+    #[test]
+    fn migrate_lookup_skips_corrupted_checkpoints() {
+        let mut m = module();
+        for s in 0..4u32 {
+            m.record(0, 51, s, 2048, SimTime::ZERO).unwrap();
+        }
+        let mig = m.migrate_lookup(51, &|c| c == 3);
+        let info = mig.info.unwrap();
+        assert_eq!(info.resume_from_state, 3, "never resurrect a corrupt ckpt");
+        assert_eq!(mig.corrupted, vec![3]);
+        let all_bad = m.migrate_lookup(51, &|_| true);
+        assert!(all_bad.info.is_none() && all_bad.had_checkpoints);
     }
 }

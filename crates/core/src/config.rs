@@ -86,6 +86,13 @@ pub struct CanaryConfig {
     /// fraction of the state's execution time by checkpointing every
     /// k-th state instead of every state when payloads are expensive.
     pub max_ckpt_overhead_ratio: f64,
+    /// Live migration (DESIGN.md §14): on a node crash with a warm
+    /// replica available, move the function's manifest-reachable state to
+    /// the replica — transferring only the chunks it lacks — instead of
+    /// rerunning from the checkpoint read back in full. Off by default;
+    /// the pinned golden traces were blessed without it.
+    #[serde(default)]
+    pub migrate: bool,
 }
 
 impl Default for CanaryConfig {
@@ -103,6 +110,7 @@ impl Default for CanaryConfig {
             max_replicas_per_runtime: 32,
             proactive: true,
             max_ckpt_overhead_ratio: 0.10,
+            migrate: false,
         }
     }
 }

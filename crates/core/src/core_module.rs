@@ -161,6 +161,7 @@ impl CanaryStrategy {
         for &ckpt_id in &lookup.corrupted {
             platform.emit(TraceKind::CheckpointCorrupted { fn_id, ckpt_id });
             platform.telemetry_mut().incr(Counter::CheckpointsCorrupted);
+            self.land_chunk_corruption(platform, fn_id, ckpt_id);
         }
         match lookup.info {
             Some(info) => {
@@ -215,6 +216,110 @@ impl CanaryStrategy {
                     platform.telemetry_mut().incr(Counter::RestoreFallbacks);
                 }
                 (0, SimDuration::ZERO)
+            }
+        }
+    }
+
+    /// In chunked mode a chaos corruption verdict damages a physical
+    /// chunk, not a whole blob: the chaos plan draws which chunk of the
+    /// manifest the fault lands on, and one bit of its stored body flips.
+    /// Byte-level restores then fail verification for exactly the
+    /// checkpoints referencing that chunk. Blob-oracle runs skip this —
+    /// the checkpoint-level verdict already is the whole story.
+    fn land_chunk_corruption(&mut self, platform: &Platform, fn_id: FnId, ckpt_id: u64) {
+        if self.checkpointing.options().blob_oracle {
+            return;
+        }
+        let count = self.checkpointing.chunk_count(fn_id.0, ckpt_id);
+        if let Some(idx) = platform.chaos().corrupted_chunk(fn_id.0, ckpt_id, count) {
+            self.checkpointing.corrupt_ckpt_chunk(fn_id.0, ckpt_id, idx);
+        }
+    }
+
+    /// Live-migration recovery (DESIGN.md §14): the function's
+    /// manifest-reachable state moves to the warm replica — only the
+    /// chunks the replica lacks travel over the shared tier — and
+    /// execution resumes from the newest usable checkpoint there. Probes
+    /// and degradation pricing mirror [`Self::restore_plan`]; the win is
+    /// the delta-sized transfer. With no usable checkpoint the replica
+    /// reruns from the start (migration never resurrects a corrupted
+    /// checkpoint).
+    fn migrate_recovery(
+        &mut self,
+        platform: &mut Platform,
+        fn_id: FnId,
+        failure: &FailureInfo,
+        container: ContainerId,
+    ) -> RecoveryPlan {
+        let detect = self.config.detection_delay;
+        let migrate = self.config.migration_delay;
+        let lookup = {
+            let chaos = platform.chaos();
+            self.checkpointing
+                .migrate_lookup(fn_id.0, &|c| chaos.corrupted(fn_id.0, c))
+        };
+        for &ckpt_id in &lookup.corrupted {
+            platform.emit(TraceKind::CheckpointCorrupted { fn_id, ckpt_id });
+            platform.telemetry_mut().incr(Counter::CheckpointsCorrupted);
+            self.land_chunk_corruption(platform, fn_id, ckpt_id);
+        }
+        match lookup.info {
+            Some(info) => {
+                let duration = {
+                    let cfg = platform.config();
+                    let chaos = platform.chaos();
+                    let store = NodeId(0);
+                    let factor = chaos.transfer_penalty(failure.node, store, failure.at);
+                    if factor > 1.0 {
+                        info.duration.mul_f64(factor)
+                            + cfg.network.transfer_time_degraded(
+                                &cfg.cluster,
+                                failure.node,
+                                store,
+                                info.bytes,
+                                factor,
+                            )
+                    } else {
+                        info.duration
+                    }
+                };
+                platform.note_restore();
+                platform.emit(TraceKind::MigrationPlanned {
+                    fn_id,
+                    container,
+                    ckpt_id: info.ckpt_id,
+                    chunks: info.chunks,
+                    bytes: info.bytes,
+                });
+                let counters = platform.counters_mut();
+                counters.migrations += 1;
+                counters.chunks_migrated += info.chunks as u64;
+                let tel = platform.telemetry_mut();
+                tel.observe(Phase::CheckpointRestore, duration);
+                tel.incr(Counter::CheckpointsRestored);
+                tel.incr(Counter::Migrations);
+                tel.add(Counter::ChunksMigrated, info.chunks as u64);
+                RecoveryPlan {
+                    resume_from_state: info.resume_from_state,
+                    delay: detect + migrate + duration,
+                    target: RecoveryTarget::WarmContainer(container),
+                    detect,
+                    restore: duration,
+                }
+            }
+            None => {
+                if lookup.had_checkpoints {
+                    platform.emit(TraceKind::MigrationFallback { fn_id });
+                    platform.counters_mut().restore_fallbacks += 1;
+                    platform.telemetry_mut().incr(Counter::RestoreFallbacks);
+                }
+                RecoveryPlan {
+                    resume_from_state: 0,
+                    delay: detect + migrate,
+                    target: RecoveryTarget::WarmContainer(container),
+                    detect,
+                    restore: SimDuration::ZERO,
+                }
             }
         }
     }
@@ -413,7 +518,6 @@ impl FtStrategy for CanaryStrategy {
             _ => self.predictor.record_failure(failure.node, failure.at),
         }
 
-        let (resume_from_state, restore) = self.restore_plan(platform, fn_id, &failure);
         let detect = self.config.detection_delay;
         let migrate = self.config.migration_delay;
         let now = failure.at;
@@ -421,40 +525,53 @@ impl FtStrategy for CanaryStrategy {
         // Find the best replicated runtime (§IV-C.4c: "the best possible
         // replicated runtime is selected to minimize the recovery time").
         let offer = self.runtime_manager.acquire(runtime);
-        let plan = match offer {
-            Some(ReplicaOffer::Warm(container)) => {
-                self.runtime_manager.note_consumed(container);
-                RecoveryPlan {
-                    resume_from_state,
-                    delay: detect + migrate + restore,
-                    target: RecoveryTarget::WarmContainer(container),
-                    detect,
-                    restore,
+        // Live migration applies when a node died (the local state is
+        // gone with it) and a warm replica is already standing: ship the
+        // checkpoint delta there instead of reading the payload in full.
+        let plan = if let (true, Some(ReplicaOffer::Warm(container))) = (
+            self.config.migrate && failure.kind == FailureKind::NodeCrash,
+            &offer,
+        ) {
+            let container = *container;
+            self.runtime_manager.note_consumed(container);
+            self.migrate_recovery(platform, fn_id, &failure, container)
+        } else {
+            let (resume_from_state, restore) = self.restore_plan(platform, fn_id, &failure);
+            match offer {
+                Some(ReplicaOffer::Warm(container)) => {
+                    self.runtime_manager.note_consumed(container);
+                    RecoveryPlan {
+                        resume_from_state,
+                        delay: detect + migrate + restore,
+                        target: RecoveryTarget::WarmContainer(container),
+                        detect,
+                        restore,
+                    }
                 }
-            }
-            Some(ReplicaOffer::Pending(container, ready_at)) => {
-                // Wait for the in-flight replica (§V-D.1: "the platform
-                // has to wait for the replicated runtimes to be ready"
-                // when many functions fail simultaneously).
-                self.runtime_manager.note_consumed(container);
-                let wait = ready_at.saturating_since(now);
-                RecoveryPlan {
-                    resume_from_state,
-                    delay: detect + wait + migrate + restore,
-                    target: RecoveryTarget::WarmContainer(container),
-                    detect,
-                    restore,
+                Some(ReplicaOffer::Pending(container, ready_at)) => {
+                    // Wait for the in-flight replica (§V-D.1: "the platform
+                    // has to wait for the replicated runtimes to be ready"
+                    // when many functions fail simultaneously).
+                    self.runtime_manager.note_consumed(container);
+                    let wait = ready_at.saturating_since(now);
+                    RecoveryPlan {
+                        resume_from_state,
+                        delay: detect + wait + migrate + restore,
+                        target: RecoveryTarget::WarmContainer(container),
+                        detect,
+                        restore,
+                    }
                 }
-            }
-            None => {
-                // Pool exhausted and nothing in flight: fall back to a
-                // cold start, still restoring from the checkpoint.
-                RecoveryPlan {
-                    resume_from_state,
-                    delay: detect + restore,
-                    target: RecoveryTarget::FreshContainer,
-                    detect,
-                    restore,
+                None => {
+                    // Pool exhausted and nothing in flight: fall back to a
+                    // cold start, still restoring from the checkpoint.
+                    RecoveryPlan {
+                        resume_from_state,
+                        delay: detect + restore,
+                        target: RecoveryTarget::FreshContainer,
+                        detect,
+                        restore,
+                    }
                 }
             }
         };
@@ -593,5 +710,8 @@ impl FtStrategy for CanaryStrategy {
         }
         tel.add(Counter::DbCacheHits, cache_hits);
         tel.add(Counter::DbCacheMisses, cache_misses);
+        let chunk = self.checkpointing.chunk_stats();
+        tel.add(Counter::ChunksWritten, chunk.written);
+        tel.add(Counter::ChunksDeduped, chunk.deduped);
     }
 }

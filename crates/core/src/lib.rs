@@ -18,6 +18,7 @@
 
 pub mod api;
 pub mod checkpoint;
+pub mod chunk;
 pub mod config;
 pub mod core_module;
 pub mod db;
@@ -27,7 +28,11 @@ pub mod runtime_manager;
 pub mod validator;
 
 pub use api::{ApiError, FunctionContext, RegisteredState, StateService};
-pub use checkpoint::{CheckpointingModule, RestoreInfo};
+pub use checkpoint::{CheckpointingModule, CkptOptions, MigrateInfo, MigrateLookup, RestoreInfo};
+pub use chunk::{
+    chunk_key, decode_manifest, encode_manifest, fnv1a64, restore_from_manifest, ChunkError,
+    ChunkStats, ChunkStore, Manifest, ManifestError,
+};
 pub use config::{CanaryConfig, CheckpointMode, ReplicationStrategyKind};
 pub use core_module::CanaryStrategy;
 pub use db::{

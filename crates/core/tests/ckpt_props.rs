@@ -1,0 +1,242 @@
+//! Differential property tests for content-addressed chunked
+//! checkpoints: under arbitrary register / checkpoint / corrupt / fail /
+//! restore sequences, the chunked module must be observationally
+//! identical to the whole-blob oracle — byte-identical restores, the
+//! same fallback decisions under chunk corruption, the same
+//! node-loss recovery lookups — and its chunk refcounts must tie out
+//! exactly against the retained manifests after every single op (no
+//! chunk leaked past retention GC, none freed while still referenced).
+
+use canary_cluster::StorageHierarchy;
+use canary_core::{CanaryConfig, CanaryDb, CheckpointingModule, CkptOptions};
+use canary_sim::SimTime;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+const FNS: u64 = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Record the next checkpoint for function `f`.
+    Record(u8),
+    /// Flip one bit in a physical chunk of a retained checkpoint:
+    /// `(function, retained-checkpoint selector, chunk selector)`.
+    CorruptChunk(u8, u8, u8),
+    /// Differentially restore function `f`'s newest usable checkpoint.
+    Restore(u8),
+    /// Differentially plan a recovery lookup (`node_lost` selects the
+    /// shared-storage path).
+    FailLookup(u8, bool),
+    /// Drop every checkpoint of function `f`.
+    Forget(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..FNS as u8).prop_map(Op::Record),
+        (0u8..FNS as u8).prop_map(Op::Record),
+        (0u8..FNS as u8).prop_map(Op::Record),
+        ((0u8..FNS as u8), any::<u8>(), any::<u8>())
+            .prop_map(|(f, c, k)| Op::CorruptChunk(f, c, k)),
+        (0u8..FNS as u8).prop_map(Op::Restore),
+        ((0u8..FNS as u8), any::<bool>()).prop_map(|(f, n)| Op::FailLookup(f, n)),
+        (0u8..FNS as u8).prop_map(Op::Forget),
+    ]
+}
+
+fn chunked_module() -> CheckpointingModule {
+    CheckpointingModule::new(
+        CanaryConfig::default(),
+        StorageHierarchy::default(),
+        Arc::new(CanaryDb::new(3)),
+    )
+}
+
+fn oracle_module() -> CheckpointingModule {
+    CheckpointingModule::with_options(
+        CanaryConfig::default(),
+        StorageHierarchy::default(),
+        Arc::new(CanaryDb::new(3)),
+        CkptOptions {
+            blob_oracle: true,
+            ..CkptOptions::default()
+        },
+    )
+}
+
+/// The oracle's corruption verdict is derived from physical ground
+/// truth: a checkpoint is unusable iff its manifest references a chunk
+/// whose stored body no longer hashes to its key. This is exactly the
+/// check the chunked restore path performs, so the blob oracle makes
+/// the same skip decisions without ever seeing a chunk.
+fn affected(chunked: &CheckpointingModule, fn_id: u64, ckpt_id: u64) -> bool {
+    chunked.chunk_hashes(fn_id, ckpt_id).is_some_and(|hashes| {
+        hashes
+            .iter()
+            .any(|&h| chunked.chunk_store().get_verified(h).is_err())
+    })
+}
+
+/// Chunk refcounts must equal the retained manifests' entry count after
+/// every op: eviction and forget release exactly their references,
+/// nothing more, nothing less.
+fn refcounts_tie_out(chunked: &CheckpointingModule) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        chunked.chunk_store().total_refs(),
+        chunked.retained_entry_count(),
+        "chunk refcounts must mirror retained manifest entries"
+    );
+    Ok(())
+}
+
+struct Harness {
+    chunked: CheckpointingModule,
+    blob: CheckpointingModule,
+    /// Recorded checkpoint ids per function, oldest first (the retained
+    /// window is the tail).
+    recorded: HashMap<u64, Vec<u64>>,
+    /// Hashes whose bodies were already damaged: a second flip of the
+    /// same bit would silently repair the chunk, so corruption ops skip
+    /// them.
+    corrupted: HashSet<u64>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            chunked: chunked_module(),
+            blob: oracle_module(),
+            recorded: HashMap::new(),
+            corrupted: HashSet::new(),
+        }
+    }
+
+    fn retained_of(&self, fn_id: u64) -> &[u64] {
+        let all = self
+            .recorded
+            .get(&fn_id)
+            .map_or(&[] as &[u64], |v| v.as_slice());
+        let window = self.chunked.window_size();
+        &all[all.len().saturating_sub(window)..]
+    }
+
+    fn apply(&mut self, op: &Op) -> Result<(), TestCaseError> {
+        match *op {
+            Op::Record(f) => {
+                let fn_id = f as u64;
+                let state = self.recorded.get(&fn_id).map_or(0, |v| v.len()) as u32;
+                let now = SimTime::from_micros(state as u64 + 1);
+                let a = self
+                    .chunked
+                    .record(f as u32, fn_id, state, 256 * 1024, now)
+                    .expect("chunked record");
+                let b = self
+                    .blob
+                    .record(f as u32, fn_id, state, 256 * 1024, now)
+                    .expect("blob record");
+                // `record` returns the id evicted from the retained
+                // window; new ids are assigned sequentially, so the new
+                // checkpoint's id equals the record count so far.
+                prop_assert_eq!(a, b, "both modules evict the same ckpt id");
+                let expect_evicted = {
+                    let v = self
+                        .recorded
+                        .get(&fn_id)
+                        .map_or(&[] as &[u64], |v| v.as_slice());
+                    let w = self.chunked.window_size();
+                    (v.len() >= w).then(|| v[v.len() - w])
+                };
+                prop_assert_eq!(a, expect_evicted, "eviction follows the window");
+                self.recorded.entry(fn_id).or_default().push(state as u64);
+            }
+            Op::CorruptChunk(f, ckpt_sel, chunk_sel) => {
+                let fn_id = f as u64;
+                let retained = self.retained_of(fn_id);
+                if retained.is_empty() {
+                    return Ok(());
+                }
+                let ckpt_id = retained[ckpt_sel as usize % retained.len()];
+                let Some(hashes) = self.chunked.chunk_hashes(fn_id, ckpt_id) else {
+                    return Ok(());
+                };
+                let idx = chunk_sel as u32 % hashes.len() as u32;
+                let hash = hashes[idx as usize];
+                if !self.corrupted.insert(hash) {
+                    return Ok(());
+                }
+                let hit = self.chunked.corrupt_ckpt_chunk(fn_id, ckpt_id, idx);
+                prop_assert_eq!(hit, Some(hash), "corruption lands on the drawn chunk");
+                prop_assert!(
+                    self.chunked.chunk_store().get_verified(hash).is_err(),
+                    "a flipped bit must fail content verification"
+                );
+            }
+            Op::Restore(f) => {
+                let fn_id = f as u64;
+                let chunked_restore = self.chunked.restore_payload(fn_id, &|_| false);
+                let chunked_ref = &self.chunked;
+                let blob_restore = self
+                    .blob
+                    .restore_payload(fn_id, &|c| affected(chunked_ref, fn_id, c));
+                match (chunked_restore, blob_restore) {
+                    (Some((ca, cb)), Some((oa, ob))) => {
+                        prop_assert_eq!(ca, oa, "both restores pick the same checkpoint");
+                        prop_assert_eq!(cb, ob, "restored bytes must be identical");
+                    }
+                    (c, o) => {
+                        prop_assert_eq!(c.is_some(), o.is_some(), "restore availability must agree")
+                    }
+                }
+            }
+            Op::FailLookup(f, node_lost) => {
+                let fn_id = f as u64;
+                let chunked_ref = &self.chunked;
+                let oracle = |c: u64| affected(chunked_ref, fn_id, c);
+                let a = self.chunked.restore_lookup(fn_id, node_lost, &oracle);
+                let b = self.blob.restore_lookup(fn_id, node_lost, &oracle);
+                prop_assert_eq!(
+                    a.info.map(|i| (i.resume_from_state, i.bytes)),
+                    b.info.map(|i| (i.resume_from_state, i.bytes)),
+                    "recovery lookups must agree on resume point and bytes"
+                );
+                prop_assert_eq!(a.corrupted, b.corrupted);
+                prop_assert_eq!(a.had_checkpoints, b.had_checkpoints);
+            }
+            Op::Forget(f) => {
+                let fn_id = f as u64;
+                self.chunked.forget(fn_id).expect("chunked forget");
+                self.blob.forget(fn_id).expect("blob forget");
+                self.recorded.remove(&fn_id);
+            }
+        }
+        refcounts_tie_out(&self.chunked)
+    }
+}
+
+proptest! {
+    /// Drive the chunked module and the whole-blob oracle through the
+    /// same arbitrary op sequence: every restore must return identical
+    /// bytes from the identical checkpoint (chunk corruption included),
+    /// every recovery lookup must agree, and the refcounts must tie out
+    /// after every op. Finally, forgetting every function must leave the
+    /// chunk store empty — retention GC leaks nothing.
+    #[test]
+    fn chunked_is_observationally_identical_to_blob_oracle(
+        ops in proptest::collection::vec(op_strategy(), 0..80)
+    ) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op)?;
+        }
+        for fn_id in 0..FNS {
+            h.apply(&Op::Restore(fn_id as u8))?;
+        }
+        for fn_id in 0..FNS {
+            h.apply(&Op::Forget(fn_id as u8))?;
+        }
+        prop_assert!(h.chunked.chunk_store().is_empty(), "no chunk survives GC");
+        prop_assert_eq!(h.chunked.chunk_store().total_refs(), 0);
+    }
+}

@@ -111,7 +111,7 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: canaryctl [--strategy canary|canary-ar|canary-lr|retry|ideal|rr|as]\n\
+        "usage: canaryctl [--strategy canary|canary-ar|canary-lr|canary-migrate|retry|ideal|rr|as]\n\
          \x20                [--workload dl|web|spark|compress|bfs]\n\
          \x20                [--invocations N] [--rate F] [--nodes N] [--seed N]\n\
          \x20                [--reps N] [--node-failures F]\n\
@@ -130,6 +130,7 @@ fn parse_strategy(s: &str) -> StrategyKind {
         "canary" => StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
         "canary-ar" => StrategyKind::Canary(ReplicationStrategyKind::Aggressive),
         "canary-lr" => StrategyKind::Canary(ReplicationStrategyKind::Lenient),
+        "canary-migrate" => StrategyKind::CanaryMigrate,
         "retry" => StrategyKind::Retry,
         "ideal" => StrategyKind::Ideal,
         "rr" => StrategyKind::RequestReplication(2),
@@ -209,7 +210,7 @@ fn parse_args() -> Args {
 fn chaos_usage() -> ! {
     eprintln!(
         "usage: canaryctl chaos [--scenario NAME | --spec PATH] [--seed N]\n\
-         \x20                      [--strategy canary|canary-ar|canary-lr|retry|rr|as]\n\
+         \x20                      [--strategy canary|canary-ar|canary-lr|canary-migrate|retry|rr|as]\n\
          \x20                      [--shards N] [--list] [--wal-out PATH]\n\
          \x20                      [--trace-out PATH] [--telemetry-out PATH] [--timeline]\n\
          scenarios: {}",

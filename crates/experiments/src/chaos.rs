@@ -35,7 +35,7 @@ use canary_platform::JobSpec;
 use canary_workloads::{WorkloadKind, WorkloadSpec};
 
 /// Names of the curated chaos scenarios, in menu order.
-pub const SCENARIOS: [&str; 8] = [
+pub const SCENARIOS: [&str; 9] = [
     "partition",
     "store-outage",
     "degrade",
@@ -44,6 +44,7 @@ pub const SCENARIOS: [&str; 8] = [
     "burst",
     "mixed",
     "controller-crash",
+    "migration",
 ];
 
 /// Look up a curated chaos scenario by name.
@@ -131,6 +132,31 @@ pub fn named(name: &str) -> Option<ChaosSpec> {
             });
             spec.straggler_rate = 0.2;
             spec.corruption_rate = 0.35;
+        }
+        "migration" => {
+            // Two rack-level crash bursts with corruption and a degraded
+            // interconnect in between: node losses that force warm-replica
+            // recoveries, where migration's delta transfer should beat a
+            // full rerun-from-checkpoint read.
+            spec.bursts.extend([
+                BurstSpec {
+                    at_s: 15,
+                    rack: 0,
+                    count: 2,
+                },
+                BurstSpec {
+                    at_s: 30,
+                    rack: 1,
+                    count: 2,
+                },
+            ]);
+            spec.corruption_rate = 0.35;
+            spec.degrades.push(DegradeSpec {
+                factor: 2.0,
+                from_s: 8,
+                until_s: 25,
+            });
+            spec.straggler_rate = 0.2;
         }
         "controller-crash" => {
             // The full mixed storm plus a control-plane crash-restart in

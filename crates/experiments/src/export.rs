@@ -259,6 +259,24 @@ pub fn trace_event_to_json(e: &TraceEvent) -> String {
             field_u(&mut s, "replayed", replayed);
             field_u(&mut s, "torn", torn as u64);
         }
+        TraceKind::MigrationPlanned {
+            fn_id,
+            container,
+            ckpt_id,
+            chunks,
+            bytes,
+        } => {
+            s.push_str(",\"kind\":\"migration_planned\"");
+            field_u(&mut s, "fn", fn_id.0);
+            field_u(&mut s, "container", container.0);
+            field_u(&mut s, "ckpt", ckpt_id);
+            field_u(&mut s, "chunks", chunks as u64);
+            field_u(&mut s, "bytes", bytes);
+        }
+        TraceKind::MigrationFallback { fn_id } => {
+            s.push_str(",\"kind\":\"migration_fallback\"");
+            field_u(&mut s, "fn", fn_id.0);
+        }
     }
     // Causal links ride at the end of the line and only when present, so
     // traces recorded without `RunConfig::causal` keep their exact
@@ -534,6 +552,14 @@ fn event_from_map(map: &BTreeMap<String, Val>) -> Result<TraceEvent, String> {
             replayed: u("replayed")?,
             torn: u("torn")? != 0,
         },
+        "migration_planned" => TraceKind::MigrationPlanned {
+            fn_id: fn_id()?,
+            container: container()?,
+            ckpt_id: u("ckpt")?,
+            chunks: u("chunks")? as u32,
+            bytes: u("bytes")?,
+        },
+        "migration_fallback" => TraceKind::MigrationFallback { fn_id: fn_id()? },
         other => return Err(format!("unknown kind {other:?}")),
     };
     let link = |k: &str| SpanId(map.get(k).and_then(Val::as_u64).unwrap_or(0));
@@ -593,7 +619,9 @@ fn perfetto_tid(kind: &TraceKind) -> u64 {
         | TraceKind::RestoreFallback { fn_id, .. }
         | TraceKind::RecoveryPlanned { fn_id, .. }
         | TraceKind::ReplicaConsumed { fn_id, .. }
-        | TraceKind::StragglerInjected { fn_id, .. } => FN_BASE + fn_id.0,
+        | TraceKind::StragglerInjected { fn_id, .. }
+        | TraceKind::MigrationPlanned { fn_id, .. }
+        | TraceKind::MigrationFallback { fn_id } => FN_BASE + fn_id.0,
         TraceKind::WarmPoolSpawned { .. }
         | TraceKind::WarmPoolReady { .. }
         | TraceKind::ReplicaRefreshed { .. }
@@ -1111,6 +1139,17 @@ mod tests {
                     torn: true,
                 },
             ),
+            TraceEvent::new(
+                t(29),
+                TraceKind::MigrationPlanned {
+                    fn_id: FnId(7),
+                    container: ContainerId(9),
+                    ckpt_id: 4,
+                    chunks: 3,
+                    bytes: 192,
+                },
+            ),
+            TraceEvent::new(t(30), TraceKind::MigrationFallback { fn_id: FnId(7) }),
         ]
     }
 

@@ -25,6 +25,10 @@ pub enum StrategyKind {
     Retry,
     /// Canary with the given replication policy.
     Canary(ReplicationStrategyKind),
+    /// Canary (dynamic replication) with live migration on node crashes:
+    /// manifest-reachable state moves to the warm replica instead of a
+    /// full rerun-from-checkpoint (DESIGN.md §14).
+    CanaryMigrate,
     /// Request replication with the given instance count.
     RequestReplication(u32),
     /// Active-standby.
@@ -39,6 +43,7 @@ impl StrategyKind {
             StrategyKind::Retry => "Retry".into(),
             StrategyKind::Canary(ReplicationStrategyKind::Dynamic) => "Canary".into(),
             StrategyKind::Canary(k) => format!("Canary-{}", k.label()),
+            StrategyKind::CanaryMigrate => "Canary-Migrate".into(),
             StrategyKind::RequestReplication(_) => "RR".into(),
             StrategyKind::ActiveStandby => "AS".into(),
         }
@@ -51,6 +56,11 @@ impl StrategyKind {
             StrategyKind::Retry => Box::new(RetryStrategy::new()),
             StrategyKind::Canary(k) => {
                 Box::new(CanaryStrategy::new(CanaryConfig::with_replication(*k)))
+            }
+            StrategyKind::CanaryMigrate => {
+                let mut config = CanaryConfig::with_replication(ReplicationStrategyKind::Dynamic);
+                config.migrate = true;
+                Box::new(CanaryStrategy::new(config))
             }
             StrategyKind::RequestReplication(n) => Box::new(RequestReplicationStrategy::new(*n)),
             StrategyKind::ActiveStandby => Box::new(ActiveStandbyStrategy::new()),
@@ -246,6 +256,7 @@ mod tests {
             StrategyKind::Canary(ReplicationStrategyKind::Dynamic),
             StrategyKind::Canary(ReplicationStrategyKind::Aggressive),
             StrategyKind::Canary(ReplicationStrategyKind::Lenient),
+            StrategyKind::CanaryMigrate,
             StrategyKind::RequestReplication(2),
             StrategyKind::ActiveStandby,
         ] {

@@ -126,7 +126,7 @@ pub fn markdown_table(set: &SeriesSet) -> String {
 
 /// Render a run's engine-side counters as `name value` lines.
 pub fn counters_summary(c: &RunCounters) -> String {
-    let rows: [(&str, u64); 21] = [
+    let rows: [(&str, u64); 23] = [
         ("function_failures", c.function_failures),
         ("node_failures", c.node_failures),
         ("containers_created", c.containers_created),
@@ -148,6 +148,8 @@ pub fn counters_summary(c: &RunCounters) -> String {
         ("controller_crashes", c.controller_crashes),
         ("wal_records_replayed", c.wal_records_replayed),
         ("wal_torn_tails", c.wal_torn_tails),
+        ("migrations", c.migrations),
+        ("chunks_migrated", c.chunks_migrated),
     ];
     let mut out = String::from("run counters\n");
     for (name, v) in rows {

@@ -55,6 +55,10 @@ pub struct RecoverySpan {
     pub total: SimDuration,
     /// Whether execution resumed on a warm container.
     pub warm: bool,
+    /// When the recovery was a live migration: the chunks shipped to the
+    /// warm replica (`None` for rerun-from-checkpoint recoveries, so
+    /// traces recorded before migration existed render unchanged).
+    pub migrated_chunks: Option<u32>,
 }
 
 /// Reconstruct every completed recovery from a trace, in failure order.
@@ -71,6 +75,7 @@ pub fn recovery_spans(trace: &Trace) -> Vec<RecoverySpan> {
         failed_at: SimTime,
         detect: SimDuration,
         restore: SimDuration,
+        migrated_chunks: Option<u32>,
     }
     let mut open: BTreeMap<u64, Pending> = BTreeMap::new();
     let mut spans = Vec::new();
@@ -82,6 +87,7 @@ pub fn recovery_spans(trace: &Trace) -> Vec<RecoverySpan> {
                     failed_at: e.at,
                     detect: SimDuration::ZERO,
                     restore: SimDuration::ZERO,
+                    migrated_chunks: None,
                 });
             }
             TraceKind::RecoveryPlanned {
@@ -93,6 +99,11 @@ pub fn recovery_spans(trace: &Trace) -> Vec<RecoverySpan> {
                 if let Some(p) = open.get_mut(&fn_id.0) {
                     p.detect = detect;
                     p.restore = restore;
+                }
+            }
+            TraceKind::MigrationPlanned { fn_id, chunks, .. } => {
+                if let Some(p) = open.get_mut(&fn_id.0) {
+                    p.migrated_chunks = Some(chunks);
                 }
             }
             TraceKind::AttemptStarted { fn_id, warm, .. } => {
@@ -113,6 +124,7 @@ pub fn recovery_spans(trace: &Trace) -> Vec<RecoverySpan> {
                         resume,
                         total,
                         warm,
+                        migrated_chunks: p.migrated_chunks,
                     });
                 }
             }
@@ -143,6 +155,11 @@ pub fn recovery_breakdown(trace: &Trace) -> String {
         "fn", "att", "failed at", "detect", "restore", "resume", "total"
     );
     for s in &spans {
+        let target = match s.migrated_chunks {
+            Some(chunks) => format!("migrated ({chunks} chunks)"),
+            None if s.warm => "warm replica".to_string(),
+            None => "cold start".to_string(),
+        };
         let _ = writeln!(
             out,
             "  {:<8} {:>4} {:>12} {:>10} {:>10} {:>10} {:>10}  {}",
@@ -153,7 +170,17 @@ pub fn recovery_breakdown(trace: &Trace) -> String {
             s.restore.to_string(),
             s.resume.to_string(),
             s.total.to_string(),
-            if s.warm { "warm replica" } else { "cold start" },
+            target,
+        );
+    }
+    // Blame the migrations only when the trace has any: pre-migration
+    // traces (and their pinned goldens) render byte-identically.
+    let migrated = spans.iter().filter(|s| s.migrated_chunks.is_some()).count();
+    if migrated > 0 {
+        let _ = writeln!(
+            out,
+            "  migrated: {migrated} of {} recoveries moved state to a warm replica",
+            spans.len()
         );
     }
     out

@@ -149,6 +149,13 @@ pub struct RunCounters {
     /// counted in the loop itself, with or without tracing.
     #[serde(default)]
     pub events_dispatched: u64,
+    /// Node-crash recoveries resolved by live migration to a warm
+    /// replica instead of rerun-from-checkpoint.
+    #[serde(default)]
+    pub migrations: u64,
+    /// Chunks shipped to warm replicas by those migrations (the deltas).
+    #[serde(default)]
+    pub chunks_migrated: u64,
 }
 
 /// The complete result of one simulated run.

@@ -110,11 +110,14 @@ impl Platform {
                 self.causal.recovery.insert(fn_id, span);
                 (parent, cause)
             }
-            // Restore probing happens between a failure and its recovery
-            // plan; it hangs off the open failure span.
+            // Restore probing and migration planning happen between a
+            // failure and its recovery plan; they hang off the open
+            // failure span.
             TraceKind::CheckpointRestored { fn_id, .. }
             | TraceKind::CheckpointCorrupted { fn_id, .. }
-            | TraceKind::RestoreFallback { fn_id, .. } => {
+            | TraceKind::RestoreFallback { fn_id, .. }
+            | TraceKind::MigrationPlanned { fn_id, .. }
+            | TraceKind::MigrationFallback { fn_id } => {
                 let parent = self.causal.failure.get(&fn_id).copied().unwrap_or(none);
                 (parent, none)
             }

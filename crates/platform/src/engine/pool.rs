@@ -41,10 +41,7 @@ impl EventPool {
                 let slot = &mut self.slots[idx as usize];
                 debug_assert!(slot.event.is_none(), "free-list slot still occupied");
                 slot.event = Some(event);
-                EventHandle {
-                    idx,
-                    gen: slot.gen,
-                }
+                EventHandle { idx, gen: slot.gen }
             }
             None => {
                 let idx = u32::try_from(self.slots.len()).expect("event pool fits in u32");

@@ -34,8 +34,8 @@ pub use accounting::{ContainerUsage, FnOutcome, JobOutcome, RunCounters, RunResu
 pub use config::RunConfig;
 pub use engine::{run, try_run, validate_batch, Event, Platform, RunConfigError, StateTiming};
 pub use ids::{FnId, JobId};
-pub use job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
 pub use intern::{Symbol, SymbolTable};
+pub use job::{FnRecord, FnStatus, JobRecord, JobSpec, PlannedAttempt};
 pub use profile::{install_alloc_counter, HotPathProfile, HotPathRow, HotPathShard};
 pub use strategy::{
     ArrivalVerdict, FailureInfo, FailureKind, FtStrategy, RecoveryPlan, RecoveryTarget,

@@ -114,11 +114,21 @@ pub enum Counter {
     ControllerCrashes,
     /// WAL records replayed across all controller recoveries.
     WalRecordsReplayed,
+    /// Chunk bodies physically stored by the content-addressed
+    /// checkpoint path (first reference).
+    ChunksWritten,
+    /// Chunk references satisfied by an already-stored body.
+    ChunksDeduped,
+    /// Chunks shipped to warm replicas by live migrations (the deltas).
+    ChunksMigrated,
+    /// Node-crash recoveries resolved by live migration to a warm
+    /// replica instead of rerun-from-checkpoint.
+    Migrations,
 }
 
 impl Counter {
     /// All counters in display order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 23] = [
         Counter::CheckpointsWritten,
         Counter::CheckpointsRestored,
         Counter::JobsQueued,
@@ -138,6 +148,10 @@ impl Counter {
         Counter::DbCacheMisses,
         Counter::ControllerCrashes,
         Counter::WalRecordsReplayed,
+        Counter::ChunksWritten,
+        Counter::ChunksDeduped,
+        Counter::ChunksMigrated,
+        Counter::Migrations,
     ];
 
     /// Stable label used in reports and JSONL export.
@@ -162,6 +176,10 @@ impl Counter {
             Counter::DbCacheMisses => "db_cache_miss",
             Counter::ControllerCrashes => "controller_crashes",
             Counter::WalRecordsReplayed => "wal_records_replayed",
+            Counter::ChunksWritten => "chunks_written",
+            Counter::ChunksDeduped => "chunks_deduped",
+            Counter::ChunksMigrated => "chunks_migrated",
+            Counter::Migrations => "migrations",
         }
     }
 }

@@ -251,6 +251,28 @@ pub enum TraceKind {
         /// Whether a torn trailing record was found and discarded.
         torn: bool,
     },
+    /// Live migration (DESIGN.md §14): a node crash is recovered by
+    /// moving the function's manifest-reachable checkpoint state to a
+    /// warm replica on a surviving node — only the chunks the replica
+    /// lacks travel.
+    MigrationPlanned {
+        /// The migrating function.
+        fn_id: FnId,
+        /// The warm replica receiving the state.
+        container: ContainerId,
+        /// The checkpoint the replica resumes from.
+        ckpt_id: u64,
+        /// Chunks actually shipped (the delta).
+        chunks: u32,
+        /// Bytes actually shipped.
+        bytes: u64,
+    },
+    /// Migration found no usable checkpoint (all retained ones corrupted
+    /// or their rows lost): the warm replica reruns from the start.
+    MigrationFallback {
+        /// The function rerunning from state 0.
+        fn_id: FnId,
+    },
 }
 
 /// One trace record.
@@ -399,6 +421,19 @@ impl fmt::Display for TraceEvent {
                     write!(f, " (torn tail discarded)")?;
                 }
                 Ok(())
+            }
+            TraceKind::MigrationPlanned {
+                fn_id,
+                container,
+                ckpt_id,
+                chunks,
+                bytes,
+            } => write!(
+                f,
+                "migrate  {fn_id} -> warm {container} (ckpt {ckpt_id}, {chunks} chunks, {bytes} B delta)"
+            ),
+            TraceKind::MigrationFallback { fn_id } => {
+                write!(f, "fallback {fn_id} migration found no usable ckpt")
             }
         }
     }
@@ -695,6 +730,20 @@ mod tests {
                     state: 0,
                 },
                 "fallback fn3 rerun from start",
+            ),
+            (
+                TraceKind::MigrationPlanned {
+                    fn_id: FnId(3),
+                    container: ContainerId(9),
+                    ckpt_id: 7,
+                    chunks: 4,
+                    bytes: 256,
+                },
+                "migrate  fn3 -> warm ctr9 (ckpt 7, 4 chunks, 256 B delta)",
+            ),
+            (
+                TraceKind::MigrationFallback { fn_id: FnId(3) },
+                "fallback fn3 migration found no usable ckpt",
             ),
         ];
         for (kind, expect) in cases {

@@ -228,7 +228,8 @@ impl<E> ShardedEventQueue<E> {
                 self.len -= 1;
             }
         }
-        self.scratch.sort_unstable_by_key(|&(seq, shard, _)| (seq, shard));
+        self.scratch
+            .sort_unstable_by_key(|&(seq, shard, _)| (seq, shard));
         out.extend(self.scratch.drain(..).map(|(_, shard, ev)| (shard, ev)));
         Some(t)
     }

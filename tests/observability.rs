@@ -56,6 +56,8 @@ fn kind_name(kind: &TraceKind) -> &'static str {
         TraceKind::RestoreFallback { .. } => "restore_fallback",
         TraceKind::ControllerCrashed => "controller_crashed",
         TraceKind::ControllerRecovered { .. } => "controller_recovered",
+        TraceKind::MigrationPlanned { .. } => "migration_planned",
+        TraceKind::MigrationFallback { .. } => "migration_fallback",
     }
 }
 

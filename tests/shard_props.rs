@@ -177,10 +177,8 @@ fn open_loop_golden_holds_at_every_shard_count() {
 /// agrees with the run loop's own dispatch counter.
 #[test]
 fn hot_path_profile_tiles_across_shards() {
-    let mut scenario = Scenario::chameleon(
-        0.15,
-        vec![JobSpec::new(WorkloadSpec::web_service(10), 24)],
-    );
+    let mut scenario =
+        Scenario::chameleon(0.15, vec![JobSpec::new(WorkloadSpec::web_service(10), 24)]);
     scenario.nodes = 8;
     scenario.shards = 4;
     let result = scenario.run_instrumented(CANARY, 42);
@@ -222,10 +220,7 @@ fn hot_path_profile_tiles_across_shards() {
 /// per-shard tiling) must not move the simulation either.
 #[test]
 fn instrumented_runs_are_shard_count_invariant() {
-    let base = Scenario::chameleon(
-        0.2,
-        vec![JobSpec::new(WorkloadSpec::web_service(10), 12)],
-    );
+    let base = Scenario::chameleon(0.2, vec![JobSpec::new(WorkloadSpec::web_service(10), 12)]);
     let a = with_shards(base.clone(), 1).run_instrumented(CANARY, 7);
     let b = with_shards(base, 4).run_instrumented(CANARY, 7);
     assert_eq!(trace_to_jsonl(&a.trace), trace_to_jsonl(&b.trace));
