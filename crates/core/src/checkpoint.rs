@@ -20,11 +20,11 @@
 //! restores.
 
 use crate::chunk::{
-    decode_manifest, encode_manifest, fnv1a64, restore_from_manifest, ChunkStats, ChunkStore,
-    ManifestError,
+    decode_manifest, encode_manifest_into, fnv1a64, hash_chunks_into, sequence_digest, restore_from_manifest,
+    ChunkStats, ChunkStore, ManifestError, PARALLEL_HASH_THRESHOLD,
 };
 use crate::config::{CanaryConfig, CheckpointMode};
-use crate::db::{CanaryDb, CheckpointInfoRow, DbError};
+use crate::db::{payload_location, spill_location, CanaryDb, CheckpointInfoRow, DbError};
 use bytes::Bytes;
 use canary_cluster::{StorageHierarchy, StorageTier};
 use canary_kvstore::{AsyncFlusher, CheckpointMeta, CheckpointWindow, PersistentLog};
@@ -75,15 +75,32 @@ pub fn build_payload(
     now: SimTime,
     block: usize,
 ) -> Bytes {
+    let mut out = Vec::with_capacity(block.max(1) * (PAYLOAD_STATE_BLOCKS as usize + 1));
+    build_payload_into(fn_id, state_index, billed_bytes, now, block, &mut out);
+    Bytes::from(out)
+}
+
+/// [`build_payload`] writing into a caller-owned buffer (cleared first).
+/// The record hot path reuses one scratch `Vec` across every checkpoint
+/// and copies the finished image into a single refcounted buffer; the
+/// bytes are identical to what [`build_payload`] returns.
+pub fn build_payload_into(
+    fn_id: u64,
+    state_index: u32,
+    billed_bytes: u64,
+    now: SimTime,
+    block: usize,
+    out: &mut Vec<u8>,
+) {
     let block = block.max(1);
-    let mut out = Vec::with_capacity(block * (PAYLOAD_STATE_BLOCKS as usize + 1));
-    let mut enc = Encoder::with_capacity(40);
-    enc.put_u8(1)
-        .put_u64(fn_id)
-        .put_u32(state_index)
-        .put_u64(billed_bytes)
-        .put_u64(now.as_micros());
-    out.extend_from_slice(&enc.finish());
+    out.clear();
+    // Header record, the same wire bytes `Encoder` would produce
+    // (plain little-endian fields, no length prefixes).
+    out.push(1);
+    out.extend_from_slice(&fn_id.to_le_bytes());
+    out.extend_from_slice(&state_index.to_le_bytes());
+    out.extend_from_slice(&billed_bytes.to_le_bytes());
+    out.extend_from_slice(&now.as_micros().to_le_bytes());
     out.resize(out.len().div_ceil(block) * block, 0);
     for i in 1..=PAYLOAD_STATE_BLOCKS {
         // The most recent state at which this block churned; wrapping is
@@ -104,7 +121,6 @@ pub fn build_payload(
             out.extend_from_slice(&bytes[..take]);
         }
     }
-    Bytes::from(out)
 }
 
 /// One retained checkpoint's resolved manifest, kept in memory for base
@@ -220,6 +236,15 @@ pub struct CheckpointingModule {
     /// Lifetime stats.
     writes: u64,
     bytes_written: u64,
+    /// Record-path scratch (DESIGN.md §15): the payload image builds in
+    /// `payload_scratch`, the manifest encodes through `manifest_ops` +
+    /// `manifest_enc`, and retired manifests donate their hash vectors
+    /// back through `hash_pool`. Steady-state checkpointing allocates
+    /// only the refcounted buffers it hands out, never this scratch.
+    payload_scratch: Vec<u8>,
+    manifest_enc: Encoder,
+    manifest_ops: Vec<(u8, u32, u64)>,
+    hash_pool: Vec<Vec<u64>>,
 }
 
 impl CheckpointingModule {
@@ -255,6 +280,10 @@ impl CheckpointingModule {
             next_ckpt: HashMap::new(),
             writes: 0,
             bytes_written: 0,
+            payload_scratch: Vec::new(),
+            manifest_enc: Encoder::new(),
+            manifest_ops: Vec::new(),
+            hash_pool: Vec::new(),
         }
     }
 
@@ -298,14 +327,19 @@ impl CheckpointingModule {
         // A small *real* payload: the function's registered state record
         // plus synthetic state blocks with realistic churn. Sizes are
         // billed through `write_cost`; storing multi-GB synthetic blobs
-        // would add nothing but memory pressure.
-        let payload = build_payload(
+        // would add nothing but memory pressure. The image builds in the
+        // module's scratch buffer and lands in one refcounted copy.
+        let mut scratch = std::mem::take(&mut self.payload_scratch);
+        build_payload_into(
             fn_id,
             state_index,
             self.effective_bytes(spec_bytes),
             now,
             self.options.chunk_size,
+            &mut scratch,
         );
+        let payload = Bytes::copy_from_slice(&scratch);
+        self.payload_scratch = scratch;
         self.record_payload(job_id, fn_id, state_index, spec_bytes, now, payload)
     }
 
@@ -332,43 +366,54 @@ impl CheckpointingModule {
             *c += 1;
             id
         };
+        // Compact binary location keys fit the `Bytes` inline cap:
+        // building and cloning them through the row, the flusher, and
+        // the window metadata never allocates.
         let location = if tier == StorageTier::KvStore {
-            format!("payload/{fn_id:016}/{ckpt_id:016}")
+            payload_location(fn_id, ckpt_id)
         } else {
-            format!("spill/{:?}/{fn_id:016}/{ckpt_id:016}", tier)
+            spill_location(tier_ordinal(tier), fn_id, ckpt_id)
         };
 
         let stored = if self.options.blob_oracle {
             payload
         } else {
-            // Chunk the payload: `slice` shares the payload allocation, so
-            // a newly stored chunk body costs a refcount bump, not a copy.
+            // Hash every chunk window up front — fanned out over worker
+            // threads for multi-MiB payloads — into a pooled hash vector,
+            // then insert: `slice` shares the payload allocation, so a
+            // newly stored chunk body costs a refcount bump, not a copy.
             let chunk = self.options.chunk_size.max(1);
-            let mut hashes = Vec::with_capacity(payload.len().div_ceil(chunk));
+            let workers = if payload.len() >= PARALLEL_HASH_THRESHOLD {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            } else {
+                1
+            };
+            let mut hashes = self.hash_pool.pop().unwrap_or_default();
+            hash_chunks_into(&payload, chunk, workers, &mut hashes);
             let mut new_chunks = 0u32;
             let mut new_bytes = 0u64;
-            let mut off = 0;
-            while off < payload.len() {
-                let end = (off + chunk).min(payload.len());
-                let body = payload.slice(off..end);
+            for (i, &hash) in hashes.iter().enumerate() {
+                let start = i * chunk;
+                let end = (start + chunk).min(payload.len());
+                let body = payload.slice(start..end);
                 let len = body.len() as u64;
-                let (hash, fresh) = self.chunks.insert(body);
-                if fresh {
+                if self.chunks.insert_hashed(hash, body) {
                     new_chunks += 1;
                     new_bytes += len;
                 }
-                hashes.push(hash);
-                off = end;
             }
             let chain = self.chains.entry(fn_id).or_default();
             let base = chain.back().map(|r| (r.ckpt_id, r.hashes.as_slice()));
-            let wire = encode_manifest(
+            encode_manifest_into(
                 ckpt_id,
                 base,
                 &hashes,
                 payload.len() as u64,
-                fnv1a64(&payload),
+                sequence_digest(&hashes),
+                &mut self.manifest_ops,
+                &mut self.manifest_enc,
             );
+            let wire = Bytes::copy_from_slice(self.manifest_enc.encoded());
             chain.push_back(ManifestRec {
                 ckpt_id,
                 hashes,
@@ -381,20 +426,24 @@ impl CheckpointingModule {
         // One refcounted buffer serves every consumer: the db put (fanned
         // out to each KV replica), and the async flush to shared storage
         // (survives node loss). `Bytes::clone` bumps a refcount; no
-        // payload bytes are copied past this point.
-        self.db.put_payload(&location, Bytes::clone(&stored))?;
+        // payload bytes are copied past this point. The payload and its
+        // metadata row group-commit as one store batch — a single write
+        // pass with the same WAL record stream as two sequential puts
+        // (DESIGN.md §15).
+        self.db.put_checkpoint_with_payload(
+            &CheckpointInfoRow {
+                ckpt_id,
+                job_id,
+                fn_id,
+                state_index,
+                bytes,
+                tier: tier_ordinal(tier),
+                location: location.clone(),
+                created_us: now.as_micros(),
+            },
+            Bytes::clone(&stored),
+        )?;
         self.flusher.enqueue(location.clone(), stored);
-
-        self.db.put_checkpoint(&CheckpointInfoRow {
-            ckpt_id,
-            job_id,
-            fn_id,
-            state_index,
-            bytes,
-            tier: tier_ordinal(tier),
-            location: location.clone(),
-            created_us: now.as_micros(),
-        })?;
 
         let evicted = self.window.push(
             fn_id,
@@ -434,7 +483,25 @@ impl CheckpointingModule {
             for &hash in &rec.hashes {
                 self.chunks.release(hash);
             }
-            self.ghosts.insert(fn_id, (rec.ckpt_id, rec.hashes));
+            // The displaced ghost's hash list feeds the scratch pool;
+            // the record path refills it for the next manifest.
+            if let Some((_, recycled)) = self.ghosts.insert(fn_id, (rec.ckpt_id, rec.hashes)) {
+                self.recycle(recycled);
+            }
+        }
+    }
+
+    /// Return a retired hash vector to the record-path scratch pool. The
+    /// cap bounds idle memory, but must comfortably exceed the number of
+    /// functions completing between arrivals of new ones — a completed
+    /// function returns its whole window's vectors at once, and the next
+    /// function's ramp-up (its first `window` records, before it retires
+    /// anything of its own) draws purely from this pool. Each vector is a
+    /// few hundred bytes of chunk hashes, so the cap costs ~1 MiB parked.
+    fn recycle(&mut self, mut hashes: Vec<u64>) {
+        if self.hash_pool.len() < 4096 {
+            hashes.clear();
+            self.hash_pool.push(hashes);
         }
     }
 
@@ -761,9 +828,12 @@ impl CheckpointingModule {
                 for &hash in &rec.hashes {
                     self.chunks.release(hash);
                 }
+                self.recycle(rec.hashes);
             }
         }
-        self.ghosts.remove(&fn_id);
+        if let Some((_, ghost)) = self.ghosts.remove(&fn_id) {
+            self.recycle(ghost);
+        }
         self.durable.remove(&fn_id);
         self.next_ckpt.remove(&fn_id);
         Ok(())
@@ -805,7 +875,8 @@ mod tests {
         let rows = m.db.checkpoints_of(1).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(tier_from_ordinal(rows[0].tier), StorageTier::KvStore);
-        assert!(rows[0].location.starts_with("payload/"));
+        assert_eq!(rows[0].location[0], crate::db::TAG_PAYLOAD);
+        assert_eq!(rows[0].location, payload_location(1, 0));
         assert!(m.db.get_payload(&rows[0].location).is_ok());
     }
 
@@ -816,7 +887,11 @@ mod tests {
         m.record(0, 2, 0, 98 * 1024 * 1024, SimTime::ZERO).unwrap();
         let rows = m.db.checkpoints_of(2).unwrap();
         assert_eq!(tier_from_ordinal(rows[0].tier), StorageTier::Pmem);
-        assert!(rows[0].location.starts_with("spill/"));
+        assert_eq!(rows[0].location[0], crate::db::TAG_SPILL);
+        assert_eq!(
+            rows[0].location,
+            spill_location(tier_ordinal(StorageTier::Pmem), 2, 0)
+        );
     }
 
     #[test]

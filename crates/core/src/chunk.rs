@@ -40,6 +40,26 @@ pub const fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// FNV-1a over a chunk-hash sequence (each hash contributing its
+/// little-endian bytes in payload order). This is the manifest's
+/// `payload_digest`: it commits to *which* chunks appear and in *what
+/// order*, at O(chunks) cost instead of O(payload bytes). Content
+/// integrity is already carried by the per-chunk hashes themselves
+/// ([`ChunkStore::get_verified`] recomputes each body's FNV on read),
+/// so digesting the hash sequence protects exactly the part per-chunk
+/// verification cannot: a damaged op list that still decodes but
+/// resolves to the wrong chunks or the wrong order.
+pub fn sequence_digest(hashes: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for h in hashes {
+        for b in h.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
 /// The storage key a chunk body lives under in the shared tier.
 pub fn chunk_key(hash: u64) -> String {
     format!("chunk/{hash:016x}")
@@ -92,6 +112,34 @@ struct ChunkEntry {
     refs: u64,
 }
 
+/// Identity `BuildHasher` for maps keyed by FNV-1a hashes: the keys are
+/// already uniformly distributed 64-bit hashes, so feeding them through
+/// SipHash again costs more than the table probe it guards. The record
+/// path does a few dozen chunk-map operations per checkpoint.
+#[derive(Clone, Copy, Default)]
+pub struct HashIdentity(u64);
+
+impl std::hash::Hasher for HashIdentity {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+impl std::hash::BuildHasher for HashIdentity {
+    type Hasher = HashIdentity;
+    fn build_hasher(&self) -> HashIdentity {
+        HashIdentity(0)
+    }
+}
+
 /// Refcounted content-addressed chunk storage.
 ///
 /// Each retained manifest owns one reference per chunk *occurrence* it
@@ -99,7 +147,7 @@ struct ChunkEntry {
 /// moment the last manifest referencing it leaves the retention window.
 #[derive(Default)]
 pub struct ChunkStore {
-    chunks: HashMap<u64, ChunkEntry>,
+    chunks: HashMap<u64, ChunkEntry, HashIdentity>,
     stats: ChunkStats,
 }
 
@@ -113,18 +161,26 @@ impl ChunkStore {
     /// already present). Returns `(hash, newly_stored)`.
     pub fn insert(&mut self, body: Bytes) -> (u64, bool) {
         let hash = fnv1a64(&body);
+        (hash, self.insert_hashed(hash, body))
+    }
+
+    /// [`Self::insert`] with the hash already computed (the record path
+    /// hashes all chunks up front — in parallel for large payloads — so
+    /// the store must not hash a second time). Returns `newly_stored`.
+    pub fn insert_hashed(&mut self, hash: u64, body: Bytes) -> bool {
+        debug_assert_eq!(fnv1a64(&body), hash, "precomputed chunk hash mismatch");
         match self.chunks.get_mut(&hash) {
             Some(entry) => {
                 entry.refs += 1;
                 self.stats.deduped += 1;
                 self.stats.bytes_deduped += body.len() as u64;
-                (hash, false)
+                false
             }
             None => {
                 self.stats.written += 1;
                 self.stats.bytes_written += body.len() as u64;
                 self.chunks.insert(hash, ChunkEntry { body, refs: 1 });
-                (hash, true)
+                true
             }
         }
     }
@@ -246,11 +302,12 @@ pub enum ManifestError {
         /// Length reassembly produced.
         got: u64,
     },
-    /// Reassembled payload fails the whole-payload digest check. This is
-    /// the backstop against a damaged manifest that still decodes: the
-    /// chunks are individually genuine, but a flipped copy offset could
-    /// order them wrongly — per-chunk hashes cannot catch that, the
-    /// payload digest can.
+    /// The resolved chunk-hash sequence fails the manifest's digest
+    /// check. This is the backstop against a damaged manifest that
+    /// still decodes: the chunks are individually genuine, but a
+    /// flipped copy offset could order them wrongly — per-chunk hashes
+    /// cannot catch that, the sequence digest ([`sequence_digest`])
+    /// can.
     BadDigest {
         /// Digest the manifest promised.
         expected: u64,
@@ -327,7 +384,8 @@ pub struct Manifest {
     pub new_chunks: u32,
     /// Exact payload byte length (the last chunk may be short).
     pub total_bytes: u64,
-    /// FNV-1a digest of the whole payload, verified after reassembly.
+    /// [`sequence_digest`] of the resolved chunk-hash list, verified at
+    /// restore against the sequence the ops actually resolved to.
     pub payload_digest: u64,
 }
 
@@ -342,7 +400,36 @@ pub fn encode_manifest(
     total_bytes: u64,
     payload_digest: u64,
 ) -> Bytes {
-    let mut ops: Vec<(u8, u32, u64)> = Vec::new(); // (tag, run, hash/from)
+    let mut ops = Vec::new();
+    let mut e = Encoder::with_capacity(32 + hashes.len() * 13);
+    encode_manifest_into(
+        ckpt_id,
+        base,
+        hashes,
+        total_bytes,
+        payload_digest,
+        &mut ops,
+        &mut e,
+    );
+    e.finish()
+}
+
+/// [`encode_manifest`] writing into caller-owned scratch: `ops` and `e`
+/// are cleared and reused, so a steady-state checkpoint loop encodes
+/// every manifest without allocating. The wire bytes land in `e` (read
+/// them back with [`Encoder::encoded`]) and are byte-identical to what
+/// [`encode_manifest`] returns.
+pub fn encode_manifest_into(
+    ckpt_id: u64,
+    base: Option<(u64, &[u64])>,
+    hashes: &[u64],
+    total_bytes: u64,
+    payload_digest: u64,
+    ops: &mut Vec<(u8, u32, u64)>, // (tag, run, hash/from)
+    e: &mut Encoder,
+) {
+    ops.clear();
+    e.clear();
     let base_hashes = base.map(|(_, h)| h).unwrap_or(&[]);
     let mut i = 0usize;
     while i < hashes.len() {
@@ -357,7 +444,6 @@ pub fn encode_manifest(
             i += 1;
         }
     }
-    let mut e = Encoder::with_capacity(32 + ops.len() * 13);
     e.put_u8(MANIFEST_VERSION).put_u64(ckpt_id);
     match base {
         Some((base_id, _)) => {
@@ -370,7 +456,7 @@ pub fn encode_manifest(
     e.put_u64(total_bytes)
         .put_u64(payload_digest)
         .put_u32(ops.len() as u32);
-    for (tag, run, val) in ops {
+    for &(tag, run, val) in ops.iter() {
         e.put_u8(tag);
         match tag {
             OP_COPY => {
@@ -381,7 +467,50 @@ pub fn encode_manifest(
             }
         }
     }
-    e.finish()
+}
+
+/// Payload size at which the record path asks [`hash_chunks_into`] for
+/// more than one worker. Below it the serial loop wins: the engine's
+/// synthetic state images are a few hundred bytes and spawning threads
+/// for them would dwarf the hashing itself.
+pub const PARALLEL_HASH_THRESHOLD: usize = 4 << 20;
+
+/// Hash every `chunk_size` window of `payload` into `out` (cleared
+/// first), fanning out over up to `workers` scoped threads. Each slot
+/// of `out` is indexed by chunk position, so the hash sequence is
+/// identical for every worker count — the parallel-map shape of
+/// `canary_experiments::parallel_map`, specialized to borrow the
+/// payload instead of moving owned items. Callers pick the worker
+/// count; the checkpoint path stays serial below
+/// [`PARALLEL_HASH_THRESHOLD`].
+pub fn hash_chunks_into(payload: &[u8], chunk_size: usize, workers: usize, out: &mut Vec<u64>) {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    out.clear();
+    let n = payload.len().div_ceil(chunk_size);
+    out.resize(n, 0);
+    let workers = workers.clamp(1, n.max(1));
+    let hash_at = |i: usize| {
+        let start = i * chunk_size;
+        let end = (start + chunk_size).min(payload.len());
+        fnv1a64(&payload[start..end])
+    };
+    if workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = hash_at(i);
+        }
+        return;
+    }
+    let stripe = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slots) in out.chunks_mut(stripe).enumerate() {
+            let hash_at = &hash_at;
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = hash_at(w * stripe + j);
+                }
+            });
+        }
+    });
 }
 
 /// Decode a wire manifest. `resolve_base` maps a base checkpoint id to
@@ -451,7 +580,8 @@ pub fn decode_manifest(
 /// error — by construction it cannot return wrong bytes: substitution or
 /// rot fails the per-chunk hash check, length drift fails the length
 /// check, and genuine chunks assembled in the wrong order fail the
-/// whole-payload digest.
+/// hash-sequence digest (checked before assembly, so a mangled op list
+/// is rejected without touching the store).
 pub fn restore_from_manifest(
     manifest: &Manifest,
     store: &ChunkStore,
@@ -459,6 +589,13 @@ pub fn restore_from_manifest(
     // `total_bytes` is untrusted wire data: cap the preallocation so a
     // damaged length field cannot abort on a gigantic reservation — the
     // length check below rejects it after assembly instead.
+    let digest = sequence_digest(&manifest.hashes);
+    if digest != manifest.payload_digest {
+        return Err(ManifestError::BadDigest {
+            expected: manifest.payload_digest,
+            got: digest,
+        });
+    }
     const MAX_PREALLOC: u64 = 16 << 20;
     let mut out = Vec::with_capacity(manifest.total_bytes.min(MAX_PREALLOC) as usize);
     for &hash in &manifest.hashes {
@@ -468,13 +605,6 @@ pub fn restore_from_manifest(
         return Err(ManifestError::WrongLength {
             expected: manifest.total_bytes,
             got: out.len() as u64,
-        });
-    }
-    let digest = fnv1a64(&out);
-    if digest != manifest.payload_digest {
-        return Err(ManifestError::BadDigest {
-            expected: manifest.payload_digest,
-            got: digest,
         });
     }
     Ok(Bytes::from(out))
@@ -619,7 +749,7 @@ mod tests {
             let (h, _) = store.insert(Bytes::copy_from_slice(chunk));
             hashes.push(h);
         }
-        let wire = encode_manifest(1, None, &hashes, payload.len() as u64, fnv1a64(payload));
+        let wire = encode_manifest(1, None, &hashes, payload.len() as u64, sequence_digest(&hashes));
         let m = decode_manifest(&wire, |_| None).unwrap();
         assert_eq!(restore_from_manifest(&m, &store).unwrap().as_ref(), payload);
         store.corrupt_chunk(hashes[2], 5);

@@ -48,6 +48,9 @@ pub struct CanaryStrategy {
     validator: RequestValidator,
     predictor: FailurePredictor,
     workers_registered: bool,
+    /// Scratch for the predictor's risky-node set (rebuilt on every pool
+    /// reconciliation — job admits, completions, and failures).
+    risky_scratch: Vec<canary_cluster::NodeId>,
 }
 
 impl CanaryStrategy {
@@ -68,6 +71,7 @@ impl CanaryStrategy {
             validator: RequestValidator::default(),
             predictor: FailurePredictor::new(),
             workers_registered: false,
+            risky_scratch: Vec::new(),
             db,
             config,
         }
@@ -98,13 +102,15 @@ impl CanaryStrategy {
         &self.predictor
     }
 
-    /// Nodes the predictor currently flags (empty when proactive mode is
-    /// off).
-    fn risky_nodes(&self, now: canary_sim::SimTime) -> Vec<canary_cluster::NodeId> {
+    /// Refresh `risky_scratch` with the nodes the predictor currently
+    /// flags (empty when proactive mode is off).
+    fn refresh_risky(&mut self, now: canary_sim::SimTime) {
         if self.config.proactive {
-            self.predictor.risky_nodes(now)
+            let mut scratch = std::mem::take(&mut self.risky_scratch);
+            self.predictor.risky_nodes_into(now, &mut scratch);
+            self.risky_scratch = scratch;
         } else {
-            Vec::new()
+            self.risky_scratch.clear();
         }
     }
 
@@ -328,10 +334,12 @@ impl CanaryStrategy {
     /// trace/telemetry (observation only — the pool change itself is
     /// identical to calling [`ReplicationModule::reconcile`] directly).
     fn reconcile_pool(&mut self, platform: &mut Platform, runtime: RuntimeKind) {
-        let risky = self.risky_nodes(platform.now());
+        self.refresh_risky(platform.now());
+        let risky = std::mem::take(&mut self.risky_scratch);
         let (spawned, reclaimed) =
             self.replication
                 .reconcile(platform, &mut self.runtime_manager, runtime, &risky);
+        self.risky_scratch = risky;
         if spawned > 0 || reclaimed > 0 {
             platform.emit(TraceKind::ReplicaRefreshed {
                 spawned: spawned as u32,

@@ -174,8 +174,12 @@ pub struct CheckpointInfoRow {
     pub bytes: u64,
     /// Storage tier ordinal the payload lives on.
     pub tier: u8,
-    /// Payload location (KV key or spilled path).
-    pub location: String,
+    /// Payload location: the KV key (or spilled-path key) the payload is
+    /// stored under, in the compact binary form built by
+    /// [`payload_location`] / [`spill_location`]. Locations are short
+    /// enough to stay inline in the handle, so row clones and window
+    /// metadata never allocate for them.
+    pub location: Bytes,
     /// Creation time (µs).
     pub created_us: u64,
 }
@@ -200,12 +204,19 @@ pub struct ReplicationInfoRow {
 macro_rules! row_codec {
     ($ty:ty, $ver:literal, enc($self:ident, $e:ident) $enc:block, dec($d:ident) $dec:block) => {
         impl $ty {
-            /// Serialize the row.
-            pub fn encode(&$self) -> Bytes {
-                let mut $e = Encoder::new();
+            /// Serialize the row into a caller-provided encoder (hot
+            /// paths reuse one scratch encoder across rows, then copy
+            /// the encoding into a single refcounted buffer).
+            pub fn encode_with(&$self, $e: &mut Encoder) {
                 $e.put_u8($ver);
                 $enc
-                $e.finish()
+            }
+
+            /// Serialize the row.
+            pub fn encode(&self) -> Bytes {
+                let mut e = Encoder::new();
+                self.encode_with(&mut e);
+                e.finish()
             }
 
             /// Deserialize a row.
@@ -278,7 +289,7 @@ row_codec!(CheckpointInfoRow, 1,
     enc(self, e) {
         e.put_u64(self.ckpt_id).put_u32(self.job_id).put_u64(self.fn_id)
          .put_u32(self.state_index).put_u64(self.bytes).put_u8(self.tier)
-         .put_str(&self.location).put_u64(self.created_us);
+         .put_bytes(&self.location).put_u64(self.created_us);
     },
     dec(d) {
         CheckpointInfoRow {
@@ -288,7 +299,7 @@ row_codec!(CheckpointInfoRow, 1,
             state_index: d.u32("state_index")?,
             bytes: d.u64("bytes")?,
             tier: d.u8("tier")?,
-            location: d.str("location")?,
+            location: Bytes::from(d.bytes("location")?),
             created_us: d.u64("created_us")?,
         }
     }
@@ -313,14 +324,42 @@ row_codec!(ReplicationInfoRow, 1,
 );
 
 /// Tag bytes of the typed key encoding, one per table. All tags are below
-/// any printable ASCII byte, so typed keys and the string-keyed payload
-/// namespace (`payload/...`, `spill/...`) occupy disjoint ranges of the
-/// key space and never interleave in range walks.
+/// any printable ASCII byte, so typed keys, the payload namespace
+/// ([`TAG_PAYLOAD`] / [`TAG_SPILL`]), and any legacy string keys occupy
+/// disjoint ranges of the key space and never interleave in range walks.
 const TAG_WORKER: u8 = 0x01;
 const TAG_JOB: u8 = 0x02;
 const TAG_FUNCTION: u8 = 0x03;
 const TAG_CHECKPOINT: u8 = 0x04;
 const TAG_REPLICATION: u8 = 0x05;
+/// Checkpoint payloads stored in the KV tier (`tag + fn_id + ckpt_id`).
+pub const TAG_PAYLOAD: u8 = 0x06;
+/// Payloads spilled to a storage tier (`tag + tier + fn_id + ckpt_id`).
+pub const TAG_SPILL: u8 = 0x07;
+
+/// Location key of a KV-tier checkpoint payload: `[TAG_PAYLOAD]` + fn_id
+/// (BE) + ckpt_id (BE), 17 bytes. Big-endian ids sort byte-wise in
+/// numeric order, like the zero-padded decimal strings this replaced, and
+/// the handle stays inline — building or cloning a location never
+/// allocates.
+pub fn payload_location(fn_id: u64, ckpt_id: u64) -> Bytes {
+    let mut buf = [0u8; 17];
+    buf[0] = TAG_PAYLOAD;
+    buf[1..9].copy_from_slice(&fn_id.to_be_bytes());
+    buf[9..17].copy_from_slice(&ckpt_id.to_be_bytes());
+    Bytes::copy_from_slice(&buf)
+}
+
+/// Location key of a spilled checkpoint payload: `[TAG_SPILL]` + storage
+/// tier ordinal + fn_id (BE) + ckpt_id (BE), 18 bytes (inline).
+pub fn spill_location(tier: u8, fn_id: u64, ckpt_id: u64) -> Bytes {
+    let mut buf = [0u8; 18];
+    buf[0] = TAG_SPILL;
+    buf[1] = tier;
+    buf[2..10].copy_from_slice(&fn_id.to_be_bytes());
+    buf[10..18].copy_from_slice(&ckpt_id.to_be_bytes());
+    Bytes::copy_from_slice(&buf)
+}
 
 /// A fixed-size, stack-allocated metadata table key.
 ///
@@ -516,6 +555,10 @@ pub struct CanaryDb {
     traffic: [TableTraffic; 6],
     typed_keys: bool,
     cache: RowCache,
+    /// Reused row-encode buffer: every put serializes into this scratch
+    /// and copies the encoding out as one refcounted buffer, so a
+    /// steady-state row write costs exactly one allocation.
+    enc_scratch: Mutex<Encoder>,
 }
 
 impl CanaryDb {
@@ -573,7 +616,17 @@ impl CanaryDb {
                 enabled: opts.cache,
                 ..Default::default()
             },
+            enc_scratch: Mutex::new(Encoder::new()),
         }
+    }
+
+    /// Serialize a row through the shared scratch encoder into one fresh
+    /// refcounted buffer (a single allocation, no intermediate `Vec`).
+    fn encode_row(&self, f: impl FnOnce(&mut Encoder)) -> Bytes {
+        let mut enc = self.enc_scratch.lock();
+        enc.clear();
+        f(&mut enc);
+        Bytes::copy_from_slice(enc.encoded())
     }
 
     /// Kill and restart the control plane's metadata substrate in place:
@@ -705,7 +758,8 @@ impl CanaryDb {
     /// Insert/overwrite a `worker_info` row.
     pub fn put_worker(&self, row: &WorkerInfoRow) -> Result<(), DbError> {
         self.note_write(T_WORKER);
-        Ok(self.kv.put(self.worker_key(row.node_id), row.encode())?)
+        let val = self.encode_row(|e| row.encode_with(e));
+        Ok(self.kv.put(self.worker_key(row.node_id), val)?)
     }
 
     /// Read a `worker_info` row.
@@ -720,7 +774,8 @@ impl CanaryDb {
     /// updated at the same choke point that writes the store).
     pub fn put_job(&self, row: &JobInfoRow) -> Result<(), DbError> {
         self.note_write(T_JOB);
-        self.kv.put(self.job_key(row.job_id), row.encode())?;
+        let val = self.encode_row(|e| row.encode_with(e));
+        self.kv.put(self.job_key(row.job_id), val)?;
         if let Some(mut cache) = self.cache() {
             cache.jobs.insert(row.job_id, row.clone());
         }
@@ -747,7 +802,8 @@ impl CanaryDb {
     /// Insert/overwrite a `function_info` row (write-through).
     pub fn put_function(&self, row: &FunctionInfoRow) -> Result<(), DbError> {
         self.note_write(T_FUNCTION);
-        self.kv.put(self.function_key(row.fn_id), row.encode())?;
+        let val = self.encode_row(|e| row.encode_with(e));
+        self.kv.put(self.function_key(row.fn_id), val)?;
         if let Some(mut cache) = self.cache() {
             cache.functions.insert(row.fn_id, row.clone());
         }
@@ -778,8 +834,9 @@ impl CanaryDb {
     /// fresh range read would produce); an absent entry stays absent.
     pub fn put_checkpoint(&self, row: &CheckpointInfoRow) -> Result<(), DbError> {
         self.note_write(T_CHECKPOINT);
+        let val = self.encode_row(|e| row.encode_with(e));
         self.kv
-            .put(self.checkpoint_key(row.fn_id, row.ckpt_id), row.encode())?;
+            .put(self.checkpoint_key(row.fn_id, row.ckpt_id), val)?;
         if let Some(mut cache) = self.cache() {
             if let Some(rows) = cache.checkpoints.get_mut(&row.fn_id) {
                 match rows.binary_search_by_key(&row.ckpt_id, |r| r.ckpt_id) {
@@ -840,9 +897,8 @@ impl CanaryDb {
     /// Insert/overwrite a `replication_info` row.
     pub fn put_replica(&self, row: &ReplicationInfoRow) -> Result<(), DbError> {
         self.note_write(T_REPLICATION);
-        Ok(self
-            .kv
-            .put(self.replica_key(row.replica_id), row.encode())?)
+        let val = self.encode_row(|e| row.encode_with(e));
+        Ok(self.kv.put(self.replica_key(row.replica_id), val)?)
     }
 
     /// Read a `replication_info` row.
@@ -856,21 +912,58 @@ impl CanaryDb {
     /// Store a checkpoint payload (small real bytes; sizes are billed via
     /// the storage-tier model separately). The payload handle is shared
     /// with the store, not copied.
-    pub fn put_payload(&self, location: &str, payload: Bytes) -> Result<(), DbError> {
+    pub fn put_payload(&self, location: impl AsRef<[u8]>, payload: Bytes) -> Result<(), DbError> {
         self.note_write(T_PAYLOAD);
         Ok(self.kv.put(location, payload)?)
     }
 
     /// Fetch a checkpoint payload.
-    pub fn get_payload(&self, location: &str) -> Result<Bytes, DbError> {
+    pub fn get_payload(&self, location: impl AsRef<[u8]>) -> Result<Bytes, DbError> {
         self.note_read(T_PAYLOAD);
         Ok(self.kv.get(location)?)
     }
 
     /// Delete a checkpoint payload.
-    pub fn delete_payload(&self, location: &str) -> Result<(), DbError> {
+    pub fn delete_payload(&self, location: impl AsRef<[u8]>) -> Result<(), DbError> {
         self.note_write(T_PAYLOAD);
         Ok(self.kv.remove(location)?)
+    }
+
+    /// Group-commit a checkpoint: the payload put and its
+    /// `checkpoint_info` row land in **one** sharded-store write batch
+    /// (one shard-lock acquisition per shard per replica, via
+    /// [`ReplicatedKv::put_batch`]) instead of two independent puts.
+    /// Observationally identical to `put_payload` + `put_checkpoint` in
+    /// that order: same per-table traffic counts, same final store
+    /// contents, byte-identical WAL record stream, same write-through
+    /// cache update — only the lock traffic differs. The row must
+    /// reference `location` (it is stored in the row and used as the
+    /// batch's payload key).
+    pub fn put_checkpoint_with_payload(
+        &self,
+        row: &CheckpointInfoRow,
+        payload: Bytes,
+    ) -> Result<(), DbError> {
+        self.note_write(T_PAYLOAD);
+        self.note_write(T_CHECKPOINT);
+        let row_bytes = self.encode_row(|e| row.encode_with(e));
+        let ckpt_key = match self.checkpoint_key(row.fn_id, row.ckpt_id) {
+            DbKey::Typed(k) => Bytes::copy_from_slice(k.as_bytes()),
+            DbKey::Text(s) => Bytes::from(s),
+        };
+        self.kv.put_batch(&[
+            (row.location.clone(), payload),
+            (ckpt_key, row_bytes),
+        ])?;
+        if let Some(mut cache) = self.cache() {
+            if let Some(rows) = cache.checkpoints.get_mut(&row.fn_id) {
+                match rows.binary_search_by_key(&row.ckpt_id, |r| r.ckpt_id) {
+                    Ok(i) => rows[i] = row.clone(),
+                    Err(i) => rows.insert(i, row.clone()),
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -924,7 +1017,7 @@ mod tests {
             state_index: 12,
             bytes: 98 * 1024 * 1024,
             tier: 2,
-            location: "pmem/fn42/7".to_string(),
+            location: spill_location(2, 42, 7),
             created_us: 999,
         };
         assert_eq!(CheckpointInfoRow::decode(&row.encode()).unwrap(), row);
@@ -1022,7 +1115,7 @@ mod tests {
             state_index: ckpt_id as u32,
             bytes: 10,
             tier: 0,
-            location: format!("payload/{fn_id}/{ckpt_id}"),
+            location: payload_location(fn_id, ckpt_id),
             created_us: ckpt_id,
         }
     }

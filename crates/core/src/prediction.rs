@@ -70,14 +70,24 @@ impl FailurePredictor {
     /// Nodes whose risk currently exceeds the threshold (unsafe for
     /// replica placement), sorted by id.
     pub fn risky_nodes(&self, now: SimTime) -> Vec<NodeId> {
-        let mut risky: Vec<NodeId> = self
-            .scores
-            .keys()
-            .copied()
-            .filter(|&n| self.decayed(n, now) > self.risk_threshold)
-            .collect();
-        risky.sort_unstable();
+        let mut risky = Vec::new();
+        self.risky_nodes_into(now, &mut risky);
         risky
+    }
+
+    /// [`Self::risky_nodes`] into a caller-owned buffer (cleared first).
+    /// Pool reconciliation asks on every job admit, completion, and
+    /// failure; with proactive mode on, rebuilding the set in place is
+    /// the difference between zero and one allocation per strategy event.
+    pub fn risky_nodes_into(&self, now: SimTime, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.scores
+                .keys()
+                .copied()
+                .filter(|&n| self.decayed(n, now) > self.risk_threshold),
+        );
+        out.sort_unstable();
     }
 
     /// True when `node` is currently above the risk threshold.

@@ -45,6 +45,9 @@ pub struct ReplicationModule {
     /// among jobs using it — a replica must be able to host any of them).
     replica_memory: HashMap<RuntimeKind, u64>,
     spawned_total: u64,
+    /// Scratch for the pool-shrink path (reconcile runs on every job
+    /// admit/completion; the reclaim set is rebuilt in place).
+    reclaim_scratch: Vec<canary_container::ContainerId>,
 }
 
 impl ReplicationModule {
@@ -55,6 +58,7 @@ impl ReplicationModule {
             stats: HashMap::new(),
             replica_memory: HashMap::new(),
             spawned_total: 0,
+            reclaim_scratch: Vec::new(),
         }
     }
 
@@ -125,26 +129,27 @@ impl ReplicationModule {
         risky: &[NodeId],
     ) -> Option<NodeId> {
         let cluster = &platform.config().cluster;
-        let existing_racks: Vec<u32> = existing.iter().map(|&n| cluster.node(n).rack).collect();
         platform
             .nodes_by_free_slots() // up nodes, most-free first
             .filter(|&n| {
                 let capacity = cluster.node(n).container_slots;
                 platform.free_slots(n) as u64 >= (capacity as u64 / 10).max(2)
             })
-            .min_by(|&a, &b| {
-                let score = |n: NodeId| {
-                    let spec = cluster.node(n);
-                    (
-                        existing.contains(&n) as u8,               // avoid same node
-                        risky.contains(&n) as u8,                  // avoid predicted-risky nodes
-                        existing_racks.contains(&spec.rack) as u8, // avoid same rack
-                        // Faster nodes recover faster (heterogeneity-aware).
-                        (1000.0 / spec.speed()) as u64,
-                        n.0, // deterministic tie-break
-                    )
-                };
-                score(a).cmp(&score(b))
+            .min_by_key(|&n| {
+                let spec = cluster.node(n);
+                // `existing` is a handful of nodes at most, so the rack
+                // test scans it inline rather than materializing a rack
+                // list per call — reconcile runs on every job admit and
+                // completion, and this is its only would-be allocation.
+                let same_rack = existing.iter().any(|&m| cluster.node(m).rack == spec.rack);
+                (
+                    existing.contains(&n) as u8, // avoid same node
+                    risky.contains(&n) as u8,    // avoid predicted-risky nodes
+                    same_rack as u8,             // avoid same rack
+                    // Faster nodes recover faster (heterogeneity-aware).
+                    (1000.0 / spec.speed()) as u64,
+                    n.0, // deterministic tie-break
+                )
             })
     }
 
@@ -164,29 +169,40 @@ impl ReplicationModule {
         let memory = self.replica_memory.get(&runtime).copied().unwrap_or(512);
 
         let mut spawned = 0;
-        while manager.total(runtime) < target {
-            let existing = manager.nodes_with_replicas(runtime);
-            let Some(node) = self.choose_node(platform, &existing, risky) else {
-                break;
-            };
-            match platform.create_replica(node, runtime, memory) {
-                Ok((container, ready_at)) => {
-                    manager.note_spawned(container, runtime, node, ready_at);
-                    self.spawned_total += 1;
-                    spawned += 1;
+        if manager.total(runtime) < target {
+            // One anti-affinity snapshot per round, extended in place as
+            // replicas land (the recollected set would differ only by
+            // exactly those nodes).
+            let mut existing = manager.nodes_with_replicas(runtime);
+            while manager.total(runtime) < target {
+                let Some(node) = self.choose_node(platform, &existing, risky) else {
+                    break;
+                };
+                match platform.create_replica(node, runtime, memory) {
+                    Ok((container, ready_at)) => {
+                        manager.note_spawned(container, runtime, node, ready_at);
+                        if !existing.contains(&node) {
+                            existing.push(node);
+                        }
+                        self.spawned_total += 1;
+                        spawned += 1;
+                    }
+                    Err(_) => break, // cluster full: stop trying this round
                 }
-                Err(_) => break, // cluster full: stop trying this round
             }
         }
 
         let mut reclaimed = 0;
         if have > target {
             let surplus = have - target;
-            for container in manager.idle_warm(runtime).into_iter().take(surplus) {
+            let mut scratch = std::mem::take(&mut self.reclaim_scratch);
+            manager.idle_warm_into(runtime, surplus, &mut scratch);
+            for &container in &scratch {
                 manager.note_consumed(container);
                 platform.reclaim_container(container);
                 reclaimed += 1;
             }
+            self.reclaim_scratch = scratch;
         }
         (spawned, reclaimed)
     }

@@ -205,11 +205,31 @@ impl RuntimeManager {
     /// Unreserved *warm* replicas of a runtime, lowest id first (used by
     /// the Replication Module when shrinking the pool).
     pub fn idle_warm(&self, runtime: RuntimeKind) -> Vec<ContainerId> {
-        self.replicas
-            .iter()
-            .filter(|(_, e)| e.runtime == runtime && !e.reserved && e.phase == ReplicaPhase::Warm)
-            .map(|(&id, _)| id)
-            .collect()
+        let mut out = Vec::new();
+        self.idle_warm_into(runtime, usize::MAX, &mut out);
+        out
+    }
+
+    /// [`Self::idle_warm`] into a caller-owned buffer, stopping after
+    /// `limit` matches — the pool-shrink path reclaims a known surplus on
+    /// every reconcile, so it reuses one scratch vector instead of
+    /// collecting the full idle set each round.
+    pub fn idle_warm_into(
+        &self,
+        runtime: RuntimeKind,
+        limit: usize,
+        out: &mut Vec<ContainerId>,
+    ) {
+        out.clear();
+        out.extend(
+            self.replicas
+                .iter()
+                .filter(|(_, e)| {
+                    e.runtime == runtime && !e.reserved && e.phase == ReplicaPhase::Warm
+                })
+                .map(|(&id, _)| id)
+                .take(limit),
+        );
     }
 }
 

@@ -16,7 +16,7 @@ use bytes::Bytes;
 use canary_cluster::StorageHierarchy;
 use canary_core::checkpoint::build_payload;
 use canary_core::{
-    decode_manifest, encode_manifest, fnv1a64, restore_from_manifest, CanaryConfig, CanaryDb,
+    decode_manifest, encode_manifest, sequence_digest, restore_from_manifest, CanaryConfig, CanaryDb,
     CheckpointingModule, ChunkStore, ManifestError,
 };
 use canary_sim::{SimRng, SimTime};
@@ -64,7 +64,7 @@ fn truncated_manifests_are_typed_never_panic() {
             Some((8, &base)),
             &hashes,
             payload.len() as u64,
-            fnv1a64(&payload),
+            sequence_digest(&hashes),
         );
         let resolve = |id: u64| (id == 8).then(|| base.clone());
         assert!(decode_manifest(&wire, resolve).is_ok(), "full wire decodes");
@@ -87,7 +87,7 @@ fn dangling_chunk_hashes_fail_closed() {
     let victim = rng.u64_below(hashes.len() as u64) as usize;
     let dangling = rng.next_u64();
     hashes[victim] = dangling;
-    let wire = encode_manifest(3, None, &hashes, payload.len() as u64, fnv1a64(&payload));
+    let wire = encode_manifest(3, None, &hashes, payload.len() as u64, sequence_digest(&hashes));
     let m = decode_manifest(&wire, |_| None).expect("dangling hashes still decode");
     assert_eq!(
         restore_from_manifest(&m, &store),
@@ -124,7 +124,7 @@ fn manifest_bit_flips_never_restore_wrong_bytes() {
                 with_base.then_some((10, base.as_slice())),
                 &hashes,
                 payload.len() as u64,
-                fnv1a64(&payload),
+                sequence_digest(&hashes),
             );
             let mut flipped = wire.to_vec();
             let offset = rng.u64_below(flipped.len() as u64) as usize;
@@ -194,7 +194,7 @@ fn stored_manifest_flips_fall_back_to_older_checkpoints() {
                 m.record(fn_id as u32, fn_id, state, SPEC_BYTES, now)
                     .expect("record");
                 let ckpt = state as u64;
-                states.push((ckpt, state, format!("payload/{fn_id:016}/{ckpt:016}")));
+                states.push((ckpt, state, canary_core::db::payload_location(fn_id, ckpt)));
             }
             let (_, _, location) = states.last().unwrap();
             let stored = db.get_payload(location).expect("stored manifest");

@@ -94,7 +94,7 @@ fn ckpt_row(fn_id: u64, ckpt_id: u64) -> CheckpointInfoRow {
         state_index: ckpt_id as u32,
         bytes: 1024 + ckpt_id,
         tier: 0,
-        location: format!("payload/{fn_id:016}/{ckpt_id:016}"),
+        location: canary_core::db::payload_location(fn_id, ckpt_id),
         created_us: ckpt_id * 31,
     }
 }

@@ -17,8 +17,9 @@ use std::thread::JoinHandle;
 /// One durable record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord {
-    /// Key the record was stored under.
-    pub key: String,
+    /// Key the record was stored under. Short keys (checkpoint locations)
+    /// stay inline in the handle; enqueueing them never allocates.
+    pub key: Bytes,
     /// The payload.
     pub value: Bytes,
 }
@@ -55,12 +56,13 @@ impl PersistentLog {
 
     /// Latest durable record for `key`, if any (recovery path after total
     /// KV-store loss).
-    pub fn latest_for(&self, key: &str) -> Option<LogRecord> {
+    pub fn latest_for(&self, key: impl AsRef<[u8]>) -> Option<LogRecord> {
+        let key = key.as_ref();
         self.records
             .lock()
             .iter()
             .rev()
-            .find(|r| r.key == key)
+            .find(|r| &*r.key == key)
             .cloned()
     }
 
@@ -115,7 +117,7 @@ impl AsyncFlusher {
     }
 
     /// Enqueue a write; returns immediately.
-    pub fn enqueue(&self, key: impl Into<String>, value: Bytes) {
+    pub fn enqueue(&self, key: impl Into<Bytes>, value: Bytes) {
         let rec = LogRecord {
             key: key.into(),
             value,

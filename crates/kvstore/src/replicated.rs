@@ -155,6 +155,35 @@ impl ReplicatedKv {
         }
     }
 
+    /// Group-commit batch write: apply every entry to every live member
+    /// (one shard-lock acquisition per shard per member per batch, via
+    /// [`KvStore::put_batch`]), then log one [`WalOp::Put`] per entry in
+    /// slice order. The WAL record stream is byte-identical to the
+    /// equivalent sequence of [`ReplicatedKv::put_shared`] calls, so
+    /// crash replay cannot tell batched and unbatched writers apart; the
+    /// store-side application is atomic per member (an oversized value
+    /// fails the whole batch before anything lands).
+    pub fn put_batch(&self, entries: &[(Bytes, Bytes)]) -> Result<(), KvError> {
+        let mut wrote = false;
+        for (store, alive) in self.members.iter().zip(&self.alive) {
+            if alive.load(Ordering::Acquire) {
+                store.put_batch(entries)?;
+                wrote = true;
+            }
+        }
+        if wrote {
+            for (key, value) in entries {
+                self.log_op(&WalOp::Put {
+                    key: key.clone(),
+                    value: value.clone(),
+                });
+            }
+            Ok(())
+        } else {
+            Err(KvError::NoReplicaAvailable)
+        }
+    }
+
     /// Read from the first live member.
     pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Bytes, KvError> {
         let node = self.first_live().ok_or(KvError::NoReplicaAvailable)?;
@@ -275,10 +304,42 @@ impl ReplicatedKv {
     fn log_op(&self, op: &WalOp) {
         if let Some(wal) = &self.wal {
             wal.append(op);
-            if wal.wants_snapshot() && self.replicas_consistent() {
-                wal.install_snapshot(&self.group_snapshot());
+            if wal.wants_snapshot_scaled(self.len() as u64) && self.live_members_converged() {
+                wal.install_snapshot_owned(self.group_snapshot());
             }
         }
+    }
+
+    /// Exact O(members) form of [`ReplicatedKv::replicas_consistent`],
+    /// used by the compaction gate so the check is not O(store) on every
+    /// qualifying append.
+    ///
+    /// Equal entry counts across live members imply identical contents
+    /// here because live-member divergence only ever arises from
+    /// [`ReplicatedKv::rejoin_empty`] wiping one member: from that point
+    /// every mutation (`put_shared`, `remove`) fans identically to all
+    /// live members and [`ReplicatedKv::recover_node`] copies a full
+    /// donor, so for any two live members one's key set is a subset of
+    /// the other's (ordered by most-recent wipe time) with equal values
+    /// on shared keys. A subset of equal size is the whole set — length
+    /// equality is therefore not a heuristic but the full invariant.
+    fn live_members_converged(&self) -> bool {
+        let mut lens = self
+            .members
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, a)| a.load(Ordering::Acquire))
+            .map(|(s, _)| s.len());
+        let converged = match lens.next() {
+            None => true,
+            Some(first) => lens.all(|l| l == first),
+        };
+        debug_assert_eq!(
+            converged,
+            self.replicas_consistent(),
+            "length gate must agree with the full-compare oracle"
+        );
+        converged
     }
 
     /// Capture the whole group state for a compacting snapshot: the

@@ -19,6 +19,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +54,12 @@ pub(crate) fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
 pub struct KvStore {
     shards: Vec<RwLock<BTreeMap<Bytes, Bytes>>>,
     config: StoreConfig,
+    /// Live entry count across all shards, maintained on every mutation
+    /// so [`KvStore::len`] is one atomic load instead of a lock-and-sum
+    /// over every shard. The WAL compaction gate calls `len` on every
+    /// logged op — at that call rate the O(shards) walk dominated the
+    /// whole write path.
+    count: AtomicUsize,
 }
 
 impl KvStore {
@@ -62,7 +69,11 @@ impl KvStore {
         let shards = (0..config.shards)
             .map(|_| RwLock::new(BTreeMap::new()))
             .collect();
-        KvStore { shards, config }
+        KvStore {
+            shards,
+            config,
+            count: AtomicUsize::new(0),
+        }
     }
 
     /// Store with default configuration.
@@ -75,14 +86,18 @@ impl KvStore {
         self.config.entry_limit
     }
 
-    fn shard_for(&self, key: &[u8]) -> &RwLock<BTreeMap<Bytes, Bytes>> {
+    fn shard_index(&self, key: &[u8]) -> usize {
         // FNV-1a keeps shard choice deterministic across runs/platforms.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in key {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &RwLock<BTreeMap<Bytes, Bytes>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Insert or replace `key`. Fails with [`KvError::EntryTooLarge`] if
@@ -103,7 +118,65 @@ impl KvStore {
                 limit: self.config.entry_limit,
             });
         }
-        self.shard_for(&key).write().insert(key, value);
+        let mut guard = self.shard_for(&key).write();
+        if guard.insert(key, value).is_none() {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Group-commit write batch: insert every entry, taking each shard's
+    /// write lock **once per batch** instead of once per entry. Entries
+    /// land in slice order (last write to a key wins, exactly as the
+    /// equivalent sequence of [`KvStore::put_shared`] calls), and the
+    /// whole batch is validated against the entry limit up front — a
+    /// batch containing an oversized value fails atomically, storing
+    /// nothing. Key and value handles are refcount-shared, never copied.
+    pub fn put_batch(&self, entries: &[(Bytes, Bytes)]) -> Result<(), KvError> {
+        for (_, value) in entries {
+            if value.len() as u64 > self.config.entry_limit {
+                return Err(KvError::EntryTooLarge {
+                    size: value.len() as u64,
+                    limit: self.config.entry_limit,
+                });
+            }
+        }
+        // Small batches (the hot path: one checkpoint's payload + row)
+        // group entries by shard with a stack bitmask; larger batches walk
+        // the shard list instead. Both take each shard lock exactly once.
+        if entries.len() <= 64 {
+            let mut done = 0u64;
+            for i in 0..entries.len() {
+                if done & (1 << i) != 0 {
+                    continue;
+                }
+                let shard = self.shard_index(&entries[i].0);
+                let mut guard = self.shards[shard].write();
+                for (j, (key, value)) in entries.iter().enumerate().skip(i) {
+                    if done & (1 << j) == 0 && self.shard_index(key) == shard {
+                        if guard.insert(key.clone(), value.clone()).is_none() {
+                            self.count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        done |= 1 << j;
+                    }
+                }
+            }
+        } else {
+            for (shard, lock) in self.shards.iter().enumerate() {
+                let mut guard = None;
+                for (key, value) in entries {
+                    if self.shard_index(key) == shard {
+                        let inserted = guard
+                            .get_or_insert_with(|| lock.write())
+                            .insert(key.clone(), value.clone())
+                            .is_none();
+                        if inserted {
+                            self.count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -123,7 +196,11 @@ impl KvStore {
     /// Remove `key`, returning its value if present.
     pub fn remove(&self, key: impl AsRef<[u8]>) -> Option<Bytes> {
         let key = key.as_ref();
-        self.shard_for(key).write().remove(key)
+        let removed = self.shard_for(key).write().remove(key);
+        if removed.is_some() {
+            self.count.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// True when `key` is present.
@@ -132,14 +209,14 @@ impl KvStore {
         self.shard_for(key).read().contains_key(key)
     }
 
-    /// Number of entries across all shards.
+    /// Number of entries across all shards (one atomic load).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// True when the store holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.len() == 0
     }
 
     /// Total stored value bytes.
@@ -218,7 +295,9 @@ impl KvStore {
     /// Remove every entry.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.write().clear();
+            let mut guard = s.write();
+            self.count.fetch_sub(guard.len(), Ordering::Relaxed);
+            guard.clear();
         }
     }
 }

@@ -8,15 +8,15 @@
 //! 14–16 evict the oldest checkpoint from the database once the count
 //! exceeds the threshold.
 
+use bytes::Bytes;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// The paper's initial window size.
 pub const DEFAULT_WINDOW: usize = 3;
 
 /// Metadata describing one retained checkpoint.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointMeta {
     /// Owning function.
     pub fn_id: u64,
@@ -27,7 +27,9 @@ pub struct CheckpointMeta {
     /// Payload size in bytes.
     pub bytes: u64,
     /// Storage key where the payload lives (KV key or spilled location).
-    pub location: String,
+    /// Location keys are short, so the handle stays inline — pushing and
+    /// evicting window entries never touches the heap.
+    pub location: Bytes,
 }
 
 /// Per-function ring of the latest `n` checkpoints with dynamic resizing.
@@ -168,7 +170,7 @@ mod tests {
             ckpt_id: id,
             state_index: id,
             bytes: 100,
-            location: format!("fn/ckpt/{id}"),
+            location: Bytes::from(format!("fn/ckpt/{id}")),
         }
     }
 

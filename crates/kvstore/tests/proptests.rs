@@ -111,7 +111,7 @@ proptest! {
                 ckpt_id: *next,
                 state_index: *next,
                 bytes: 1,
-                location: format!("{fn_id}/{next}"),
+                location: Bytes::from(format!("{fn_id}/{next}")),
             };
             *next += 1;
             w.push(fn_id, meta);
@@ -138,7 +138,7 @@ proptest! {
                     ckpt_id: i,
                     state_index: i,
                     bytes: 1,
-                    location: format!("1/{i}"),
+                    location: Bytes::from(format!("1/{i}")),
                 },
             );
         }
@@ -147,5 +147,81 @@ proptest! {
             prop_assert_eq!(w.latest(1).unwrap().ckpt_id, 9);
             prop_assert!(w.count(1) <= n.max(1));
         }
+    }
+}
+
+proptest! {
+    /// The O(1) entry counter stays exactly in sync with the shard maps
+    /// under arbitrary single puts, group-commit batches (duplicate keys
+    /// inside a batch included — last write wins), removes, and clears;
+    /// contents always match a reference map driven by the same ops.
+    #[test]
+    fn len_counter_matches_shards(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // Single put: (key seed, value byte)
+                (any::<u8>(), any::<u8>()).prop_map(|(k, v)| (0u8, vec![(k, v)])),
+                // Batch put: up to 6 entries, duplicates allowed
+                proptest::collection::vec((any::<u8>(), any::<u8>()), 1..6)
+                    .prop_map(|es| (1u8, es)),
+                // Remove: key seed
+                any::<u8>().prop_map(|k| (2u8, vec![(k, 0)])),
+                // Clear
+                Just((3u8, vec![])),
+            ],
+            0..100,
+        )
+    ) {
+        let store = KvStore::new(StoreConfig { shards: 8, entry_limit: u64::MAX });
+        let mut reference = std::collections::BTreeMap::new();
+        for (kind, entries) in ops {
+            match kind {
+                0 | 1 => {
+                    let batch: Vec<(Bytes, Bytes)> = entries
+                        .iter()
+                        .map(|&(k, v)| {
+                            (Bytes::from(vec![k]), Bytes::from(vec![v, k]))
+                        })
+                        .collect();
+                    store.put_batch(&batch).unwrap();
+                    for (k, v) in batch {
+                        reference.insert(k, v);
+                    }
+                }
+                2 => {
+                    let k = vec![entries[0].0];
+                    store.remove(&k);
+                    reference.remove(k.as_slice());
+                }
+                _ => {
+                    store.clear();
+                    reference.clear();
+                }
+            }
+            // The atomic counter, a fresh shard walk, and the reference
+            // model must all agree.
+            prop_assert_eq!(store.len(), store.snapshot().len());
+            prop_assert_eq!(store.len(), reference.len());
+        }
+        let mut snap = store.snapshot();
+        snap.sort();
+        let expect: Vec<(Bytes, Bytes)> =
+            reference.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(snap, expect);
+    }
+
+    /// A batch containing an oversized value fails atomically: nothing is
+    /// stored, the counter does not move.
+    #[test]
+    fn oversized_batch_stores_nothing(split in 0usize..5, seed in any::<u8>()) {
+        let store = KvStore::new(StoreConfig { shards: 4, entry_limit: 8 });
+        store.put("keep", Bytes::from_static(b"ok")).unwrap();
+        let mut batch: Vec<(Bytes, Bytes)> = (0..5u8)
+            .map(|i| (Bytes::from(vec![seed.wrapping_add(i)]), Bytes::from(vec![i; 4])))
+            .collect();
+        batch[split].1 = Bytes::from(vec![0u8; 9]); // over the limit
+        prop_assert!(store.put_batch(&batch).is_err());
+        prop_assert_eq!(store.len(), 1);
+        prop_assert_eq!(store.snapshot().len(), 1);
     }
 }

@@ -65,11 +65,17 @@ pub enum Event {
         /// Index into the chaos plan's event list.
         idx: usize,
     },
+    /// The serialized controller finishes an admission slot: admit the
+    /// head of the pending-launch FIFO. Exactly one of these is in flight
+    /// while the FIFO is non-empty — launches park in the queue instead
+    /// of re-polling the controller every slot, which turns the admission
+    /// model from O(pending²) dispatches into O(pending).
+    AdmissionFree,
 }
 
 /// Number of [`Event`] kinds (the hot-path profiler keys fixed-size
 /// tables by kind).
-pub(super) const EVENT_KINDS: usize = 8;
+pub(super) const EVENT_KINDS: usize = 9;
 
 /// Stable labels for the hot-path profiler's per-kind report rows, in
 /// [`Event::kind_index`] order.
@@ -82,6 +88,7 @@ pub(super) const EVENT_KIND_LABELS: [&str; EVENT_KINDS] = [
     "replica_warm",
     "node_failure",
     "chaos_fault",
+    "admission_free",
 ];
 
 impl Event {
@@ -96,6 +103,7 @@ impl Event {
             Event::ReplicaWarm { .. } => 5,
             Event::NodeFailure { .. } => 6,
             Event::ChaosFault { .. } => 7,
+            Event::AdmissionFree => 8,
         }
     }
 }
@@ -118,6 +126,7 @@ impl Platform {
             Event::ReplicaWarm { container } => self.handle_replica_warm(strategy, container),
             Event::NodeFailure { node } => self.handle_node_failure(strategy, node),
             Event::ChaosFault { idx } => self.handle_chaos(strategy, idx),
+            Event::AdmissionFree => self.handle_admission_free(strategy),
         }
     }
 }

@@ -589,12 +589,44 @@ impl Platform {
             return;
         }
         let now = self.now();
-        // Serialized controller admission.
+        // Serialized controller admission: a busy controller parks the
+        // launch in the FIFO (admission order is dispatch order, exactly
+        // what re-polling every slot produced) and the singleton wakeup
+        // admits one head per admission slot.
         if now < self.controller_free {
-            let at = self.controller_free;
-            self.schedule(at, Event::Launch { fn_id, from_state });
+            if self.pending_launches.is_empty() {
+                let at = self.controller_free;
+                self.schedule(at, Event::AdmissionFree);
+            }
+            self.pending_launches.push_back((fn_id, from_state));
             return;
         }
+        self.admit_launch(strategy, fn_id, from_state);
+    }
+
+    /// One admission slot opened: admit the head of the pending-launch
+    /// FIFO (skipping entries whose function completed while parked —
+    /// the re-poll loop dropped those on dispatch without consuming a
+    /// slot) and, if launches remain, schedule the next wakeup for the
+    /// slot this admission occupies.
+    pub(super) fn handle_admission_free(&mut self, strategy: &mut dyn FtStrategy) {
+        while let Some((fn_id, from_state)) = self.pending_launches.pop_front() {
+            if self.fns[fn_id.0 as usize].status == FnStatus::Completed {
+                continue;
+            }
+            self.admit_launch(strategy, fn_id, from_state);
+            break;
+        }
+        if !self.pending_launches.is_empty() {
+            let at = self.controller_free;
+            self.schedule(at, Event::AdmissionFree);
+        }
+    }
+
+    /// The admitted half of a launch: occupy the controller for one
+    /// admission slot, place the attempt's containers, and begin it.
+    fn admit_launch(&mut self, strategy: &mut dyn FtStrategy, fn_id: FnId, from_state: u32) {
+        let now = self.now();
         self.controller_free = now + self.config.admission_delay;
 
         let clones = strategy.attempt_clones(self, fn_id).max(1);

@@ -100,6 +100,12 @@ pub struct Platform {
     /// head-of-line — a blocked front job is never overtaken, so
     /// admission is starvation-free.
     admission_queue: std::collections::VecDeque<JobId>,
+    /// Launches waiting on the serialized controller, strictly FIFO in
+    /// the order each launch first found the controller busy — the same
+    /// order the historical re-poll loop admitted them in, without the
+    /// O(pending²) re-poll dispatches. While non-empty, exactly one
+    /// [`Event::AdmissionFree`] is scheduled at `controller_free`.
+    pending_launches: std::collections::VecDeque<(FnId, u32)>,
     /// Function invocations admitted and not yet completed — the load
     /// the concurrency gate meters.
     inflight: u32,
@@ -161,6 +167,7 @@ impl Platform {
             counters: RunCounters::default(),
             dependents: Vec::new(),
             admission_queue: std::collections::VecDeque::new(),
+            pending_launches: std::collections::VecDeque::new(),
             inflight: 0,
             trace: Trace::default(),
             telemetry: Telemetry::new(config.telemetry),
@@ -212,7 +219,9 @@ impl Platform {
                 .map(|c| self.shard_map.shard_of(c.node))
                 .unwrap_or(0),
             Event::NodeFailure { node } => self.shard_map.shard_of(node),
-            Event::ChaosFault { .. } => 0,
+            // Controller-global events (rare / singleton) anchor on shard
+            // 0; the global-seq merge keeps their order shard-invariant.
+            Event::ChaosFault { .. } | Event::AdmissionFree => 0,
         }
     }
 
@@ -576,6 +585,10 @@ pub fn try_run(
     assert!(
         p.admission_queue.is_empty(),
         "admission queue must drain once arrivals stop"
+    );
+    assert!(
+        p.pending_launches.is_empty(),
+        "pending launches must drain once the event queue empties"
     );
 
     // Close out still-open usage records (parked replicas etc.).

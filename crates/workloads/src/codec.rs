@@ -128,6 +128,19 @@ impl Encoder {
         self.buf.freeze()
     }
 
+    /// Drop the contents but keep the capacity, so one encoder can be
+    /// reused across many rows without reallocating (hot-path scratch).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes written so far, without consuming the encoder. Pair
+    /// with [`Encoder::clear`] on reuse paths that copy the encoding out
+    /// (e.g. into a single refcounted buffer) instead of freezing.
+    pub fn encoded(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()

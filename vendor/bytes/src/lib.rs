@@ -1,10 +1,12 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! Provides the subset of [`Bytes`] this workspace uses: construction
-//! from vectors / static slices, cheap `Clone` via `Arc`, `Deref` to
-//! `[u8]`, and value equality. Zero-copy `from_static` is preserved so
-//! the hot checkpoint-payload path allocates the same way the real
-//! crate does.
+//! Provides the subset of [`Bytes`] this workspace uses with the real
+//! crate's cost model: construction from vectors / static slices,
+//! cheap `Clone` via `Arc`, **zero-copy `slice`** (a view sharing the
+//! parent's refcounted storage), `Deref` to `[u8]`, and value
+//! equality. Buffers of [`Bytes::INLINE_CAP`] bytes or fewer are
+//! stored inline in the handle itself, so short keys (typed table
+//! keys, checkpoint locations) never touch the heap at all.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -17,11 +19,18 @@ pub struct Bytes(Repr);
 
 #[derive(Clone)]
 enum Repr {
+    /// Borrowed view over `'static` memory — never allocates.
     Static(&'static [u8]),
-    Shared(Arc<Vec<u8>>),
+    /// Short buffer stored in the handle itself — never allocates.
+    Inline { len: u8, buf: [u8; Bytes::INLINE_CAP] },
+    /// View (`off..off + len`) over one shared heap allocation.
+    Shared { buf: Arc<[u8]>, off: usize, len: usize },
 }
 
 impl Bytes {
+    /// Longest buffer stored inline in the handle (no heap allocation).
+    pub const INLINE_CAP: usize = 23;
+
     /// An empty buffer (no allocation).
     pub const fn new() -> Self {
         Bytes(Repr::Static(&[]))
@@ -47,21 +56,56 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
-    /// Copy a slice into a new refcounted buffer (the real crate's
-    /// constructor of the same name).
+    /// Copy a slice into a new buffer (the real crate's constructor of
+    /// the same name). Allocates at most once; short inputs are stored
+    /// inline and cost nothing.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        if data.len() <= Self::INLINE_CAP {
+            Bytes(Repr::inline(data))
+        } else {
+            Bytes(Repr::Shared {
+                buf: Arc::from(data),
+                off: 0,
+                len: data.len(),
+            })
+        }
     }
 
-    /// Copy a sub-range into a new `Bytes`.
+    /// Zero-copy sub-range view: shares the parent's storage (or stays
+    /// inline / static). Never copies buffer contents larger than
+    /// [`Bytes::INLINE_CAP`] and never allocates.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes::from(self.as_slice()[range].to_vec())
+        match &self.0 {
+            Repr::Static(s) => Bytes(Repr::Static(&s[range])),
+            Repr::Inline { len, buf } => Bytes(Repr::inline(&buf[..*len as usize][range])),
+            Repr::Shared { buf, off, len } => {
+                assert!(range.start <= range.end && range.end <= *len, "slice out of range");
+                Bytes(Repr::Shared {
+                    buf: Arc::clone(buf),
+                    off: off + range.start,
+                    len: range.end - range.start,
+                })
+            }
+        }
     }
 
     fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
-            Repr::Shared(v) => v.as_slice(),
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Shared { buf, off, len } => &buf[*off..*off + *len],
+        }
+    }
+}
+
+impl Repr {
+    fn inline(data: &[u8]) -> Repr {
+        debug_assert!(data.len() <= Bytes::INLINE_CAP);
+        let mut buf = [0u8; Bytes::INLINE_CAP];
+        buf[..data.len()].copy_from_slice(data);
+        Repr::Inline {
+            len: data.len() as u8,
+            buf,
         }
     }
 }
@@ -97,13 +141,22 @@ impl std::borrow::Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Repr::Shared(Arc::new(v)))
+        if v.len() <= Bytes::INLINE_CAP {
+            Bytes(Repr::inline(&v))
+        } else {
+            let len = v.len();
+            Bytes(Repr::Shared {
+                buf: Arc::from(v),
+                off: 0,
+                len,
+            })
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(s: &[u8]) -> Self {
-        Bytes::from(s.to_vec())
+        Bytes::copy_from_slice(s)
     }
 }
 
@@ -216,6 +269,11 @@ impl BytesMut {
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
+    }
+
+    /// Drop the contents, keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 }
 
@@ -342,5 +400,52 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(&a[..4], &[9, 9, 9, 9]);
+        // Clones of a heap-backed buffer share one allocation.
+        assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let parent = Bytes::from((0u8..=255).cycle().take(4096).collect::<Vec<u8>>());
+        let mid = parent.slice(100..3000);
+        assert_eq!(&*mid, &parent[100..3000]);
+        // The slice points into the parent's storage, not a copy.
+        assert_eq!(mid.as_ptr(), unsafe { parent.as_ptr().add(100) });
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(10..50);
+        assert_eq!(inner.as_ptr(), unsafe { parent.as_ptr().add(110) });
+        assert_eq!(&*inner, &parent[110..150]);
+    }
+
+    #[test]
+    fn short_buffers_are_stored_inline() {
+        let small = Bytes::copy_from_slice(b"0123456789abcdef0123456");
+        assert_eq!(small.len(), Bytes::INLINE_CAP);
+        assert_eq!(&*small, b"0123456789abcdef0123456");
+        // An inline clone carries its own bytes: distinct storage.
+        let c = small.clone();
+        assert_eq!(c, small);
+        // Sub-slices of short buffers stay inline and correct.
+        assert_eq!(&*small.slice(4..9), b"4567\x38");
+        // Short slices of big shared parents keep sharing (refcount bump).
+        let parent = Bytes::from(vec![7u8; 1000]);
+        let tiny = parent.slice(0..4);
+        assert_eq!(tiny.as_ptr(), parent.as_ptr());
+    }
+
+    #[test]
+    fn static_slices_stay_static() {
+        static DATA: &[u8] = b"hello static world";
+        let s = Bytes::from_static(DATA);
+        let sub = s.slice(6..12);
+        assert_eq!(&*sub, b"static");
+        assert_eq!(sub.as_ptr(), DATA[6..].as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn out_of_range_slice_panics() {
+        let b = Bytes::from(vec![0u8; 100]);
+        let _ = b.slice(50..200);
     }
 }
